@@ -1,0 +1,359 @@
+//! The Distributed Antenna System middlebox (paper §4.1, Figure 5a).
+//!
+//! One cell's signal is distributed across N RUs:
+//!
+//! * **Downlink** — every C-plane and U-plane packet from the DU is
+//!   replicated to all DAS RUs (actions A1 + A2).
+//! * **Uplink** — U-plane packets from the RUs are cached per
+//!   (eAxC, symbol) (action A3); once all N RUs' packets for a symbol and
+//!   antenna port have arrived, their IQ payloads are decompressed,
+//!   summed element-wise per subcarrier, recompressed (action A4) and the
+//!   merged packet is forwarded to the DU while the originals are dropped
+//!   (action A1).
+//!
+//! Summing is interference-free because a single scheduler allocates
+//! non-overlapping PRBs to all UEs under the DAS (paper §4.1).
+
+use rb_core::actions;
+use rb_core::cache::{CacheKey, Plane};
+use rb_core::middlebox::{MbContext, Middlebox};
+use rb_fronthaul::ether::EthernetAddress;
+use rb_fronthaul::msg::{Body, FhMessage};
+use rb_fronthaul::uplane::USection;
+use rb_fronthaul::Direction;
+use rb_netsim::cost::{Work, XdpPlacement};
+
+/// DAS middlebox configuration.
+#[derive(Debug, Clone)]
+pub struct DasConfig {
+    /// The middlebox's own MAC (source of everything it emits).
+    pub mb_mac: EthernetAddress,
+    /// The DU being distributed.
+    pub du_mac: EthernetAddress,
+    /// The DAS radios.
+    pub ru_macs: Vec<EthernetAddress>,
+}
+
+/// Aggregate DAS counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DasStats {
+    /// Downlink packets replicated.
+    pub dl_replicated: u64,
+    /// Uplink packets cached.
+    pub ul_cached: u64,
+    /// Uplink merges performed.
+    pub ul_merges: u64,
+    /// Merges that failed (shape mismatch across RUs).
+    pub merge_errors: u64,
+    /// Packets from unknown sources, dropped.
+    pub unknown_src: u64,
+}
+
+/// The DAS middlebox.
+pub struct Das {
+    name: String,
+    cfg: DasConfig,
+    /// Counters.
+    pub stats: DasStats,
+}
+
+impl Das {
+    /// Build a DAS middlebox distributing `du` across `rus`.
+    pub fn new(name: impl Into<String>, cfg: DasConfig) -> Das {
+        assert!(!cfg.ru_macs.is_empty(), "DAS needs at least one RU");
+        Das { name: name.into(), cfg, stats: DasStats::default() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DasConfig {
+        &self.cfg
+    }
+
+    fn fan_out(&mut self, msg: &FhMessage) -> Vec<FhMessage> {
+        self.stats.dl_replicated += 1;
+        actions::replicate(msg, self.cfg.mb_mac, &self.cfg.ru_macs)
+    }
+
+    /// Merge the cached uplink packets (one per RU) for one key into a
+    /// single packet towards the DU.
+    fn merge(&mut self, ctx: &mut MbContext<'_>, cached: Vec<FhMessage>) -> Option<FhMessage> {
+        let first = cached.first()?.clone();
+        let n_sections = first.as_uplane()?.sections.len();
+        let mut merged_sections = Vec::with_capacity(n_sections);
+        let mut total_prbs = 0usize;
+        for s_idx in 0..n_sections {
+            let sections: Vec<&USection> = cached
+                .iter()
+                .filter_map(|m| m.as_uplane().and_then(|u| u.sections.get(s_idx)))
+                .collect();
+            if sections.len() != cached.len() {
+                self.stats.merge_errors += 1;
+                return None;
+            }
+            match actions::sum_sections(&sections) {
+                Ok(s) => {
+                    total_prbs += s.num_prb() as usize;
+                    merged_sections.push(s);
+                }
+                Err(_) => {
+                    self.stats.merge_errors += 1;
+                    return None;
+                }
+            }
+        }
+        // A4 heavy path: decompress + sum + recompress across all RUs.
+        ctx.charge(
+            Work::MergeIq { prbs: total_prbs, streams: cached.len() },
+            XdpPlacement::Userspace,
+        );
+        let mut out = first;
+        if let Some(up) = out.as_uplane_mut() {
+            up.sections = merged_sections;
+        }
+        actions::redirect(&mut out, self.cfg.mb_mac, self.cfg.du_mac);
+        self.stats.ul_merges += 1;
+        ctx.telemetry.count(ctx.now_ns(), "ul_merges", 1);
+        Some(out)
+    }
+}
+
+impl Middlebox for Das {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_cplane(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
+        if msg.eth.src != self.cfg.du_mac {
+            self.stats.unknown_src += 1;
+            return Vec::new();
+        }
+        // Both DL and UL C-plane originate at the DU and go to every RU.
+        ctx.charge(Work::Replicate { copies: self.cfg.ru_macs.len() }, XdpPlacement::Userspace);
+        self.fan_out(&msg)
+    }
+
+    fn on_uplane(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
+        if msg.eth.src == self.cfg.du_mac {
+            // Downlink IQ: replicate to all RUs.
+            ctx.charge(
+                Work::Replicate { copies: self.cfg.ru_macs.len() },
+                XdpPlacement::Userspace,
+            );
+            return self.fan_out(&msg);
+        }
+        if !self.cfg.ru_macs.contains(&msg.eth.src) {
+            self.stats.unknown_src += 1;
+            return Vec::new();
+        }
+        // Uplink IQ from one RU: cache until all RUs reported (A3).
+        let Some(up) = msg.as_uplane() else {
+            return Vec::new();
+        };
+        let key = CacheKey {
+            eaxc_raw: msg.eaxc.pack(&ctx.mapping),
+            direction: Direction::Uplink,
+            plane: Plane::U,
+            filter: up.filter_index,
+            symbol: up.symbol,
+        };
+        self.stats.ul_cached += 1;
+        ctx.cache.insert(key, msg);
+        if ctx.cache.count(&key) < self.cfg.ru_macs.len() {
+            ctx.charge(Work::Cache, XdpPlacement::Userspace);
+            return Vec::new();
+        }
+        let cached = ctx.cache.take(&key);
+        match self.merge(ctx, cached) {
+            Some(merged) => vec![merged],
+            None => Vec::new(),
+        }
+    }
+
+    fn classify(&self, msg: &FhMessage) -> (Work, XdpPlacement) {
+        // Fallback static estimate (handlers report precise charges).
+        match &msg.body {
+            Body::CPlane(_) => {
+                (Work::Replicate { copies: self.cfg.ru_macs.len() }, XdpPlacement::Userspace)
+            }
+            Body::UPlane(_) if msg.body.direction() == Direction::Downlink => {
+                (Work::Replicate { copies: self.cfg.ru_macs.len() }, XdpPlacement::Userspace)
+            }
+            Body::UPlane(_) => (Work::Cache, XdpPlacement::Userspace),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_core::cache::SymbolCache;
+    use rb_core::telemetry::{self, TelemetrySender};
+    use rb_fronthaul::bfp::CompressionMethod;
+    use rb_fronthaul::cplane::{CPlaneRepr, SectionFields};
+    use rb_fronthaul::eaxc::{Eaxc, EaxcMapping};
+    use rb_fronthaul::iq::{IqSample, Prb};
+    use rb_fronthaul::timing::SymbolId;
+    use rb_fronthaul::uplane::UPlaneRepr;
+    use rb_netsim::time::SimTime;
+
+    fn mac(last: u8) -> EthernetAddress {
+        EthernetAddress::new(2, 0, 0, 0, 0, last)
+    }
+
+    fn das() -> Das {
+        Das::new(
+            "das-test",
+            DasConfig { mb_mac: mac(10), du_mac: mac(1), ru_macs: vec![mac(21), mac(22), mac(23)] },
+        )
+    }
+
+    fn ctx<'a>(cache: &'a mut SymbolCache, tel: &'a TelemetrySender) -> MbContext<'a> {
+        MbContext {
+            now: SimTime(0),
+            cache,
+            telemetry: tel,
+            mapping: EaxcMapping::DEFAULT,
+            charges: Vec::new(),
+        }
+    }
+
+    fn dl_cplane(src: EthernetAddress, dst: EthernetAddress) -> FhMessage {
+        FhMessage::new(
+            src,
+            dst,
+            Eaxc::port(0),
+            0,
+            Body::CPlane(CPlaneRepr::single(
+                Direction::Downlink,
+                SymbolId::ZERO,
+                CompressionMethod::BFP9,
+                SectionFields::data(0, 0, 50, 14),
+            )),
+        )
+    }
+
+    fn ul_uplane(src: EthernetAddress, amp: i16, port: u8) -> FhMessage {
+        let mut prb = Prb::ZERO;
+        for (k, s) in prb.0.iter_mut().enumerate() {
+            *s = IqSample::new(amp, -(amp / 2) + k as i16);
+        }
+        let section = USection::from_prbs(0, 0, &[prb; 4], CompressionMethod::NoCompression).unwrap();
+        FhMessage::new(
+            src,
+            mac(10),
+            Eaxc::port(port),
+            0,
+            Body::UPlane(UPlaneRepr::single(Direction::Uplink, SymbolId::ZERO, section)),
+        )
+    }
+
+    #[test]
+    fn downlink_is_replicated_to_all_rus() {
+        let mut mb = das();
+        let mut cache = SymbolCache::new(64);
+        let tel = TelemetrySender::disconnected("t");
+        let out = mb.handle(&mut ctx(&mut cache, &tel), dl_cplane(mac(1), mac(10)));
+        assert_eq!(out.len(), 3);
+        let dsts: Vec<_> = out.iter().map(|m| m.eth.dst).collect();
+        assert_eq!(dsts, vec![mac(21), mac(22), mac(23)]);
+        assert!(out.iter().all(|m| m.eth.src == mac(10)));
+        assert_eq!(mb.stats.dl_replicated, 1);
+    }
+
+    #[test]
+    fn uplink_waits_for_all_rus_then_merges() {
+        let mut mb = das();
+        let mut cache = SymbolCache::new(64);
+        let tel = TelemetrySender::disconnected("t");
+        let a = mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(21), 100, 0));
+        assert!(a.is_empty());
+        let b = mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(22), 200, 0));
+        assert!(b.is_empty());
+        let c = mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(23), 300, 0));
+        assert_eq!(c.len(), 1, "third RU triggers the merge");
+        let merged = &c[0];
+        assert_eq!(merged.eth.dst, mac(1));
+        assert_eq!(merged.eth.src, mac(10));
+        // 100 + 200 + 300 summed per subcarrier.
+        let decoded = merged.as_uplane().unwrap().sections[0].decode().unwrap();
+        assert_eq!(decoded[0].0 .0[0].i, 600);
+        assert_eq!(mb.stats.ul_merges, 1);
+        assert!(cache.is_empty(), "cache drained after merge");
+    }
+
+    #[test]
+    fn different_ports_and_symbols_merge_independently() {
+        let mut mb = das();
+        let mut cache = SymbolCache::new(64);
+        let tel = TelemetrySender::disconnected("t");
+        // Port 0 from two RUs, port 1 from three RUs.
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(21), 100, 0));
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(22), 100, 0));
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(21), 10, 1));
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(22), 10, 1));
+        let done = mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(23), 10, 1));
+        assert_eq!(done.len(), 1, "port 1 completed");
+        assert_eq!(done[0].eaxc.ru_port, 1);
+        assert_eq!(cache.len(), 1, "port 0 still waiting");
+    }
+
+    #[test]
+    fn merge_reports_heavy_work() {
+        let mut mb = das();
+        let mut cache = SymbolCache::new(64);
+        let tel = TelemetrySender::disconnected("t");
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(21), 100, 0));
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(22), 100, 0));
+        let mut c = ctx(&mut cache, &tel);
+        mb.handle(&mut c, ul_uplane(mac(23), 100, 0));
+        assert!(c
+            .charges
+            .iter()
+            .any(|(w, p)| matches!(w, Work::MergeIq { streams: 3, .. })
+                && *p == XdpPlacement::Userspace));
+    }
+
+    #[test]
+    fn unknown_sources_are_dropped() {
+        let mut mb = das();
+        let mut cache = SymbolCache::new(64);
+        let tel = TelemetrySender::disconnected("t");
+        let out = mb.handle(&mut ctx(&mut cache, &tel), dl_cplane(mac(99), mac(10)));
+        assert!(out.is_empty());
+        let out = mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(99), 50, 0));
+        assert!(out.is_empty());
+        assert_eq!(mb.stats.unknown_src, 2);
+    }
+
+    #[test]
+    fn merge_telemetry_flows() {
+        let (tx, rx) = telemetry::channel("das-test");
+        let mut mb = das();
+        let mut cache = SymbolCache::new(64);
+        mb.handle(&mut ctx(&mut cache, &tx), ul_uplane(mac(21), 1, 0));
+        mb.handle(&mut ctx(&mut cache, &tx), ul_uplane(mac(22), 1, 0));
+        mb.handle(&mut ctx(&mut cache, &tx), ul_uplane(mac(23), 1, 0));
+        let events = rx.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].source, "das-test");
+    }
+
+    #[test]
+    fn shape_mismatch_counts_merge_error() {
+        let mut mb = das();
+        let mut cache = SymbolCache::new(64);
+        let tel = TelemetrySender::disconnected("t");
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(21), 1, 0));
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane(mac(22), 1, 0));
+        // Third RU reports a different PRB count.
+        let mut odd = ul_uplane(mac(23), 1, 0);
+        if let Some(up) = odd.as_uplane_mut() {
+            let prbs = vec![Prb::ZERO; 2];
+            up.sections =
+                vec![USection::from_prbs(0, 0, &prbs, CompressionMethod::NoCompression).unwrap()];
+        }
+        let out = mb.handle(&mut ctx(&mut cache, &tel), odd);
+        assert!(out.is_empty());
+        assert_eq!(mb.stats.merge_errors, 1);
+    }
+}

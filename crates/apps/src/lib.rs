@@ -1,0 +1,41 @@
+//! # rb-apps — the RANBooster reference middleboxes
+//!
+//! The four applications of the paper's §4, all written against the one
+//! [`rb_core::middlebox::Middlebox`] template:
+//!
+//! * [`das`] — Distributed Antenna System (§4.1): replicate one cell's
+//!   downlink across N RUs; cache and element-wise-sum the N uplink
+//!   streams back into one.
+//! * [`dmimo`] — distributed MIMO (§4.2): stitch several small RUs into
+//!   one virtual RU by remapping eAxC antenna ports, copying the SSB to
+//!   the secondary radios.
+//! * [`rushare`] — RU sharing (§4.3, Appendix A.1): multiplex several
+//!   DUs onto one wide RU — C-plane `numPrb` maximization and caching
+//!   (Algorithm 2), PRB placement with an aligned fast path and a
+//!   misaligned subcarrier-shift path (Figure 6), PRACH `freqOffset`
+//!   translation and section-id demultiplexing (Algorithm 3).
+//! * [`prbmon`] — real-time PRB monitoring (§4.4, Algorithm 1): estimate
+//!   per-cell PRB utilization from BFP compression exponents without
+//!   decompressing, and export it over the telemetry interface.
+//!
+//! Plus two of the paper's §8.1 "other use cases", built on the same
+//! template:
+//!
+//! * [`resilience`] — DU failure detection from inter-packet gaps and
+//!   millisecond failover to a standby DU;
+//! * [`secmon`] — lightweight fronthaul attack mitigation by inspection
+//!   and drop (source allowlists, direction-spoof and implausible-schedule
+//!   filters, sequence-gap accounting);
+//! * [`tap`] — a transparent capture tap with a bounded message ring and
+//!   Wireshark-compatible pcap export.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod das;
+pub mod dmimo;
+pub mod prbmon;
+pub mod resilience;
+pub mod rushare;
+pub mod secmon;
+pub mod tap;

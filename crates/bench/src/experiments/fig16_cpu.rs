@@ -1,0 +1,140 @@
+//! Figure 16 — CPU utilization of DPDK vs XDP middlebox implementations
+//! (DAS and dMIMO, 40 MHz cell) under three cell conditions: no UE,
+//! UE attached but idle, UE receiving downlink at full rate.
+//!
+//! DPDK poll-mode pegs its core at 100 % regardless of load; XDP's
+//! interrupt-driven utilization tracks traffic, and the DAS costs more
+//! than dMIMO because its uplink merge runs in userspace behind an
+//! AF_XDP context switch while dMIMO's header remap stays in-kernel.
+
+use ranbooster::apps::das::Das;
+use ranbooster::apps::dmimo::Dmimo;
+use ranbooster::core::host::MiddleboxHost;
+use ranbooster::netsim::cost::{CostModel, Datapath};
+use ranbooster::netsim::time::SimTime;
+use ranbooster::radio::cell::CellConfig;
+use ranbooster::radio::channel::Position;
+use ranbooster::scenario::Deployment;
+
+use crate::report::{pct, Report};
+
+const CENTER: i64 = 3_430_000_000;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Condition {
+    Idle,
+    Attached,
+    Traffic,
+}
+
+impl Condition {
+    fn label(self) -> &'static str {
+        match self {
+            Condition::Idle => "no UE",
+            Condition::Attached => "UE attached, idle",
+            Condition::Traffic => "UE at full DL rate",
+        }
+    }
+}
+
+fn cell() -> CellConfig {
+    CellConfig::mhz40(1, CENTER, 4)
+}
+
+fn windows(quick: bool) -> (u64, u64) {
+    if quick {
+        (250, 400)
+    } else {
+        (300, 700)
+    }
+}
+
+/// Generic run: prepare the deployment, apply the condition, return the
+/// middlebox host's mean CPU utilization over the measurement window.
+fn run_condition<M, F>(mut dep: Deployment, cond: Condition, quick: bool, util: F) -> f64
+where
+    M: ranbooster::core::middlebox::Middlebox,
+    F: Fn(&Deployment, SimTime) -> f64,
+{
+    let (a, b) = windows(quick);
+    match cond {
+        Condition::Idle => {}
+        Condition::Attached => {
+            let ue = dep.add_ue(Position::new(12.0, 10.0, 0), 4);
+            dep.set_demand(0, ue, 0.0, 0.0); // attached, no user traffic
+        }
+        Condition::Traffic => {
+            let _ue = dep.add_ue(Position::new(12.0, 10.0, 0), 4);
+            // default full-buffer demand
+        }
+    }
+    dep.run_ms(a);
+    {
+        let now = SimTime(a * 1_000_000);
+        let host = dep.engine.node_as_mut::<MiddleboxHost<M>>(dep.mbs[0]);
+        host.ledger_mut().reset(now);
+    }
+    dep.run_ms(b);
+    util(&dep, SimTime(b * 1_000_000))
+}
+
+fn das_util(datapath: Datapath, cond: Condition, quick: bool, seed: u64) -> f64 {
+    let cost = match datapath {
+        Datapath::Dpdk => CostModel::dpdk(),
+        Datapath::Xdp => CostModel::xdp(),
+    };
+    let positions = [Position::new(10.0, 10.0, 0), Position::new(30.0, 10.0, 0)];
+    let dep = Deployment::das_with_cost(cell(), &positions, cost, 1, seed);
+    run_condition::<Das, _>(dep, cond, quick, |dep, now| {
+        dep.engine.node_as::<MiddleboxHost<Das>>(dep.mbs[0]).ledger().mean_utilization(now)
+    })
+}
+
+fn dmimo_util(datapath: Datapath, cond: Condition, quick: bool, seed: u64) -> f64 {
+    let cost = match datapath {
+        Datapath::Dpdk => CostModel::dpdk(),
+        Datapath::Xdp => CostModel::xdp(),
+    };
+    let sites = [(Position::new(10.0, 10.0, 0), 2u8), (Position::new(30.0, 10.0, 0), 2u8)];
+    let dep = Deployment::dmimo_with_cost(cell(), &sites, true, cost, 1, seed);
+    run_condition::<Dmimo, _>(dep, cond, quick, |dep, now| {
+        dep.engine.node_as::<MiddleboxHost<Dmimo>>(dep.mbs[0]).ledger().mean_utilization(now)
+    })
+}
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Report {
+    let mut r = Report::new(
+        "fig16",
+        "CPU utilization: DPDK vs XDP middleboxes, 40 MHz cell",
+        "DPDK pegs 100% always; XDP tracks traffic, with DAS ~25-30 points \
+         above dMIMO under load (userspace IQ work + context switches)",
+    )
+    .columns(vec!["middlebox", "cell condition", "DPDK CPU", "XDP CPU"]);
+
+    let conditions = [Condition::Idle, Condition::Attached, Condition::Traffic];
+    let mut das_traffic_xdp = 0.0;
+    let mut dmimo_traffic_xdp = 0.0;
+    for cond in conditions {
+        let dpdk = das_util(Datapath::Dpdk, cond, quick, 191);
+        let xdp = das_util(Datapath::Xdp, cond, quick, 192);
+        if cond == Condition::Traffic {
+            das_traffic_xdp = xdp;
+        }
+        r.row(vec!["DAS".to_string(), cond.label().into(), pct(dpdk), pct(xdp)]);
+    }
+    for cond in conditions {
+        let dpdk = dmimo_util(Datapath::Dpdk, cond, quick, 193);
+        let xdp = dmimo_util(Datapath::Xdp, cond, quick, 194);
+        if cond == Condition::Traffic {
+            dmimo_traffic_xdp = xdp;
+        }
+        r.row(vec!["dMIMO".to_string(), cond.label().into(), pct(dpdk), pct(xdp)]);
+    }
+    r.note(format!(
+        "under full traffic, XDP DAS runs {:.0} points hotter than XDP dMIMO \
+         (paper: ~25–30 points)",
+        (das_traffic_xdp - dmimo_traffic_xdp) * 100.0
+    ));
+    r
+}

@@ -1,0 +1,151 @@
+//! Plain-text experiment reports, shaped like the paper's tables.
+
+use std::fmt::Write as _;
+
+/// A completed experiment's printable result.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. `"fig10a"`.
+    pub id: &'static str,
+    /// What the paper shows there.
+    pub title: String,
+    /// The paper's qualitative/quantitative claim being reproduced.
+    pub paper_claim: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations appended below the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &'static str, title: impl Into<String>, paper_claim: impl Into<String>) -> Report {
+        Report {
+            id,
+            title: title.into(),
+            paper_claim: paper_claim.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Set the column headers.
+    pub fn columns<S: Into<String>>(mut self, cols: Vec<S>) -> Report {
+        self.columns = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "━━━ {} — {}", self.id, self.title);
+        let _ = writeln!(out, "paper: {}", self.paper_claim);
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(c, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r.get(c).map(|s| s.chars().count()).unwrap_or(0))
+                    .chain(std::iter::once(h.chars().count()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String], out: &mut String| {
+            let mut parts = Vec::new();
+            for (c, w) in widths.iter().enumerate() {
+                let v = cells.get(c).cloned().unwrap_or_default();
+                let pad = w.saturating_sub(v.chars().count());
+                parts.push(format!("{}{}", v, " ".repeat(pad)));
+            }
+            let _ = writeln!(out, "  {}", parts.join("  "));
+        };
+        line(&self.columns, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "  {}", "-".repeat(total));
+        for r in &self.rows {
+            line(r, &mut out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  » {n}");
+        }
+        out
+    }
+
+    /// Render as a Markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "*Paper:* {}\n", self.paper_claim);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out
+    }
+}
+
+/// Format a Mbps value compactly.
+pub fn mbps(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("figX", "demo", "claim").columns(vec!["a", "bee"]);
+        r.row(vec!["1", "2"]);
+        r.row(vec!["333", "4"]);
+        r.note("observation");
+        r
+    }
+
+    #[test]
+    fn renders_aligned_text() {
+        let text = sample().render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("claim"));
+        assert!(text.contains("333"));
+        assert!(text.contains("» observation"));
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let md = sample().render_markdown();
+        assert!(md.contains("| a | bee |"));
+        assert!(md.contains("| 333 | 4 |"));
+        assert!(md.contains("> observation"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mbps(898.23), "898");
+        assert_eq!(pct(0.756), "75.6%");
+    }
+}

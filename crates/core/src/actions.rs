@@ -1,0 +1,257 @@
+//! The RANBooster processing actions A1, A2 and A4 (paper §3.2.1).
+//!
+//! Actions are deliberately small, composable operations on parsed
+//! [`FhMessage`]s; A3 (caching) lives in [`crate::cache`]. Handlers express
+//! their result as a list of messages to transmit — dropping a packet
+//! (part of A1) is simply not returning it.
+
+use rb_fronthaul::ether::EthernetAddress;
+use rb_fronthaul::iq::Prb;
+use rb_fronthaul::msg::FhMessage;
+use rb_fronthaul::uplane::USection;
+use rb_fronthaul::{Error, Result};
+
+/// A1 — redirect: rewrite Ethernet source/destination (and optionally the
+/// VLAN id) so the frame is steered to a different DU or RU.
+pub fn redirect(msg: &mut FhMessage, src: EthernetAddress, dst: EthernetAddress) {
+    msg.eth.src = src;
+    msg.eth.dst = dst;
+}
+
+/// A1 — retag: change the VLAN id (None removes the tag).
+pub fn retag(msg: &mut FhMessage, vlan: Option<u16>) {
+    msg.eth.vlan = vlan;
+}
+
+/// A2 — replicate: clone `msg` once per destination, rewriting addressing.
+/// Returns one message per destination, in order.
+pub fn replicate(
+    msg: &FhMessage,
+    src: EthernetAddress,
+    dsts: &[EthernetAddress],
+) -> Vec<FhMessage> {
+    dsts.iter()
+        .map(|&dst| {
+            let mut clone = msg.clone();
+            redirect(&mut clone, src, dst);
+            clone
+        })
+        .collect()
+}
+
+/// A4 — element-wise sum of the PRB payloads of several U-plane sections
+/// covering the same PRB range (the DAS uplink combine).
+///
+/// Decompresses each source, sums per subcarrier with saturation, and
+/// recompresses with the method of the first section. All sections must
+/// have the same `start_prb` and PRB count.
+pub fn sum_sections(sections: &[&USection]) -> Result<USection> {
+    let first = sections.first().ok_or(Error::ShapeMismatch)?;
+    let n = first.num_prb() as usize;
+    let mut acc: Vec<Prb> = vec![Prb::ZERO; n];
+    for s in sections {
+        if s.start_prb != first.start_prb || s.num_prb() != first.num_prb() {
+            return Err(Error::ShapeMismatch);
+        }
+        for (k, (prb, _exp)) in s.decode()?.into_iter().enumerate() {
+            acc[k].add_assign_saturating(&prb);
+        }
+    }
+    USection::from_prbs(first.section_id, first.start_prb, &acc, first.method)
+}
+
+/// A4 — copy a PRB range between two sections that may use different
+/// compression or misaligned grids: decompress from `src`, recompress into
+/// `dst` (the RU-sharing *misaligned* path; see
+/// [`USection::copy_prbs_from`] for the aligned fast path).
+pub fn recompress_copy(
+    dst: &mut USection,
+    src: &USection,
+    src_idx: u16,
+    dst_idx: u16,
+    count: u16,
+) -> Result<()> {
+    let decoded = src.decode()?;
+    let s = src_idx as usize;
+    let e = s + count as usize;
+    if e > decoded.len() {
+        return Err(Error::FieldRange);
+    }
+    let prbs: Vec<Prb> = decoded[s..e].iter().map(|(p, _)| *p).collect();
+    dst.write_prbs(dst_idx, &prbs)
+}
+
+/// A4 — copy PRBs between sections choosing the aligned fast path when the
+/// compression methods match, falling back to decompress/recompress.
+pub fn copy_prbs(
+    dst: &mut USection,
+    src: &USection,
+    src_idx: u16,
+    dst_idx: u16,
+    count: u16,
+) -> Result<()> {
+    if dst.method == src.method {
+        dst.copy_prbs_from(src, src_idx, dst_idx, count)
+    } else {
+        recompress_copy(dst, src, src_idx, dst_idx, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_fronthaul::bfp::CompressionMethod;
+    use rb_fronthaul::cplane::{CPlaneRepr, SectionFields};
+    use rb_fronthaul::eaxc::Eaxc;
+    use rb_fronthaul::iq::IqSample;
+    use rb_fronthaul::msg::Body;
+    use rb_fronthaul::timing::SymbolId;
+    use rb_fronthaul::uplane::UPlaneRepr;
+    use rb_fronthaul::Direction;
+
+    fn mac(last: u8) -> EthernetAddress {
+        EthernetAddress::new(0x02, 0, 0, 0, 0, last)
+    }
+
+    fn prb(seed: i16) -> Prb {
+        let mut p = Prb::ZERO;
+        for (k, s) in p.0.iter_mut().enumerate() {
+            *s = IqSample::new(seed + k as i16 * 3, -seed + k as i16);
+        }
+        p
+    }
+
+    fn cplane_msg() -> FhMessage {
+        FhMessage::new(
+            mac(1),
+            mac(2),
+            Eaxc::port(0),
+            0,
+            Body::CPlane(CPlaneRepr::single(
+                Direction::Downlink,
+                SymbolId::ZERO,
+                CompressionMethod::BFP9,
+                SectionFields::data(0, 0, 106, 1),
+            )),
+        )
+    }
+
+    #[test]
+    fn redirect_rewrites_addresses() {
+        let mut msg = cplane_msg();
+        redirect(&mut msg, mac(5), mac(6));
+        assert_eq!(msg.eth.src, mac(5));
+        assert_eq!(msg.eth.dst, mac(6));
+        // Body untouched.
+        assert!(msg.as_cplane().is_some());
+    }
+
+    #[test]
+    fn retag_sets_and_clears_vlan() {
+        let mut msg = cplane_msg();
+        retag(&mut msg, Some(6));
+        assert_eq!(msg.eth.vlan, Some(6));
+        retag(&mut msg, None);
+        assert_eq!(msg.eth.vlan, None);
+    }
+
+    #[test]
+    fn replicate_clones_per_destination() {
+        let msg = cplane_msg();
+        let copies = replicate(&msg, mac(9), &[mac(10), mac(11), mac(12)]);
+        assert_eq!(copies.len(), 3);
+        for (k, c) in copies.iter().enumerate() {
+            assert_eq!(c.eth.src, mac(9));
+            assert_eq!(c.eth.dst, mac(10 + k as u8));
+            assert_eq!(c.body, msg.body);
+        }
+    }
+
+    #[test]
+    fn sum_sections_is_elementwise() {
+        let a = USection::from_prbs(0, 0, &[prb(100), prb(200)], CompressionMethod::NoCompression)
+            .unwrap();
+        let b = USection::from_prbs(0, 0, &[prb(10), prb(20)], CompressionMethod::NoCompression)
+            .unwrap();
+        let sum = sum_sections(&[&a, &b]).unwrap();
+        let got = sum.decode().unwrap();
+        let ea = a.decode().unwrap();
+        let eb = b.decode().unwrap();
+        for k in 0..2 {
+            assert_eq!(got[k].0, ea[k].0.saturating_add(&eb[k].0));
+        }
+    }
+
+    #[test]
+    fn sum_sections_bfp_within_tolerance() {
+        let a = USection::from_prbs(0, 0, &[prb(1000)], CompressionMethod::BFP9).unwrap();
+        let b = USection::from_prbs(0, 0, &[prb(-400)], CompressionMethod::BFP9).unwrap();
+        let sum = sum_sections(&[&a, &b]).unwrap();
+        let (got, exp) = sum.decode().unwrap()[0];
+        let expect = a.decode().unwrap()[0].0.saturating_add(&b.decode().unwrap()[0].0);
+        let tol = rb_fronthaul::bfp::max_quantization_error(exp) * 2;
+        for k in 0..12 {
+            assert!((got.0[k].i as i32 - expect.0[k].i as i32).abs() <= tol);
+        }
+    }
+
+    #[test]
+    fn sum_sections_rejects_shape_mismatch() {
+        let a = USection::from_prbs(0, 0, &[prb(1), prb(2)], CompressionMethod::BFP9).unwrap();
+        let b = USection::from_prbs(0, 5, &[prb(1), prb(2)], CompressionMethod::BFP9).unwrap();
+        assert_eq!(sum_sections(&[&a, &b]).unwrap_err(), Error::ShapeMismatch);
+        let c = USection::from_prbs(0, 0, &[prb(1)], CompressionMethod::BFP9).unwrap();
+        assert_eq!(sum_sections(&[&a, &c]).unwrap_err(), Error::ShapeMismatch);
+        assert_eq!(sum_sections(&[]).unwrap_err(), Error::ShapeMismatch);
+    }
+
+    #[test]
+    fn copy_prbs_aligned_is_bit_exact() {
+        let src = USection::from_prbs(0, 0, &[prb(500), prb(600)], CompressionMethod::BFP9).unwrap();
+        let mut dst =
+            USection::from_prbs(0, 0, &[Prb::ZERO; 4], CompressionMethod::BFP9).unwrap();
+        copy_prbs(&mut dst, &src, 0, 2, 2).unwrap();
+        assert_eq!(dst.prb_bytes(2).unwrap(), src.prb_bytes(0).unwrap());
+        assert_eq!(dst.prb_bytes(3).unwrap(), src.prb_bytes(1).unwrap());
+    }
+
+    #[test]
+    fn copy_prbs_cross_method_recompresses() {
+        let src =
+            USection::from_prbs(0, 0, &[prb(500)], CompressionMethod::NoCompression).unwrap();
+        let mut dst =
+            USection::from_prbs(0, 0, &[Prb::ZERO; 2], CompressionMethod::BFP9).unwrap();
+        copy_prbs(&mut dst, &src, 0, 1, 1).unwrap();
+        let (got, exp) = dst.decode().unwrap()[1];
+        let tol = rb_fronthaul::bfp::max_quantization_error(exp);
+        let want = src.decode().unwrap()[0].0;
+        for k in 0..12 {
+            assert!((got.0[k].i as i32 - want.0[k].i as i32).abs() <= tol);
+        }
+    }
+
+    #[test]
+    fn recompress_copy_bounds_checked() {
+        let src = USection::from_prbs(0, 0, &[prb(1)], CompressionMethod::BFP9).unwrap();
+        let mut dst =
+            USection::from_prbs(0, 0, &[Prb::ZERO; 2], CompressionMethod::BFP9).unwrap();
+        assert!(recompress_copy(&mut dst, &src, 1, 0, 1).is_err());
+        assert!(recompress_copy(&mut dst, &src, 0, 2, 1).is_err());
+    }
+
+    #[test]
+    fn uplane_replicate_preserves_payload() {
+        let section = USection::from_prbs(0, 0, &[prb(77)], CompressionMethod::BFP9).unwrap();
+        let msg = FhMessage::new(
+            mac(1),
+            mac(2),
+            Eaxc::port(0),
+            3,
+            Body::UPlane(UPlaneRepr::single(Direction::Uplink, SymbolId::ZERO, section)),
+        );
+        let copies = replicate(&msg, mac(1), &[mac(3), mac(4)]);
+        for c in &copies {
+            assert_eq!(c.as_uplane().unwrap().sections, msg.as_uplane().unwrap().sections);
+        }
+    }
+}

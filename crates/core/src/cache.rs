@@ -1,0 +1,225 @@
+//! A3 — the symbol-keyed packet cache.
+//!
+//! Middleboxes cache packets "for a given symbol and antenna port" (paper
+//! §4.1/§4.3) so they can later combine them with packets that arrive from
+//! other sources. [`SymbolCache`] keys entries by (eAxC stream, direction,
+//! plane, symbol); capacity is bounded and the oldest key is evicted when
+//! full, so a crashed peer cannot grow the cache without bound.
+
+use std::collections::{HashMap, VecDeque};
+
+use rb_fronthaul::msg::FhMessage;
+use rb_fronthaul::timing::SymbolId;
+use rb_fronthaul::Direction;
+
+/// Which plane a cached packet belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Plane {
+    /// Control plane.
+    C,
+    /// User plane.
+    U,
+}
+
+/// The cache key: one antenna stream at one symbol instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Raw 16-bit eAxC id.
+    pub eaxc_raw: u16,
+    /// Message direction.
+    pub direction: Direction,
+    /// Plane (C or U).
+    pub plane: Plane,
+    /// The `filterIndex` of the cached messages (0 = data, 1 = PRACH) —
+    /// PRACH and data share symbols and ports, so it must disambiguate.
+    pub filter: u8,
+    /// The symbol instant.
+    pub symbol: SymbolId,
+}
+
+/// A bounded, insertion-ordered packet cache (action A3).
+#[derive(Debug)]
+pub struct SymbolCache {
+    map: HashMap<CacheKey, Vec<FhMessage>>,
+    order: VecDeque<CacheKey>,
+    max_keys: usize,
+    /// Keys evicted because the cache was full.
+    pub evictions: u64,
+}
+
+impl SymbolCache {
+    /// A cache holding at most `max_keys` distinct (stream, symbol) keys.
+    ///
+    /// Sizing rule of thumb: `streams × symbols_in_flight`; a few thousand
+    /// covers any of the paper's middleboxes.
+    pub fn new(max_keys: usize) -> SymbolCache {
+        assert!(max_keys >= 1);
+        SymbolCache { map: HashMap::new(), order: VecDeque::new(), max_keys, evictions: 0 }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no keys are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Append a message under `key`, evicting the oldest key if full.
+    pub fn insert(&mut self, key: CacheKey, msg: FhMessage) {
+        if !self.map.contains_key(&key) {
+            if self.map.len() >= self.max_keys {
+                // Evict the oldest still-live key.
+                while let Some(old) = self.order.pop_front() {
+                    if self.map.remove(&old).is_some() {
+                        self.evictions += 1;
+                        break;
+                    }
+                }
+            }
+            self.order.push_back(key);
+        }
+        self.map.entry(key).or_default().push(msg);
+    }
+
+    /// Messages cached under `key` (empty slice if none).
+    pub fn get(&self, key: &CacheKey) -> &[FhMessage] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of messages cached under `key`.
+    pub fn count(&self, key: &CacheKey) -> usize {
+        self.get(key).len()
+    }
+
+    /// Remove and return every message cached under `key`.
+    pub fn take(&mut self, key: &CacheKey) -> Vec<FhMessage> {
+        self.map.remove(key).unwrap_or_default()
+    }
+
+    /// Drop every entry whose symbol differs from `keep` across all
+    /// streams — a simple horizon purge middleboxes call once per symbol
+    /// advance to shed stragglers.
+    pub fn purge_except_symbol(&mut self, keep: SymbolId) {
+        self.map.retain(|k, _| k.symbol == keep);
+    }
+
+    /// Iterate over the live keys (unspecified order).
+    pub fn keys(&self) -> impl Iterator<Item = &CacheKey> {
+        self.map.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_fronthaul::bfp::CompressionMethod;
+    use rb_fronthaul::cplane::{CPlaneRepr, SectionFields};
+    use rb_fronthaul::eaxc::Eaxc;
+    use rb_fronthaul::ether::EthernetAddress;
+    use rb_fronthaul::msg::Body;
+    use rb_fronthaul::timing::{Numerology, SymbolId};
+
+    fn msg(port: u8) -> FhMessage {
+        FhMessage::new(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+            Eaxc::port(port),
+            0,
+            Body::CPlane(CPlaneRepr::single(
+                Direction::Uplink,
+                SymbolId::ZERO,
+                CompressionMethod::BFP9,
+                SectionFields::data(0, 0, 10, 1),
+            )),
+        )
+    }
+
+    fn key(port: u16, symbol: SymbolId) -> CacheKey {
+        CacheKey { eaxc_raw: port, direction: Direction::Uplink, plane: Plane::U, filter: 0, symbol }
+    }
+
+    #[test]
+    fn insert_get_take() {
+        let mut cache = SymbolCache::new(16);
+        let k = key(3, SymbolId::ZERO);
+        cache.insert(k, msg(3));
+        cache.insert(k, msg(3));
+        assert_eq!(cache.count(&k), 2);
+        assert_eq!(cache.len(), 1);
+        let taken = cache.take(&k);
+        assert_eq!(taken.len(), 2);
+        assert!(cache.is_empty());
+        assert!(cache.get(&k).is_empty());
+    }
+
+    #[test]
+    fn distinct_keys_are_separate() {
+        let mut cache = SymbolCache::new(16);
+        let s0 = SymbolId::ZERO;
+        let s1 = s0.next(Numerology::Mu1);
+        cache.insert(key(0, s0), msg(0));
+        cache.insert(key(1, s0), msg(1));
+        cache.insert(key(0, s1), msg(0));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.count(&key(0, s0)), 1);
+        assert_eq!(cache.count(&key(1, s1)), 0);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_counted() {
+        let mut cache = SymbolCache::new(2);
+        let s = SymbolId::ZERO;
+        cache.insert(key(0, s), msg(0));
+        cache.insert(key(1, s), msg(1));
+        cache.insert(key(2, s), msg(2)); // evicts key 0
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions, 1);
+        assert_eq!(cache.count(&key(0, s)), 0);
+        assert_eq!(cache.count(&key(1, s)), 1);
+        assert_eq!(cache.count(&key(2, s)), 1);
+    }
+
+    #[test]
+    fn eviction_skips_already_taken_keys() {
+        let mut cache = SymbolCache::new(2);
+        let s = SymbolId::ZERO;
+        cache.insert(key(0, s), msg(0));
+        cache.insert(key(1, s), msg(1));
+        cache.take(&key(0, s));
+        // Inserting a third key should evict the stale entry for key 0
+        // from the order queue, not key 1.
+        cache.insert(key(2, s), msg(2));
+        assert_eq!(cache.count(&key(1, s)), 1);
+        assert_eq!(cache.count(&key(2, s)), 1);
+    }
+
+    #[test]
+    fn purge_except_symbol() {
+        let mut cache = SymbolCache::new(16);
+        let s0 = SymbolId::ZERO;
+        let s1 = s0.next(Numerology::Mu1);
+        cache.insert(key(0, s0), msg(0));
+        cache.insert(key(1, s0), msg(1));
+        cache.insert(key(0, s1), msg(0));
+        cache.purge_except_symbol(s1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.count(&key(0, s1)), 1);
+    }
+
+    #[test]
+    fn plane_and_direction_disambiguate() {
+        let mut cache = SymbolCache::new(16);
+        let base = key(0, SymbolId::ZERO);
+        let cplane = CacheKey { plane: Plane::C, ..base };
+        let downlink = CacheKey { direction: Direction::Downlink, ..base };
+        let prach = CacheKey { filter: 1, ..base };
+        cache.insert(base, msg(0));
+        cache.insert(cplane, msg(0));
+        cache.insert(downlink, msg(0));
+        cache.insert(prach, msg(0));
+        assert_eq!(cache.len(), 4);
+    }
+}

@@ -1,0 +1,401 @@
+//! Hosting a [`Middlebox`] inside the network simulation.
+//!
+//! [`MiddleboxHost`] is the glue between a middlebox implementation and
+//! the [`rb_netsim::engine`]: it owns the middlebox's VF-facing port,
+//! parses incoming frames, invokes the handlers, applies the management
+//! forwarding rules, stamps fresh eCPRI sequence numbers per output
+//! stream, serializes the results, and charges the configured
+//! [`CostModel`] to a [`CpuLedger`] so the same run yields both functional
+//! results and the CPU/latency measurements of the paper's Figures 15–16.
+
+use std::collections::HashMap;
+
+use rb_fronthaul::eaxc::EaxcMapping;
+use rb_fronthaul::ether::EthernetAddress;
+use rb_fronthaul::msg::{Body, FhMessage};
+use rb_fronthaul::Direction;
+use rb_netsim::cost::{CostModel, CpuLedger};
+use rb_netsim::engine::{Node, NodeEvent, Outbox};
+use rb_netsim::stats::LatencyStats;
+
+use crate::cache::SymbolCache;
+use crate::mgmt::{self, SharedRules};
+use crate::middlebox::{MbContext, Middlebox};
+use crate::telemetry::TelemetrySender;
+
+/// Traffic classes used for per-class latency accounting (Figure 15b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Downlink C-plane.
+    DlCPlane,
+    /// Downlink U-plane.
+    DlUPlane,
+    /// Uplink C-plane.
+    UlCPlane,
+    /// Uplink U-plane.
+    UlUPlane,
+}
+
+impl TrafficClass {
+    /// Classify a parsed message.
+    pub fn of(msg: &FhMessage) -> TrafficClass {
+        match (msg.body.direction(), &msg.body) {
+            (Direction::Downlink, Body::CPlane(_)) => TrafficClass::DlCPlane,
+            (Direction::Downlink, Body::UPlane(_)) => TrafficClass::DlUPlane,
+            (Direction::Uplink, Body::CPlane(_)) => TrafficClass::UlCPlane,
+            (Direction::Uplink, Body::UPlane(_)) => TrafficClass::UlUPlane,
+        }
+    }
+}
+
+/// Aggregate datapath statistics of one hosted middlebox.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HostStats {
+    /// Frames received.
+    pub rx: u64,
+    /// Frames transmitted.
+    pub tx: u64,
+    /// Frames that failed to parse.
+    pub parse_errors: u64,
+    /// Frames filtered out because they were not addressed to this host
+    /// (the VF's MAC filter).
+    pub not_for_us: u64,
+    /// Messages dropped by management rules.
+    pub rule_drops: u64,
+    /// Messages that failed to serialize (handler produced invalid repr).
+    pub emit_errors: u64,
+}
+
+/// A network node wrapping a middlebox implementation.
+pub struct MiddleboxHost<M: Middlebox> {
+    mb: M,
+    mac: EthernetAddress,
+    mapping: EaxcMapping,
+    cache: SymbolCache,
+    telemetry: TelemetrySender,
+    rules: SharedRules,
+    cost: CostModel,
+    ledger: CpuLedger,
+    seq: HashMap<(EthernetAddress, u16), u8>,
+    tick: Option<(rb_netsim::time::SimDuration, u64)>,
+    /// Aggregate counters.
+    pub stats: HostStats,
+    /// Modeled per-packet processing latency per traffic class.
+    pub latency: HashMap<TrafficClass, LatencyStats>,
+}
+
+impl<M: Middlebox> MiddleboxHost<M> {
+    /// Host `mb` at Ethernet address `mac`, charging `cost` to a ledger of
+    /// `cores` cores.
+    pub fn new(mb: M, mac: EthernetAddress, cost: CostModel, cores: usize) -> MiddleboxHost<M> {
+        let telemetry = TelemetrySender::disconnected(mb.name());
+        MiddleboxHost {
+            mb,
+            mac,
+            mapping: EaxcMapping::DEFAULT,
+            cache: SymbolCache::new(4096),
+            telemetry,
+            rules: mgmt::shared(),
+            ledger: CpuLedger::new(cost.datapath, cores),
+            cost,
+            seq: HashMap::new(),
+            tick: None,
+            stats: HostStats::default(),
+            latency: HashMap::new(),
+        }
+    }
+
+    /// Attach a telemetry sender (replaces the disconnected default).
+    pub fn with_telemetry(mut self, telemetry: TelemetrySender) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Swap the telemetry sender at runtime (e.g. a monitoring
+    /// application subscribing to an already-deployed middlebox).
+    pub fn set_telemetry(&mut self, telemetry: TelemetrySender) {
+        self.telemetry = telemetry;
+    }
+
+    /// Deliver a periodic tick with `tag` to the middlebox every `period`
+    /// (watchdogs, cache purges). The first tick must be kicked off with
+    /// `Engine::schedule_timer(host_id, at, tag)`; the host reschedules
+    /// itself afterwards.
+    pub fn with_tick(mut self, period: rb_netsim::time::SimDuration, tag: u64) -> Self {
+        self.tick = Some((period, tag));
+        self
+    }
+
+    /// Use a non-default eAxC mapping.
+    pub fn with_mapping(mut self, mapping: EaxcMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Share a management rule table (e.g. with an orchestrator).
+    pub fn with_rules(mut self, rules: SharedRules) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// This host's MAC address.
+    pub fn mac(&self) -> EthernetAddress {
+        self.mac
+    }
+
+    /// The hosted middlebox.
+    pub fn middlebox(&self) -> &M {
+        &self.mb
+    }
+
+    /// Mutable access to the hosted middlebox.
+    pub fn middlebox_mut(&mut self) -> &mut M {
+        &mut self.mb
+    }
+
+    /// The CPU ledger (utilization queries).
+    pub fn ledger(&self) -> &CpuLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access (window resets).
+    pub fn ledger_mut(&mut self) -> &mut CpuLedger {
+        &mut self.ledger
+    }
+
+    /// The shared management rule table.
+    pub fn rules(&self) -> SharedRules {
+        self.rules.clone()
+    }
+
+    fn next_seq(&mut self, dst: EthernetAddress, eaxc_raw: u16) -> u8 {
+        let counter = self.seq.entry((dst, eaxc_raw)).or_insert(0);
+        let v = *counter;
+        *counter = counter.wrapping_add(1);
+        v
+    }
+
+    fn transmit(&mut self, out: &mut Outbox, mut msg: FhMessage) {
+        let eaxc_raw = msg.eaxc.pack(&self.mapping);
+        if !self.rules.write().apply(&mut msg, eaxc_raw) {
+            self.stats.rule_drops += 1;
+            return;
+        }
+        msg.seq_id = self.next_seq(msg.eth.dst, eaxc_raw);
+        match msg.to_bytes(&self.mapping) {
+            Ok(bytes) => {
+                self.stats.tx += 1;
+                out.send(0, bytes);
+            }
+            Err(_) => self.stats.emit_errors += 1,
+        }
+    }
+
+    fn process(&mut self, out: &mut Outbox, frame: Vec<u8>) {
+        self.stats.rx += 1;
+        let msg = match FhMessage::parse(&frame, &self.mapping) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.parse_errors += 1;
+                return;
+            }
+        };
+        // VF MAC filtering: only frames addressed to us (or broadcast)
+        // reach the middlebox. This also breaks forwarding loops caused by
+        // unknown-destination flooding in the embedded switch.
+        if msg.eth.dst != self.mac && !msg.eth.dst.is_broadcast() {
+            self.stats.not_for_us += 1;
+            return;
+        }
+        let class = TrafficClass::of(&msg);
+        let fallback = self.mb.classify(&msg);
+        let mut ctx = MbContext {
+            now: out.now(),
+            cache: &mut self.cache,
+            telemetry: &self.telemetry,
+            mapping: self.mapping,
+            charges: Vec::new(),
+        };
+        let emits = self.mb.handle(&mut ctx, msg);
+        // CPU accounting: prefer the work the handler reported; fall back
+        // to the static classification.
+        let charges = if ctx.charges.is_empty() { vec![fallback] } else { std::mem::take(&mut ctx.charges) };
+        drop(ctx);
+        let mut total = rb_netsim::time::SimDuration::ZERO;
+        for (work, placement) in charges {
+            total += self.cost.packet_cost(work, placement);
+        }
+        self.ledger.charge_balanced(total);
+        self.latency.entry(class).or_default().record(total);
+        for m in emits {
+            self.transmit(out, m);
+        }
+    }
+}
+
+impl<M: Middlebox> Node for MiddleboxHost<M> {
+    fn on_event(&mut self, ev: NodeEvent, out: &mut Outbox) {
+        match ev {
+            NodeEvent::Packet { frame, .. } => self.process(out, frame),
+            NodeEvent::Timer { tag } => {
+                let mut ctx = MbContext {
+                    now: out.now(),
+                    cache: &mut self.cache,
+                    telemetry: &self.telemetry,
+                    mapping: self.mapping,
+                    charges: Vec::new(),
+                };
+                let emits = self.mb.on_tick(&mut ctx, tag);
+                for m in emits {
+                    self.transmit(out, m);
+                }
+                if let Some((period, tick_tag)) = self.tick {
+                    if tag == tick_tag {
+                        out.schedule(period, tick_tag);
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.mb.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mgmt::{Match, Rule, RuleAction};
+    use crate::middlebox::Passthrough;
+    use rb_fronthaul::bfp::CompressionMethod;
+    use rb_fronthaul::cplane::{CPlaneRepr, SectionFields};
+    use rb_fronthaul::eaxc::Eaxc;
+    use rb_fronthaul::timing::SymbolId;
+    use rb_netsim::engine::{port, Engine};
+    use rb_netsim::time::{SimDuration, SimTime};
+
+    fn mac(last: u8) -> EthernetAddress {
+        EthernetAddress::new(2, 0, 0, 0, 0, last)
+    }
+
+    fn cplane_bytes(dst: EthernetAddress, seq: u8) -> Vec<u8> {
+        FhMessage::new(
+            mac(1),
+            dst,
+            Eaxc::port(0),
+            seq,
+            Body::CPlane(CPlaneRepr::single(
+                Direction::Downlink,
+                SymbolId::ZERO,
+                CompressionMethod::BFP9,
+                SectionFields::data(0, 0, 10, 1),
+            )),
+        )
+        .to_bytes(&EaxcMapping::DEFAULT)
+        .unwrap()
+    }
+
+    struct Sink {
+        got: Vec<Vec<u8>>,
+    }
+    impl Node for Sink {
+        fn on_event(&mut self, ev: NodeEvent, _out: &mut Outbox) {
+            if let NodeEvent::Packet { frame, .. } = ev {
+                self.got.push(frame);
+            }
+        }
+    }
+
+    fn wired_host() -> (Engine, usize, usize) {
+        let mut engine = Engine::new();
+        let host = MiddleboxHost::new(
+            Passthrough::new("pt", mac(10), mac(20)),
+            mac(10),
+            CostModel::dpdk(),
+            1,
+        );
+        let host_id = engine.add_node(Box::new(host));
+        let sink = engine.add_node(Box::new(Sink { got: vec![] }));
+        engine.connect(port(host_id, 0), port(sink, 0), SimDuration::ZERO, 100.0);
+        (engine, host_id, sink)
+    }
+
+    #[test]
+    fn parses_handles_and_reserializes() {
+        let (mut engine, host_id, sink) = wired_host();
+        engine.inject(SimTime::ZERO, port(host_id, 0), cplane_bytes(mac(10), 5));
+        engine.run_until(SimTime(1_000_000));
+        let got = &engine.node_as::<Sink>(sink).got;
+        assert_eq!(got.len(), 1);
+        let out = FhMessage::parse(&got[0], &EaxcMapping::DEFAULT).unwrap();
+        assert_eq!(out.eth.dst, mac(20));
+        assert_eq!(out.eth.src, mac(10));
+        let host = engine.node_as::<MiddleboxHost<Passthrough>>(host_id);
+        assert_eq!(host.stats.rx, 1);
+        assert_eq!(host.stats.tx, 1);
+    }
+
+    #[test]
+    fn malformed_frames_counted_not_forwarded() {
+        let (mut engine, host_id, sink) = wired_host();
+        engine.inject(SimTime::ZERO, port(host_id, 0), vec![0u8; 20]);
+        engine.run_until(SimTime(1_000_000));
+        assert!(engine.node_as::<Sink>(sink).got.is_empty());
+        let host = engine.node_as::<MiddleboxHost<Passthrough>>(host_id);
+        assert_eq!(host.stats.parse_errors, 1);
+        assert_eq!(host.stats.tx, 0);
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_stream_and_increment() {
+        let (mut engine, host_id, sink) = wired_host();
+        for k in 0..3 {
+            engine.inject(SimTime(k), port(host_id, 0), cplane_bytes(mac(10), 99));
+        }
+        engine.run_until(SimTime(1_000_000));
+        let got = &engine.node_as::<Sink>(sink).got;
+        let seqs: Vec<u8> = got
+            .iter()
+            .map(|f| FhMessage::parse(f, &EaxcMapping::DEFAULT).unwrap().seq_id)
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2], "host restamps sequence numbers");
+    }
+
+    #[test]
+    fn management_rules_apply_at_egress() {
+        let (mut engine, host_id, sink) = wired_host();
+        {
+            let host = engine.node_as_mut::<MiddleboxHost<Passthrough>>(host_id);
+            host.rules().write().push(Rule {
+                matcher: Match { dst: Some(mac(20)), ..Match::any() },
+                action: RuleAction::Drop,
+            });
+        }
+        engine.inject(SimTime::ZERO, port(host_id, 0), cplane_bytes(mac(10), 0));
+        engine.run_until(SimTime(1_000_000));
+        assert!(engine.node_as::<Sink>(sink).got.is_empty());
+        let host = engine.node_as::<MiddleboxHost<Passthrough>>(host_id);
+        assert_eq!(host.stats.rule_drops, 1);
+    }
+
+    #[test]
+    fn cpu_ledger_charged_per_packet() {
+        let (mut engine, host_id, _sink) = wired_host();
+        for k in 0..10 {
+            engine.inject(SimTime(k), port(host_id, 0), cplane_bytes(mac(10), 0));
+        }
+        engine.run_until(SimTime(1_000_000));
+        let host = engine.node_as::<MiddleboxHost<Passthrough>>(host_id);
+        // 10 packets × (io 80 + forward 90) = 1700 ns of busy time.
+        assert_eq!(host.ledger().busy_time(0).as_nanos(), 1_700);
+        let l = &host.latency[&TrafficClass::DlCPlane];
+        assert_eq!(l.len(), 10);
+    }
+
+    #[test]
+    fn traffic_class_of() {
+        let m = FhMessage::parse(&cplane_bytes(mac(1), 0), &EaxcMapping::DEFAULT).unwrap();
+        assert_eq!(TrafficClass::of(&m), TrafficClass::DlCPlane);
+    }
+}

@@ -1,0 +1,283 @@
+//! The middlebox management interface: runtime-updatable forwarding rules.
+//!
+//! Operators (or orchestration frameworks) modify middlebox behaviour
+//! on-the-fly by installing match/action rules (paper §3.2: "apply
+//! forwarding rules"). Rules are evaluated against every message a
+//! middlebox emits, first match wins; the table is shared behind a
+//! read-write lock so a management plane can swap rules while the
+//! datapath runs.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rb_fronthaul::ether::EthernetAddress;
+use rb_fronthaul::msg::{Body, FhMessage};
+use rb_fronthaul::Direction;
+
+/// Which plane a rule matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneMatch {
+    /// Match only C-plane messages.
+    C,
+    /// Match only U-plane messages.
+    U,
+    /// Match both planes.
+    Any,
+}
+
+/// The match half of a rule. `None` fields are wildcards.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Match {
+    /// Source MAC address.
+    pub src: Option<EthernetAddress>,
+    /// Destination MAC address.
+    pub dst: Option<EthernetAddress>,
+    /// Raw eAxC id.
+    pub eaxc_raw: Option<u16>,
+    /// Message direction.
+    pub direction: Option<Direction>,
+    /// Plane.
+    pub plane: Option<PlaneMatch>,
+}
+
+impl Match {
+    /// A wildcard match.
+    pub fn any() -> Match {
+        Match::default()
+    }
+
+    /// Does `msg` satisfy this match?
+    pub fn matches(&self, msg: &FhMessage, eaxc_raw: u16) -> bool {
+        if let Some(src) = self.src {
+            if msg.eth.src != src {
+                return false;
+            }
+        }
+        if let Some(dst) = self.dst {
+            if msg.eth.dst != dst {
+                return false;
+            }
+        }
+        if let Some(want) = self.eaxc_raw {
+            if eaxc_raw != want {
+                return false;
+            }
+        }
+        if let Some(dir) = self.direction {
+            if msg.body.direction() != dir {
+                return false;
+            }
+        }
+        match self.plane {
+            Some(PlaneMatch::C) if !matches!(msg.body, Body::CPlane(_)) => return false,
+            Some(PlaneMatch::U) if !matches!(msg.body, Body::UPlane(_)) => return false,
+            _ => {}
+        }
+        true
+    }
+}
+
+/// The action half of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleAction {
+    /// Drop the message.
+    Drop,
+    /// Rewrite the destination MAC.
+    SetDst(EthernetAddress),
+    /// Rewrite the source MAC.
+    SetSrc(EthernetAddress),
+    /// Set (or clear) the VLAN tag.
+    SetVlan(Option<u16>),
+    /// Explicitly pass the message unchanged (stops rule evaluation).
+    Pass,
+}
+
+/// A match/action rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The match.
+    pub matcher: Match,
+    /// The action applied on match.
+    pub action: RuleAction,
+}
+
+/// An ordered rule table; first matching rule wins, no match passes.
+#[derive(Debug, Default)]
+pub struct ForwardingTable {
+    rules: Vec<Rule>,
+    /// Messages dropped by rules.
+    pub drops: u64,
+}
+
+impl ForwardingTable {
+    /// Empty table (everything passes).
+    pub fn new() -> ForwardingTable {
+        ForwardingTable::default()
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Replace the whole rule set atomically.
+    pub fn replace(&mut self, rules: Vec<Rule>) {
+        self.rules = rules;
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Apply the table to a message: returns `false` if it was dropped.
+    pub fn apply(&mut self, msg: &mut FhMessage, eaxc_raw: u16) -> bool {
+        for rule in &self.rules {
+            if rule.matcher.matches(msg, eaxc_raw) {
+                match rule.action {
+                    RuleAction::Drop => {
+                        self.drops += 1;
+                        return false;
+                    }
+                    RuleAction::SetDst(mac) => msg.eth.dst = mac,
+                    RuleAction::SetSrc(mac) => msg.eth.src = mac,
+                    RuleAction::SetVlan(vlan) => msg.eth.vlan = vlan,
+                    RuleAction::Pass => {}
+                }
+                return true;
+            }
+        }
+        true
+    }
+}
+
+/// A forwarding table shared between the datapath and a management plane.
+pub type SharedRules = Arc<RwLock<ForwardingTable>>;
+
+/// Create an empty shared table.
+pub fn shared() -> SharedRules {
+    Arc::new(RwLock::new(ForwardingTable::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_fronthaul::bfp::CompressionMethod;
+    use rb_fronthaul::cplane::{CPlaneRepr, SectionFields};
+    use rb_fronthaul::eaxc::{Eaxc, EaxcMapping};
+    use rb_fronthaul::msg::Body;
+    use rb_fronthaul::timing::SymbolId;
+
+    fn mac(last: u8) -> EthernetAddress {
+        EthernetAddress::new(2, 0, 0, 0, 0, last)
+    }
+
+    fn msg(dir: Direction, port: u8) -> FhMessage {
+        FhMessage::new(
+            mac(1),
+            mac(2),
+            Eaxc::port(port),
+            0,
+            Body::CPlane(CPlaneRepr::single(
+                dir,
+                SymbolId::ZERO,
+                CompressionMethod::BFP9,
+                SectionFields::data(0, 0, 10, 1),
+            )),
+        )
+    }
+
+    fn raw(port: u8) -> u16 {
+        Eaxc::port(port).pack(&EaxcMapping::DEFAULT)
+    }
+
+    #[test]
+    fn empty_table_passes_everything() {
+        let mut t = ForwardingTable::new();
+        let mut m = msg(Direction::Downlink, 0);
+        assert!(t.apply(&mut m, raw(0)));
+        assert_eq!(t.drops, 0);
+    }
+
+    #[test]
+    fn drop_rule_counts() {
+        let mut t = ForwardingTable::new();
+        t.push(Rule {
+            matcher: Match { direction: Some(Direction::Downlink), ..Match::any() },
+            action: RuleAction::Drop,
+        });
+        let mut dl = msg(Direction::Downlink, 0);
+        let mut ul = msg(Direction::Uplink, 0);
+        assert!(!t.apply(&mut dl, raw(0)));
+        assert!(t.apply(&mut ul, raw(0)));
+        assert_eq!(t.drops, 1);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut t = ForwardingTable::new();
+        t.push(Rule { matcher: Match::any(), action: RuleAction::SetDst(mac(9)) });
+        t.push(Rule { matcher: Match::any(), action: RuleAction::Drop });
+        let mut m = msg(Direction::Downlink, 0);
+        assert!(t.apply(&mut m, raw(0)));
+        assert_eq!(m.eth.dst, mac(9));
+    }
+
+    #[test]
+    fn eaxc_and_mac_matching() {
+        let mut t = ForwardingTable::new();
+        t.push(Rule {
+            matcher: Match { eaxc_raw: Some(raw(3)), src: Some(mac(1)), ..Match::any() },
+            action: RuleAction::SetVlan(Some(100)),
+        });
+        let mut hit = msg(Direction::Downlink, 3);
+        let mut miss = msg(Direction::Downlink, 2);
+        t.apply(&mut hit, raw(3));
+        t.apply(&mut miss, raw(2));
+        assert_eq!(hit.eth.vlan, Some(100));
+        assert_eq!(miss.eth.vlan, None);
+    }
+
+    #[test]
+    fn plane_matching() {
+        let mut t = ForwardingTable::new();
+        t.push(Rule {
+            matcher: Match { plane: Some(PlaneMatch::U), ..Match::any() },
+            action: RuleAction::Drop,
+        });
+        let mut c = msg(Direction::Downlink, 0);
+        assert!(t.apply(&mut c, raw(0)), "C-plane passes a U-only rule");
+    }
+
+    #[test]
+    fn pass_action_short_circuits() {
+        let mut t = ForwardingTable::new();
+        t.push(Rule {
+            matcher: Match { src: Some(mac(1)), ..Match::any() },
+            action: RuleAction::Pass,
+        });
+        t.push(Rule { matcher: Match::any(), action: RuleAction::Drop });
+        let mut m = msg(Direction::Downlink, 0);
+        assert!(t.apply(&mut m, raw(0)));
+    }
+
+    #[test]
+    fn shared_table_is_updatable_at_runtime() {
+        let shared = shared();
+        {
+            let mut guard = shared.write();
+            guard.push(Rule { matcher: Match::any(), action: RuleAction::SetSrc(mac(7)) });
+        }
+        let mut m = msg(Direction::Uplink, 0);
+        assert!(shared.write().apply(&mut m, raw(0)));
+        assert_eq!(m.eth.src, mac(7));
+        // Management plane swaps the rule set.
+        shared.write().replace(vec![]);
+        assert!(shared.read().is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! The RANBooster middlebox template (paper §3.2.2).
+//!
+//! Developers implement [`Middlebox`]: two handler functions (one per
+//! plane) that receive parsed fronthaul messages and a [`MbContext`] with
+//! the framework services — the symbol cache (A3), telemetry, simulated
+//! time and the eAxC mapping. Handlers return the messages to transmit;
+//! returning nothing drops the packet (A1), returning several replicates
+//! it (A2). All four reference applications of the paper (and this repo)
+//! are written against this one trait.
+
+use rb_fronthaul::eaxc::EaxcMapping;
+use rb_fronthaul::msg::{Body, FhMessage};
+use rb_netsim::cost::{Work, XdpPlacement};
+use rb_netsim::time::SimTime;
+
+use crate::cache::SymbolCache;
+use crate::telemetry::TelemetrySender;
+
+/// Framework services available to a handler invocation.
+pub struct MbContext<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The symbol-keyed packet cache (action A3).
+    pub cache: &'a mut SymbolCache,
+    /// Telemetry event sink.
+    pub telemetry: &'a TelemetrySender,
+    /// The deployment's eAxC bit allocation.
+    pub mapping: EaxcMapping,
+    /// Work units reported by the handler for CPU accounting; when empty
+    /// the host falls back to [`Middlebox::classify`].
+    pub charges: Vec<(Work, XdpPlacement)>,
+}
+
+impl MbContext<'_> {
+    /// Simulated time in nanoseconds (convenience for telemetry calls).
+    pub fn now_ns(&self) -> u64 {
+        self.now.as_nanos()
+    }
+
+    /// Report a unit of work actually performed while handling the current
+    /// packet (e.g. a cache insert vs. a full IQ merge) so CPU accounting
+    /// reflects the stateful path taken, not just the packet type.
+    pub fn charge(&mut self, work: Work, placement: XdpPlacement) {
+        self.charges.push((work, placement));
+    }
+}
+
+/// A RANBooster middlebox.
+///
+/// The framework guarantees: messages are parsed and validated before the
+/// handler runs; emitted messages get fresh eCPRI sequence numbers per
+/// (destination, eAxC) stream; malformed input never reaches handlers.
+pub trait Middlebox: 'static {
+    /// Middlebox instance name (used in telemetry attribution).
+    fn name(&self) -> &str;
+
+    /// Handle a C-plane message; return the messages to transmit.
+    fn on_cplane(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage>;
+
+    /// Handle a U-plane message; return the messages to transmit.
+    fn on_uplane(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage>;
+
+    /// Periodic housekeeping (cache purge etc.). Tags are forwarded from
+    /// the hosting node's timers. Default: no-op.
+    fn on_tick(&mut self, _ctx: &mut MbContext<'_>, _tag: u64) -> Vec<FhMessage> {
+        Vec::new()
+    }
+
+    /// Estimate the unit of [`Work`] processing `msg` costs, and where that
+    /// work runs under an XDP deployment (paper Table 1). Used by the
+    /// hosting node for CPU accounting; does not affect functionality.
+    fn classify(&self, msg: &FhMessage) -> (Work, XdpPlacement) {
+        let _ = msg;
+        (Work::Forward, XdpPlacement::Kernel)
+    }
+
+    /// Dispatch on the message plane. Not meant to be overridden.
+    fn handle(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
+        match msg.body {
+            Body::CPlane(_) => self.on_cplane(ctx, msg),
+            Body::UPlane(_) => self.on_uplane(ctx, msg),
+        }
+    }
+}
+
+/// A trivial middlebox that forwards everything to a fixed destination —
+/// useful as a chain placeholder and in tests.
+pub struct Passthrough {
+    name: String,
+    src: rb_fronthaul::ether::EthernetAddress,
+    dst: rb_fronthaul::ether::EthernetAddress,
+}
+
+impl Passthrough {
+    /// Forward everything from `src` (our address) to `dst`.
+    pub fn new(
+        name: impl Into<String>,
+        src: rb_fronthaul::ether::EthernetAddress,
+        dst: rb_fronthaul::ether::EthernetAddress,
+    ) -> Passthrough {
+        Passthrough { name: name.into(), src, dst }
+    }
+}
+
+impl Middlebox for Passthrough {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_cplane(&mut self, _ctx: &mut MbContext<'_>, mut msg: FhMessage) -> Vec<FhMessage> {
+        crate::actions::redirect(&mut msg, self.src, self.dst);
+        vec![msg]
+    }
+
+    fn on_uplane(&mut self, _ctx: &mut MbContext<'_>, mut msg: FhMessage) -> Vec<FhMessage> {
+        crate::actions::redirect(&mut msg, self.src, self.dst);
+        vec![msg]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_fronthaul::bfp::CompressionMethod;
+    use rb_fronthaul::cplane::{CPlaneRepr, SectionFields};
+    use rb_fronthaul::eaxc::Eaxc;
+    use rb_fronthaul::ether::EthernetAddress;
+    use rb_fronthaul::iq::Prb;
+    use rb_fronthaul::timing::SymbolId;
+    use rb_fronthaul::uplane::{UPlaneRepr, USection};
+    use rb_fronthaul::Direction;
+
+    fn mac(last: u8) -> EthernetAddress {
+        EthernetAddress::new(2, 0, 0, 0, 0, last)
+    }
+
+    fn ctx<'a>(cache: &'a mut SymbolCache, telemetry: &'a TelemetrySender) -> MbContext<'a> {
+        MbContext {
+            now: SimTime(1000),
+            cache,
+            telemetry,
+            mapping: EaxcMapping::DEFAULT,
+            charges: Vec::new(),
+        }
+    }
+
+    fn cmsg() -> FhMessage {
+        FhMessage::new(
+            mac(1),
+            mac(2),
+            Eaxc::port(0),
+            0,
+            Body::CPlane(CPlaneRepr::single(
+                Direction::Downlink,
+                SymbolId::ZERO,
+                CompressionMethod::BFP9,
+                SectionFields::data(0, 0, 10, 1),
+            )),
+        )
+    }
+
+    fn umsg() -> FhMessage {
+        let s = USection::from_prbs(0, 0, &[Prb::ZERO], CompressionMethod::BFP9).unwrap();
+        FhMessage::new(
+            mac(1),
+            mac(2),
+            Eaxc::port(0),
+            0,
+            Body::UPlane(UPlaneRepr::single(Direction::Downlink, SymbolId::ZERO, s)),
+        )
+    }
+
+    #[test]
+    fn handle_dispatches_by_plane() {
+        struct Probe {
+            c: u32,
+            u: u32,
+        }
+        impl Middlebox for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn on_cplane(&mut self, _: &mut MbContext<'_>, m: FhMessage) -> Vec<FhMessage> {
+                self.c += 1;
+                vec![m]
+            }
+            fn on_uplane(&mut self, _: &mut MbContext<'_>, m: FhMessage) -> Vec<FhMessage> {
+                self.u += 1;
+                vec![m]
+            }
+        }
+        let mut cache = SymbolCache::new(8);
+        let telemetry = TelemetrySender::disconnected("t");
+        let mut probe = Probe { c: 0, u: 0 };
+        probe.handle(&mut ctx(&mut cache, &telemetry), cmsg());
+        probe.handle(&mut ctx(&mut cache, &telemetry), umsg());
+        probe.handle(&mut ctx(&mut cache, &telemetry), umsg());
+        assert_eq!((probe.c, probe.u), (1, 2));
+    }
+
+    #[test]
+    fn passthrough_redirects_both_planes() {
+        let mut cache = SymbolCache::new(8);
+        let telemetry = TelemetrySender::disconnected("t");
+        let mut pt = Passthrough::new("pt", mac(10), mac(20));
+        let out = pt.handle(&mut ctx(&mut cache, &telemetry), cmsg());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].eth.dst, mac(20));
+        let out = pt.handle(&mut ctx(&mut cache, &telemetry), umsg());
+        assert_eq!(out[0].eth.src, mac(10));
+    }
+
+    #[test]
+    fn default_tick_is_noop() {
+        let mut cache = SymbolCache::new(8);
+        let telemetry = TelemetrySender::disconnected("t");
+        let mut pt = Passthrough::new("pt", mac(1), mac(2));
+        assert!(pt.on_tick(&mut ctx(&mut cache, &telemetry), 0).is_empty());
+    }
+
+    #[test]
+    fn default_classify_is_forward_kernel() {
+        let pt = Passthrough::new("pt", mac(1), mac(2));
+        let (w, p) = pt.classify(&cmsg());
+        assert_eq!(w, Work::Forward);
+        assert_eq!(p, XdpPlacement::Kernel);
+    }
+}

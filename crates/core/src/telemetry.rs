@@ -1,0 +1,172 @@
+//! The middlebox telemetry interface.
+//!
+//! RANBooster middleboxes "expose monitoring and management interfaces …
+//! to send telemetry data to applications" (paper §3.2). Telemetry is a
+//! stream of timestamped events over a lock-free channel: the middlebox
+//! side holds a cheap-to-clone [`TelemetrySender`]; external applications
+//! (e.g. the PRB-utilization consumer of §4.4) drain a
+//! [`TelemetryReceiver`].
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+
+/// One telemetry event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A monotonically increasing counter changed by `delta`.
+    Counter {
+        /// Counter name, e.g. `"ul_packets"`.
+        name: String,
+        /// Increment.
+        delta: u64,
+    },
+    /// An instantaneous gauge reading.
+    Gauge {
+        /// Gauge name, e.g. `"pcie_util"`.
+        name: String,
+        /// Current value.
+        value: f64,
+    },
+    /// A per-symbol PRB utilization report (the §4.4 monitoring product).
+    PrbUtilization {
+        /// True for downlink, false for uplink.
+        downlink: bool,
+        /// PRBs estimated utilized this symbol.
+        utilized: u32,
+        /// Total PRBs in the carrier.
+        total: u32,
+    },
+}
+
+/// A timestamped, attributed telemetry record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryRecord {
+    /// Name of the emitting middlebox.
+    pub source: String,
+    /// Simulated time in nanoseconds.
+    pub at_ns: u64,
+    /// The event.
+    pub event: TelemetryEvent,
+}
+
+/// The sending half held by middleboxes. Sends never block and are silently
+/// dropped if no receiver is attached (telemetry must not perturb the
+/// datapath).
+#[derive(Debug, Clone)]
+pub struct TelemetrySender {
+    source: String,
+    tx: Option<Sender<TelemetryRecord>>,
+}
+
+impl TelemetrySender {
+    /// A sender with no attached receiver — all events are discarded.
+    pub fn disconnected(source: impl Into<String>) -> TelemetrySender {
+        TelemetrySender { source: source.into(), tx: None }
+    }
+
+    /// Emit an event at simulated time `at_ns`.
+    pub fn emit(&self, at_ns: u64, event: TelemetryEvent) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(TelemetryRecord { source: self.source.clone(), at_ns, event });
+        }
+    }
+
+    /// Shorthand for a counter bump.
+    pub fn count(&self, at_ns: u64, name: &str, delta: u64) {
+        self.emit(at_ns, TelemetryEvent::Counter { name: name.to_string(), delta });
+    }
+
+    /// Shorthand for a gauge reading.
+    pub fn gauge(&self, at_ns: u64, name: &str, value: f64) {
+        self.emit(at_ns, TelemetryEvent::Gauge { name: name.to_string(), value });
+    }
+}
+
+/// The receiving half held by monitoring applications.
+#[derive(Debug)]
+pub struct TelemetryReceiver {
+    rx: Receiver<TelemetryRecord>,
+}
+
+impl TelemetryReceiver {
+    /// Drain every currently queued record.
+    pub fn drain(&self) -> Vec<TelemetryRecord> {
+        let mut out = Vec::new();
+        while let Ok(r) = self.rx.try_recv() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Non-blocking single receive.
+    pub fn try_recv(&self) -> Option<TelemetryRecord> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Create a connected telemetry channel for a middlebox named `source`.
+pub fn channel(source: impl Into<String>) -> (TelemetrySender, TelemetryReceiver) {
+    let (tx, rx) = unbounded();
+    (TelemetrySender { source: source.into(), tx: Some(tx) }, TelemetryReceiver { rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_flow_with_attribution() {
+        let (tx, rx) = channel("das-1");
+        tx.count(100, "ul_packets", 3);
+        tx.gauge(200, "cache_keys", 12.0);
+        tx.emit(300, TelemetryEvent::PrbUtilization { downlink: true, utilized: 50, total: 273 });
+        let got = rx.drain();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].source, "das-1");
+        assert_eq!(got[0].at_ns, 100);
+        assert_eq!(got[0].event, TelemetryEvent::Counter { name: "ul_packets".into(), delta: 3 });
+        assert!(matches!(got[2].event, TelemetryEvent::PrbUtilization { utilized: 50, .. }));
+    }
+
+    #[test]
+    fn disconnected_sender_is_silent() {
+        let tx = TelemetrySender::disconnected("x");
+        tx.count(0, "anything", 1); // must not panic
+    }
+
+    #[test]
+    fn dropped_receiver_does_not_block_sender() {
+        let (tx, rx) = channel("x");
+        drop(rx);
+        for _ in 0..1000 {
+            tx.count(0, "n", 1);
+        }
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let (tx, rx) = channel("x");
+        tx.count(0, "a", 1);
+        assert_eq!(rx.drain().len(), 1);
+        assert!(rx.drain().is_empty());
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn cloned_senders_share_channel() {
+        let (tx, rx) = channel("x");
+        let tx2 = tx.clone();
+        tx.count(0, "a", 1);
+        tx2.count(1, "b", 1);
+        assert_eq!(rx.drain().len(), 2);
+    }
+
+    #[test]
+    fn records_are_serializable() {
+        // Compile-time check that records satisfy the Serialize/Deserialize
+        // bounds external consumers rely on.
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<TelemetryRecord>();
+        assert_serde::<TelemetryEvent>();
+    }
+}

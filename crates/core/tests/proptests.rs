@@ -1,0 +1,127 @@
+//! Property tests over the framework invariants: the symbol cache never
+//! exceeds its capacity and never loses messages it did not evict; the
+//! forwarding table is first-match-wins; replication preserves payloads.
+
+use proptest::prelude::*;
+use rb_core::actions;
+use rb_core::cache::{CacheKey, Plane, SymbolCache};
+use rb_core::mgmt::{ForwardingTable, Match, Rule, RuleAction};
+use rb_fronthaul::bfp::CompressionMethod;
+use rb_fronthaul::cplane::{CPlaneRepr, SectionFields};
+use rb_fronthaul::eaxc::Eaxc;
+use rb_fronthaul::ether::EthernetAddress;
+use rb_fronthaul::msg::{Body, FhMessage};
+use rb_fronthaul::timing::SymbolId;
+use rb_fronthaul::Direction;
+
+fn mac(last: u8) -> EthernetAddress {
+    EthernetAddress::new(2, 0, 0, 0, 0, last)
+}
+
+fn msg(src: u8) -> FhMessage {
+    FhMessage::new(
+        mac(src),
+        mac(0xff),
+        Eaxc::port(0),
+        0,
+        Body::CPlane(CPlaneRepr::single(
+            Direction::Downlink,
+            SymbolId::ZERO,
+            CompressionMethod::BFP9,
+            SectionFields::data(0, 0, 10, 14),
+        )),
+    )
+}
+
+fn key(eaxc: u16, sym: u8) -> CacheKey {
+    CacheKey {
+        eaxc_raw: eaxc,
+        direction: Direction::Uplink,
+        plane: Plane::U,
+        filter: 0,
+        symbol: SymbolId { frame: 0, subframe: 0, slot: 0, symbol: sym % 14 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_respects_capacity_and_accounts_evictions(
+        capacity in 1usize..16,
+        inserts in proptest::collection::vec((0u16..8, 0u8..14), 1..100),
+    ) {
+        let mut cache = SymbolCache::new(capacity);
+        let mut inserted_keys = std::collections::HashSet::new();
+        for (eaxc, sym) in &inserts {
+            cache.insert(key(*eaxc, *sym), msg(1));
+            inserted_keys.insert((*eaxc, *sym % 14));
+            prop_assert!(cache.len() <= capacity, "len {} > cap {capacity}", cache.len());
+        }
+        // Every distinct key is live or was evicted at least once (a key
+        // can be evicted and later re-inserted, so evictions may exceed
+        // distinct − live).
+        let live = cache.keys().count();
+        prop_assert!(
+            live as u64 + cache.evictions >= inserted_keys.len() as u64,
+            "live {} + evicted {} covers {} distinct keys",
+            live,
+            cache.evictions,
+            inserted_keys.len()
+        );
+    }
+
+    #[test]
+    fn forwarding_table_first_match_wins(
+        n_rules in 1usize..6,
+        src in 0u8..4,
+    ) {
+        let mut t = ForwardingTable::new();
+        // Rules match sources 0..n; rule k rewrites dst to mac(100+k).
+        for k in 0..n_rules {
+            t.push(Rule {
+                matcher: Match { src: Some(mac(k as u8 % 4)), ..Match::any() },
+                action: RuleAction::SetDst(mac(100 + k as u8)),
+            });
+        }
+        let mut m = msg(src);
+        let passed = t.apply(&mut m, 0);
+        prop_assert!(passed);
+        // The first rule whose matcher hits this src decides the dst.
+        let expected = (0..n_rules).find(|k| (*k as u8 % 4) == src);
+        match expected {
+            Some(k) => prop_assert_eq!(m.eth.dst, mac(100 + k as u8)),
+            None => prop_assert_eq!(m.eth.dst, mac(0xff), "no match → untouched"),
+        }
+    }
+
+    #[test]
+    fn replicate_preserves_body_and_orders_destinations(
+        n in 1usize..8,
+    ) {
+        let original = msg(1);
+        let dsts: Vec<EthernetAddress> = (0..n as u8).map(|k| mac(50 + k)).collect();
+        let copies = actions::replicate(&original, mac(42), &dsts);
+        prop_assert_eq!(copies.len(), n);
+        for (k, c) in copies.iter().enumerate() {
+            prop_assert_eq!(c.eth.dst, dsts[k]);
+            prop_assert_eq!(c.eth.src, mac(42));
+            prop_assert_eq!(&c.body, &original.body);
+        }
+    }
+
+    #[test]
+    fn cache_take_returns_everything_inserted_for_live_keys(
+        count in 1usize..20,
+    ) {
+        let mut cache = SymbolCache::new(64);
+        let k = key(3, 5);
+        for _ in 0..count {
+            cache.insert(k, msg(2));
+        }
+        prop_assert_eq!(cache.count(&k), count);
+        let taken = cache.take(&k);
+        prop_assert_eq!(taken.len(), count);
+        prop_assert!(cache.is_empty());
+    }
+}

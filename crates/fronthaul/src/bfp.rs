@@ -1,0 +1,461 @@
+//! Block Floating Point (BFP) U-plane payload compression.
+//!
+//! Uncompressed IQ samples are 32 bits each, which produces jumbo Ethernet
+//! frames at wide cell bandwidths. BFP compresses the 24 components of a PRB
+//! (12 samples × I/Q) to a shared 4-bit exponent plus `iq_width`-bit signed
+//! mantissas: `component ≈ mantissa << exponent`.
+//!
+//! The per-PRB exponent byte (`udCompParam`) is exactly the side channel
+//! RANBooster's PRB-monitoring middlebox exploits (paper Algorithm 1): a PRB
+//! with near-zero content compresses with exponent 0, so utilization can be
+//! estimated without decompressing anything.
+//!
+//! Supported methods: `BlockFloatingPoint` with mantissa widths 1..=16 (the
+//! paper's deployments use 9) and `NoCompression` (16-bit passthrough, no
+//! `udCompParam` byte).
+
+use crate::iq::{Prb, SAMPLES_PER_PRB, UNCOMPRESSED_PRB_BYTES};
+use crate::{Error, Result};
+
+/// Compression method identifiers (`udCompMeth` wire values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressionMethod {
+    /// No compression: 16-bit I and Q, no per-PRB parameter byte.
+    NoCompression,
+    /// Block floating point with the given mantissa width in bits (1..=16).
+    BlockFloatingPoint {
+        /// Signed mantissa width per I/Q component.
+        iq_width: u8,
+    },
+}
+
+impl CompressionMethod {
+    /// The paper's configuration: BFP with 9-bit mantissas.
+    pub const BFP9: CompressionMethod = CompressionMethod::BlockFloatingPoint { iq_width: 9 };
+
+    /// `udCompMeth` wire value (lower nibble of `udCompHdr`).
+    pub fn meth_raw(self) -> u8 {
+        match self {
+            CompressionMethod::NoCompression => 0,
+            CompressionMethod::BlockFloatingPoint { .. } => 1,
+        }
+    }
+
+    /// `udIqWidth` wire value (upper nibble of `udCompHdr`; 0 encodes 16).
+    pub fn width_raw(self) -> u8 {
+        match self {
+            CompressionMethod::NoCompression => 0,
+            CompressionMethod::BlockFloatingPoint { iq_width } => iq_width & 0x0f,
+        }
+    }
+
+    /// Effective mantissa width in bits.
+    pub fn iq_width(self) -> u8 {
+        match self {
+            CompressionMethod::NoCompression => 16,
+            CompressionMethod::BlockFloatingPoint { iq_width } => iq_width,
+        }
+    }
+
+    /// Encode into the single `udCompHdr` byte.
+    pub fn to_comp_hdr(self) -> u8 {
+        (self.width_raw() << 4) | self.meth_raw()
+    }
+
+    /// Decode from the `udCompHdr` byte.
+    pub fn from_comp_hdr(hdr: u8) -> Result<CompressionMethod> {
+        let width = hdr >> 4;
+        match hdr & 0x0f {
+            0 => Ok(CompressionMethod::NoCompression),
+            1 => {
+                let iq_width = if width == 0 { 16 } else { width };
+                Ok(CompressionMethod::BlockFloatingPoint { iq_width })
+            }
+            _ => Err(Error::UnknownCompression),
+        }
+    }
+
+    /// Validate the mantissa width.
+    pub fn validate(self) -> Result<()> {
+        match self {
+            CompressionMethod::NoCompression => Ok(()),
+            CompressionMethod::BlockFloatingPoint { iq_width } => {
+                if (1..=16).contains(&iq_width) {
+                    Ok(())
+                } else {
+                    Err(Error::BadIqWidth)
+                }
+            }
+        }
+    }
+
+    /// Number of `udCompParam` bytes preceding each PRB's mantissas.
+    pub fn param_bytes(self) -> usize {
+        match self {
+            CompressionMethod::NoCompression => 0,
+            CompressionMethod::BlockFloatingPoint { .. } => 1,
+        }
+    }
+
+    /// Bytes of packed mantissa data per PRB (excluding `udCompParam`).
+    pub fn mantissa_bytes(self) -> usize {
+        match self {
+            CompressionMethod::NoCompression => UNCOMPRESSED_PRB_BYTES,
+            CompressionMethod::BlockFloatingPoint { iq_width } => {
+                (SAMPLES_PER_PRB * 2 * iq_width as usize).div_ceil(8)
+            }
+        }
+    }
+
+    /// Total on-wire bytes per PRB (`udCompParam` + mantissas).
+    pub fn prb_wire_bytes(self) -> usize {
+        self.param_bytes() + self.mantissa_bytes()
+    }
+}
+
+/// Pick the smallest exponent such that every component of `prb`, shifted
+/// right by it, fits in a signed `width`-bit mantissa.
+pub fn exponent_for(prb: &Prb, width: u8) -> u8 {
+    debug_assert!((1..=16).contains(&width));
+    let limit_pos = (1i32 << (width - 1)) - 1;
+    let limit_neg = -(1i32 << (width - 1));
+    for exp in 0u8..16 {
+        let fits = prb.0.iter().all(|s| {
+            let i = (s.i as i32) >> exp;
+            let q = (s.q as i32) >> exp;
+            i >= limit_neg && i <= limit_pos && q >= limit_neg && q <= limit_pos
+        });
+        if fits {
+            return exp;
+        }
+    }
+    15
+}
+
+/// MSB-first bit packer used for mantissa serialization. Accumulates
+/// into a 64-bit buffer and spills whole bytes — the datapath hot loop.
+struct BitWriter<'a> {
+    out: &'a mut [u8],
+    byte: usize,
+    acc: u64,
+    acc_bits: u8,
+}
+
+impl<'a> BitWriter<'a> {
+    fn new(out: &'a mut [u8]) -> BitWriter<'a> {
+        BitWriter { out, byte: 0, acc: 0, acc_bits: 0 }
+    }
+
+    #[inline]
+    fn write(&mut self, value: u32, bits: u8) {
+        let mask = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        self.acc = (self.acc << bits) | (value & mask) as u64;
+        self.acc_bits += bits;
+        while self.acc_bits >= 8 {
+            self.acc_bits -= 8;
+            self.out[self.byte] = (self.acc >> self.acc_bits) as u8;
+            self.byte += 1;
+        }
+    }
+
+    /// Flush a trailing partial byte, MSB-aligned.
+    fn finish(self) {
+        if self.acc_bits > 0 {
+            self.out[self.byte] = ((self.acc << (8 - self.acc_bits)) & 0xff) as u8;
+        }
+    }
+}
+
+/// MSB-first bit reader matching [`BitWriter`].
+struct BitReader<'a> {
+    data: &'a [u8],
+    byte: usize,
+    acc: u64,
+    acc_bits: u8,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader { data, byte: 0, acc: 0, acc_bits: 0 }
+    }
+
+    #[inline]
+    fn read(&mut self, bits: u8) -> u32 {
+        while self.acc_bits < bits {
+            self.acc = (self.acc << 8) | self.data[self.byte] as u64;
+            self.byte += 1;
+            self.acc_bits += 8;
+        }
+        self.acc_bits -= bits;
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        ((self.acc >> self.acc_bits) & mask) as u32
+    }
+}
+
+/// Compress one PRB with BFP: returns the exponent and writes
+/// [`CompressionMethod::mantissa_bytes`] packed bytes into `out`.
+pub fn compress_prb(prb: &Prb, width: u8, out: &mut [u8]) -> Result<u8> {
+    if !(1..=16).contains(&width) {
+        return Err(Error::BadIqWidth);
+    }
+    let method = CompressionMethod::BlockFloatingPoint { iq_width: width };
+    if out.len() < method.mantissa_bytes() {
+        return Err(Error::BufferTooSmall);
+    }
+    let exp = exponent_for(prb, width);
+    let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    let mut writer = BitWriter::new(out);
+    for s in prb.0.iter() {
+        let i = ((s.i as i32) >> exp) as u32 & mask;
+        let q = ((s.q as i32) >> exp) as u32 & mask;
+        writer.write(i, width);
+        writer.write(q, width);
+    }
+    writer.finish();
+    Ok(exp)
+}
+
+/// Decompress one PRB: `data` must hold the packed mantissas (not the
+/// `udCompParam` byte — pass the exponent separately).
+pub fn decompress_prb(data: &[u8], width: u8, exponent: u8) -> Result<Prb> {
+    if !(1..=16).contains(&width) {
+        return Err(Error::BadIqWidth);
+    }
+    let method = CompressionMethod::BlockFloatingPoint { iq_width: width };
+    if data.len() < method.mantissa_bytes() {
+        return Err(Error::Truncated);
+    }
+    let mut reader = BitReader::new(data);
+    let mut prb = Prb::ZERO;
+    let sign_bit = 1u32 << (width - 1);
+    let extend = |raw: u32| -> i32 {
+        if raw & sign_bit != 0 {
+            (raw | (u32::MAX << width)) as i32
+        } else {
+            raw as i32
+        }
+    };
+    for s in prb.0.iter_mut() {
+        let i = extend(reader.read(width)) << exponent;
+        let q = extend(reader.read(width)) << exponent;
+        s.i = i.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        s.q = q.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+    }
+    Ok(prb)
+}
+
+/// Compress a PRB onto the wire including the leading `udCompParam`
+/// exponent byte. Returns the number of bytes written.
+pub fn compress_prb_wire(prb: &Prb, method: CompressionMethod, out: &mut [u8]) -> Result<usize> {
+    method.validate()?;
+    let total = method.prb_wire_bytes();
+    if out.len() < total {
+        return Err(Error::BufferTooSmall);
+    }
+    match method {
+        CompressionMethod::NoCompression => {
+            prb.write_uncompressed(out)?;
+        }
+        CompressionMethod::BlockFloatingPoint { iq_width } => {
+            let exp = compress_prb(prb, iq_width, &mut out[1..total])?;
+            out[0] = exp & 0x0f;
+        }
+    }
+    Ok(total)
+}
+
+/// Parse one PRB from the wire (including `udCompParam` when present).
+/// Returns the PRB, the exponent (0 for no compression) and the number of
+/// bytes consumed.
+pub fn decompress_prb_wire(data: &[u8], method: CompressionMethod) -> Result<(Prb, u8, usize)> {
+    method.validate()?;
+    let total = method.prb_wire_bytes();
+    if data.len() < total {
+        return Err(Error::Truncated);
+    }
+    match method {
+        CompressionMethod::NoCompression => {
+            let prb = Prb::read_uncompressed(data)?;
+            Ok((prb, 0, total))
+        }
+        CompressionMethod::BlockFloatingPoint { iq_width } => {
+            let exp = data[0] & 0x0f;
+            let prb = decompress_prb(&data[1..total], iq_width, exp)?;
+            Ok((prb, exp, total))
+        }
+    }
+}
+
+/// Read just the `udCompParam` exponent of a wire PRB without touching the
+/// mantissas — the fast path of Algorithm 1.
+pub fn peek_exponent(data: &[u8], method: CompressionMethod) -> Result<u8> {
+    match method {
+        CompressionMethod::NoCompression => Err(Error::UnknownCompression),
+        CompressionMethod::BlockFloatingPoint { .. } => {
+            if data.is_empty() {
+                Err(Error::Truncated)
+            } else {
+                Ok(data[0] & 0x0f)
+            }
+        }
+    }
+}
+
+/// Maximum absolute quantization error of one BFP round trip at `exponent`.
+pub fn max_quantization_error(exponent: u8) -> i32 {
+    (1i32 << exponent) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iq::IqSample;
+
+    fn prb_with_amplitude(amp: i16) -> Prb {
+        let mut prb = Prb::ZERO;
+        for (k, s) in prb.0.iter_mut().enumerate() {
+            let sign = if k % 2 == 0 { 1 } else { -1 };
+            s.i = amp.saturating_mul(sign) / (k as i16 + 1);
+            s.q = amp.saturating_mul(-sign) / (k as i16 + 2);
+        }
+        prb
+    }
+
+    #[test]
+    fn comp_hdr_roundtrip() {
+        for method in [
+            CompressionMethod::NoCompression,
+            CompressionMethod::BFP9,
+            CompressionMethod::BlockFloatingPoint { iq_width: 14 },
+            CompressionMethod::BlockFloatingPoint { iq_width: 16 },
+        ] {
+            let hdr = method.to_comp_hdr();
+            assert_eq!(CompressionMethod::from_comp_hdr(hdr).unwrap(), method);
+        }
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        assert_eq!(CompressionMethod::from_comp_hdr(0x05).unwrap_err(), Error::UnknownCompression);
+    }
+
+    #[test]
+    fn wire_sizes_match_paper() {
+        // BFP-9: 24 × 9 = 216 bits = 27 bytes + 1 exponent byte = 28.
+        assert_eq!(CompressionMethod::BFP9.prb_wire_bytes(), 28);
+        // Uncompressed: 48 bytes, no parameter byte.
+        assert_eq!(CompressionMethod::NoCompression.prb_wire_bytes(), 48);
+    }
+
+    #[test]
+    fn zero_prb_compresses_with_zero_exponent() {
+        let mut buf = [0u8; 64];
+        let exp = compress_prb(&Prb::ZERO, 9, &mut buf).unwrap();
+        assert_eq!(exp, 0);
+        let back = decompress_prb(&buf, 9, exp).unwrap();
+        assert_eq!(back, Prb::ZERO);
+    }
+
+    #[test]
+    fn loud_prb_has_high_exponent() {
+        let prb = prb_with_amplitude(i16::MAX);
+        assert!(exponent_for(&prb, 9) >= 7);
+        let quiet = prb_with_amplitude(200);
+        assert!(exponent_for(&quiet, 9) <= 1);
+    }
+
+    #[test]
+    fn bfp_roundtrip_error_is_bounded() {
+        for amp in [50i16, 1000, 8000, i16::MAX] {
+            let prb = prb_with_amplitude(amp);
+            let mut buf = [0u8; 64];
+            let exp = compress_prb(&prb, 9, &mut buf).unwrap();
+            let back = decompress_prb(&buf, 9, exp).unwrap();
+            let tol = max_quantization_error(exp);
+            for k in 0..SAMPLES_PER_PRB {
+                assert!((prb.0[k].i as i32 - back.0[k].i as i32).abs() <= tol);
+                assert!((prb.0[k].q as i32 - back.0[k].q as i32).abs() <= tol);
+            }
+        }
+    }
+
+    #[test]
+    fn width16_is_lossless() {
+        let prb = prb_with_amplitude(i16::MAX);
+        let mut buf = [0u8; 64];
+        let exp = compress_prb(&prb, 16, &mut buf).unwrap();
+        assert_eq!(exp, 0);
+        assert_eq!(decompress_prb(&buf, 16, exp).unwrap(), prb);
+    }
+
+    #[test]
+    fn wire_roundtrip_bfp() {
+        let prb = prb_with_amplitude(5000);
+        let mut buf = [0u8; 64];
+        let n = compress_prb_wire(&prb, CompressionMethod::BFP9, &mut buf).unwrap();
+        assert_eq!(n, 28);
+        let (back, exp, consumed) = decompress_prb_wire(&buf, CompressionMethod::BFP9).unwrap();
+        assert_eq!(consumed, 28);
+        assert_eq!(exp, buf[0] & 0x0f);
+        let tol = max_quantization_error(exp);
+        for k in 0..SAMPLES_PER_PRB {
+            assert!((prb.0[k].i as i32 - back.0[k].i as i32).abs() <= tol);
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_uncompressed() {
+        let prb = prb_with_amplitude(5000);
+        let mut buf = [0u8; 64];
+        let n = compress_prb_wire(&prb, CompressionMethod::NoCompression, &mut buf).unwrap();
+        assert_eq!(n, 48);
+        let (back, exp, _) = decompress_prb_wire(&buf, CompressionMethod::NoCompression).unwrap();
+        assert_eq!(exp, 0);
+        assert_eq!(back, prb);
+    }
+
+    #[test]
+    fn peek_exponent_fast_path() {
+        let prb = prb_with_amplitude(20000);
+        let mut buf = [0u8; 64];
+        compress_prb_wire(&prb, CompressionMethod::BFP9, &mut buf).unwrap();
+        let exp = peek_exponent(&buf, CompressionMethod::BFP9).unwrap();
+        assert_eq!(exp, buf[0] & 0x0f);
+        assert!(exp > 0);
+        assert!(peek_exponent(&buf, CompressionMethod::NoCompression).is_err());
+    }
+
+    #[test]
+    fn invalid_width_rejected() {
+        let mut buf = [0u8; 64];
+        assert_eq!(compress_prb(&Prb::ZERO, 0, &mut buf).unwrap_err(), Error::BadIqWidth);
+        assert_eq!(compress_prb(&Prb::ZERO, 17, &mut buf).unwrap_err(), Error::BadIqWidth);
+        assert_eq!(decompress_prb(&buf, 0, 0).unwrap_err(), Error::BadIqWidth);
+    }
+
+    #[test]
+    fn buffer_too_small_rejected() {
+        let mut small = [0u8; 10];
+        assert_eq!(
+            compress_prb(&Prb::ZERO, 9, &mut small).unwrap_err(),
+            Error::BufferTooSmall
+        );
+        assert_eq!(decompress_prb(&small, 9, 0).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn negative_extremes_roundtrip() {
+        let mut prb = Prb::ZERO;
+        for s in prb.0.iter_mut() {
+            *s = IqSample::new(i16::MIN, i16::MAX);
+        }
+        let mut buf = [0u8; 64];
+        let exp = compress_prb(&prb, 9, &mut buf).unwrap();
+        let back = decompress_prb(&buf, 9, exp).unwrap();
+        let tol = max_quantization_error(exp);
+        for s in back.0.iter() {
+            assert!((s.i as i32 - i16::MIN as i32).abs() <= tol);
+            assert!((s.q as i32 - i16::MAX as i32).abs() <= tol);
+        }
+    }
+}

@@ -1,0 +1,705 @@
+//! O-RAN control-plane (C-plane) messages.
+//!
+//! The DU sends C-plane messages to instruct the RU which radio resources
+//! (symbols × PRBs × antenna ports) to process for upcoming symbols.
+//! Three section types are implemented, covering everything the paper's
+//! middleboxes touch:
+//!
+//! * **Section Type 0** — unused (idle/guard) resources.
+//! * **Section Type 1** — scheduling of regular DL/UL data channels.
+//! * **Section Type 3** — PRACH and mixed-numerology channels; carries the
+//!   `frequencyOffset` field the RU-sharing middlebox must translate
+//!   (Appendix A.1.2).
+//!
+//! Wire layout (after the 8-byte eCPRI header), section type 1:
+//!
+//! ```text
+//! byte 0     dataDirection(1) | payloadVersion(3) | filterIndex(4)
+//! byte 1     frameId
+//! byte 2     subframeId(4) | slotId[5..2]
+//! byte 3     slotId[1..0] | startSymbolId(6)
+//! byte 4     numberOfSections
+//! byte 5     sectionType
+//! byte 6     udCompHdr
+//! byte 7     reserved
+//! then numberOfSections × 8-byte sections:
+//!   sectionId(12) | rb(1) | symInc(1) | startPrbc(10)
+//!   numPrbc(8)
+//!   reMask(12) | numSymbol(4)
+//!   ef(1) | beamId(15)
+//! ```
+//!
+//! Section type 3 extends the common header with `timeOffset`,
+//! `frameStructure` and `cpLength` (12-byte header) and each section with a
+//! signed 24-bit `frequencyOffset` (12-byte sections).
+
+use crate::bfp::CompressionMethod;
+use crate::timing::{SymbolId, SYMBOLS_PER_SLOT};
+use crate::{Direction, Error, Result};
+
+/// `payloadVersion` value this crate emits.
+pub const PAYLOAD_VERSION: u8 = 1;
+
+/// `numPrbc == 0` means "all PRBs of the carrier" — the trick the
+/// RU-sharing middlebox uses to make the RU process its whole spectrum.
+pub const NUM_PRB_ALL: u16 = 0;
+
+/// C-plane section types implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionType {
+    /// Type 0 — unused (idle/guard) resources: tells the RU which blanks
+    /// it may power down.
+    Type0,
+    /// Type 1 — DL/UL data channels.
+    Type1,
+    /// Type 3 — PRACH and mixed numerology.
+    Type3,
+}
+
+impl SectionType {
+    /// Wire value.
+    pub fn raw(self) -> u8 {
+        match self {
+            SectionType::Type0 => 0,
+            SectionType::Type1 => 1,
+            SectionType::Type3 => 3,
+        }
+    }
+
+    /// Parse a wire value.
+    pub fn from_raw(raw: u8) -> Result<SectionType> {
+        match raw {
+            0 => Ok(SectionType::Type0),
+            1 => Ok(SectionType::Type1),
+            3 => Ok(SectionType::Type3),
+            _ => Err(Error::UnknownSectionType),
+        }
+    }
+}
+
+/// Common fields of a type-1 or type-3 section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionFields {
+    /// Section id (12 bits) — correlates C-plane with U-plane sections.
+    pub section_id: u16,
+    /// Resource-block indicator: `false` = every RB, `true` = every other RB.
+    pub rb: bool,
+    /// Symbol-number increment flag.
+    pub sym_inc: bool,
+    /// First PRB of the allocation (10 bits).
+    pub start_prb: u16,
+    /// Number of PRBs; [`NUM_PRB_ALL`] (0) means the whole carrier.
+    pub num_prb: u16,
+    /// Resource-element mask (12 bits; `0xfff` = all REs of each PRB).
+    pub re_mask: u16,
+    /// Number of consecutive symbols this section covers (4 bits).
+    pub num_symbols: u8,
+    /// Extension flag (no section extensions implemented — must be false).
+    pub ef: bool,
+    /// Beam id (15 bits); 0 means no beamforming.
+    pub beam_id: u16,
+}
+
+impl SectionFields {
+    /// A plain full-RE allocation of `num_prb` PRBs starting at `start_prb`
+    /// covering `num_symbols` symbols.
+    pub fn data(section_id: u16, start_prb: u16, num_prb: u16, num_symbols: u8) -> SectionFields {
+        SectionFields {
+            section_id,
+            rb: false,
+            sym_inc: false,
+            start_prb,
+            num_prb,
+            re_mask: 0xfff,
+            num_symbols,
+            ef: false,
+            beam_id: 0,
+        }
+    }
+
+    /// Resolve [`NUM_PRB_ALL`] against the carrier's PRB count.
+    pub fn resolved_num_prb(&self, carrier_prbs: u16) -> u16 {
+        if self.num_prb == NUM_PRB_ALL {
+            carrier_prbs
+        } else {
+            self.num_prb
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.section_id > 0x0fff
+            || self.start_prb > 0x03ff
+            || self.num_prb > 0xff
+            || self.re_mask > 0x0fff
+            || self.num_symbols == 0
+            || self.num_symbols > SYMBOLS_PER_SLOT
+            || self.beam_id > 0x7fff
+        {
+            return Err(Error::FieldRange);
+        }
+        Ok(())
+    }
+
+    const WIRE_LEN: usize = 8;
+
+    fn emit(&self, out: &mut [u8]) {
+        out[0] = (self.section_id >> 4) as u8;
+        out[1] = ((self.section_id & 0x0f) as u8) << 4
+            | (self.rb as u8) << 3
+            | (self.sym_inc as u8) << 2
+            | ((self.start_prb >> 8) & 0x03) as u8;
+        out[2] = (self.start_prb & 0xff) as u8;
+        out[3] = (self.num_prb & 0xff) as u8;
+        out[4] = (self.re_mask >> 4) as u8;
+        out[5] = ((self.re_mask & 0x0f) as u8) << 4 | (self.num_symbols & 0x0f);
+        out[6] = (self.ef as u8) << 7 | ((self.beam_id >> 8) & 0x7f) as u8;
+        out[7] = (self.beam_id & 0xff) as u8;
+    }
+
+    fn parse(data: &[u8]) -> SectionFields {
+        let section_id = ((data[0] as u16) << 4) | ((data[1] >> 4) as u16);
+        let rb = data[1] & 0x08 != 0;
+        let sym_inc = data[1] & 0x04 != 0;
+        let start_prb = (((data[1] & 0x03) as u16) << 8) | data[2] as u16;
+        let num_prb = data[3] as u16;
+        let re_mask = ((data[4] as u16) << 4) | ((data[5] >> 4) as u16);
+        let num_symbols = data[5] & 0x0f;
+        let ef = data[6] & 0x80 != 0;
+        let beam_id = (((data[6] & 0x7f) as u16) << 8) | data[7] as u16;
+        SectionFields { section_id, rb, sym_inc, start_prb, num_prb, re_mask, num_symbols, ef, beam_id }
+    }
+}
+
+/// A section-type-3 section: common fields plus PRACH frequency placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section3 {
+    /// The common section fields.
+    pub fields: SectionFields,
+    /// Frequency offset of the first RE of the allocation with respect to
+    /// the carrier center frequency, in units of half subcarrier spacings
+    /// (signed 24 bits). This is the `freqOffset` of Appendix A.1.2.
+    pub frequency_offset: i32,
+}
+
+impl Section3 {
+    const WIRE_LEN: usize = 12;
+
+    fn validate(&self) -> Result<()> {
+        self.fields.validate()?;
+        if self.frequency_offset < -(1 << 23) || self.frequency_offset >= (1 << 23) {
+            return Err(Error::FieldRange);
+        }
+        Ok(())
+    }
+
+    fn emit(&self, out: &mut [u8]) {
+        self.fields.emit(&mut out[..8]);
+        let fo = (self.frequency_offset as u32) & 0x00ff_ffff;
+        out[8] = (fo >> 16) as u8;
+        out[9] = (fo >> 8) as u8;
+        out[10] = fo as u8;
+        out[11] = 0; // reserved
+    }
+
+    fn parse(data: &[u8]) -> Section3 {
+        let fields = SectionFields::parse(&data[..8]);
+        let raw = ((data[8] as u32) << 16) | ((data[9] as u32) << 8) | data[10] as u32;
+        // sign-extend 24 bits
+        let frequency_offset = if raw & 0x0080_0000 != 0 {
+            (raw | 0xff00_0000) as i32
+        } else {
+            raw as i32
+        };
+        Section3 { fields, frequency_offset }
+    }
+}
+
+/// Section payload of a C-plane message: the type-specific header fields
+/// plus the section list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sections {
+    /// Section type 0 — idle/guard periods (no matching U-plane data).
+    Type0 {
+        /// Time offset from slot start to the start of the CP, in samples.
+        time_offset: u16,
+        /// FFT size / SCS descriptor.
+        frame_structure: u8,
+        /// Cyclic prefix length in samples.
+        cp_length: u16,
+        /// The idle sections (`ef`/`beamId` are reserved on the wire and
+        /// must be zero).
+        sections: Vec<SectionFields>,
+    },
+    /// Section type 1 — regular data channels.
+    Type1 {
+        /// Compression the matching U-plane payload will use.
+        comp: CompressionMethod,
+        /// The sections.
+        sections: Vec<SectionFields>,
+    },
+    /// Section type 3 — PRACH / mixed numerology.
+    Type3 {
+        /// Time offset from slot start to the start of the CP, in samples.
+        time_offset: u16,
+        /// FFT size / SCS descriptor of the (possibly different) numerology.
+        frame_structure: u8,
+        /// Cyclic prefix length in samples.
+        cp_length: u16,
+        /// Compression the matching U-plane payload will use.
+        comp: CompressionMethod,
+        /// The sections.
+        sections: Vec<Section3>,
+    },
+}
+
+impl Sections {
+    /// The section type tag.
+    pub fn section_type(&self) -> SectionType {
+        match self {
+            Sections::Type0 { .. } => SectionType::Type0,
+            Sections::Type1 { .. } => SectionType::Type1,
+            Sections::Type3 { .. } => SectionType::Type3,
+        }
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        match self {
+            Sections::Type0 { sections, .. } => sections.len(),
+            Sections::Type1 { sections, .. } => sections.len(),
+            Sections::Type3 { sections, .. } => sections.len(),
+        }
+    }
+
+    /// True if there are no sections.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The compression method announced for the matching U-plane data.
+    pub fn compression(&self) -> CompressionMethod {
+        match self {
+            // Type 0 carries no IQ, so no compression header exists.
+            Sections::Type0 { .. } => CompressionMethod::NoCompression,
+            Sections::Type1 { comp, .. } => *comp,
+            Sections::Type3 { comp, .. } => *comp,
+        }
+    }
+
+    /// Iterate over the common fields of every section, regardless of type.
+    pub fn common_fields(&self) -> Vec<SectionFields> {
+        match self {
+            Sections::Type0 { sections, .. } => sections.clone(),
+            Sections::Type1 { sections, .. } => sections.clone(),
+            Sections::Type3 { sections, .. } => sections.iter().map(|s| s.fields).collect(),
+        }
+    }
+}
+
+/// High-level representation of a complete C-plane message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CPlaneRepr {
+    /// Data direction the scheduling applies to.
+    pub direction: Direction,
+    /// Filter index (0 for standard channels).
+    pub filter_index: u8,
+    /// The first symbol the message schedules (`startSymbolId`).
+    pub symbol: SymbolId,
+    /// The sections.
+    pub sections: Sections,
+}
+
+const COMMON_HDR_LEN: usize = 6;
+const TYPE1_HDR_LEN: usize = 8;
+const TYPE3_HDR_LEN: usize = 12;
+
+impl CPlaneRepr {
+    /// Convenience constructor for a single-section type-1 message.
+    pub fn single(
+        direction: Direction,
+        symbol: SymbolId,
+        comp: CompressionMethod,
+        section: SectionFields,
+    ) -> CPlaneRepr {
+        CPlaneRepr {
+            direction,
+            filter_index: 0,
+            symbol,
+            sections: Sections::Type1 { comp, sections: vec![section] },
+        }
+    }
+
+    /// Byte length of the emitted message.
+    pub fn wire_len(&self) -> usize {
+        match &self.sections {
+            // Type 0 shares the extended (12-byte) header shape.
+            Sections::Type0 { sections, .. } => {
+                TYPE3_HDR_LEN + sections.len() * SectionFields::WIRE_LEN
+            }
+            Sections::Type1 { sections, .. } => {
+                TYPE1_HDR_LEN + sections.len() * SectionFields::WIRE_LEN
+            }
+            Sections::Type3 { sections, .. } => {
+                TYPE3_HDR_LEN + sections.len() * Section3::WIRE_LEN
+            }
+        }
+    }
+
+    /// Validate all field ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.filter_index > 0x0f {
+            return Err(Error::FieldRange);
+        }
+        if self.sections.is_empty() || self.sections.len() > 255 {
+            return Err(Error::Malformed);
+        }
+        match &self.sections {
+            Sections::Type0 { sections, .. } => {
+                for s in sections {
+                    s.validate()?;
+                    // ef/beamId are reserved fields in type 0.
+                    if s.ef || s.beam_id != 0 {
+                        return Err(Error::FieldRange);
+                    }
+                }
+            }
+            Sections::Type1 { comp, sections } => {
+                comp.validate()?;
+                for s in sections {
+                    s.validate()?;
+                }
+            }
+            Sections::Type3 { comp, sections, .. } => {
+                comp.validate()?;
+                for s in sections {
+                    s.validate()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_common(&self, out: &mut [u8], section_type: SectionType, n_sections: usize) {
+        out[0] = (self.direction.bit() << 7)
+            | ((PAYLOAD_VERSION & 0x07) << 4)
+            | (self.filter_index & 0x0f);
+        out[1] = self.symbol.frame;
+        out[2] = (self.symbol.subframe << 4) | ((self.symbol.slot >> 2) & 0x0f);
+        out[3] = ((self.symbol.slot & 0x03) << 6) | (self.symbol.symbol & 0x3f);
+        out[4] = n_sections as u8;
+        out[5] = section_type.raw();
+    }
+
+    /// Emit the message into `out`, which must hold [`CPlaneRepr::wire_len`]
+    /// bytes. Returns the bytes written.
+    pub fn emit(&self, out: &mut [u8]) -> Result<usize> {
+        self.validate()?;
+        let len = self.wire_len();
+        if out.len() < len {
+            return Err(Error::BufferTooSmall);
+        }
+        match &self.sections {
+            Sections::Type0 { time_offset, frame_structure, cp_length, sections } => {
+                self.emit_common(out, SectionType::Type0, sections.len());
+                out[6..8].copy_from_slice(&time_offset.to_be_bytes());
+                out[8] = *frame_structure;
+                out[9..11].copy_from_slice(&cp_length.to_be_bytes());
+                out[11] = 0; // reserved
+                let mut off = TYPE3_HDR_LEN;
+                for s in sections {
+                    s.emit(&mut out[off..off + SectionFields::WIRE_LEN]);
+                    off += SectionFields::WIRE_LEN;
+                }
+            }
+            Sections::Type1 { comp, sections } => {
+                self.emit_common(out, SectionType::Type1, sections.len());
+                out[6] = comp.to_comp_hdr();
+                out[7] = 0; // reserved
+                let mut off = TYPE1_HDR_LEN;
+                for s in sections {
+                    s.emit(&mut out[off..off + SectionFields::WIRE_LEN]);
+                    off += SectionFields::WIRE_LEN;
+                }
+            }
+            Sections::Type3 { time_offset, frame_structure, cp_length, comp, sections } => {
+                self.emit_common(out, SectionType::Type3, sections.len());
+                out[6..8].copy_from_slice(&time_offset.to_be_bytes());
+                out[8] = *frame_structure;
+                out[9..11].copy_from_slice(&cp_length.to_be_bytes());
+                out[11] = comp.to_comp_hdr();
+                let mut off = TYPE3_HDR_LEN;
+                for s in sections {
+                    s.emit(&mut out[off..off + Section3::WIRE_LEN]);
+                    off += Section3::WIRE_LEN;
+                }
+            }
+        }
+        Ok(len)
+    }
+
+    /// Parse a C-plane message from the eCPRI payload bytes.
+    pub fn parse(data: &[u8]) -> Result<CPlaneRepr> {
+        if data.len() < COMMON_HDR_LEN {
+            return Err(Error::Truncated);
+        }
+        let direction = Direction::from_bit(data[0] >> 7);
+        let filter_index = data[0] & 0x0f;
+        let frame = data[1];
+        let subframe = data[2] >> 4;
+        let slot = ((data[2] & 0x0f) << 2) | (data[3] >> 6);
+        let symbol = data[3] & 0x3f;
+        if subframe > 9 || symbol >= SYMBOLS_PER_SLOT {
+            return Err(Error::FieldRange);
+        }
+        let sym = SymbolId { frame, subframe, slot, symbol };
+        let n_sections = data[4] as usize;
+        let section_type = SectionType::from_raw(data[5])?;
+        if n_sections == 0 {
+            return Err(Error::Malformed);
+        }
+        let sections = match section_type {
+            SectionType::Type0 => {
+                if data.len() < TYPE3_HDR_LEN + n_sections * SectionFields::WIRE_LEN {
+                    return Err(Error::Truncated);
+                }
+                let time_offset = u16::from_be_bytes([data[6], data[7]]);
+                let frame_structure = data[8];
+                let cp_length = u16::from_be_bytes([data[9], data[10]]);
+                let mut sections = Vec::with_capacity(n_sections);
+                let mut off = TYPE3_HDR_LEN;
+                for _ in 0..n_sections {
+                    sections.push(SectionFields::parse(&data[off..off + SectionFields::WIRE_LEN]));
+                    off += SectionFields::WIRE_LEN;
+                }
+                Sections::Type0 { time_offset, frame_structure, cp_length, sections }
+            }
+            SectionType::Type1 => {
+                if data.len() < TYPE1_HDR_LEN + n_sections * SectionFields::WIRE_LEN {
+                    return Err(Error::Truncated);
+                }
+                let comp = CompressionMethod::from_comp_hdr(data[6])?;
+                let mut sections = Vec::with_capacity(n_sections);
+                let mut off = TYPE1_HDR_LEN;
+                for _ in 0..n_sections {
+                    sections.push(SectionFields::parse(&data[off..off + SectionFields::WIRE_LEN]));
+                    off += SectionFields::WIRE_LEN;
+                }
+                Sections::Type1 { comp, sections }
+            }
+            SectionType::Type3 => {
+                if data.len() < TYPE3_HDR_LEN + n_sections * Section3::WIRE_LEN {
+                    return Err(Error::Truncated);
+                }
+                let time_offset = u16::from_be_bytes([data[6], data[7]]);
+                let frame_structure = data[8];
+                let cp_length = u16::from_be_bytes([data[9], data[10]]);
+                let comp = CompressionMethod::from_comp_hdr(data[11])?;
+                let mut sections = Vec::with_capacity(n_sections);
+                let mut off = TYPE3_HDR_LEN;
+                for _ in 0..n_sections {
+                    sections.push(Section3::parse(&data[off..off + Section3::WIRE_LEN]));
+                    off += Section3::WIRE_LEN;
+                }
+                Sections::Type3 { time_offset, frame_structure, cp_length, comp, sections }
+            }
+        };
+        Ok(CPlaneRepr { direction, filter_index, symbol: sym, sections })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::Numerology;
+
+    fn sym() -> SymbolId {
+        SymbolId::new(Numerology::Mu1, 46, 9, 1, 13).unwrap()
+    }
+
+    fn type1_repr() -> CPlaneRepr {
+        CPlaneRepr::single(
+            Direction::Uplink,
+            sym(),
+            CompressionMethod::BFP9,
+            SectionFields::data(0, 0, 106, 1),
+        )
+    }
+
+    #[test]
+    fn type1_roundtrip() {
+        let repr = type1_repr();
+        let mut buf = vec![0u8; repr.wire_len()];
+        let n = repr.emit(&mut buf).unwrap();
+        assert_eq!(n, 16);
+        assert_eq!(CPlaneRepr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn type1_multi_section_roundtrip() {
+        let mut repr = type1_repr();
+        repr.sections = Sections::Type1 {
+            comp: CompressionMethod::BFP9,
+            sections: vec![
+                SectionFields::data(1, 0, 50, 1),
+                SectionFields::data(2, 50, 56, 2),
+                SectionFields { beam_id: 0x1234, ..SectionFields::data(3, 200, 73, 14) },
+            ],
+        };
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        let parsed = CPlaneRepr::parse(&buf).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(parsed.sections.len(), 3);
+    }
+
+    #[test]
+    fn type3_roundtrip_with_negative_offset() {
+        let repr = CPlaneRepr {
+            direction: Direction::Uplink,
+            filter_index: 1, // PRACH filter
+            symbol: sym(),
+            sections: Sections::Type3 {
+                time_offset: 1024,
+                frame_structure: 0xb1,
+                cp_length: 308,
+                comp: CompressionMethod::BFP9,
+                sections: vec![Section3 {
+                    fields: SectionFields::data(5, 10, 12, 12),
+                    frequency_offset: -3504,
+                }],
+            },
+        };
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        assert_eq!(CPlaneRepr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn type0_roundtrip() {
+        let repr = CPlaneRepr {
+            direction: Direction::Downlink,
+            filter_index: 0,
+            symbol: sym(),
+            sections: Sections::Type0 {
+                time_offset: 512,
+                frame_structure: 0xb1,
+                cp_length: 288,
+                sections: vec![
+                    SectionFields::data(0, 200, 73, 14),
+                    SectionFields::data(1, 0, 12, 2),
+                ],
+            },
+        };
+        let mut buf = vec![0u8; repr.wire_len()];
+        let n = repr.emit(&mut buf).unwrap();
+        assert_eq!(n, 12 + 2 * 8);
+        assert_eq!(buf[5], 0, "sectionType 0 on the wire");
+        assert_eq!(CPlaneRepr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn type0_rejects_beamforming_fields() {
+        let repr = CPlaneRepr {
+            direction: Direction::Downlink,
+            filter_index: 0,
+            symbol: sym(),
+            sections: Sections::Type0 {
+                time_offset: 0,
+                frame_structure: 0,
+                cp_length: 0,
+                sections: vec![SectionFields { beam_id: 5, ..SectionFields::data(0, 0, 10, 1) }],
+            },
+        };
+        assert_eq!(repr.validate().unwrap_err(), Error::FieldRange);
+    }
+
+    #[test]
+    fn type3_positive_offset_roundtrip() {
+        let mut repr = type1_repr();
+        repr.sections = Sections::Type3 {
+            time_offset: 0,
+            frame_structure: 0,
+            cp_length: 0,
+            comp: CompressionMethod::NoCompression,
+            sections: vec![Section3 {
+                fields: SectionFields::data(0, 0, 12, 1),
+                frequency_offset: (1 << 23) - 1,
+            }],
+        };
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        assert_eq!(CPlaneRepr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn num_prb_all_resolution() {
+        let s = SectionFields::data(0, 0, NUM_PRB_ALL, 1);
+        assert_eq!(s.resolved_num_prb(273), 273);
+        let s = SectionFields::data(0, 0, 106, 1);
+        assert_eq!(s.resolved_num_prb(273), 106);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        let mut repr = type1_repr();
+        if let Sections::Type1 { sections, .. } = &mut repr.sections {
+            sections[0].start_prb = 0x400;
+        }
+        assert_eq!(repr.validate().unwrap_err(), Error::FieldRange);
+
+        let mut repr = type1_repr();
+        if let Sections::Type1 { sections, .. } = &mut repr.sections {
+            sections[0].num_symbols = 0;
+        }
+        assert_eq!(repr.validate().unwrap_err(), Error::FieldRange);
+
+        let mut repr = type1_repr();
+        repr.sections = Sections::Type1 { comp: CompressionMethod::BFP9, sections: vec![] };
+        assert_eq!(repr.validate().unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn parse_rejects_truncated() {
+        let repr = type1_repr();
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        assert_eq!(CPlaneRepr::parse(&buf[..5]).unwrap_err(), Error::Truncated);
+        assert_eq!(CPlaneRepr::parse(&buf[..12]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_section_type() {
+        let repr = type1_repr();
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        buf[5] = 7;
+        assert_eq!(CPlaneRepr::parse(&buf).unwrap_err(), Error::UnknownSectionType);
+    }
+
+    #[test]
+    fn direction_encoded_in_top_bit() {
+        let mut repr = type1_repr();
+        repr.direction = Direction::Downlink;
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        assert_eq!(buf[0] >> 7, 1);
+        assert_eq!(CPlaneRepr::parse(&buf).unwrap().direction, Direction::Downlink);
+    }
+
+    #[test]
+    fn timing_fields_roundtrip_all_slots() {
+        // Exercise the split slotId encoding across its full μ=3 range.
+        for slot in 0..8u8 {
+            let symbol = SymbolId::new(Numerology::Mu3, 200, 7, slot, 11).unwrap();
+            let repr = CPlaneRepr::single(
+                Direction::Downlink,
+                symbol,
+                CompressionMethod::BFP9,
+                SectionFields::data(0, 0, 24, 1),
+            );
+            let mut buf = vec![0u8; repr.wire_len()];
+            repr.emit(&mut buf).unwrap();
+            assert_eq!(CPlaneRepr::parse(&buf).unwrap().symbol, symbol);
+        }
+    }
+}

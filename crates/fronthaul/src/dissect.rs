@@ -1,0 +1,287 @@
+//! Human-readable fronthaul frame dissection, shaped like the Wireshark
+//! capture in the paper's Figure 2 — handy when debugging middleboxes.
+//!
+//! ```
+//! use rb_fronthaul::bfp::CompressionMethod;
+//! use rb_fronthaul::dissect::dissect;
+//! use rb_fronthaul::eaxc::{Eaxc, EaxcMapping};
+//! use rb_fronthaul::ether::EthernetAddress;
+//! use rb_fronthaul::iq::Prb;
+//! use rb_fronthaul::msg::{Body, FhMessage};
+//! use rb_fronthaul::timing::SymbolId;
+//! use rb_fronthaul::uplane::{UPlaneRepr, USection};
+//! use rb_fronthaul::Direction;
+//!
+//! let section = USection::from_prbs(0, 0, &[Prb::ZERO; 4], CompressionMethod::BFP9).unwrap();
+//! let msg = FhMessage::new(
+//!     EthernetAddress::new(2, 0, 0, 0, 0, 1),
+//!     EthernetAddress::new(2, 0, 0, 0, 0, 2),
+//!     Eaxc::port(3),
+//!     49,
+//!     Body::UPlane(UPlaneRepr::single(Direction::Uplink, SymbolId::ZERO, section)),
+//! );
+//! let bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+//! let text = dissect(&bytes, &EaxcMapping::DEFAULT);
+//! assert!(text.contains("O-RAN Fronthaul CUS-U"));
+//! assert!(text.contains("RU_Port_ID: 3"));
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::bfp::CompressionMethod;
+use crate::cplane::Sections;
+use crate::eaxc::EaxcMapping;
+use crate::msg::{Body, FhMessage};
+use crate::Direction;
+
+/// Render a raw frame as an indented, Wireshark-like dissection. Parse
+/// failures are reported inline rather than returned as errors — this is
+/// a debugging aid.
+pub fn dissect(frame: &[u8], mapping: &EaxcMapping) -> String {
+    match FhMessage::parse(frame, mapping) {
+        Ok(msg) => dissect_message(&msg, frame.len()),
+        Err(e) => format!("Malformed frame ({e}), {} bytes\n", frame.len()),
+    }
+}
+
+/// Render an already-parsed message.
+pub fn dissect_message(msg: &FhMessage, wire_len: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Frame: {wire_len} bytes on wire");
+    let _ = writeln!(out, "Ethernet II, Src: {}, Dst: {}", msg.eth.src, msg.eth.dst);
+    if let Some(vid) = msg.eth.vlan {
+        let _ = writeln!(out, "802.1Q Virtual LAN, ID: {vid}");
+    }
+    let _ = writeln!(out, "evolved Common Public Radio Interface");
+    let plane = match &msg.body {
+        Body::CPlane(_) => "CUS-C",
+        Body::UPlane(_) => "CUS-U",
+    };
+    let _ = writeln!(out, "O-RAN Fronthaul {plane}");
+    let _ = writeln!(
+        out,
+        "    ecpriPcid (DU_Port_ID: {}, BandSector_ID: {}, CC_ID: {}, RU_Port_ID: {})",
+        msg.eaxc.du_port, msg.eaxc.band_sector, msg.eaxc.cc, msg.eaxc.ru_port
+    );
+    let _ = writeln!(out, "    ecpriSeqid, SeqId: {}, SubSeqId: 0, E: 1", msg.seq_id);
+    let dir = |d: Direction| match d {
+        Direction::Uplink => "Uplink",
+        Direction::Downlink => "Downlink",
+    };
+    match &msg.body {
+        Body::CPlane(cp) => {
+            let s = cp.symbol;
+            let _ = writeln!(
+                out,
+                "    {}, Frame: {}, Subframe: {}, Slot: {}, StartSymbol: {}",
+                dir(cp.direction),
+                s.frame,
+                s.subframe,
+                s.slot,
+                s.symbol
+            );
+            match &cp.sections {
+                Sections::Type0 { sections, .. } => {
+                    let _ = writeln!(out, "    sectionType: 0 (Unused resources)");
+                    for sec in sections {
+                        let _ = writeln!(
+                            out,
+                            "    Section, Id: {} (PRB: {}-{}), numSymbol: {}",
+                            sec.section_id,
+                            sec.start_prb,
+                            prb_end(sec.start_prb, sec.num_prb),
+                            sec.num_symbols
+                        );
+                    }
+                }
+                Sections::Type1 { comp, sections } => {
+                    let _ = writeln!(out, "    sectionType: 1 (Most common)");
+                    let _ = writeln!(out, "    udCompHdr ({})", comp_desc(*comp));
+                    for sec in sections {
+                        let _ = writeln!(
+                            out,
+                            "    Section, Id: {} (PRB: {}-{}), reMask: 0x{:03x}, numSymbol: {}, beamId: {}",
+                            sec.section_id,
+                            sec.start_prb,
+                            prb_end(sec.start_prb, sec.num_prb),
+                            sec.re_mask,
+                            sec.num_symbols,
+                            sec.beam_id
+                        );
+                    }
+                }
+                Sections::Type3 { time_offset, cp_length, comp, sections, .. } => {
+                    let _ = writeln!(out, "    sectionType: 3 (PRACH/mixed numerology)");
+                    let _ = writeln!(
+                        out,
+                        "    timeOffset: {time_offset}, cpLength: {cp_length}, udCompHdr ({})",
+                        comp_desc(*comp)
+                    );
+                    for sec in sections {
+                        let _ = writeln!(
+                            out,
+                            "    Section, Id: {} (PRB: {}-{}), frequencyOffset: {}",
+                            sec.fields.section_id,
+                            sec.fields.start_prb,
+                            prb_end(sec.fields.start_prb, sec.fields.num_prb),
+                            sec.frequency_offset
+                        );
+                    }
+                }
+            }
+        }
+        Body::UPlane(up) => {
+            let s = up.symbol;
+            let _ = writeln!(
+                out,
+                "    {}, Frame: {}, Subframe: {}, Slot: {}, Symbol: {}",
+                dir(up.direction),
+                s.frame,
+                s.subframe,
+                s.slot,
+                s.symbol
+            );
+            if up.filter_index == 1 {
+                let _ = writeln!(out, "    filterIndex: 1 (PRACH)");
+            }
+            for sec in &up.sections {
+                let _ = writeln!(
+                    out,
+                    "    Section, Id: {} (PRB: {}-{})",
+                    sec.section_id,
+                    sec.start_prb,
+                    sec.start_prb + sec.num_prb().saturating_sub(1)
+                );
+                let _ = writeln!(out, "        udCompHdr ({})", comp_desc(sec.method));
+                // First PRB's dissection, Figure 2 style.
+                if let (Ok(exps), Ok(decoded)) = (sec.exponents(), sec.decode()) {
+                    if let (Some(exp), Some((prb, _))) = (exps.first(), decoded.first()) {
+                        let _ = writeln!(out, "        PRB {} (12 samples)", sec.start_prb);
+                        let _ = writeln!(out, "            udCompParam (Exponent={exp})");
+                        for (k, sample) in prb.0.iter().take(2).enumerate() {
+                            let (i, q) = sample.to_f32();
+                            let _ = writeln!(
+                                out,
+                                "            iSample: {i:.12} (iSample-{k}), qSample: {q:.12} (qSample-{k})"
+                            );
+                        }
+                        if exps.len() > 1 {
+                            let _ = writeln!(out, "        … {} more PRB(s)", exps.len() - 1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn prb_end(start: u16, num: u16) -> String {
+    if num == 0 {
+        "all".to_string()
+    } else {
+        (start + num - 1).to_string()
+    }
+}
+
+fn comp_desc(method: CompressionMethod) -> String {
+    match method {
+        CompressionMethod::NoCompression => "IqWidth=16, no compression".to_string(),
+        CompressionMethod::BlockFloatingPoint { iq_width } => {
+            format!("IqWidth={iq_width}, udCompMeth=Block floating point compression")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cplane::{CPlaneRepr, Section3, SectionFields};
+    use crate::eaxc::Eaxc;
+    use crate::ether::EthernetAddress;
+    use crate::iq::{IqSample, Prb};
+    use crate::timing::SymbolId;
+    use crate::uplane::{UPlaneRepr, USection};
+
+    fn mac(last: u8) -> EthernetAddress {
+        EthernetAddress::new(0x6c, 0xad, 0xad, 0, 0x0b, last)
+    }
+
+    fn uplane_frame() -> Vec<u8> {
+        let mut prb = Prb::ZERO;
+        prb.0[0] = IqSample::new(-1536, 512);
+        let section = USection::from_prbs(0, 0, &[prb; 106], CompressionMethod::BFP9).unwrap();
+        let mut up = UPlaneRepr::single(
+            Direction::Uplink,
+            SymbolId { frame: 46, subframe: 9, slot: 1, symbol: 13 },
+            section,
+        );
+        up.filter_index = 0;
+        FhMessage::new(mac(0x6c), mac(0x10), Eaxc::port(3), 49, Body::UPlane(up))
+            .to_bytes(&EaxcMapping::DEFAULT)
+            .unwrap()
+    }
+
+    #[test]
+    fn uplane_dissection_matches_figure2_shape() {
+        let text = dissect(&uplane_frame(), &EaxcMapping::DEFAULT);
+        assert!(text.contains("O-RAN Fronthaul CUS-U"), "{text}");
+        assert!(text.contains("RU_Port_ID: 3"));
+        assert!(text.contains("SeqId: 49"));
+        assert!(text.contains("Uplink, Frame: 46, Subframe: 9, Slot: 1, Symbol: 13"));
+        assert!(text.contains("Section, Id: 0 (PRB: 0-105)"));
+        assert!(text.contains("Block floating point"));
+        assert!(text.contains("udCompParam (Exponent="));
+        assert!(text.contains("iSample:"));
+    }
+
+    #[test]
+    fn cplane_type1_dissection() {
+        let cp = CPlaneRepr::single(
+            Direction::Downlink,
+            SymbolId::ZERO,
+            CompressionMethod::BFP9,
+            SectionFields::data(2, 10, 50, 14),
+        );
+        let bytes = FhMessage::new(mac(1), mac(2), Eaxc::port(0), 7, Body::CPlane(cp))
+            .to_bytes(&EaxcMapping::DEFAULT)
+            .unwrap();
+        let text = dissect(&bytes, &EaxcMapping::DEFAULT);
+        assert!(text.contains("O-RAN Fronthaul CUS-C"));
+        assert!(text.contains("sectionType: 1"));
+        assert!(text.contains("Section, Id: 2 (PRB: 10-59)"));
+        assert!(text.contains("numSymbol: 14"));
+    }
+
+    #[test]
+    fn cplane_type3_dissection() {
+        let cp = CPlaneRepr {
+            direction: Direction::Uplink,
+            filter_index: 1,
+            symbol: SymbolId::ZERO,
+            sections: Sections::Type3 {
+                time_offset: 1024,
+                frame_structure: 0xb1,
+                cp_length: 308,
+                comp: CompressionMethod::BFP9,
+                sections: vec![Section3 {
+                    fields: SectionFields::data(5, 0, 12, 12),
+                    frequency_offset: -3504,
+                }],
+            },
+        };
+        let bytes = FhMessage::new(mac(1), mac(2), Eaxc::port(0), 0, Body::CPlane(cp))
+            .to_bytes(&EaxcMapping::DEFAULT)
+            .unwrap();
+        let text = dissect(&bytes, &EaxcMapping::DEFAULT);
+        assert!(text.contains("sectionType: 3"));
+        assert!(text.contains("frequencyOffset: -3504"));
+        assert!(text.contains("timeOffset: 1024"));
+    }
+
+    #[test]
+    fn malformed_frames_report_not_panic() {
+        let text = dissect(&[0u8; 7], &EaxcMapping::DEFAULT);
+        assert!(text.contains("Malformed frame"));
+    }
+}

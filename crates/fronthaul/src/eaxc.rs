@@ -1,0 +1,177 @@
+//! eAxC (extended Antenna-Carrier) identifiers.
+//!
+//! Every C-plane and U-plane message carries a 16-bit eAxC id that names the
+//! logical data stream it belongs to. The id is the concatenation of four
+//! sub-fields — DU port, band-sector, component carrier (CC) and RU port —
+//! whose bit widths are deployment-configurable (the M-plane negotiates
+//! them). The paper's capture uses the common 4/4/4/4 split, which is also
+//! our default.
+//!
+//! The RU port field is the one RANBooster's dMIMO middlebox remaps: it
+//! identifies the spatial stream / antenna port of the RU.
+
+use crate::{Error, Result};
+
+/// Bit-width allocation of the four eAxC sub-fields (must sum to 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EaxcMapping {
+    /// Bits for the DU port id (most significant).
+    pub du_port_bits: u8,
+    /// Bits for the band-sector id.
+    pub band_sector_bits: u8,
+    /// Bits for the component-carrier id.
+    pub cc_bits: u8,
+    /// Bits for the RU port id (least significant).
+    pub ru_port_bits: u8,
+}
+
+impl EaxcMapping {
+    /// The common 4/4/4/4 split used by the paper's deployment.
+    pub const DEFAULT: EaxcMapping = EaxcMapping {
+        du_port_bits: 4,
+        band_sector_bits: 4,
+        cc_bits: 4,
+        ru_port_bits: 4,
+    };
+
+    /// Validate that the widths sum to 16 bits.
+    pub fn validate(&self) -> Result<()> {
+        let total =
+            self.du_port_bits + self.band_sector_bits + self.cc_bits + self.ru_port_bits;
+        if total == 16 {
+            Ok(())
+        } else {
+            Err(Error::FieldRange)
+        }
+    }
+}
+
+impl Default for EaxcMapping {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// A decoded eAxC id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Eaxc {
+    /// DU port id — distinguishes processing chains on the DU side.
+    pub du_port: u8,
+    /// Band-sector id.
+    pub band_sector: u8,
+    /// Component-carrier id.
+    pub cc: u8,
+    /// RU port id — the logical antenna port / spatial stream.
+    pub ru_port: u8,
+}
+
+impl Eaxc {
+    /// Shorthand for an id that only uses the RU port field.
+    pub fn port(ru_port: u8) -> Eaxc {
+        Eaxc { du_port: 0, band_sector: 0, cc: 0, ru_port }
+    }
+
+    /// Pack into the 16-bit wire value under `mapping`.
+    ///
+    /// Fields are masked to their allotted widths.
+    pub fn pack(&self, mapping: &EaxcMapping) -> u16 {
+        let mut v: u16 = 0;
+        let fields = [
+            (self.du_port, mapping.du_port_bits),
+            (self.band_sector, mapping.band_sector_bits),
+            (self.cc, mapping.cc_bits),
+            (self.ru_port, mapping.ru_port_bits),
+        ];
+        for (value, bits) in fields {
+            let mask = if bits >= 16 { u16::MAX } else { (1u16 << bits) - 1 };
+            v = (v << bits) | (value as u16 & mask);
+        }
+        v
+    }
+
+    /// Unpack from the 16-bit wire value under `mapping`.
+    pub fn unpack(raw: u16, mapping: &EaxcMapping) -> Eaxc {
+        let mut rest = raw;
+        let take = |rest: &mut u16, bits: u8| -> u8 {
+            let mask = if bits >= 16 { u16::MAX } else { (1u16 << bits) - 1 };
+            let v = (*rest & mask) as u8;
+            *rest >>= bits;
+            v
+        };
+        // Fields are packed MSB-first, so unpack in reverse order.
+        let ru_port = take(&mut rest, mapping.ru_port_bits);
+        let cc = take(&mut rest, mapping.cc_bits);
+        let band_sector = take(&mut rest, mapping.band_sector_bits);
+        let du_port = take(&mut rest, mapping.du_port_bits);
+        Eaxc { du_port, band_sector, cc, ru_port }
+    }
+
+    /// Return a copy with the RU port replaced — the dMIMO remap primitive.
+    pub fn with_ru_port(self, ru_port: u8) -> Eaxc {
+        Eaxc { ru_port, ..self }
+    }
+}
+
+impl core::fmt::Display for Eaxc {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "eAxC(du={}, bs={}, cc={}, port={})",
+            self.du_port, self.band_sector, self.cc, self.ru_port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mapping_is_valid() {
+        EaxcMapping::DEFAULT.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_mapping_is_rejected() {
+        let m = EaxcMapping { du_port_bits: 4, band_sector_bits: 4, cc_bits: 4, ru_port_bits: 8 };
+        assert_eq!(m.validate().unwrap_err(), Error::FieldRange);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_default() {
+        let id = Eaxc { du_port: 3, band_sector: 1, cc: 2, ru_port: 7 };
+        let raw = id.pack(&EaxcMapping::DEFAULT);
+        assert_eq!(Eaxc::unpack(raw, &EaxcMapping::DEFAULT), id);
+    }
+
+    #[test]
+    fn paper_capture_value() {
+        // The Wireshark capture in Figure 2: DU_Port 0, BandSector 0, CC 0,
+        // RU_Port 3 → 0x0003 under the 4/4/4/4 split.
+        let id = Eaxc::port(3);
+        assert_eq!(id.pack(&EaxcMapping::DEFAULT), 0x0003);
+    }
+
+    #[test]
+    fn pack_masks_oversized_fields() {
+        let id = Eaxc { du_port: 0xff, band_sector: 0, cc: 0, ru_port: 0 };
+        // Only 4 bits of du_port survive.
+        assert_eq!(id.pack(&EaxcMapping::DEFAULT), 0xf000);
+    }
+
+    #[test]
+    fn asymmetric_mapping_roundtrip() {
+        let m = EaxcMapping { du_port_bits: 2, band_sector_bits: 2, cc_bits: 4, ru_port_bits: 8 };
+        m.validate().unwrap();
+        let id = Eaxc { du_port: 1, band_sector: 3, cc: 9, ru_port: 200 };
+        assert_eq!(Eaxc::unpack(id.pack(&m), &m), id);
+    }
+
+    #[test]
+    fn with_ru_port_only_changes_port() {
+        let id = Eaxc { du_port: 3, band_sector: 1, cc: 2, ru_port: 7 };
+        let remapped = id.with_ru_port(1);
+        assert_eq!(remapped.du_port, 3);
+        assert_eq!(remapped.ru_port, 1);
+    }
+}

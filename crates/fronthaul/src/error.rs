@@ -1,0 +1,52 @@
+use core::fmt;
+
+/// Errors produced while parsing or emitting fronthaul wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is shorter than the header or declared payload requires.
+    Truncated,
+    /// A length field is inconsistent with the actual buffer contents.
+    Malformed,
+    /// An EtherType other than the expected one was found.
+    WrongEtherType,
+    /// The eCPRI protocol version is not one we implement.
+    BadVersion,
+    /// The eCPRI message type is not one we implement.
+    UnknownMessageType,
+    /// The C-plane section type is not one we implement.
+    UnknownSectionType,
+    /// A compression method we do not implement.
+    UnknownCompression,
+    /// An IQ bit-width outside the supported 1..=16 range.
+    BadIqWidth,
+    /// A field value is out of its legal range (e.g. subframe > 9).
+    FieldRange,
+    /// The destination buffer is too small to emit into.
+    BufferTooSmall,
+    /// Two operands disagree in shape (e.g. PRB counts differ).
+    ShapeMismatch,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Error::Truncated => "buffer truncated",
+            Error::Malformed => "malformed packet",
+            Error::WrongEtherType => "unexpected EtherType",
+            Error::BadVersion => "unsupported eCPRI version",
+            Error::UnknownMessageType => "unknown eCPRI message type",
+            Error::UnknownSectionType => "unknown C-plane section type",
+            Error::UnknownCompression => "unknown compression method",
+            Error::BadIqWidth => "unsupported IQ bit-width",
+            Error::FieldRange => "field value out of range",
+            Error::BufferTooSmall => "destination buffer too small",
+            Error::ShapeMismatch => "operand shape mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = core::result::Result<T, Error>;

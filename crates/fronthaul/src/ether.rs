@@ -1,0 +1,346 @@
+//! Ethernet II framing with optional 802.1Q VLAN tags.
+//!
+//! The O-RAN fronthaul is Ethernet-based: every C-plane and U-plane message
+//! is an Ethernet frame whose EtherType is [`EtherType::ECPRI`] (`0xAEFE`),
+//! optionally behind a single 802.1Q VLAN tag (as in the paper's Wireshark
+//! capture, VLAN id 6).
+
+use core::fmt;
+
+use crate::{Error, Result};
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EthernetAddress(pub [u8; 6]);
+
+impl EthernetAddress {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EthernetAddress = EthernetAddress([0xff; 6]);
+
+    /// Construct from the six octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        EthernetAddress([a, b, c, d, e, f])
+    }
+
+    /// True if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if the group (multicast) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for unicast (neither broadcast nor multicast).
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast()
+    }
+}
+
+impl fmt::Display for EthernetAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for EthernetAddress {
+    fn from(octets: [u8; 6]) -> Self {
+        EthernetAddress(octets)
+    }
+}
+
+/// An EtherType value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EtherType(pub u16);
+
+impl EtherType {
+    /// eCPRI over Ethernet (IEEE 1914.3 / O-RAN fronthaul).
+    pub const ECPRI: EtherType = EtherType(0xaefe);
+    /// 802.1Q VLAN tag protocol identifier.
+    pub const VLAN: EtherType = EtherType(0x8100);
+    /// IPv4, for completeness (management traffic on the same wire).
+    pub const IPV4: EtherType = EtherType(0x0800);
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:04x}", self.0)
+    }
+}
+
+const DST_OFF: usize = 0;
+const SRC_OFF: usize = 6;
+const TYPE_OFF: usize = 12;
+/// Length of an untagged Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+/// Length of a single 802.1Q tag.
+pub const VLAN_TAG_LEN: usize = 4;
+
+/// A read/write view of an Ethernet frame backed by a byte buffer.
+#[derive(Debug, Clone)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wrap a buffer without checking its length.
+    ///
+    /// Accessors may panic on a too-short buffer; prefer [`Frame::new_checked`]
+    /// for untrusted input.
+    pub fn new_unchecked(buffer: T) -> Frame<T> {
+        Frame { buffer }
+    }
+
+    /// Wrap a buffer, verifying it is long enough for the (possibly
+    /// VLAN-tagged) header.
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        let frame = Frame::new_unchecked(buffer);
+        frame.check_len()?;
+        Ok(frame)
+    }
+
+    fn check_len(&self) -> Result<()> {
+        let len = self.buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if self.raw_ethertype() == EtherType::VLAN && len < HEADER_LEN + VLAN_TAG_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Recover the inner buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> EthernetAddress {
+        let d = self.buffer.as_ref();
+        EthernetAddress(d[DST_OFF..DST_OFF + 6].try_into().unwrap())
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> EthernetAddress {
+        let d = self.buffer.as_ref();
+        EthernetAddress(d[SRC_OFF..SRC_OFF + 6].try_into().unwrap())
+    }
+
+    fn raw_ethertype(&self) -> EtherType {
+        let d = self.buffer.as_ref();
+        EtherType(u16::from_be_bytes([d[TYPE_OFF], d[TYPE_OFF + 1]]))
+    }
+
+    /// True if the frame carries an 802.1Q VLAN tag.
+    pub fn has_vlan(&self) -> bool {
+        self.raw_ethertype() == EtherType::VLAN
+    }
+
+    /// The VLAN id (VID field of the TCI), if tagged.
+    pub fn vlan_id(&self) -> Option<u16> {
+        if self.has_vlan() {
+            let d = self.buffer.as_ref();
+            Some(u16::from_be_bytes([d[TYPE_OFF + 2], d[TYPE_OFF + 3]]) & 0x0fff)
+        } else {
+            None
+        }
+    }
+
+    /// The effective EtherType (after any VLAN tag).
+    pub fn ethertype(&self) -> EtherType {
+        if self.has_vlan() {
+            let d = self.buffer.as_ref();
+            EtherType(u16::from_be_bytes([d[TYPE_OFF + 4], d[TYPE_OFF + 5]]))
+        } else {
+            self.raw_ethertype()
+        }
+    }
+
+    /// Byte length of the header including any VLAN tag.
+    pub fn header_len(&self) -> usize {
+        if self.has_vlan() {
+            HEADER_LEN + VLAN_TAG_LEN
+        } else {
+            HEADER_LEN
+        }
+    }
+
+    /// The payload that follows the Ethernet (and VLAN) header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Set the destination MAC address.
+    pub fn set_dst(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[DST_OFF..DST_OFF + 6].copy_from_slice(&addr.0);
+    }
+
+    /// Set the source MAC address.
+    pub fn set_src(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[SRC_OFF..SRC_OFF + 6].copy_from_slice(&addr.0);
+    }
+
+    /// Set the EtherType of an untagged frame (or the inner type of a tagged
+    /// one — the caller is responsible for having written the tag first).
+    pub fn set_ethertype(&mut self, ethertype: EtherType) {
+        let off = if self.has_vlan() { TYPE_OFF + 4 } else { TYPE_OFF };
+        self.buffer.as_mut()[off..off + 2].copy_from_slice(&ethertype.0.to_be_bytes());
+    }
+
+    /// Mutable access to the payload after the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let off = self.header_len();
+        &mut self.buffer.as_mut()[off..]
+    }
+}
+
+/// High-level representation of an Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRepr {
+    /// Destination MAC address.
+    pub dst: EthernetAddress,
+    /// Source MAC address.
+    pub src: EthernetAddress,
+    /// VLAN id, if the frame should carry an 802.1Q tag.
+    pub vlan: Option<u16>,
+    /// The (inner) EtherType.
+    pub ethertype: EtherType,
+}
+
+impl FrameRepr {
+    /// Parse the header of a checked frame.
+    pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Result<FrameRepr> {
+        frame.check_len()?;
+        Ok(FrameRepr {
+            dst: frame.dst(),
+            src: frame.src(),
+            vlan: frame.vlan_id(),
+            ethertype: frame.ethertype(),
+        })
+    }
+
+    /// Byte length of the header this representation emits.
+    pub fn header_len(&self) -> usize {
+        if self.vlan.is_some() {
+            HEADER_LEN + VLAN_TAG_LEN
+        } else {
+            HEADER_LEN
+        }
+    }
+
+    /// Emit the header into a frame view. The buffer must hold at least
+    /// [`FrameRepr::header_len`] bytes.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut Frame<T>) {
+        let data = frame.buffer.as_mut();
+        data[DST_OFF..DST_OFF + 6].copy_from_slice(&self.dst.0);
+        data[SRC_OFF..SRC_OFF + 6].copy_from_slice(&self.src.0);
+        match self.vlan {
+            Some(vid) => {
+                data[TYPE_OFF..TYPE_OFF + 2].copy_from_slice(&EtherType::VLAN.0.to_be_bytes());
+                data[TYPE_OFF + 2..TYPE_OFF + 4].copy_from_slice(&(vid & 0x0fff).to_be_bytes());
+                data[TYPE_OFF + 4..TYPE_OFF + 6].copy_from_slice(&self.ethertype.0.to_be_bytes());
+            }
+            None => {
+                data[TYPE_OFF..TYPE_OFF + 2].copy_from_slice(&self.ethertype.0.to_be_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (EthernetAddress, EthernetAddress) {
+        (
+            EthernetAddress::new(0x6c, 0xad, 0xad, 0x00, 0x0b, 0x6c),
+            EthernetAddress::new(0x00, 0x11, 0x22, 0x33, 0x44, 0x55),
+        )
+    }
+
+    #[test]
+    fn untagged_roundtrip() {
+        let (dst, src) = addrs();
+        let repr = FrameRepr { dst, src, vlan: None, ethertype: EtherType::ECPRI };
+        let mut buf = vec![0u8; repr.header_len() + 8];
+        repr.emit(&mut Frame::new_unchecked(&mut buf));
+        let frame = Frame::new_checked(&buf).unwrap();
+        assert_eq!(FrameRepr::parse(&frame).unwrap(), repr);
+        assert_eq!(frame.header_len(), 14);
+        assert_eq!(frame.payload().len(), 8);
+    }
+
+    #[test]
+    fn vlan_tagged_roundtrip() {
+        let (dst, src) = addrs();
+        let repr = FrameRepr { dst, src, vlan: Some(6), ethertype: EtherType::ECPRI };
+        let mut buf = vec![0u8; repr.header_len() + 8];
+        repr.emit(&mut Frame::new_unchecked(&mut buf));
+        let frame = Frame::new_checked(&buf).unwrap();
+        assert_eq!(FrameRepr::parse(&frame).unwrap(), repr);
+        assert_eq!(frame.header_len(), 18);
+        assert!(frame.has_vlan());
+        assert_eq!(frame.vlan_id(), Some(6));
+        assert_eq!(frame.ethertype(), EtherType::ECPRI);
+    }
+
+    #[test]
+    fn vlan_id_is_masked_to_12_bits() {
+        let (dst, src) = addrs();
+        let repr = FrameRepr { dst, src, vlan: Some(0xffff), ethertype: EtherType::ECPRI };
+        let mut buf = vec![0u8; repr.header_len()];
+        repr.emit(&mut Frame::new_unchecked(&mut buf));
+        let frame = Frame::new_checked(&buf).unwrap();
+        assert_eq!(frame.vlan_id(), Some(0x0fff));
+    }
+
+    #[test]
+    fn too_short_is_rejected() {
+        assert_eq!(Frame::new_checked(&[0u8; 13][..]).unwrap_err(), Error::Truncated);
+        // A tagged frame needs 18 bytes: craft 14 bytes with the VLAN TPID.
+        let mut buf = [0u8; 14];
+        buf[12] = 0x81;
+        buf[13] = 0x00;
+        assert_eq!(Frame::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn rewrite_addresses_in_place() {
+        let (dst, src) = addrs();
+        let repr = FrameRepr { dst, src, vlan: None, ethertype: EtherType::ECPRI };
+        let mut buf = vec![0u8; repr.header_len()];
+        repr.emit(&mut Frame::new_unchecked(&mut buf));
+        let mut frame = Frame::new_unchecked(&mut buf);
+        frame.set_dst(src);
+        frame.set_src(dst);
+        let frame = Frame::new_checked(&buf).unwrap();
+        assert_eq!(frame.dst(), src);
+        assert_eq!(frame.src(), dst);
+    }
+
+    #[test]
+    fn address_classification() {
+        assert!(EthernetAddress::BROADCAST.is_broadcast());
+        assert!(EthernetAddress::BROADCAST.is_multicast());
+        let (dst, _) = addrs();
+        assert!(dst.is_unicast());
+        assert!(!dst.is_broadcast());
+        assert!(EthernetAddress::new(0x01, 0, 0, 0, 0, 0).is_multicast());
+    }
+
+    #[test]
+    fn display_formats() {
+        let (dst, _) = addrs();
+        assert_eq!(dst.to_string(), "6c:ad:ad:00:0b:6c");
+        assert_eq!(EtherType::ECPRI.to_string(), "0xaefe");
+    }
+}

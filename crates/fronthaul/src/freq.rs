@@ -1,0 +1,232 @@
+//! Frequency-grid arithmetic for RU sharing (paper Appendix A.1).
+//!
+//! When a wide RU is shared by several narrower DUs, every DU PRB must land
+//! at the right spectral position inside the RU's grid. If the DU grid is
+//! *aligned* to the RU grid (each DU PRB occupies exactly one RU PRB), the
+//! middlebox can copy compressed PRBs verbatim; if misaligned it must
+//! decompress, shift and recompress. This module implements:
+//!
+//! * the Appendix A.1.1 formula choosing a DU center frequency so the grids
+//!   align at a chosen `prb_offset`;
+//! * the inverse (recovering `prb_offset` and checking alignment);
+//! * the Appendix A.1.2 PRACH `freqOffset` translation between DU and RU
+//!   spectra.
+//!
+//! All frequencies are in integer hertz; `freqOffset` fields are in units
+//! of half subcarrier spacings, as on the wire.
+
+use crate::iq::SAMPLES_PER_PRB;
+use crate::{Error, Result};
+
+/// Width of one PRB in hertz for subcarrier spacing `scs_hz`.
+pub fn prb_width_hz(scs_hz: u64) -> u64 {
+    SAMPLES_PER_PRB as u64 * scs_hz
+}
+
+/// Frequency of the lower edge of PRB 0 of a carrier
+/// (`center − 12 · SCS · num_prb / 2`, Appendix A.1.1 eq. 1–2).
+pub fn prb0_frequency_hz(center_hz: i64, num_prb: u16, scs_hz: u64) -> i64 {
+    center_hz - 6 * scs_hz as i64 * num_prb as i64
+}
+
+/// The Appendix A.1.1 formula: the DU center frequency that places DU PRB 0
+/// exactly on RU PRB `prb_offset`
+/// (`PRB_0_frequency + 12 · SCS · (prb_offset + du_num_prb / 2)`).
+pub fn aligned_du_center_hz(
+    ru_center_hz: i64,
+    ru_num_prb: u16,
+    du_num_prb: u16,
+    prb_offset: u16,
+    scs_hz: u64,
+) -> i64 {
+    prb0_frequency_hz(ru_center_hz, ru_num_prb, scs_hz)
+        + prb_width_hz(scs_hz) as i64 * prb_offset as i64
+        + 6 * scs_hz as i64 * du_num_prb as i64
+}
+
+/// Where (in RU PRB indices) DU PRB 0 falls inside the RU spectrum, if the
+/// grids align. Returns `Err(FieldRange)` when the DU spectrum pokes outside
+/// the RU spectrum and `Ok(None)` when the grids are misaligned.
+pub fn prb_offset_of(
+    du_center_hz: i64,
+    du_num_prb: u16,
+    ru_center_hz: i64,
+    ru_num_prb: u16,
+    scs_hz: u64,
+) -> Result<Option<u16>> {
+    let du_prb0 = prb0_frequency_hz(du_center_hz, du_num_prb, scs_hz);
+    let ru_prb0 = prb0_frequency_hz(ru_center_hz, ru_num_prb, scs_hz);
+    let delta = du_prb0 - ru_prb0;
+    if delta < 0 {
+        return Err(Error::FieldRange);
+    }
+    let width = prb_width_hz(scs_hz) as i64;
+    if delta % width != 0 {
+        return Ok(None);
+    }
+    let offset = delta / width;
+    if offset + du_num_prb as i64 > ru_num_prb as i64 {
+        return Err(Error::FieldRange);
+    }
+    Ok(Some(offset as u16))
+}
+
+/// True when the DU grid is PRB-aligned with (and contained in) the RU grid.
+pub fn is_aligned(
+    du_center_hz: i64,
+    du_num_prb: u16,
+    ru_center_hz: i64,
+    ru_num_prb: u16,
+    scs_hz: u64,
+) -> bool {
+    matches!(
+        prb_offset_of(du_center_hz, du_num_prb, ru_center_hz, ru_num_prb, scs_hz),
+        Ok(Some(_))
+    )
+}
+
+/// The Appendix A.1.2 PRACH translation (eq. 11):
+/// `freqOffset_RU = freqOffset_DU + (RU_center − DU_center) / (0.5 · SCS)`.
+///
+/// `freq_offset_du` and the result are in half-subcarrier units as carried
+/// by C-plane section type 3. Fails with `Malformed` if the center
+/// difference is not a whole number of half subcarriers.
+pub fn translate_prach_freq_offset(
+    freq_offset_du: i32,
+    du_center_hz: i64,
+    ru_center_hz: i64,
+    scs_hz: u64,
+) -> Result<i32> {
+    let half_scs = scs_hz as i64 / 2;
+    if half_scs == 0 {
+        return Err(Error::FieldRange);
+    }
+    let diff = ru_center_hz - du_center_hz;
+    if diff % half_scs != 0 {
+        return Err(Error::Malformed);
+    }
+    let shifted = freq_offset_du as i64 + diff / half_scs;
+    if !(-(1 << 23)..(1 << 23)).contains(&shifted) {
+        return Err(Error::FieldRange);
+    }
+    Ok(shifted as i32)
+}
+
+/// Invert [`translate_prach_freq_offset`] (RU → DU direction, used when
+/// demultiplexing PRACH U-plane back towards a DU).
+pub fn translate_prach_freq_offset_back(
+    freq_offset_ru: i32,
+    du_center_hz: i64,
+    ru_center_hz: i64,
+    scs_hz: u64,
+) -> Result<i32> {
+    translate_prach_freq_offset(freq_offset_ru, ru_center_hz, du_center_hz, scs_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCS: u64 = 30_000;
+    /// 100 MHz carrier: 273 PRBs.
+    const RU_PRBS: u16 = 273;
+    /// 40 MHz carrier: 106 PRBs.
+    const DU_PRBS: u16 = 106;
+    const RU_CENTER: i64 = 3_460_000_000;
+
+    #[test]
+    fn prb_width() {
+        assert_eq!(prb_width_hz(SCS), 360_000);
+    }
+
+    #[test]
+    fn prb0_matches_formula() {
+        // center − 6·SCS·num_prb
+        assert_eq!(
+            prb0_frequency_hz(RU_CENTER, RU_PRBS, SCS),
+            RU_CENTER - 6 * 30_000 * 273
+        );
+    }
+
+    #[test]
+    fn aligned_center_roundtrips_through_offset() {
+        for offset in [0u16, 1, 50, 105, 167] {
+            let du_center = aligned_du_center_hz(RU_CENTER, RU_PRBS, DU_PRBS, offset, SCS);
+            let got = prb_offset_of(du_center, DU_PRBS, RU_CENTER, RU_PRBS, SCS).unwrap();
+            assert_eq!(got, Some(offset), "offset {offset}");
+            assert!(is_aligned(du_center, DU_PRBS, RU_CENTER, RU_PRBS, SCS));
+        }
+    }
+
+    #[test]
+    fn misaligned_center_detected() {
+        let du_center = aligned_du_center_hz(RU_CENTER, RU_PRBS, DU_PRBS, 10, SCS) + SCS as i64;
+        assert_eq!(
+            prb_offset_of(du_center, DU_PRBS, RU_CENTER, RU_PRBS, SCS).unwrap(),
+            None
+        );
+        assert!(!is_aligned(du_center, DU_PRBS, RU_CENTER, RU_PRBS, SCS));
+    }
+
+    #[test]
+    fn out_of_spectrum_rejected() {
+        // DU PRB 0 below RU PRB 0.
+        let du_center = aligned_du_center_hz(RU_CENTER, RU_PRBS, DU_PRBS, 0, SCS)
+            - prb_width_hz(SCS) as i64;
+        assert_eq!(
+            prb_offset_of(du_center, DU_PRBS, RU_CENTER, RU_PRBS, SCS).unwrap_err(),
+            Error::FieldRange
+        );
+        // DU extends past the top of the RU spectrum (offset 168 + 106 > 273).
+        let du_center = aligned_du_center_hz(RU_CENTER, RU_PRBS, DU_PRBS, 168, SCS);
+        assert_eq!(
+            prb_offset_of(du_center, DU_PRBS, RU_CENTER, RU_PRBS, SCS).unwrap_err(),
+            Error::FieldRange
+        );
+    }
+
+    #[test]
+    fn two_du_sharing_like_figure6() {
+        // Two 40 MHz DUs inside one 100 MHz RU: DU A in the lower half,
+        // DU B in the upper half, no overlap.
+        let a = aligned_du_center_hz(RU_CENTER, RU_PRBS, DU_PRBS, 0, SCS);
+        let b = aligned_du_center_hz(RU_CENTER, RU_PRBS, DU_PRBS, DU_PRBS, SCS);
+        assert_eq!(prb_offset_of(a, DU_PRBS, RU_CENTER, RU_PRBS, SCS).unwrap(), Some(0));
+        assert_eq!(prb_offset_of(b, DU_PRBS, RU_CENTER, RU_PRBS, SCS).unwrap(), Some(106));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn prach_translation_identity_when_centers_equal() {
+        let fo = translate_prach_freq_offset(-3504, RU_CENTER, RU_CENTER, SCS).unwrap();
+        assert_eq!(fo, -3504);
+    }
+
+    #[test]
+    fn prach_translation_roundtrip() {
+        let du_center = aligned_du_center_hz(RU_CENTER, RU_PRBS, DU_PRBS, 20, SCS);
+        let fo_du = -1200;
+        let fo_ru = translate_prach_freq_offset(fo_du, du_center, RU_CENTER, SCS).unwrap();
+        let back = translate_prach_freq_offset_back(fo_ru, du_center, RU_CENTER, SCS).unwrap();
+        assert_eq!(back, fo_du);
+    }
+
+    #[test]
+    fn prach_translation_preserves_absolute_frequency() {
+        // The RE the offset points at must be the same physical frequency
+        // before and after translation (eq. 5–10 of the appendix).
+        let du_center = aligned_du_center_hz(RU_CENTER, RU_PRBS, DU_PRBS, 53, SCS);
+        let fo_du = 636; // arbitrary half-subcarrier offset
+        let fo_ru = translate_prach_freq_offset(fo_du, du_center, RU_CENTER, SCS).unwrap();
+        let half = SCS as i64 / 2;
+        let re_freq_du = du_center - fo_du as i64 * half;
+        let re_freq_ru = RU_CENTER - fo_ru as i64 * half;
+        assert_eq!(re_freq_du, re_freq_ru);
+    }
+
+    #[test]
+    fn prach_translation_rejects_fractional_half_scs() {
+        let err = translate_prach_freq_offset(0, RU_CENTER, RU_CENTER + 7_000, SCS).unwrap_err();
+        assert_eq!(err, Error::Malformed);
+    }
+}

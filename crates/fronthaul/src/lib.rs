@@ -1,0 +1,121 @@
+//! # rb-fronthaul — O-RAN fronthaul protocol library
+//!
+//! A from-scratch implementation of the wire formats that make up the O-RAN
+//! open fronthaul interface (the network between a Distributed Unit and a
+//! Radio Unit), as used by the RANBooster middlebox framework:
+//!
+//! * [`ether`] — Ethernet II framing with optional 802.1Q VLAN tags.
+//! * [`ecpri`] — the eCPRI transport header, eAxC ids and sequence ids.
+//! * [`cplane`] — O-RAN control-plane messages (section types 1 and 3).
+//! * [`uplane`] — O-RAN user-plane messages carrying IQ sample payloads.
+//! * [`iq`] — IQ samples and physical resource blocks (PRBs).
+//! * [`bfp`] — Block Floating Point payload compression.
+//! * [`timing`] — 5G NR numerology, slot/symbol arithmetic and TDD patterns.
+//! * [`eaxc`] — eAxC (antenna-carrier) id packing and remapping.
+//! * [`freq`] — PRB/frequency conversions and the RU-sharing alignment math.
+//!
+//! ## Design
+//!
+//! The packet types follow the smoltcp idiom: a zero-copy `Packet<T:
+//! AsRef<[u8]>>` view type with checked field accessors, paired with an
+//! owned `Repr` ("representation") struct offering `parse` and `emit`.
+//! Parsing never panics on untrusted input; every failure is reported
+//! through the [`Error`] enum.
+//!
+//! ```
+//! use rb_fronthaul::ether::{EthernetAddress, EtherType, Frame, FrameRepr};
+//!
+//! let repr = FrameRepr {
+//!     dst: EthernetAddress([0x6c, 0xad, 0xad, 0x00, 0x0b, 0x6c]),
+//!     src: EthernetAddress([0x00, 0x11, 0x22, 0x33, 0x44, 0x55]),
+//!     vlan: Some(6),
+//!     ethertype: EtherType::ECPRI,
+//! };
+//! let mut buf = vec![0u8; repr.header_len() + 4];
+//! repr.emit(&mut Frame::new_unchecked(&mut buf));
+//! let frame = Frame::new_checked(&buf).unwrap();
+//! assert_eq!(frame.ethertype(), EtherType::ECPRI);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bfp;
+pub mod cplane;
+pub mod dissect;
+pub mod eaxc;
+pub mod ecpri;
+pub mod ether;
+pub mod freq;
+pub mod iq;
+pub mod msg;
+pub mod pcap;
+pub mod timing;
+pub mod uplane;
+
+mod error;
+
+pub use error::{Error, Result};
+
+/// Direction of a fronthaul message relative to the radio interface.
+///
+/// The `dataDirection` bit of the O-RAN application headers: `0` means
+/// uplink (RU → DU, received over the air), `1` means downlink (DU → RU,
+/// to be transmitted over the air).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Uplink: IQ data flowing from the RU towards the DU.
+    Uplink,
+    /// Downlink: IQ data flowing from the DU towards the RU.
+    Downlink,
+}
+
+impl Direction {
+    /// Encode as the single `dataDirection` header bit.
+    pub fn bit(self) -> u8 {
+        match self {
+            Direction::Uplink => 0,
+            Direction::Downlink => 1,
+        }
+    }
+
+    /// Decode from the `dataDirection` header bit.
+    pub fn from_bit(bit: u8) -> Direction {
+        if bit & 1 == 0 {
+            Direction::Uplink
+        } else {
+            Direction::Downlink
+        }
+    }
+
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Uplink => Direction::Downlink,
+            Direction::Downlink => Direction::Uplink,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_bit_roundtrip() {
+        assert_eq!(Direction::from_bit(Direction::Uplink.bit()), Direction::Uplink);
+        assert_eq!(Direction::from_bit(Direction::Downlink.bit()), Direction::Downlink);
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Uplink.flip(), Direction::Downlink);
+        assert_eq!(Direction::Downlink.flip(), Direction::Uplink);
+    }
+
+    #[test]
+    fn direction_from_bit_masks_high_bits() {
+        assert_eq!(Direction::from_bit(0xfe), Direction::Uplink);
+        assert_eq!(Direction::from_bit(0xff), Direction::Downlink);
+    }
+}

@@ -1,0 +1,276 @@
+//! Whole-frame composition: Ethernet + eCPRI + O-RAN application message.
+//!
+//! [`FhMessage`] is the unit middleboxes and emulators work with: a fully
+//! parsed fronthaul frame that can be inspected, modified and re-emitted.
+//! The heavy IQ payload stays in the (possibly compressed) wire form inside
+//! [`crate::uplane::USection`], so header-only operations (redirection,
+//! eAxC remapping) never touch it.
+
+use crate::cplane::CPlaneRepr;
+use crate::eaxc::{Eaxc, EaxcMapping};
+use crate::ecpri::{self, MessageType};
+use crate::ether::{EtherType, EthernetAddress, Frame, FrameRepr};
+use crate::uplane::UPlaneRepr;
+use crate::{Direction, Error, Result};
+
+/// The O-RAN application body of a fronthaul frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// A control-plane message.
+    CPlane(CPlaneRepr),
+    /// A user-plane message.
+    UPlane(UPlaneRepr),
+}
+
+impl Body {
+    /// Direction of the application message.
+    pub fn direction(&self) -> Direction {
+        match self {
+            Body::CPlane(c) => c.direction,
+            Body::UPlane(u) => u.direction,
+        }
+    }
+
+    /// The eCPRI message type that carries this body.
+    pub fn message_type(&self) -> MessageType {
+        match self {
+            Body::CPlane(_) => MessageType::RtControl,
+            Body::UPlane(_) => MessageType::IqData,
+        }
+    }
+
+    /// Wire length of the application payload.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Body::CPlane(c) => c.wire_len(),
+            Body::UPlane(u) => u.wire_len(),
+        }
+    }
+}
+
+/// A fully parsed fronthaul frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FhMessage {
+    /// Ethernet addressing (and optional VLAN).
+    pub eth: FrameRepr,
+    /// The eAxC id (antenna-carrier stream).
+    pub eaxc: Eaxc,
+    /// eCPRI sequence number.
+    pub seq_id: u8,
+    /// The application body.
+    pub body: Body,
+}
+
+impl FhMessage {
+    /// Build a message with the common defaults (no VLAN, eCPRI EtherType).
+    pub fn new(
+        src: EthernetAddress,
+        dst: EthernetAddress,
+        eaxc: Eaxc,
+        seq_id: u8,
+        body: Body,
+    ) -> FhMessage {
+        FhMessage {
+            eth: FrameRepr { dst, src, vlan: None, ethertype: EtherType::ECPRI },
+            eaxc,
+            seq_id,
+            body,
+        }
+    }
+
+    /// Shorthand accessors for the body variants.
+    pub fn as_cplane(&self) -> Option<&CPlaneRepr> {
+        match &self.body {
+            Body::CPlane(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The U-plane body, if this is a U-plane message.
+    pub fn as_uplane(&self) -> Option<&UPlaneRepr> {
+        match &self.body {
+            Body::UPlane(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Mutable U-plane body access.
+    pub fn as_uplane_mut(&mut self) -> Option<&mut UPlaneRepr> {
+        match &mut self.body {
+            Body::UPlane(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Mutable C-plane body access.
+    pub fn as_cplane_mut(&mut self) -> Option<&mut CPlaneRepr> {
+        match &mut self.body {
+            Body::CPlane(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Total emitted frame length in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.eth.header_len() + ecpri::HEADER_LEN + self.body.wire_len()
+    }
+
+    /// Serialize the whole frame to bytes.
+    pub fn to_bytes(&self, mapping: &EaxcMapping) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; self.wire_len()];
+        let eth_len = self.eth.header_len();
+        self.eth.emit(&mut Frame::new_unchecked(&mut buf[..]));
+
+        let app_len = self.body.wire_len();
+        let ecpri_repr = ecpri::Repr {
+            message_type: self.body.message_type(),
+            payload_size: ecpri::Repr::payload_size_for(app_len),
+            eaxc: self.eaxc,
+            seq_id: self.seq_id,
+            e_bit: true,
+            sub_seq_id: 0,
+        };
+        ecpri_repr.emit(
+            &mut ecpri::Packet::new_unchecked(&mut buf[eth_len..]),
+            mapping,
+        );
+
+        let app_off = eth_len + ecpri::HEADER_LEN;
+        match &self.body {
+            Body::CPlane(c) => {
+                c.emit(&mut buf[app_off..])?;
+            }
+            Body::UPlane(u) => {
+                u.emit(&mut buf[app_off..])?;
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Parse a whole frame from bytes.
+    pub fn parse(data: &[u8], mapping: &EaxcMapping) -> Result<FhMessage> {
+        let frame = Frame::new_checked(data)?;
+        let eth = FrameRepr::parse(&frame)?;
+        if eth.ethertype != EtherType::ECPRI {
+            return Err(Error::WrongEtherType);
+        }
+        let packet = ecpri::Packet::new_checked(frame.payload())?;
+        let ecpri_repr = ecpri::Repr::parse(&packet, mapping)?;
+        let body = match ecpri_repr.message_type {
+            MessageType::RtControl => Body::CPlane(CPlaneRepr::parse(packet.payload())?),
+            MessageType::IqData => Body::UPlane(UPlaneRepr::parse(packet.payload())?),
+        };
+        Ok(FhMessage { eth, eaxc: ecpri_repr.eaxc, seq_id: ecpri_repr.seq_id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfp::CompressionMethod;
+    use crate::cplane::SectionFields;
+    use crate::iq::Prb;
+    use crate::timing::{Numerology, SymbolId};
+    use crate::uplane::USection;
+
+    fn mac(last: u8) -> EthernetAddress {
+        EthernetAddress::new(0x02, 0, 0, 0, 0, last)
+    }
+
+    fn sym() -> SymbolId {
+        SymbolId::new(Numerology::Mu1, 10, 3, 1, 4).unwrap()
+    }
+
+    fn cplane_msg() -> FhMessage {
+        FhMessage::new(
+            mac(1),
+            mac(2),
+            Eaxc::port(0),
+            7,
+            Body::CPlane(CPlaneRepr::single(
+                Direction::Downlink,
+                sym(),
+                CompressionMethod::BFP9,
+                SectionFields::data(0, 0, 106, 1),
+            )),
+        )
+    }
+
+    fn uplane_msg() -> FhMessage {
+        let section =
+            USection::from_prbs(0, 0, &vec![Prb::ZERO; 106], CompressionMethod::BFP9).unwrap();
+        FhMessage::new(
+            mac(1),
+            mac(2),
+            Eaxc::port(3),
+            49,
+            Body::UPlane(UPlaneRepr::single(Direction::Downlink, sym(), section)),
+        )
+    }
+
+    #[test]
+    fn cplane_frame_roundtrip() {
+        let msg = cplane_msg();
+        let bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+        assert_eq!(bytes.len(), msg.wire_len());
+        let parsed = FhMessage::parse(&bytes, &EaxcMapping::DEFAULT).unwrap();
+        assert_eq!(parsed, msg);
+        assert!(parsed.as_cplane().is_some());
+        assert!(parsed.as_uplane().is_none());
+    }
+
+    #[test]
+    fn uplane_frame_roundtrip() {
+        let msg = uplane_msg();
+        let bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+        let parsed = FhMessage::parse(&bytes, &EaxcMapping::DEFAULT).unwrap();
+        assert_eq!(parsed, msg);
+        assert_eq!(parsed.as_uplane().unwrap().sections[0].num_prb(), 106);
+    }
+
+    #[test]
+    fn vlan_tagged_frame_roundtrip() {
+        let mut msg = cplane_msg();
+        msg.eth.vlan = Some(6);
+        let bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+        let parsed = FhMessage::parse(&bytes, &EaxcMapping::DEFAULT).unwrap();
+        assert_eq!(parsed.eth.vlan, Some(6));
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn wrong_ethertype_rejected() {
+        let msg = cplane_msg();
+        let mut bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+        bytes[12] = 0x08;
+        bytes[13] = 0x00;
+        assert_eq!(
+            FhMessage::parse(&bytes, &EaxcMapping::DEFAULT).unwrap_err(),
+            Error::WrongEtherType
+        );
+    }
+
+    #[test]
+    fn ecpri_payload_size_is_consistent() {
+        let msg = uplane_msg();
+        let bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+        let frame = Frame::new_checked(&bytes[..]).unwrap();
+        let pkt = ecpri::Packet::new_checked(frame.payload()).unwrap();
+        assert_eq!(pkt.payload_size() as usize, 4 + msg.body.wire_len());
+    }
+
+    #[test]
+    fn header_rewrite_preserves_payload() {
+        // Redirection (action A1) = reparse, rewrite eth/eaxc, re-emit.
+        let msg = uplane_msg();
+        let bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+        let mut parsed = FhMessage::parse(&bytes, &EaxcMapping::DEFAULT).unwrap();
+        parsed.eth.dst = mac(9);
+        parsed.eaxc = parsed.eaxc.with_ru_port(1);
+        let bytes2 = parsed.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+        let reparsed = FhMessage::parse(&bytes2, &EaxcMapping::DEFAULT).unwrap();
+        assert_eq!(reparsed.eth.dst, mac(9));
+        assert_eq!(reparsed.eaxc.ru_port, 1);
+        assert_eq!(reparsed.as_uplane().unwrap().sections, msg.as_uplane().unwrap().sections);
+    }
+}

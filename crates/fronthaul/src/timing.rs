@@ -1,0 +1,351 @@
+//! 5G NR timing: numerology, frame structure and TDD patterns.
+//!
+//! The fronthaul schedules radio resources in time increments of one OFDM
+//! *symbol* (a few tens of microseconds), fourteen of which make a *slot*.
+//! Slots are grouped into 1 ms subframes and 10 ms frames. The subcarrier
+//! spacing (SCS) — and with it the slot rate — is set by the numerology μ:
+//! SCS = 15 kHz × 2^μ.
+//!
+//! C-plane/U-plane timing headers carry `(frameId, subframeId, slotId,
+//! symbolId)`; [`SymbolId`] models that tuple together with ordering,
+//! iteration and conversion to nanoseconds, and [`TddPattern`] models the
+//! uplink/downlink split of a TDD cell.
+
+use crate::{Error, Result};
+
+/// OFDM symbols per slot (normal cyclic prefix).
+pub const SYMBOLS_PER_SLOT: u8 = 14;
+/// Subframes per 10 ms radio frame.
+pub const SUBFRAMES_PER_FRAME: u8 = 10;
+/// Nanoseconds per subframe (1 ms).
+pub const SUBFRAME_NS: u64 = 1_000_000;
+
+/// 5G NR numerology μ: fixes subcarrier spacing and slot duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Numerology {
+    /// μ=0 — 15 kHz SCS, 1 slot per subframe (LTE-like).
+    Mu0,
+    /// μ=1 — 30 kHz SCS, 2 slots per subframe. The paper's configuration.
+    Mu1,
+    /// μ=2 — 60 kHz SCS, 4 slots per subframe.
+    Mu2,
+    /// μ=3 — 120 kHz SCS, 8 slots per subframe (mmWave).
+    Mu3,
+}
+
+impl Numerology {
+    /// The μ exponent.
+    pub fn mu(self) -> u8 {
+        match self {
+            Numerology::Mu0 => 0,
+            Numerology::Mu1 => 1,
+            Numerology::Mu2 => 2,
+            Numerology::Mu3 => 3,
+        }
+    }
+
+    /// Subcarrier spacing in hertz.
+    pub fn scs_hz(self) -> u64 {
+        15_000u64 << self.mu()
+    }
+
+    /// Slots per 1 ms subframe.
+    pub fn slots_per_subframe(self) -> u8 {
+        1 << self.mu()
+    }
+
+    /// Slots per 10 ms frame.
+    pub fn slots_per_frame(self) -> u16 {
+        self.slots_per_subframe() as u16 * SUBFRAMES_PER_FRAME as u16
+    }
+
+    /// Slot duration in nanoseconds.
+    pub fn slot_ns(self) -> u64 {
+        SUBFRAME_NS / self.slots_per_subframe() as u64
+    }
+
+    /// Average symbol duration in nanoseconds (slot / 14).
+    ///
+    /// For μ=1 this is ≈ 35.7 µs — the "few tens of microseconds" symbol
+    /// granularity the paper describes.
+    pub fn symbol_ns(self) -> u64 {
+        self.slot_ns() / SYMBOLS_PER_SLOT as u64
+    }
+}
+
+/// A fully-qualified symbol instant: `(frame, subframe, slot, symbol)`.
+///
+/// `frame` wraps at 256 as on the wire (the `frameId` field is 8 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId {
+    /// Radio frame number, 0..=255 (wraps).
+    pub frame: u8,
+    /// Subframe within the frame, 0..=9.
+    pub subframe: u8,
+    /// Slot within the subframe, 0..2^μ.
+    pub slot: u8,
+    /// Symbol within the slot, 0..=13.
+    pub symbol: u8,
+}
+
+impl SymbolId {
+    /// The origin instant.
+    pub const ZERO: SymbolId = SymbolId { frame: 0, subframe: 0, slot: 0, symbol: 0 };
+
+    /// Construct, validating field ranges for the given numerology.
+    pub fn new(numerology: Numerology, frame: u8, subframe: u8, slot: u8, symbol: u8) -> Result<SymbolId> {
+        if subframe >= SUBFRAMES_PER_FRAME
+            || slot >= numerology.slots_per_subframe()
+            || symbol >= SYMBOLS_PER_SLOT
+        {
+            return Err(Error::FieldRange);
+        }
+        Ok(SymbolId { frame, subframe, slot, symbol })
+    }
+
+    /// The slot part, with the symbol cleared.
+    pub fn slot_start(self) -> SymbolId {
+        SymbolId { symbol: 0, ..self }
+    }
+
+    /// Absolute slot index within the (wrapping) 256-frame hyperperiod.
+    pub fn absolute_slot(self, numerology: Numerology) -> u32 {
+        let spsf = numerology.slots_per_subframe() as u32;
+        ((self.frame as u32 * SUBFRAMES_PER_FRAME as u32) + self.subframe as u32) * spsf
+            + self.slot as u32
+    }
+
+    /// Absolute symbol index within the 256-frame hyperperiod.
+    pub fn absolute_symbol(self, numerology: Numerology) -> u64 {
+        self.absolute_slot(numerology) as u64 * SYMBOLS_PER_SLOT as u64 + self.symbol as u64
+    }
+
+    /// Nanoseconds from the origin of the hyperperiod.
+    pub fn to_ns(self, numerology: Numerology) -> u64 {
+        self.absolute_slot(numerology) as u64 * numerology.slot_ns()
+            + self.symbol as u64 * numerology.symbol_ns()
+    }
+
+    /// The next symbol, advancing across slot/subframe/frame boundaries
+    /// (frame wraps at 256).
+    pub fn next(self, numerology: Numerology) -> SymbolId {
+        let mut s = self;
+        s.symbol += 1;
+        if s.symbol >= SYMBOLS_PER_SLOT {
+            s.symbol = 0;
+            s.slot += 1;
+            if s.slot >= numerology.slots_per_subframe() {
+                s.slot = 0;
+                s.subframe += 1;
+                if s.subframe >= SUBFRAMES_PER_FRAME {
+                    s.subframe = 0;
+                    s.frame = s.frame.wrapping_add(1);
+                }
+            }
+        }
+        s
+    }
+
+    /// The next slot start (symbol 0 of the following slot).
+    pub fn next_slot(self, numerology: Numerology) -> SymbolId {
+        let mut s = self.slot_start();
+        s.slot += 1;
+        if s.slot >= numerology.slots_per_subframe() {
+            s.slot = 0;
+            s.subframe += 1;
+            if s.subframe >= SUBFRAMES_PER_FRAME {
+                s.subframe = 0;
+                s.frame = s.frame.wrapping_add(1);
+            }
+        }
+        s
+    }
+}
+
+impl core::fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "F{}.SF{}.S{}.Sym{}",
+            self.frame, self.subframe, self.slot, self.symbol
+        )
+    }
+}
+
+/// The role a slot plays in a TDD pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// Downlink slot.
+    Downlink,
+    /// Uplink slot.
+    Uplink,
+    /// Special (guard) slot — partially downlink, partially uplink.
+    Special,
+}
+
+/// A repeating TDD uplink/downlink slot pattern.
+///
+/// The common enterprise pattern `DDDDDDDSUU` (7 DL, 1 special, 2 UL over a
+/// 5 ms period at μ=1) is [`TddPattern::DDDDDDDSUU`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TddPattern {
+    kinds: Vec<SlotKind>,
+}
+
+impl TddPattern {
+    /// Parse from a string of `D`/`U`/`S` characters.
+    pub fn parse(pattern: &str) -> Result<TddPattern> {
+        if pattern.is_empty() {
+            return Err(Error::Malformed);
+        }
+        let kinds = pattern
+            .chars()
+            .map(|c| match c {
+                'D' | 'd' => Ok(SlotKind::Downlink),
+                'U' | 'u' => Ok(SlotKind::Uplink),
+                'S' | 's' => Ok(SlotKind::Special),
+                _ => Err(Error::Malformed),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(TddPattern { kinds })
+    }
+
+    /// The widely used 7D-1S-2U pattern.
+    #[allow(non_snake_case)]
+    pub fn DDDDDDDSUU() -> TddPattern {
+        TddPattern::parse("DDDDDDDSUU").expect("static pattern is valid")
+    }
+
+    /// Pattern period in slots.
+    pub fn period(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Kind of the slot at `absolute_slot`.
+    pub fn kind_at(&self, absolute_slot: u32) -> SlotKind {
+        self.kinds[absolute_slot as usize % self.kinds.len()]
+    }
+
+    /// Fraction of slots carrying downlink (special slots count as half).
+    pub fn dl_fraction(&self) -> f64 {
+        let score: f64 = self
+            .kinds
+            .iter()
+            .map(|k| match k {
+                SlotKind::Downlink => 1.0,
+                SlotKind::Special => 0.5,
+                SlotKind::Uplink => 0.0,
+            })
+            .sum();
+        score / self.kinds.len() as f64
+    }
+
+    /// Fraction of slots carrying uplink (special slots count as half... no:
+    /// special slots contribute no UL data symbols in our model).
+    pub fn ul_fraction(&self) -> f64 {
+        let score: f64 = self
+            .kinds
+            .iter()
+            .map(|k| match k {
+                SlotKind::Uplink => 1.0,
+                _ => 0.0,
+            })
+            .sum();
+        score / self.kinds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numerology_values() {
+        assert_eq!(Numerology::Mu0.scs_hz(), 15_000);
+        assert_eq!(Numerology::Mu1.scs_hz(), 30_000);
+        assert_eq!(Numerology::Mu1.slots_per_subframe(), 2);
+        assert_eq!(Numerology::Mu1.slots_per_frame(), 20);
+        assert_eq!(Numerology::Mu1.slot_ns(), 500_000);
+        // ~35.7 µs symbols at 30 kHz SCS.
+        assert_eq!(Numerology::Mu1.symbol_ns(), 35_714);
+        assert_eq!(Numerology::Mu3.slots_per_subframe(), 8);
+    }
+
+    #[test]
+    fn symbol_id_validation() {
+        assert!(SymbolId::new(Numerology::Mu1, 0, 9, 1, 13).is_ok());
+        assert_eq!(SymbolId::new(Numerology::Mu1, 0, 10, 0, 0).unwrap_err(), Error::FieldRange);
+        assert_eq!(SymbolId::new(Numerology::Mu1, 0, 0, 2, 0).unwrap_err(), Error::FieldRange);
+        assert_eq!(SymbolId::new(Numerology::Mu1, 0, 0, 0, 14).unwrap_err(), Error::FieldRange);
+    }
+
+    #[test]
+    fn next_advances_and_wraps() {
+        let n = Numerology::Mu1;
+        let s = SymbolId::new(n, 0, 0, 0, 13).unwrap();
+        assert_eq!(s.next(n), SymbolId::new(n, 0, 0, 1, 0).unwrap());
+        let s = SymbolId::new(n, 0, 9, 1, 13).unwrap();
+        assert_eq!(s.next(n), SymbolId::new(n, 1, 0, 0, 0).unwrap());
+        let s = SymbolId::new(n, 255, 9, 1, 13).unwrap();
+        assert_eq!(s.next(n), SymbolId::ZERO);
+    }
+
+    #[test]
+    fn next_slot_skips_to_symbol_zero() {
+        let n = Numerology::Mu1;
+        let s = SymbolId::new(n, 4, 6, 1, 9).unwrap();
+        assert_eq!(s.next_slot(n), SymbolId::new(n, 4, 7, 0, 0).unwrap());
+    }
+
+    #[test]
+    fn absolute_indices_are_monotone() {
+        let n = Numerology::Mu1;
+        let mut s = SymbolId::ZERO;
+        let mut prev = s.absolute_symbol(n);
+        for _ in 0..5000 {
+            s = s.next(n);
+            if s == SymbolId::ZERO {
+                break; // full wrap
+            }
+            let cur = s.absolute_symbol(n);
+            assert_eq!(cur, prev + 1);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn to_ns_matches_slot_arithmetic() {
+        let n = Numerology::Mu1;
+        let s = SymbolId::new(n, 1, 2, 1, 3).unwrap();
+        // frame 1 = 20 slots, subframe 2 = 4 slots, slot 1 → 25 slots.
+        assert_eq!(s.absolute_slot(n), 25);
+        assert_eq!(s.to_ns(n), 25 * 500_000 + 3 * 35_714);
+    }
+
+    #[test]
+    fn tdd_pattern_parse_and_kinds() {
+        let p = TddPattern::DDDDDDDSUU();
+        assert_eq!(p.period(), 10);
+        assert_eq!(p.kind_at(0), SlotKind::Downlink);
+        assert_eq!(p.kind_at(7), SlotKind::Special);
+        assert_eq!(p.kind_at(8), SlotKind::Uplink);
+        assert_eq!(p.kind_at(17), SlotKind::Special); // wraps
+        assert!(TddPattern::parse("DXU").is_err());
+        assert!(TddPattern::parse("").is_err());
+    }
+
+    #[test]
+    fn tdd_fractions() {
+        let p = TddPattern::DDDDDDDSUU();
+        assert!((p.dl_fraction() - 0.75).abs() < 1e-9);
+        assert!((p.ul_fraction() - 0.20).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symbol_ordering() {
+        let n = Numerology::Mu1;
+        let a = SymbolId::new(n, 0, 0, 0, 5).unwrap();
+        let b = SymbolId::new(n, 0, 0, 1, 0).unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,482 @@
+//! O-RAN user-plane (U-plane) messages.
+//!
+//! U-plane messages carry the modulated radio signal as IQ samples, grouped
+//! into PRBs, each optionally BFP-compressed with a per-PRB `udCompParam`
+//! exponent byte (see [`crate::bfp`]). Downlink U-plane flows DU → RU;
+//! uplink flows RU → DU.
+//!
+//! Wire layout (after the 8-byte eCPRI header):
+//!
+//! ```text
+//! byte 0     dataDirection(1) | payloadVersion(3) | filterIndex(4)
+//! byte 1     frameId
+//! byte 2     subframeId(4) | slotId[5..2]
+//! byte 3     slotId[1..0] | symbolId(6)
+//! then one or more sections:
+//!   sectionId(12) | rb(1) | symInc(1) | startPrbu(10)      (3 bytes)
+//!   numPrbu(8)                                             (1 byte)
+//!   udCompHdr(8) reserved(8)                               (2 bytes)
+//!   numPrbu × [udCompParam?] [packed IQ mantissas]
+//! ```
+//!
+//! `numPrbu == 0` encodes "all remaining PRBs" (needed for carriers wider
+//! than 255 PRBs, e.g. the 100 MHz / 273-PRB cells of the paper, which ride
+//! in a single jumbo frame); such a section must be the last in the message
+//! and its PRB count is inferred from the remaining payload length.
+
+use crate::bfp::{self, CompressionMethod};
+use crate::iq::Prb;
+use crate::timing::{SymbolId, SYMBOLS_PER_SLOT};
+use crate::{Direction, Error, Result};
+
+/// `payloadVersion` value this crate emits.
+pub const PAYLOAD_VERSION: u8 = 1;
+
+/// Length of the U-plane application header (timing fields).
+pub const APP_HDR_LEN: usize = 4;
+
+/// Per-section header length (section fields + numPrbu + udCompHdr + rsvd).
+pub const SECTION_HDR_LEN: usize = 6;
+
+/// One U-plane section: a contiguous PRB range and its (possibly
+/// compressed) IQ payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct USection {
+    /// Section id (12 bits) — matches the scheduling C-plane section.
+    pub section_id: u16,
+    /// Resource-block indicator (`false` = every RB).
+    pub rb: bool,
+    /// Symbol-number increment flag.
+    pub sym_inc: bool,
+    /// First PRB of the range (10 bits).
+    pub start_prb: u16,
+    /// Compression applied to `payload`.
+    pub method: CompressionMethod,
+    /// Raw wire payload: `num_prb ×` [`CompressionMethod::prb_wire_bytes`].
+    pub payload: Vec<u8>,
+}
+
+impl USection {
+    /// Build a section by compressing `prbs` with `method`.
+    pub fn from_prbs(
+        section_id: u16,
+        start_prb: u16,
+        prbs: &[Prb],
+        method: CompressionMethod,
+    ) -> Result<USection> {
+        method.validate()?;
+        let per = method.prb_wire_bytes();
+        let mut payload = vec![0u8; prbs.len() * per];
+        for (k, prb) in prbs.iter().enumerate() {
+            bfp::compress_prb_wire(prb, method, &mut payload[k * per..(k + 1) * per])?;
+        }
+        Ok(USection { section_id, rb: false, sym_inc: false, start_prb, method, payload })
+    }
+
+    /// Number of PRBs carried.
+    pub fn num_prb(&self) -> u16 {
+        (self.payload.len() / self.method.prb_wire_bytes()) as u16
+    }
+
+    /// The raw wire bytes of PRB `idx` within this section.
+    pub fn prb_bytes(&self, idx: u16) -> Result<&[u8]> {
+        let per = self.method.prb_wire_bytes();
+        let start = idx as usize * per;
+        if start + per > self.payload.len() {
+            return Err(Error::FieldRange);
+        }
+        Ok(&self.payload[start..start + per])
+    }
+
+    /// Mutable raw wire bytes of PRB `idx`.
+    pub fn prb_bytes_mut(&mut self, idx: u16) -> Result<&mut [u8]> {
+        let per = self.method.prb_wire_bytes();
+        let start = idx as usize * per;
+        if start + per > self.payload.len() {
+            return Err(Error::FieldRange);
+        }
+        Ok(&mut self.payload[start..start + per])
+    }
+
+    /// Decode every PRB (decompressing as needed) together with its
+    /// BFP exponent (0 when uncompressed).
+    pub fn decode(&self) -> Result<Vec<(Prb, u8)>> {
+        let per = self.method.prb_wire_bytes();
+        let n = self.num_prb() as usize;
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let (prb, exp, _) =
+                bfp::decompress_prb_wire(&self.payload[k * per..(k + 1) * per], self.method)?;
+            out.push((prb, exp));
+        }
+        Ok(out)
+    }
+
+    /// Read only the per-PRB exponents without decompressing anything —
+    /// the fast path used by Algorithm 1 (PRB monitoring).
+    pub fn exponents(&self) -> Result<Vec<u8>> {
+        let per = self.method.prb_wire_bytes();
+        (0..self.num_prb() as usize)
+            .map(|k| bfp::peek_exponent(&self.payload[k * per..], self.method))
+            .collect()
+    }
+
+    /// Overwrite the PRBs starting at local index `at` with freshly
+    /// compressed `prbs` — the payload-modification primitive (action A4).
+    pub fn write_prbs(&mut self, at: u16, prbs: &[Prb]) -> Result<()> {
+        let per = self.method.prb_wire_bytes();
+        let start = at as usize * per;
+        let end = start + prbs.len() * per;
+        if end > self.payload.len() {
+            return Err(Error::FieldRange);
+        }
+        for (k, prb) in prbs.iter().enumerate() {
+            bfp::compress_prb_wire(prb, self.method, &mut self.payload[start + k * per..start + (k + 1) * per])?;
+        }
+        Ok(())
+    }
+
+    /// Copy the raw wire bytes of `count` PRBs starting at `src_idx` in
+    /// `src` into `self` starting at `dst_idx`, without recompression.
+    ///
+    /// Both sections must use the same compression method — this is the
+    /// RU-sharing *aligned* fast path. Use [`USection::decode`] +
+    /// [`USection::write_prbs`] for the misaligned path.
+    pub fn copy_prbs_from(
+        &mut self,
+        src: &USection,
+        src_idx: u16,
+        dst_idx: u16,
+        count: u16,
+    ) -> Result<()> {
+        if self.method != src.method {
+            return Err(Error::ShapeMismatch);
+        }
+        let per = self.method.prb_wire_bytes();
+        let s = src_idx as usize * per;
+        let d = dst_idx as usize * per;
+        let len = count as usize * per;
+        if s + len > src.payload.len() || d + len > self.payload.len() {
+            return Err(Error::FieldRange);
+        }
+        self.payload[d..d + len].copy_from_slice(&src.payload[s..s + len]);
+        Ok(())
+    }
+
+    /// Wire length of this section including its header.
+    pub fn wire_len(&self) -> usize {
+        SECTION_HDR_LEN + self.payload.len()
+    }
+
+    fn validate(&self) -> Result<()> {
+        self.method.validate()?;
+        if self.section_id > 0x0fff || self.start_prb > 0x03ff {
+            return Err(Error::FieldRange);
+        }
+        if !self.payload.len().is_multiple_of(self.method.prb_wire_bytes()) {
+            return Err(Error::Malformed);
+        }
+        Ok(())
+    }
+}
+
+/// High-level representation of a complete U-plane message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UPlaneRepr {
+    /// Data direction.
+    pub direction: Direction,
+    /// Filter index (0 for standard channels, 1 for PRACH).
+    pub filter_index: u8,
+    /// The symbol this payload belongs to.
+    pub symbol: SymbolId,
+    /// The sections.
+    pub sections: Vec<USection>,
+}
+
+impl UPlaneRepr {
+    /// Convenience constructor for a single-section message.
+    pub fn single(direction: Direction, symbol: SymbolId, section: USection) -> UPlaneRepr {
+        UPlaneRepr { direction, filter_index: 0, symbol, sections: vec![section] }
+    }
+
+    /// Byte length of the emitted message.
+    pub fn wire_len(&self) -> usize {
+        APP_HDR_LEN + self.sections.iter().map(|s| s.wire_len()).sum::<usize>()
+    }
+
+    /// Validate field ranges and payload shapes.
+    pub fn validate(&self) -> Result<()> {
+        if self.filter_index > 0x0f {
+            return Err(Error::FieldRange);
+        }
+        if self.sections.is_empty() {
+            return Err(Error::Malformed);
+        }
+        for (k, s) in self.sections.iter().enumerate() {
+            s.validate()?;
+            // Only the final section may need the "all remaining" encoding.
+            if s.num_prb() > 255 && k + 1 != self.sections.len() {
+                return Err(Error::Malformed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit the message into `out` (at least [`UPlaneRepr::wire_len`]
+    /// bytes). Returns the bytes written.
+    pub fn emit(&self, out: &mut [u8]) -> Result<usize> {
+        self.validate()?;
+        let len = self.wire_len();
+        if out.len() < len {
+            return Err(Error::BufferTooSmall);
+        }
+        out[0] = (self.direction.bit() << 7)
+            | ((PAYLOAD_VERSION & 0x07) << 4)
+            | (self.filter_index & 0x0f);
+        out[1] = self.symbol.frame;
+        out[2] = (self.symbol.subframe << 4) | ((self.symbol.slot >> 2) & 0x0f);
+        out[3] = ((self.symbol.slot & 0x03) << 6) | (self.symbol.symbol & 0x3f);
+        let mut off = APP_HDR_LEN;
+        for s in &self.sections {
+            let num = s.num_prb();
+            out[off] = (s.section_id >> 4) as u8;
+            out[off + 1] = ((s.section_id & 0x0f) as u8) << 4
+                | (s.rb as u8) << 3
+                | (s.sym_inc as u8) << 2
+                | ((s.start_prb >> 8) & 0x03) as u8;
+            out[off + 2] = (s.start_prb & 0xff) as u8;
+            out[off + 3] = if num > 255 { 0 } else { num as u8 };
+            out[off + 4] = s.method.to_comp_hdr();
+            out[off + 5] = 0; // reserved
+            off += SECTION_HDR_LEN;
+            out[off..off + s.payload.len()].copy_from_slice(&s.payload);
+            off += s.payload.len();
+        }
+        Ok(len)
+    }
+
+    /// Parse a U-plane message from the eCPRI payload bytes.
+    pub fn parse(data: &[u8]) -> Result<UPlaneRepr> {
+        if data.len() < APP_HDR_LEN + SECTION_HDR_LEN {
+            return Err(Error::Truncated);
+        }
+        let direction = Direction::from_bit(data[0] >> 7);
+        let filter_index = data[0] & 0x0f;
+        let frame = data[1];
+        let subframe = data[2] >> 4;
+        let slot = ((data[2] & 0x0f) << 2) | (data[3] >> 6);
+        let symbol = data[3] & 0x3f;
+        if subframe > 9 || symbol >= SYMBOLS_PER_SLOT {
+            return Err(Error::FieldRange);
+        }
+        let sym = SymbolId { frame, subframe, slot, symbol };
+        let mut sections = Vec::new();
+        let mut off = APP_HDR_LEN;
+        while off < data.len() {
+            if off + SECTION_HDR_LEN > data.len() {
+                return Err(Error::Truncated);
+            }
+            let section_id = ((data[off] as u16) << 4) | ((data[off + 1] >> 4) as u16);
+            let rb = data[off + 1] & 0x08 != 0;
+            let sym_inc = data[off + 1] & 0x04 != 0;
+            let start_prb = (((data[off + 1] & 0x03) as u16) << 8) | data[off + 2] as u16;
+            let num_raw = data[off + 3];
+            let method = CompressionMethod::from_comp_hdr(data[off + 4])?;
+            off += SECTION_HDR_LEN;
+            let per = method.prb_wire_bytes();
+            let payload_len = if num_raw == 0 {
+                // "All remaining PRBs": consume the rest of the message.
+                let rest = data.len() - off;
+                if rest == 0 || !rest.is_multiple_of(per) {
+                    return Err(Error::Malformed);
+                }
+                rest
+            } else {
+                num_raw as usize * per
+            };
+            if off + payload_len > data.len() {
+                return Err(Error::Truncated);
+            }
+            sections.push(USection {
+                section_id,
+                rb,
+                sym_inc,
+                start_prb,
+                method,
+                payload: data[off..off + payload_len].to_vec(),
+            });
+            off += payload_len;
+        }
+        if sections.is_empty() {
+            return Err(Error::Malformed);
+        }
+        Ok(UPlaneRepr { direction, filter_index, symbol: sym, sections })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iq::IqSample;
+    use crate::timing::Numerology;
+
+    fn sym() -> SymbolId {
+        SymbolId::new(Numerology::Mu1, 46, 9, 1, 13).unwrap()
+    }
+
+    fn prb(seed: i16) -> Prb {
+        let mut p = Prb::ZERO;
+        for (k, s) in p.0.iter_mut().enumerate() {
+            *s = IqSample::new(seed.wrapping_mul(k as i16 + 1), seed.wrapping_sub(k as i16 * 7));
+        }
+        p
+    }
+
+    fn prbs(n: usize) -> Vec<Prb> {
+        (0..n).map(|k| prb(100 + k as i16 * 13)).collect()
+    }
+
+    #[test]
+    fn roundtrip_bfp_section() {
+        let section = USection::from_prbs(0, 0, &prbs(106), CompressionMethod::BFP9).unwrap();
+        let repr = UPlaneRepr::single(Direction::Uplink, sym(), section);
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        let parsed = UPlaneRepr::parse(&buf).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(parsed.sections[0].num_prb(), 106);
+    }
+
+    #[test]
+    fn roundtrip_wide_carrier_all_prbs() {
+        // 273 PRBs (> 255) forces the numPrbu=0 "all" encoding.
+        let section = USection::from_prbs(0, 0, &prbs(273), CompressionMethod::BFP9).unwrap();
+        let repr = UPlaneRepr::single(Direction::Downlink, sym(), section);
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        // A 100 MHz symbol really is a jumbo frame (> 7 KB with headers).
+        assert!(repr.wire_len() > 7000);
+        assert_eq!(buf[APP_HDR_LEN + 3], 0, "numPrbu must encode as ALL");
+        let parsed = UPlaneRepr::parse(&buf).unwrap();
+        assert_eq!(parsed.sections[0].num_prb(), 273);
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn oversized_section_must_be_last() {
+        let s1 = USection::from_prbs(0, 0, &prbs(273), CompressionMethod::BFP9).unwrap();
+        let s2 = USection::from_prbs(1, 273, &prbs(1), CompressionMethod::BFP9).unwrap();
+        let repr = UPlaneRepr {
+            direction: Direction::Downlink,
+            filter_index: 0,
+            symbol: sym(),
+            sections: vec![s1, s2],
+        };
+        assert_eq!(repr.validate().unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn multi_section_roundtrip() {
+        let s1 = USection::from_prbs(1, 0, &prbs(20), CompressionMethod::BFP9).unwrap();
+        let s2 = USection::from_prbs(2, 50, &prbs(10), CompressionMethod::NoCompression).unwrap();
+        let repr = UPlaneRepr {
+            direction: Direction::Uplink,
+            filter_index: 0,
+            symbol: sym(),
+            sections: vec![s1, s2],
+        };
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        let parsed = UPlaneRepr::parse(&buf).unwrap();
+        assert_eq!(parsed.sections.len(), 2);
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn decode_recovers_prbs_within_tolerance() {
+        let original = prbs(8);
+        let section = USection::from_prbs(0, 0, &original, CompressionMethod::BFP9).unwrap();
+        let decoded = section.decode().unwrap();
+        assert_eq!(decoded.len(), 8);
+        for (k, (got, exp)) in decoded.iter().enumerate() {
+            let tol = crate::bfp::max_quantization_error(*exp);
+            for i in 0..12 {
+                assert!((original[k].0[i].i as i32 - got.0[i].i as i32).abs() <= tol);
+            }
+        }
+    }
+
+    #[test]
+    fn exponents_match_decoded() {
+        let mut data = prbs(4);
+        data[2] = Prb::ZERO; // idle PRB
+        let section = USection::from_prbs(0, 0, &data, CompressionMethod::BFP9).unwrap();
+        let exps = section.exponents().unwrap();
+        let decoded = section.decode().unwrap();
+        assert_eq!(exps.len(), 4);
+        for (e, (_, de)) in exps.iter().zip(decoded.iter()) {
+            assert_eq!(e, de);
+        }
+        assert_eq!(exps[2], 0, "idle PRB compresses with exponent 0");
+        assert!(exps[0] > 0, "loud PRB has nonzero exponent");
+    }
+
+    #[test]
+    fn write_prbs_in_place() {
+        let mut section = USection::from_prbs(0, 0, &prbs(4), CompressionMethod::BFP9).unwrap();
+        section.write_prbs(1, &[Prb::ZERO, Prb::ZERO]).unwrap();
+        let exps = section.exponents().unwrap();
+        assert_eq!(exps[1], 0);
+        assert_eq!(exps[2], 0);
+        assert!(section.write_prbs(3, &[Prb::ZERO, Prb::ZERO]).is_err());
+    }
+
+    #[test]
+    fn copy_prbs_fast_path() {
+        let src = USection::from_prbs(0, 0, &prbs(6), CompressionMethod::BFP9).unwrap();
+        let mut dst = USection::from_prbs(0, 0, &vec![Prb::ZERO; 10], CompressionMethod::BFP9).unwrap();
+        dst.copy_prbs_from(&src, 2, 5, 3).unwrap();
+        let src_dec = src.decode().unwrap();
+        let dst_dec = dst.decode().unwrap();
+        for k in 0..3 {
+            assert_eq!(dst_dec[5 + k].0, src_dec[2 + k].0);
+        }
+        // Untouched PRBs stay zero.
+        assert!(dst_dec[0].0.is_zero());
+    }
+
+    #[test]
+    fn copy_prbs_rejects_method_mismatch() {
+        let src = USection::from_prbs(0, 0, &prbs(2), CompressionMethod::NoCompression).unwrap();
+        let mut dst = USection::from_prbs(0, 0, &prbs(2), CompressionMethod::BFP9).unwrap();
+        assert_eq!(dst.copy_prbs_from(&src, 0, 0, 1).unwrap_err(), Error::ShapeMismatch);
+    }
+
+    #[test]
+    fn parse_rejects_truncated_payload() {
+        let section = USection::from_prbs(0, 0, &prbs(10), CompressionMethod::BFP9).unwrap();
+        let repr = UPlaneRepr::single(Direction::Uplink, sym(), section);
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        assert_eq!(UPlaneRepr::parse(&buf[..buf.len() - 5]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn parse_rejects_bad_timing() {
+        let section = USection::from_prbs(0, 0, &prbs(1), CompressionMethod::BFP9).unwrap();
+        let repr = UPlaneRepr::single(Direction::Uplink, sym(), section);
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        buf[2] = 0xa0; // subframe 10
+        assert_eq!(UPlaneRepr::parse(&buf).unwrap_err(), Error::FieldRange);
+    }
+
+    #[test]
+    fn prb_bytes_accessors() {
+        let mut section = USection::from_prbs(0, 0, &prbs(3), CompressionMethod::BFP9).unwrap();
+        assert_eq!(section.prb_bytes(0).unwrap().len(), 28);
+        assert!(section.prb_bytes(3).is_err());
+        section.prb_bytes_mut(2).unwrap()[0] = 0x05;
+        assert_eq!(section.exponents().unwrap()[2], 5);
+    }
+}

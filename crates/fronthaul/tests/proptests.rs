@@ -1,0 +1,196 @@
+//! Property-based tests over the fronthaul wire codecs: every reachable
+//! `Repr` must survive an emit/parse round trip, BFP must stay within its
+//! quantization bound, and parsers must never panic on arbitrary bytes.
+
+use proptest::prelude::*;
+use rb_fronthaul::bfp::{self, CompressionMethod};
+use rb_fronthaul::cplane::{CPlaneRepr, Section3, SectionFields, Sections};
+use rb_fronthaul::eaxc::{Eaxc, EaxcMapping};
+use rb_fronthaul::ether::{EtherType, EthernetAddress, FrameRepr};
+use rb_fronthaul::iq::{IqSample, Prb, SAMPLES_PER_PRB};
+use rb_fronthaul::msg::{Body, FhMessage};
+use rb_fronthaul::timing::SymbolId;
+use rb_fronthaul::uplane::{UPlaneRepr, USection};
+use rb_fronthaul::Direction;
+
+fn arb_prb() -> impl Strategy<Value = Prb> {
+    proptest::collection::vec(any::<(i16, i16)>(), SAMPLES_PER_PRB).prop_map(|v| {
+        let mut prb = Prb::ZERO;
+        for (k, (i, q)) in v.into_iter().enumerate() {
+            prb.0[k] = IqSample::new(i, q);
+        }
+        prb
+    })
+}
+
+fn arb_symbol() -> impl Strategy<Value = SymbolId> {
+    (any::<u8>(), 0u8..10, 0u8..2, 0u8..14)
+        .prop_map(|(frame, subframe, slot, symbol)| SymbolId { frame, subframe, slot, symbol })
+}
+
+fn arb_method() -> impl Strategy<Value = CompressionMethod> {
+    prop_oneof![
+        Just(CompressionMethod::NoCompression),
+        (1u8..=16).prop_map(|w| CompressionMethod::BlockFloatingPoint { iq_width: w }),
+    ]
+}
+
+fn arb_direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::Uplink), Just(Direction::Downlink)]
+}
+
+fn arb_section_fields() -> impl Strategy<Value = SectionFields> {
+    (0u16..=0xfff, any::<bool>(), any::<bool>(), 0u16..=0x3ff, 0u16..=255, 0u16..=0xfff, 1u8..=14, 0u16..=0x7fff)
+        .prop_map(|(section_id, rb, sym_inc, start_prb, num_prb, re_mask, num_symbols, beam_id)| {
+            SectionFields { section_id, rb, sym_inc, start_prb, num_prb, re_mask, num_symbols, ef: false, beam_id }
+        })
+}
+
+proptest! {
+    #[test]
+    fn bfp_roundtrip_within_tolerance(prb in arb_prb(), width in 1u8..=16) {
+        let mut buf = vec![0u8; 64];
+        let exp = bfp::compress_prb(&prb, width, &mut buf).unwrap();
+        let back = bfp::decompress_prb(&buf, width, exp).unwrap();
+        let tol = bfp::max_quantization_error(exp);
+        for k in 0..SAMPLES_PER_PRB {
+            prop_assert!((prb.0[k].i as i32 - back.0[k].i as i32).abs() <= tol);
+            prop_assert!((prb.0[k].q as i32 - back.0[k].q as i32).abs() <= tol);
+        }
+    }
+
+    #[test]
+    fn bfp_idempotent_after_first_pass(prb in arb_prb(), width in 4u8..=16) {
+        // Compressing an already-quantized PRB again must be lossless.
+        let mut buf = vec![0u8; 64];
+        let exp = bfp::compress_prb(&prb, width, &mut buf).unwrap();
+        let once = bfp::decompress_prb(&buf, width, exp).unwrap();
+        let mut buf2 = vec![0u8; 64];
+        let exp2 = bfp::compress_prb(&once, width, &mut buf2).unwrap();
+        let twice = bfp::decompress_prb(&buf2, width, exp2).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn exponent_is_minimal(prb in arb_prb(), width in 2u8..=15) {
+        let exp = bfp::exponent_for(&prb, width);
+        if exp > 0 {
+            // One less must not fit.
+            let limit_pos = (1i32 << (width - 1)) - 1;
+            let limit_neg = -(1i32 << (width - 1));
+            let fits = prb.0.iter().all(|s| {
+                let i = (s.i as i32) >> (exp - 1);
+                let q = (s.q as i32) >> (exp - 1);
+                i >= limit_neg && i <= limit_pos && q >= limit_neg && q <= limit_pos
+            });
+            prop_assert!(!fits, "exponent {} not minimal", exp);
+        }
+    }
+
+    #[test]
+    fn uplane_roundtrip(
+        dir in arb_direction(),
+        symbol in arb_symbol(),
+        method in arb_method(),
+        prbs in proptest::collection::vec(arb_prb(), 1..40),
+        start_prb in 0u16..=0x3ff,
+        section_id in 0u16..=0xfff,
+    ) {
+        let section = USection::from_prbs(section_id, start_prb, &prbs, method).unwrap();
+        let repr = UPlaneRepr::single(dir, symbol, section);
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        let parsed = UPlaneRepr::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn cplane_type1_roundtrip(
+        dir in arb_direction(),
+        symbol in arb_symbol(),
+        method in arb_method(),
+        sections in proptest::collection::vec(arb_section_fields(), 1..16),
+    ) {
+        let repr = CPlaneRepr {
+            direction: dir,
+            filter_index: 0,
+            symbol,
+            sections: Sections::Type1 { comp: method, sections },
+        };
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        prop_assert_eq!(CPlaneRepr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn cplane_type3_roundtrip(
+        symbol in arb_symbol(),
+        fields in arb_section_fields(),
+        freq_offset in -(1i32 << 23)..(1i32 << 23),
+        time_offset in any::<u16>(),
+        cp_length in any::<u16>(),
+    ) {
+        let repr = CPlaneRepr {
+            direction: Direction::Uplink,
+            filter_index: 1,
+            symbol,
+            sections: Sections::Type3 {
+                time_offset,
+                frame_structure: 0xb1,
+                cp_length,
+                comp: CompressionMethod::BFP9,
+                sections: vec![Section3 { fields, frequency_offset: freq_offset }],
+            },
+        };
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        prop_assert_eq!(CPlaneRepr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn whole_frame_roundtrip(
+        symbol in arb_symbol(),
+        prbs in proptest::collection::vec(arb_prb(), 1..20),
+        port in 0u8..16,
+        seq in any::<u8>(),
+        vlan in proptest::option::of(1u16..4095),
+    ) {
+        let section = USection::from_prbs(0, 0, &prbs, CompressionMethod::BFP9).unwrap();
+        let msg = FhMessage {
+            eth: FrameRepr {
+                dst: EthernetAddress::new(2, 0, 0, 0, 0, 1),
+                src: EthernetAddress::new(2, 0, 0, 0, 0, 2),
+                vlan,
+                ethertype: EtherType::ECPRI,
+            },
+            eaxc: Eaxc::port(port),
+            seq_id: seq,
+            body: Body::UPlane(UPlaneRepr::single(Direction::Uplink, symbol, section)),
+        };
+        let bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+        prop_assert_eq!(FhMessage::parse(&bytes, &EaxcMapping::DEFAULT).unwrap(), msg);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = FhMessage::parse(&data, &EaxcMapping::DEFAULT);
+        let _ = CPlaneRepr::parse(&data);
+        let _ = UPlaneRepr::parse(&data);
+    }
+
+    #[test]
+    fn eaxc_roundtrip_any_raw(raw in any::<u16>()) {
+        let id = Eaxc::unpack(raw, &EaxcMapping::DEFAULT);
+        prop_assert_eq!(id.pack(&EaxcMapping::DEFAULT), raw);
+    }
+
+    #[test]
+    fn prb_sum_commutes(a in arb_prb(), b in arb_prb()) {
+        prop_assert_eq!(a.saturating_add(&b), b.saturating_add(&a));
+    }
+
+    #[test]
+    fn prb_sum_zero_identity(a in arb_prb()) {
+        prop_assert_eq!(a.saturating_add(&Prb::ZERO), a);
+    }
+}

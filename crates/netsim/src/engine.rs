@@ -1,0 +1,410 @@
+//! The discrete event engine.
+//!
+//! A simulation is a set of [`Node`]s (DUs, RUs, switches, middleboxes)
+//! whose numbered ports are wired together by links with latency and
+//! bandwidth. Nodes react to packet deliveries and timers by emitting
+//! packets on their ports and scheduling new timers through an [`Outbox`].
+//!
+//! The engine delivers events in timestamp order; ties break by insertion
+//! order, so runs are deterministic.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a node within an [`Engine`].
+pub type NodeId = usize;
+
+/// A (node, port) pair naming one link endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortAddr {
+    /// The node.
+    pub node: NodeId,
+    /// The port index on that node.
+    pub port: usize,
+}
+
+/// Shorthand constructor for a [`PortAddr`].
+pub fn port(node: NodeId, port: usize) -> PortAddr {
+    PortAddr { node, port }
+}
+
+/// Events delivered to a node.
+#[derive(Debug, Clone)]
+pub enum NodeEvent {
+    /// A frame arrived on `port`.
+    Packet {
+        /// Ingress port index.
+        port: usize,
+        /// The raw Ethernet frame.
+        frame: Vec<u8>,
+    },
+    /// A timer the node (or the harness) scheduled fired.
+    Timer {
+        /// The tag passed when scheduling.
+        tag: u64,
+    },
+}
+
+/// Collects a node's reactions during one event callback.
+pub struct Outbox {
+    now: SimTime,
+    sends: Vec<(usize, Vec<u8>)>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl Outbox {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Transmit `frame` on `port` (enters the wire immediately; arrival is
+    /// delayed by link latency + serialization).
+    pub fn send(&mut self, port: usize, frame: Vec<u8>) {
+        self.sends.push((port, frame));
+    }
+
+    /// Schedule a timer for this node `after` from now, carrying `tag`.
+    pub fn schedule(&mut self, after: SimDuration, tag: u64) {
+        self.timers.push((self.now + after, tag));
+    }
+
+    /// Schedule a timer at an absolute instant.
+    pub fn schedule_at(&mut self, at: SimTime, tag: u64) {
+        self.timers.push((at, tag));
+    }
+}
+
+/// A simulation participant.
+///
+/// Implementors also get dynamic downcasting (via [`Engine::node_as`]) so
+/// harnesses can read results out of their nodes after a run.
+pub trait Node: Any {
+    /// React to an event. Emissions go through the outbox.
+    fn on_event(&mut self, ev: NodeEvent, out: &mut Outbox);
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "node"
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkEnd {
+    peer: PortAddr,
+    latency: SimDuration,
+    gbps: f64,
+}
+
+#[derive(Debug)]
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    node: NodeId,
+    ev: NodeEvent,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Per-port traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Frames transmitted from this port.
+    pub tx_frames: u64,
+    /// Bytes transmitted from this port.
+    pub tx_bytes: u64,
+    /// Frames received on this port.
+    pub rx_frames: u64,
+    /// Bytes received on this port.
+    pub rx_bytes: u64,
+}
+
+/// The discrete event engine.
+pub struct Engine {
+    now: SimTime,
+    nodes: Vec<Box<dyn Node>>,
+    links: HashMap<PortAddr, LinkEnd>,
+    queue: BinaryHeap<Reverse<Queued>>,
+    seq: u64,
+    counters: HashMap<PortAddr, PortCounters>,
+    /// Frames emitted on ports with no link attached.
+    pub dropped_unconnected: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Create an empty simulation.
+    pub fn new() -> Engine {
+        Engine {
+            now: SimTime::ZERO,
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            counters: HashMap::new(),
+            dropped_unconnected: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Wire two ports together bidirectionally with the given one-way
+    /// latency and bandwidth. Panics if either port is already wired.
+    pub fn connect(&mut self, a: PortAddr, b: PortAddr, latency: SimDuration, gbps: f64) {
+        assert!(gbps > 0.0, "link bandwidth must be positive");
+        let prev = self.links.insert(a, LinkEnd { peer: b, latency, gbps });
+        assert!(prev.is_none(), "port {a:?} already connected");
+        let prev = self.links.insert(b, LinkEnd { peer: a, latency, gbps });
+        assert!(prev.is_none(), "port {b:?} already connected");
+    }
+
+    /// Schedule a timer for a node at an absolute instant.
+    pub fn schedule_timer(&mut self, node: NodeId, at: SimTime, tag: u64) {
+        self.push(at, node, NodeEvent::Timer { tag });
+    }
+
+    /// Inject an external frame arriving at a node port at `at`.
+    pub fn inject(&mut self, at: SimTime, dst: PortAddr, frame: Vec<u8>) {
+        self.push(at, dst.node, NodeEvent::Packet { port: dst.port, frame });
+    }
+
+    fn push(&mut self, at: SimTime, node: NodeId, ev: NodeEvent) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(Reverse(Queued { at, seq: self.seq, node, ev }));
+        self.seq += 1;
+    }
+
+    /// Deliver events until the queue is empty or `until` is reached.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            let Reverse(q) = self.queue.pop().expect("peeked");
+            self.now = q.at;
+            if let NodeEvent::Packet { port, ref frame } = q.ev {
+                let c = self.counters.entry(PortAddr { node: q.node, port }).or_default();
+                c.rx_frames += 1;
+                c.rx_bytes += frame.len() as u64;
+            }
+            let mut out = Outbox { now: self.now, sends: Vec::new(), timers: Vec::new() };
+            self.nodes[q.node].on_event(q.ev, &mut out);
+            let Outbox { sends, timers, .. } = out;
+            for (src_port, frame) in sends {
+                let src = PortAddr { node: q.node, port: src_port };
+                let c = self.counters.entry(src).or_default();
+                c.tx_frames += 1;
+                c.tx_bytes += frame.len() as u64;
+                match self.links.get(&src).copied() {
+                    Some(link) => {
+                        let delay =
+                            link.latency + SimDuration::for_bytes_at_gbps(frame.len(), link.gbps);
+                        let at = self.now + delay;
+                        self.push(
+                            at,
+                            link.peer.node,
+                            NodeEvent::Packet { port: link.peer.port, frame },
+                        );
+                    }
+                    None => self.dropped_unconnected += 1,
+                }
+            }
+            for (at, tag) in timers {
+                let at = at.max(self.now);
+                self.push(at, q.node, NodeEvent::Timer { tag });
+            }
+            processed += 1;
+        }
+        if self.now < until {
+            self.now = until;
+        }
+        processed
+    }
+
+    /// Traffic counters for a port (zeroed default if it never saw traffic).
+    pub fn port_counters(&self, addr: PortAddr) -> PortCounters {
+        self.counters.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// Reset every traffic counter (e.g. after a warm-up phase).
+    pub fn reset_counters(&mut self) {
+        self.counters.clear();
+        self.dropped_unconnected = 0;
+    }
+
+    /// Borrow a node, downcast to its concrete type.
+    pub fn node_as<T: Node>(&self, id: NodeId) -> &T {
+        let any: &dyn Any = self.nodes[id].as_ref();
+        any.downcast_ref::<T>().expect("node type mismatch")
+    }
+
+    /// Mutably borrow a node, downcast to its concrete type.
+    pub fn node_as_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        let any: &mut dyn Any = self.nodes[id].as_mut();
+        any.downcast_mut::<T>().expect("node type mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every frame back out the port it arrived on, once.
+    struct Echo {
+        seen: u64,
+    }
+
+    impl Node for Echo {
+        fn on_event(&mut self, ev: NodeEvent, out: &mut Outbox) {
+            if let NodeEvent::Packet { port, frame } = ev {
+                self.seen += 1;
+                if self.seen == 1 {
+                    out.send(port, frame);
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    /// Sends one frame at t=1µs, records arrival times of responses.
+    struct Pinger {
+        arrivals: Vec<SimTime>,
+    }
+
+    impl Node for Pinger {
+        fn on_event(&mut self, ev: NodeEvent, out: &mut Outbox) {
+            match ev {
+                NodeEvent::Timer { .. } => out.send(0, vec![0u8; 100]),
+                NodeEvent::Packet { .. } => self.arrivals.push(out.now()),
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_with_latency_and_serialization() {
+        let mut engine = Engine::new();
+        let pinger = engine.add_node(Box::new(Pinger { arrivals: vec![] }));
+        let echo = engine.add_node(Box::new(Echo { seen: 0 }));
+        // 1 µs latency, 1 Gbps → 100-byte frame serializes in 800 ns.
+        engine.connect(port(pinger, 0), port(echo, 0), SimDuration::from_micros(1), 1.0);
+        engine.schedule_timer(pinger, SimTime(1_000), 0);
+        engine.run_until(SimTime(1_000_000));
+        let pinger_node = engine.node_as::<Pinger>(pinger);
+        assert_eq!(pinger_node.arrivals.len(), 1);
+        // 1000 (send) + 2 × (1000 latency + 800 serialization) = 4600.
+        assert_eq!(pinger_node.arrivals[0], SimTime(4_600));
+        assert_eq!(engine.node_as::<Echo>(echo).seen, 1);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut engine = Engine::new();
+        let pinger = engine.add_node(Box::new(Pinger { arrivals: vec![] }));
+        let echo = engine.add_node(Box::new(Echo { seen: 0 }));
+        engine.connect(port(pinger, 0), port(echo, 0), SimDuration::ZERO, 10.0);
+        engine.schedule_timer(pinger, SimTime::ZERO, 0);
+        engine.run_until(SimTime(1_000_000));
+        let p = engine.port_counters(port(pinger, 0));
+        assert_eq!(p.tx_frames, 1);
+        assert_eq!(p.tx_bytes, 100);
+        assert_eq!(p.rx_frames, 1);
+        let e = engine.port_counters(port(echo, 0));
+        assert_eq!(e.rx_bytes, 100);
+        assert_eq!(e.tx_bytes, 100);
+        engine.reset_counters();
+        assert_eq!(engine.port_counters(port(pinger, 0)), PortCounters::default());
+    }
+
+    #[test]
+    fn unconnected_port_counts_drops() {
+        let mut engine = Engine::new();
+        let pinger = engine.add_node(Box::new(Pinger { arrivals: vec![] }));
+        engine.schedule_timer(pinger, SimTime::ZERO, 0);
+        engine.run_until(SimTime(1_000));
+        assert_eq!(engine.dropped_unconnected, 1);
+    }
+
+    #[test]
+    fn equal_timestamps_preserve_insertion_order() {
+        struct Recorder {
+            tags: Vec<u64>,
+        }
+        impl Node for Recorder {
+            fn on_event(&mut self, ev: NodeEvent, _out: &mut Outbox) {
+                if let NodeEvent::Timer { tag } = ev {
+                    self.tags.push(tag);
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        let rec = engine.add_node(Box::new(Recorder { tags: vec![] }));
+        for tag in [3u64, 1, 4, 1, 5] {
+            engine.schedule_timer(rec, SimTime(100), tag);
+        }
+        engine.run_until(SimTime(100));
+        assert_eq!(engine.node_as::<Recorder>(rec).tags, vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut engine = Engine::new();
+        engine.run_until(SimTime(42));
+        assert_eq!(engine.now(), SimTime(42));
+    }
+
+    #[test]
+    fn inject_delivers_external_frames() {
+        let mut engine = Engine::new();
+        let echo = engine.add_node(Box::new(Echo { seen: 0 }));
+        engine.inject(SimTime(10), port(echo, 3), vec![1, 2, 3]);
+        engine.run_until(SimTime(20));
+        assert_eq!(engine.node_as::<Echo>(echo).seen, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut engine = Engine::new();
+        let a = engine.add_node(Box::new(Echo { seen: 0 }));
+        let b = engine.add_node(Box::new(Echo { seen: 0 }));
+        let c = engine.add_node(Box::new(Echo { seen: 0 }));
+        engine.connect(port(a, 0), port(b, 0), SimDuration::ZERO, 1.0);
+        engine.connect(port(a, 0), port(c, 0), SimDuration::ZERO, 1.0);
+    }
+}

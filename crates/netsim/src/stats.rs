@@ -1,0 +1,262 @@
+//! Measurement helpers: throughput meters, latency histograms, summaries.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Measures goodput in bits/second over a window of simulated time.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    start: SimTime,
+    bytes: u64,
+}
+
+impl ThroughputMeter {
+    /// Start measuring at `start`.
+    pub fn new(start: SimTime) -> ThroughputMeter {
+        ThroughputMeter { start, bytes: 0 }
+    }
+
+    /// Record `bytes` of delivered payload.
+    pub fn record(&mut self, bytes: u64) {
+        self.bytes += bytes;
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Mean throughput in megabits/second up to `now`.
+    pub fn mbps(&self, now: SimTime) -> f64 {
+        let secs = now.since(self.start).as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.bytes as f64 * 8.0) / secs / 1e6
+    }
+
+    /// Restart the window at `now`.
+    pub fn reset(&mut self, now: SimTime) {
+        self.start = now;
+        self.bytes = 0;
+    }
+}
+
+/// A latency sample collector with percentile queries — backs the boxen
+/// plot of Figure 15b.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Empty collector.
+    pub fn new() -> LatencyStats {
+        LatencyStats::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0.0..=100.0), or zero if empty.
+    pub fn percentile(&mut self, p: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64) as usize;
+        SimDuration::from_nanos(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.samples.iter().sum::<u64>() / self.samples.len() as u64)
+    }
+
+    /// Minimum sample.
+    pub fn min(&mut self) -> SimDuration {
+        self.ensure_sorted();
+        SimDuration::from_nanos(self.samples.first().copied().unwrap_or(0))
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> SimDuration {
+        self.ensure_sorted();
+        SimDuration::from_nanos(self.samples.last().copied().unwrap_or(0))
+    }
+
+    /// Fraction of samples at or below `threshold`.
+    pub fn fraction_below(&self, threshold: SimDuration) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples.iter().filter(|&&s| s <= threshold.as_nanos()).count();
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// A five-number summary `(min, p25, p50, p75, max)` for boxen-style
+    /// reporting.
+    pub fn summary(&mut self) -> (SimDuration, SimDuration, SimDuration, SimDuration, SimDuration) {
+        (
+            self.min(),
+            self.percentile(25.0),
+            self.percentile(50.0),
+            self.percentile(75.0),
+            self.max(),
+        )
+    }
+}
+
+/// A windowed time series: mean value per fixed-size bucket of simulated
+/// time (e.g. "average PRB utilization per second" for Figure 10c).
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket: SimDuration,
+    acc: Vec<(f64, u64)>,
+}
+
+impl TimeSeries {
+    /// A series with `bucket`-sized windows starting at t=0.
+    pub fn new(bucket: SimDuration) -> TimeSeries {
+        assert!(bucket.as_nanos() > 0);
+        TimeSeries { bucket, acc: Vec::new() }
+    }
+
+    /// Record a sample at `at`.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        let idx = (at.as_nanos() / self.bucket.as_nanos()) as usize;
+        if self.acc.len() <= idx {
+            self.acc.resize(idx + 1, (0.0, 0));
+        }
+        self.acc[idx].0 += value;
+        self.acc[idx].1 += 1;
+    }
+
+    /// Per-bucket means (empty buckets yield `None`).
+    pub fn means(&self) -> Vec<Option<f64>> {
+        self.acc
+            .iter()
+            .map(|(sum, n)| if *n > 0 { Some(sum / *n as f64) } else { None })
+            .collect()
+    }
+
+    /// Mean across every sample in the series.
+    pub fn overall_mean(&self) -> f64 {
+        let (sum, n) = self
+            .acc
+            .iter()
+            .fold((0.0, 0u64), |(s, c), (sum, n)| (s + sum, c + n));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_meter_basic() {
+        let mut m = ThroughputMeter::new(SimTime::ZERO);
+        m.record(125_000_000); // 1 Gbit
+        assert_eq!(m.mbps(SimTime(1_000_000_000)), 1000.0);
+        assert_eq!(m.bytes(), 125_000_000);
+        m.reset(SimTime(1_000_000_000));
+        assert_eq!(m.mbps(SimTime(2_000_000_000)), 0.0);
+    }
+
+    #[test]
+    fn throughput_meter_zero_window() {
+        let m = ThroughputMeter::new(SimTime(5));
+        assert_eq!(m.mbps(SimTime(5)), 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut l = LatencyStats::new();
+        for ns in 1..=100u64 {
+            l.record(SimDuration::from_nanos(ns));
+        }
+        assert_eq!(l.percentile(50.0).as_nanos(), 50);
+        assert_eq!(l.min().as_nanos(), 1);
+        assert_eq!(l.max().as_nanos(), 100);
+        assert_eq!(l.mean().as_nanos(), 50);
+        assert!((l.fraction_below(SimDuration::from_nanos(75)) - 0.75).abs() < 1e-9);
+        let (min, p25, p50, p75, max) = l.summary();
+        assert!(min <= p25 && p25 <= p50 && p50 <= p75 && p75 <= max);
+    }
+
+    #[test]
+    fn latency_empty_is_safe() {
+        let mut l = LatencyStats::new();
+        assert!(l.is_empty());
+        assert_eq!(l.percentile(99.0), SimDuration::ZERO);
+        assert_eq!(l.mean(), SimDuration::ZERO);
+        assert_eq!(l.fraction_below(SimDuration::from_micros(1)), 0.0);
+    }
+
+    #[test]
+    fn bimodal_distribution_like_figure_15b() {
+        // 75 % of UL packets are cheap cache ops (< 300 ns), 25 % are
+        // expensive merges (4–6 µs) — the fraction_below API exposes it.
+        let mut l = LatencyStats::new();
+        for _ in 0..75 {
+            l.record(SimDuration::from_nanos(200));
+        }
+        for _ in 0..25 {
+            l.record(SimDuration::from_micros(5));
+        }
+        assert!((l.fraction_below(SimDuration::from_nanos(300)) - 0.75).abs() < 1e-9);
+        assert_eq!(l.percentile(50.0).as_nanos(), 200);
+        assert!(l.percentile(90.0).as_micros_f64() > 4.0);
+    }
+
+    #[test]
+    fn time_series_buckets() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.record(SimTime(100), 10.0);
+        ts.record(SimTime(200), 20.0);
+        ts.record(SimTime(1_500_000_000), 30.0);
+        let means = ts.means();
+        assert_eq!(means.len(), 2);
+        assert_eq!(means[0], Some(15.0));
+        assert_eq!(means[1], Some(30.0));
+        assert_eq!(ts.overall_mean(), 20.0);
+    }
+
+    #[test]
+    fn time_series_sparse_buckets() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(1));
+        ts.record(SimTime(5_000_000), 1.0);
+        let means = ts.means();
+        assert_eq!(means.len(), 6);
+        assert_eq!(means[0], None);
+        assert_eq!(means[5], Some(1.0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Simulated time.
+//!
+//! The fronthaul lives on nanosecond-level synchronization (PTP/SyncE), so
+//! the simulation clock counts integer nanoseconds. [`SimTime`] is an
+//! absolute instant; [`SimDuration`] a span. Both are thin wrappers chosen
+//! over `std::time` types so that simulated time can never be confused
+//! with wall-clock time.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant on the simulated clock, in nanoseconds from start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since the origin.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration since an earlier instant (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds in this span.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds, as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Serialization time of `bytes` on a link of `gbps` gigabits/second.
+    pub fn for_bytes_at_gbps(bytes: usize, gbps: f64) -> SimDuration {
+        let ns = (bytes as f64 * 8.0) / gbps;
+        SimDuration(ns.ceil() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2}µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_micros(5);
+        assert_eq!(t.as_nanos(), 5_000);
+        let t2 = t + SimDuration::from_nanos(300);
+        assert_eq!((t2 - t).as_nanos(), 300);
+        assert_eq!(t2.since(t).as_nanos(), 300);
+        assert_eq!(t.since(t2), SimDuration::ZERO, "since is saturating");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_secs_f64(), 1.0);
+        assert_eq!(SimDuration::from_micros(7).as_micros_f64(), 7.0);
+    }
+
+    #[test]
+    fn serialization_delay() {
+        // 1500 bytes at 10 Gbps = 1.2 µs.
+        let d = SimDuration::for_bytes_at_gbps(1500, 10.0);
+        assert_eq!(d.as_nanos(), 1_200);
+        // 7644-byte jumbo frame at 25 Gbps ≈ 2.45 µs.
+        let d = SimDuration::for_bytes_at_gbps(7644, 25.0);
+        assert!((d.as_micros_f64() - 2.446).abs() < 0.01);
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: SimDuration =
+            [SimDuration::from_nanos(500), SimDuration::from_micros(1)].into_iter().sum();
+        assert_eq!(total.as_nanos(), 1_500);
+        assert_eq!(format!("{}", SimDuration::from_nanos(999)), "999ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(2)), "2.00µs");
+        assert_eq!(format!("{}", SimDuration::from_millis(3)), "3.000ms");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(5) < SimTime(6));
+        assert!(SimDuration::from_micros(1) > SimDuration::from_nanos(999));
+    }
+}

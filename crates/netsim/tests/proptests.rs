@@ -1,0 +1,143 @@
+//! Property tests over the simulator invariants: event ordering, counter
+//! conservation, statistics monotonicity, cost-model monotonicity.
+
+use proptest::prelude::*;
+use rb_netsim::cost::{CostModel, SlotDeadline, Work, XdpPlacement};
+use rb_netsim::engine::{port, Engine, Node, NodeEvent, Outbox};
+use rb_netsim::stats::LatencyStats;
+use rb_netsim::time::{SimDuration, SimTime};
+
+/// Records (time, tag) of every timer it sees.
+struct Recorder {
+    seen: Vec<(u64, u64)>,
+}
+
+impl Node for Recorder {
+    fn on_event(&mut self, ev: NodeEvent, out: &mut Outbox) {
+        if let NodeEvent::Timer { tag } = ev {
+            self.seen.push((out.now().as_nanos(), tag));
+        }
+    }
+}
+
+struct Sink {
+    bytes: u64,
+    frames: u64,
+}
+
+impl Node for Sink {
+    fn on_event(&mut self, ev: NodeEvent, _out: &mut Outbox) {
+        if let NodeEvent::Packet { frame, .. } = ev {
+            self.bytes += frame.len() as u64;
+            self.frames += 1;
+        }
+    }
+}
+
+/// Echoes frames out port 0 (for counter-conservation checks).
+struct Echo;
+impl Node for Echo {
+    fn on_event(&mut self, ev: NodeEvent, out: &mut Outbox) {
+        if let NodeEvent::Packet { frame, .. } = ev {
+            out.send(0, frame);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn timers_fire_in_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..50)) {
+        let mut engine = Engine::new();
+        let rec = engine.add_node(Box::new(Recorder { seen: vec![] }));
+        for (k, &t) in times.iter().enumerate() {
+            engine.schedule_timer(rec, SimTime(t), k as u64);
+        }
+        engine.run_until(SimTime(2_000_000));
+        let seen = &engine.node_as::<Recorder>(rec).seen;
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "non-decreasing delivery");
+        }
+        // Ties preserve insertion order.
+        for w in seen.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_counters_are_conserved(
+        sizes in proptest::collection::vec(1usize..2000, 1..30),
+        latency_us in 0u64..50,
+        gbps in 1u32..100,
+    ) {
+        let mut engine = Engine::new();
+        let echo = engine.add_node(Box::new(Echo));
+        let sink = engine.add_node(Box::new(Sink { bytes: 0, frames: 0 }));
+        engine.connect(
+            port(echo, 0),
+            port(sink, 0),
+            SimDuration::from_micros(latency_us),
+            gbps as f64,
+        );
+        let total: u64 = sizes.iter().map(|s| *s as u64).sum();
+        for (k, &s) in sizes.iter().enumerate() {
+            engine.inject(SimTime(k as u64 * 1000), port(echo, 0), vec![0u8; s]);
+        }
+        engine.run_until(SimTime(1_000_000_000));
+        let sink_node = engine.node_as::<Sink>(sink);
+        prop_assert_eq!(sink_node.frames, sizes.len() as u64);
+        prop_assert_eq!(sink_node.bytes, total);
+        let c = engine.port_counters(port(echo, 0));
+        prop_assert_eq!(c.tx_bytes, total);
+        prop_assert_eq!(engine.port_counters(port(sink, 0)).rx_bytes, total);
+        prop_assert_eq!(engine.dropped_unconnected, 0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_monotone(samples in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut stats = LatencyStats::new();
+        for s in &samples {
+            stats.record(SimDuration::from_nanos(*s));
+        }
+        let ps: Vec<_> = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0]
+            .iter()
+            .map(|p| stats.percentile(*p))
+            .collect();
+        for w in ps.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(ps[0], stats.min());
+        prop_assert_eq!(ps[ps.len() - 1], stats.max());
+        let max = stats.max();
+        let below_max = stats.fraction_below(max);
+        prop_assert!((below_max - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_grows_with_work_size(prbs in 1usize..400, streams in 1usize..8) {
+        let m = CostModel::dpdk();
+        let small = m.packet_cost(Work::MergeIq { prbs, streams }, XdpPlacement::Kernel);
+        let bigger = m.packet_cost(Work::MergeIq { prbs: prbs + 1, streams }, XdpPlacement::Kernel);
+        let more_streams = m.packet_cost(Work::MergeIq { prbs, streams: streams + 1 }, XdpPlacement::Kernel);
+        prop_assert!(bigger >= small);
+        prop_assert!(more_streams >= small);
+        let replicate = m.packet_cost(Work::Replicate { copies: streams }, XdpPlacement::Kernel);
+        let replicate_more = m.packet_cost(Work::Replicate { copies: streams + 1 }, XdpPlacement::Kernel);
+        prop_assert!(replicate_more >= replicate);
+    }
+
+    #[test]
+    fn cores_needed_is_consistent_with_meets(us in 1u64..500) {
+        let d = SlotDeadline::default();
+        let work = SimDuration::from_micros(us);
+        let n = d.cores_needed(work);
+        prop_assert!(d.meets(work, n));
+        if n > 1 {
+            prop_assert!(!d.meets(work, n - 1));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Link adaptation: SINR → spectral efficiency → rate.
+//!
+//! Real stacks run CQI→MCS tables; we use a Shannon-shaped curve capped by
+//! per-layer-count efficiency anchors calibrated directly to the paper's
+//! measured throughputs on srsRAN (the paper itself notes vendor stacks
+//! differ only by "implementation quality and cell configuration"):
+//!
+//! | anchor | paper measurement |
+//! |---|---|
+//! | 4-layer DL, 100 MHz, close range | 898.2 Mbps (Table 2) |
+//! | 2-layer DL, 100 MHz, close range | 653.4 Mbps (Table 2) |
+//! | 1-layer DL (DAS SISO), 100 MHz | ≈ 250 Mbps (Figure 13) |
+//! | SISO UL, 100 MHz | ≈ 70 Mbps (§6.2.2) |
+//! | 40 MHz 4-layer DL / UL | ≈ 330 / 25 Mbps (Figure 10b) |
+//!
+//! With the `DDDDDDDSUU` TDD pattern (75 % DL / 20 % UL), those imply the
+//! per-layer efficiency caps below.
+
+/// Maximum per-layer downlink spectral efficiency by layer count,
+/// bits/s/Hz, calibrated as documented in the module docs.
+pub fn dl_se_cap(layers: u8) -> f64 {
+    match layers {
+        0 => 0.0,
+        1 => 3.391,
+        2 => 4.432,
+        3 => 3.600,
+        _ => 3.046,
+    }
+}
+
+/// Maximum uplink (SISO) spectral efficiency, bits/s/Hz.
+pub const UL_SE_CAP: f64 = 3.561;
+
+/// Shannon-shaped per-layer downlink spectral efficiency at `sinr_db`,
+/// with transmit power split across `layers`.
+pub fn dl_se_per_layer(layers: u8, sinr_db: f64) -> f64 {
+    if layers == 0 {
+        return 0.0;
+    }
+    let sinr = 10f64.powf(sinr_db / 10.0) / layers as f64;
+    (1.0 + sinr).log2().min(dl_se_cap(layers))
+}
+
+/// Uplink spectral efficiency at `sinr_db`.
+pub fn ul_se(sinr_db: f64) -> f64 {
+    let sinr = 10f64.powf(sinr_db / 10.0);
+    (1.0 + sinr).log2().min(UL_SE_CAP)
+}
+
+/// Occupied bandwidth of `num_prb` PRBs at subcarrier spacing `scs_hz`.
+pub fn bandwidth_hz(num_prb: u16, scs_hz: u64) -> f64 {
+    num_prb as f64 * 12.0 * scs_hz as f64
+}
+
+/// Downlink PHY rate in bits/second for a full allocation of `num_prb`
+/// PRBs, `layers` spatial layers at `sinr_db`, scaled by the TDD downlink
+/// fraction.
+pub fn dl_rate_bps(num_prb: u16, scs_hz: u64, layers: u8, sinr_db: f64, dl_fraction: f64) -> f64 {
+    bandwidth_hz(num_prb, scs_hz) * dl_fraction * layers as f64 * dl_se_per_layer(layers, sinr_db)
+}
+
+/// Uplink PHY rate in bits/second (SISO).
+pub fn ul_rate_bps(num_prb: u16, scs_hz: u64, sinr_db: f64, ul_fraction: f64) -> f64 {
+    bandwidth_hz(num_prb, scs_hz) * ul_fraction * ul_se(sinr_db)
+}
+
+/// Downlink bits one slot's allocation of `prbs` PRBs carries at the given
+/// operating point (`slots_per_sec` = 2000 at μ=1).
+pub fn dl_bits_per_slot(prbs: u16, scs_hz: u64, layers: u8, sinr_db: f64) -> u64 {
+    // A full-slot allocation of the whole carrier for one slot carries
+    // rate / slots_per_sec at dl_fraction 1 (the TDD pattern already
+    // gates which slots are DL).
+    let slots_per_sec = scs_hz as f64 / 15_000.0 * 1000.0;
+    (dl_rate_bps(prbs, scs_hz, layers, sinr_db, 1.0) / slots_per_sec) as u64
+}
+
+/// Uplink bits one slot's allocation of `prbs` PRBs carries.
+pub fn ul_bits_per_slot(prbs: u16, scs_hz: u64, sinr_db: f64) -> u64 {
+    let slots_per_sec = scs_hz as f64 / 15_000.0 * 1000.0;
+    (ul_rate_bps(prbs, scs_hz, sinr_db, 1.0) / slots_per_sec) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCS: u64 = 30_000;
+    const HIGH_SINR: f64 = 40.0;
+    const DL_FRAC: f64 = 0.75;
+    const UL_FRAC: f64 = 0.20;
+
+    #[test]
+    fn table2_four_layer_anchor() {
+        let mbps = dl_rate_bps(273, SCS, 4, HIGH_SINR, DL_FRAC) / 1e6;
+        assert!((mbps - 898.2).abs() < 2.0, "got {mbps}");
+    }
+
+    #[test]
+    fn table2_two_layer_anchor() {
+        let mbps = dl_rate_bps(273, SCS, 2, HIGH_SINR, DL_FRAC) / 1e6;
+        assert!((mbps - 653.4).abs() < 2.0, "got {mbps}");
+    }
+
+    #[test]
+    fn das_siso_anchor() {
+        let mbps = dl_rate_bps(273, SCS, 1, HIGH_SINR, DL_FRAC) / 1e6;
+        assert!((mbps - 250.0).abs() < 2.0, "got {mbps}");
+    }
+
+    #[test]
+    fn siso_uplink_anchor() {
+        let mbps = ul_rate_bps(273, SCS, 35.0, UL_FRAC) / 1e6;
+        assert!((mbps - 70.0).abs() < 1.0, "got {mbps}");
+    }
+
+    #[test]
+    fn forty_mhz_anchors() {
+        let dl = dl_rate_bps(106, SCS, 4, HIGH_SINR, DL_FRAC) / 1e6;
+        let ul = ul_rate_bps(106, SCS, 35.0, UL_FRAC) / 1e6;
+        // Paper Fig 10b: ≈ 330 / 25 Mbps. Bandwidth scaling puts us within
+        // a few percent.
+        assert!((dl - 330.0).abs() < 25.0, "dl {dl}");
+        assert!((ul - 25.0).abs() < 3.0, "ul {ul}");
+    }
+
+    #[test]
+    fn twenty_five_mhz_caps_near_200() {
+        // Figure 11 O1: 25 MHz cells limit the mobile UE to ≈ 200 Mbps.
+        let dl = dl_rate_bps(65, SCS, 4, HIGH_SINR, DL_FRAC) / 1e6;
+        assert!(dl > 180.0 && dl < 230.0, "got {dl}");
+    }
+
+    #[test]
+    fn se_degrades_with_low_sinr() {
+        assert!(dl_se_per_layer(4, 5.0) < dl_se_cap(4));
+        assert!(dl_se_per_layer(4, 0.0) < dl_se_per_layer(4, 10.0));
+        assert_eq!(dl_se_per_layer(0, 30.0), 0.0);
+        assert!(ul_se(-5.0) < 0.5);
+    }
+
+    #[test]
+    fn interference_halves_throughput_sensibly() {
+        // At 0 dB SINR (equal-power interferer) a 4-layer link collapses
+        // far below its anchor — the Figure 11 O2 effect.
+        let clean = dl_rate_bps(273, SCS, 4, HIGH_SINR, DL_FRAC);
+        let jammed = dl_rate_bps(273, SCS, 4, 0.0, DL_FRAC);
+        assert!(jammed < clean * 0.15, "jammed {} clean {}", jammed / 1e6, clean / 1e6);
+    }
+
+    #[test]
+    fn per_slot_bits_are_consistent_with_rate() {
+        let bits = dl_bits_per_slot(273, SCS, 4, HIGH_SINR);
+        // 2000 slots/s at μ=1: rate = bits × 2000 × dl_fraction⁻¹ applied.
+        let rate = dl_rate_bps(273, SCS, 4, HIGH_SINR, 1.0);
+        assert!(((bits as f64 * 2000.0) - rate).abs() / rate < 0.01);
+        let ul_bits = ul_bits_per_slot(273, SCS, 35.0);
+        assert!(ul_bits > 0 && ul_bits < bits);
+    }
+}

@@ -1,0 +1,66 @@
+//! A live PRB-utilization dashboard (paper §4.4): the monitoring
+//! middlebox streams per-window utilization over the telemetry channel
+//! while the cell's load changes; an external "application" (this
+//! program) renders the feed.
+//!
+//! ```sh
+//! cargo run --release --example prb_dashboard
+//! ```
+
+use ranbooster::apps::prbmon::PrbMon;
+use ranbooster::core::host::MiddleboxHost;
+use ranbooster::core::telemetry::{self, TelemetryEvent};
+use ranbooster::radio::cell::CellConfig;
+use ranbooster::radio::channel::Position;
+use ranbooster::scenario::Deployment;
+
+fn main() {
+    let cell = CellConfig::mhz100(1, 3_460_000_000, 4);
+    let mut dep = Deployment::prbmon(cell, Position::new(10.0, 10.0, 0), 4);
+    let ue = dep.add_ue(Position::new(12.0, 10.0, 0), 4);
+
+    // Subscribe to the middlebox's telemetry feed — this is the §4.4
+    // "external application" side of the interface.
+    let (tx, rx) = telemetry::channel("prbmon");
+    dep.engine
+        .node_as_mut::<MiddleboxHost<PrbMon>>(dep.mbs[0])
+        .set_telemetry(tx);
+
+    // Phase 1: light browsing traffic.
+    dep.set_demand(0, ue, 80e6, 5e6);
+    dep.run_ms(400);
+    // Phase 2: a large download kicks in.
+    dep.set_demand(0, ue, 700e6, 10e6);
+    dep.run_ms(800);
+    // Phase 3: (nearly) idle again.
+    dep.set_demand(0, ue, 1e6, 1e6);
+    dep.run_ms(1200);
+
+    println!("live downlink PRB utilization from the telemetry stream");
+    println!("(1 ms reporting windows, shown every 25 ms; bar = 2 %):\n");
+    let mut last_bucket = u64::MAX;
+    for record in rx.drain() {
+        let TelemetryEvent::PrbUtilization { downlink: true, utilized, total } = record.event
+        else {
+            continue;
+        };
+        let bucket = record.at_ns / 25_000_000;
+        if bucket == last_bucket {
+            continue;
+        }
+        last_bucket = bucket;
+        let util = utilized as f64 / total.max(1) as f64;
+        let bar = "#".repeat((util * 50.0).round() as usize);
+        println!(
+            "{:>6.0} ms |{:<50}| {:>5.1} %",
+            record.at_ns as f64 / 1e6,
+            bar,
+            util * 100.0
+        );
+    }
+    println!(
+        "\nphases: 0-400 ms light (80 Mbps), 400-800 ms heavy (700 Mbps), 800-1200 ms idle.\n\
+         The estimate reacts within one reporting window — sub-millisecond\n\
+         granularity that the coarse KPI feeds the paper criticizes cannot offer."
+    );
+}

@@ -1,0 +1,130 @@
+//! SR-IOV middlebox chaining limits (paper §5, Figure 8): chains are
+//! bounded by PCIe throughput and by the latency each VF hop adds to the
+//! DU's slot-processing budget. These tests drive frames through chains
+//! of increasing depth on one emulated NIC and check both effects.
+
+use ranbooster::core::chain::{build_chain, ChainSpec};
+use ranbooster::core::host::MiddleboxHost;
+use ranbooster::core::middlebox::Passthrough;
+use ranbooster::fronthaul::bfp::CompressionMethod;
+use ranbooster::fronthaul::cplane::{CPlaneRepr, SectionFields};
+use ranbooster::fronthaul::eaxc::{Eaxc, EaxcMapping};
+use ranbooster::fronthaul::ether::EthernetAddress;
+use ranbooster::fronthaul::msg::{Body, FhMessage};
+use ranbooster::fronthaul::timing::SymbolId;
+use ranbooster::fronthaul::Direction;
+use ranbooster::netsim::cost::CostModel;
+use ranbooster::netsim::engine::{port, Engine, Node, NodeEvent, Outbox};
+use ranbooster::netsim::nic::{SriovNic, PHYS_PORT};
+use ranbooster::netsim::time::{SimDuration, SimTime};
+
+fn mac(last: u8) -> EthernetAddress {
+    EthernetAddress::new(2, 0, 0, 0, 0, last)
+}
+
+struct Sink {
+    arrivals: Vec<SimTime>,
+}
+impl Node for Sink {
+    fn on_event(&mut self, ev: NodeEvent, out: &mut Outbox) {
+        if let NodeEvent::Packet { .. } = ev {
+            self.arrivals.push(out.now());
+        }
+    }
+}
+
+fn frame(dst: EthernetAddress) -> Vec<u8> {
+    FhMessage::new(
+        mac(1),
+        dst,
+        Eaxc::port(0),
+        0,
+        Body::CPlane(CPlaneRepr::single(
+            Direction::Downlink,
+            SymbolId::ZERO,
+            CompressionMethod::BFP9,
+            SectionFields::data(0, 0, 100, 14),
+        )),
+    )
+    .to_bytes(&EaxcMapping::DEFAULT)
+    .unwrap()
+}
+
+/// Build a depth-N passthrough chain; return end-to-end latency of one
+/// frame and the NIC's PCIe byte count.
+fn run_chain(depth: usize, pcie_gbps: f64) -> (SimDuration, u64) {
+    let mut engine = Engine::new();
+    // mb k listens at mac(10+k), forwards to mac(10+k+1); the last hop
+    // goes to the wire-side sink at mac(99).
+    let hosts: Vec<(Box<dyn Node>, EthernetAddress)> = (0..depth)
+        .map(|k| {
+            let own = mac(10 + k as u8);
+            let next = if k + 1 == depth { mac(99) } else { mac(10 + k as u8 + 1) };
+            let host = MiddleboxHost::new(
+                Passthrough::new(format!("mb{k}"), own, next),
+                own,
+                CostModel::dpdk(),
+                1,
+            );
+            (Box::new(host) as Box<dyn Node>, own)
+        })
+        .collect();
+    let spec = ChainSpec { pcie_gbps, ..ChainSpec::default() };
+    let chain = build_chain(&mut engine, "depth", spec, hosts);
+    let sink = engine.add_node(Box::new(Sink { arrivals: vec![] }));
+    engine.connect(chain.phys, port(sink, 0), SimDuration::ZERO, 100.0);
+    engine.node_as_mut::<SriovNic>(chain.nic).learn_static(mac(99), PHYS_PORT);
+
+    let t0 = SimTime(1_000);
+    engine.inject(t0, chain.phys, frame(mac(10)));
+    engine.run_until(SimTime(100_000_000));
+    let sink_node = engine.node_as::<Sink>(sink);
+    assert_eq!(sink_node.arrivals.len(), 1, "frame traversed the depth-{depth} chain");
+    let pcie = engine.node_as::<SriovNic>(chain.nic).pcie_bytes;
+    (sink_node.arrivals[0] - t0, pcie)
+}
+
+#[test]
+fn latency_grows_linearly_with_chain_depth() {
+    let mut prev = SimDuration::ZERO;
+    let mut per_hop = Vec::new();
+    for depth in 1..=6 {
+        let (lat, _) = run_chain(depth, 126.0);
+        assert!(lat > prev, "depth {depth}: {lat} > {prev}");
+        per_hop.push(lat.as_nanos().saturating_sub(prev.as_nanos()));
+        prev = lat;
+    }
+    // Each extra middlebox adds ~one VF round trip (≈ 2 µs in the spec).
+    for (k, hop) in per_hop.iter().enumerate().skip(1) {
+        assert!(
+            (800..4_000).contains(hop),
+            "hop {k} adds {hop} ns (expected ~1-2 µs per chained middlebox)"
+        );
+    }
+    // §5: the total must stay within the few-tens-of-µs slot headroom for
+    // practical chain lengths.
+    assert!(prev.as_micros_f64() < 30.0, "6-deep chain still fits the budget: {prev}");
+}
+
+#[test]
+fn pcie_bytes_scale_with_depth() {
+    let len = frame(mac(10)).len() as u64;
+    let (_, pcie2) = run_chain(2, 126.0);
+    let (_, pcie5) = run_chain(5, 126.0);
+    // Hops: wire→VF1, VF1→VF2, …, VFn→wire = depth+1 crossings, each
+    // moving one frame across the bus.
+    assert_eq!(pcie2, 3 * len);
+    assert_eq!(pcie5, 6 * len);
+}
+
+#[test]
+fn pcie_saturation_inflates_latency() {
+    // A starved PCIe pipe (0.05 Gbps): queueing dominates and the same
+    // chain takes far longer — the §5 bottleneck made visible.
+    let (fast, _) = run_chain(3, 126.0);
+    let (slow, _) = run_chain(3, 0.05);
+    assert!(
+        slow.as_nanos() > fast.as_nanos() * 5,
+        "saturated PCIe: {slow} vs {fast}"
+    );
+}

@@ -1,0 +1,119 @@
+//! Failure injection: what happens when the fronthaul misbehaves.
+//!
+//! The medium only credits throughput for spectrum that actually radiated,
+//! so injected faults must surface as measurable degradation — these tests
+//! pin down that the emulation (and the middleboxes) fail loudly, not
+//! silently.
+
+use ranbooster::apps::das::Das;
+use ranbooster::core::host::MiddleboxHost;
+use ranbooster::core::mgmt::{Match, PlaneMatch, Rule, RuleAction};
+use ranbooster::fronthaul::Direction;
+use ranbooster::radio::cell::CellConfig;
+use ranbooster::radio::channel::Position;
+use ranbooster::radio::medium::UeAttach;
+use ranbooster::scenario::{ru_mac, Deployment};
+
+const CENTER: i64 = 3_460_000_000;
+
+fn das_deployment(seed: u64) -> (Deployment, usize) {
+    let rus: Vec<Position> = (0..3).map(|f| Position::new(25.0, 10.0, f)).collect();
+    let mut dep = Deployment::das(CellConfig::mhz100(1, CENTER, 4), &rus, seed);
+    let ue = dep.add_ue(Position::new(27.0, 10.0, 1), 4);
+    (dep, ue)
+}
+
+#[test]
+fn dropping_uplink_stalls_merges_but_not_downlink() {
+    let (mut dep, ue) = das_deployment(61);
+    // Healthy warm-up.
+    dep.run_ms(250);
+    assert_eq!(dep.ue_stats(ue).attach, UeAttach::Attached(1));
+    let healthy = dep.measure_mbps(300, 450);
+    assert!(healthy[ue].1 > 50.0, "healthy uplink {}", healthy[ue].1);
+
+    // Management plane injects a rule: drop everything the middlebox
+    // would send to the DU (the merged uplink).
+    {
+        let host = dep.engine.node_as_mut::<MiddleboxHost<Das>>(dep.mbs[0]);
+        host.rules().write().push(Rule {
+            matcher: Match {
+                direction: Some(Direction::Uplink),
+                plane: Some(PlaneMatch::U),
+                ..Match::any()
+            },
+            action: RuleAction::Drop,
+        });
+    }
+    let faulty = dep.measure_mbps(500, 650);
+    assert!(faulty[ue].1 < 1.0, "uplink dead under fault: {}", faulty[ue].1);
+    assert!(faulty[ue].0 > 700.0, "downlink unaffected: {}", faulty[ue].0);
+    let host = dep.engine.node_as::<MiddleboxHost<Das>>(dep.mbs[0]);
+    assert!(host.stats.rule_drops > 100, "drops accounted: {}", host.stats.rule_drops);
+}
+
+#[test]
+fn dropping_one_ru_uplink_starves_the_das_merge() {
+    // Kill only RU 2's uplink: the DAS merge condition (all RUs present)
+    // can never complete, so the whole cell's uplink stalls and the cache
+    // churns — the failure mode the paper's resilience discussion (§8.1)
+    // wants to detect from inter-packet gaps.
+    let (mut dep, ue) = das_deployment(62);
+    dep.run_ms(250);
+    assert_eq!(dep.ue_stats(ue).attach, UeAttach::Attached(1));
+    {
+        let host = dep.engine.node_as_mut::<MiddleboxHost<Das>>(dep.mbs[0]);
+        host.rules().write().push(Rule {
+            matcher: Match { dst: Some(ru_mac(2)), ..Match::any() },
+            action: RuleAction::Drop,
+        });
+    }
+    let faulty = dep.measure_mbps(450, 600);
+    assert!(faulty[ue].1 < 1.0, "merge starved: ul {}", faulty[ue].1);
+    // The symbol cache keeps evicting incomplete keys instead of leaking.
+    let host = dep.engine.node_as::<MiddleboxHost<Das>>(dep.mbs[0]);
+    let das = host.middlebox();
+    assert!(das.stats.ul_cached > 0);
+}
+
+#[test]
+fn steering_fault_redirects_downlink_into_the_void() {
+    // Rewrite the DL destination to a nonexistent MAC: frames flood the
+    // switch, every VF filter rejects them, throughput collapses, and the
+    // medium's unradiated counter exposes the loss.
+    let (mut dep, ue) = das_deployment(63);
+    dep.run_ms(250);
+    {
+        let host = dep.engine.node_as_mut::<MiddleboxHost<Das>>(dep.mbs[0]);
+        host.rules().write().push(Rule {
+            matcher: Match {
+                direction: Some(Direction::Downlink),
+                plane: Some(PlaneMatch::U),
+                ..Match::any()
+            },
+            action: RuleAction::SetDst(ranbooster::scenario::mac(9, 9)),
+        });
+    }
+    let faulty = dep.measure_mbps(450, 600);
+    assert!(faulty[ue].0 < 1.0, "downlink dead: {}", faulty[ue].0);
+    assert!(dep.medium.lock().counters.dl_unradiated > 100, "loss is visible");
+}
+
+#[test]
+fn recovery_after_rule_removal() {
+    // Fault, then clear the rule table: service must come back without
+    // restarting anything (the on-the-fly reconfiguration story).
+    let (mut dep, ue) = das_deployment(64);
+    dep.run_ms(250);
+    let rules = {
+        let host = dep.engine.node_as_mut::<MiddleboxHost<Das>>(dep.mbs[0]);
+        host.rules()
+    };
+    rules.write().push(Rule { matcher: Match::any(), action: RuleAction::Drop });
+    let faulty = dep.measure_mbps(400, 500);
+    assert!(faulty[ue].0 < 1.0);
+    rules.write().replace(vec![]);
+    let recovered = dep.measure_mbps(700, 850);
+    assert!(recovered[ue].0 > 700.0, "service restored: {}", recovered[ue].0);
+    assert!(recovered[ue].1 > 50.0, "uplink restored: {}", recovered[ue].1);
+}

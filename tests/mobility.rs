@@ -1,0 +1,66 @@
+//! Mobility across cells: a UE walking a multi-cell floor (the Figure 11
+//! O1 setting) hands over between cells and keeps service; under a DAS
+//! (O3) the same walk needs no handovers at all — the paper's
+//! "handover-free mobility" claim.
+
+use ranbooster::radio::cell::CellConfig;
+use ranbooster::radio::channel::Position;
+use ranbooster::radio::medium::UeAttach;
+use ranbooster::scenario::{floor_ru_positions, Deployment};
+
+fn walk(dep: &mut Deployment, ue: usize) -> Vec<f64> {
+    let mut rates = Vec::new();
+    let mut now = 250u64;
+    dep.run_ms(now);
+    for x in [4.0, 14.0, 25.0, 36.0, 46.0] {
+        dep.move_ue(ue, Position::new(x, 10.0, 0));
+        now += 250;
+        dep.run_ms(now);
+        let before = dep.ue_stats(ue).dl_bits;
+        now += 150;
+        dep.run_ms(now);
+        rates.push((dep.ue_stats(ue).dl_bits - before) as f64 / 0.15 / 1e6);
+    }
+    rates
+}
+
+#[test]
+fn multi_cell_walk_hands_over_and_keeps_service() {
+    // Four 25 MHz cells on disjoint frequencies, one per RU (O1).
+    let cells: Vec<(CellConfig, Position)> = floor_ru_positions(0)
+        .into_iter()
+        .enumerate()
+        .map(|(k, pos)| {
+            (CellConfig::mhz25(k as u16 + 1, 3_430_000_000 + k as i64 * 25_000_000, 4), pos)
+        })
+        .collect();
+    let mut dep = Deployment::multi_cell(cells, 95);
+    let ue = dep.add_ue(Position::new(4.0, 10.0, 0), 4);
+    for du in 0..4 {
+        dep.set_demand(du, ue, 150e6, 2e6);
+    }
+    let rates = walk(&mut dep, ue);
+    let st = dep.ue_stats(ue);
+    assert!(st.handovers >= 2, "walking the floor crosses cells: {} handovers", st.handovers);
+    assert!(matches!(st.attach, UeAttach::Attached(_)));
+    // Service held at every measured position (some loss near edges OK).
+    for (k, r) in rates.iter().enumerate() {
+        assert!(*r > 80.0, "position {k}: {r} Mbps");
+    }
+}
+
+#[test]
+fn das_walk_is_handover_free() {
+    let cell = CellConfig::mhz100(1, 3_460_000_000, 4);
+    let mut dep = Deployment::das(cell, &floor_ru_positions(0), 96);
+    let ue = dep.add_ue(Position::new(4.0, 10.0, 0), 4);
+    dep.set_demand(0, ue, 150e6, 2e6);
+    let rates = walk(&mut dep, ue);
+    let st = dep.ue_stats(ue);
+    assert_eq!(st.handovers, 0, "one cell, no handovers");
+    assert_eq!(st.detaches, 0);
+    assert_eq!(st.attaches, 1);
+    for (k, r) in rates.iter().enumerate() {
+        assert!((r - 150.0).abs() < 20.0, "position {k}: {r} Mbps");
+    }
+}
