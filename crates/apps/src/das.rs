@@ -135,10 +135,7 @@ impl Middlebox for Das {
     fn on_uplane(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
         if msg.eth.src == self.cfg.du_mac {
             // Downlink IQ: replicate to all RUs.
-            ctx.charge(
-                Work::Replicate { copies: self.cfg.ru_macs.len() },
-                XdpPlacement::Userspace,
-            );
+            ctx.charge(Work::Replicate { copies: self.cfg.ru_macs.len() }, XdpPlacement::Userspace);
             return self.fan_out(&msg);
         }
         if !self.cfg.ru_macs.contains(&msg.eth.src) {
@@ -237,7 +234,8 @@ mod tests {
         for (k, s) in prb.0.iter_mut().enumerate() {
             *s = IqSample::new(amp, -(amp / 2) + k as i16);
         }
-        let section = USection::from_prbs(0, 0, &[prb; 4], CompressionMethod::NoCompression).unwrap();
+        let section =
+            USection::from_prbs(0, 0, &[prb; 4], CompressionMethod::NoCompression).unwrap();
         FhMessage::new(
             src,
             mac(10),

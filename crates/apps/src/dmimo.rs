@@ -111,10 +111,11 @@ impl Dmimo {
 
     /// Map (RU index, local port) to the virtual port.
     pub fn to_virtual(&self, ru_idx: usize, local_port: u8) -> Option<u8> {
-        if ru_idx >= self.cfg.rus.len() || local_port >= self.cfg.rus[ru_idx].ports {
+        let ru = self.cfg.rus.get(ru_idx)?;
+        if local_port >= ru.ports {
             return None;
         }
-        let base: u8 = self.cfg.rus[..ru_idx].iter().map(|r| r.ports).sum();
+        let base: u8 = self.cfg.rus.get(..ru_idx)?.iter().map(|r| r.ports).sum();
         Some(base + local_port)
     }
 
@@ -143,6 +144,10 @@ impl Dmimo {
             self.stats.bad_port += 1;
             return Vec::new();
         };
+        let Some(ru_mac) = self.cfg.rus.get(ru_idx).map(|r| r.mac) else {
+            self.stats.bad_port += 1;
+            return Vec::new();
+        };
         ctx.charge(Work::InspectHeaders { prbs: 0 }, XdpPlacement::Kernel);
 
         let mut out = Vec::new();
@@ -150,7 +155,8 @@ impl Dmimo {
         // *other* radio's local port 0.
         if self.cfg.ssb_copy && virtual_port == 0 {
             let ssb = self.ssb_sections(&msg);
-            if !ssb.is_empty() {
+            if let Some(first) = ssb.first() {
+                let ssb_prbs = first.num_prb() as usize;
                 for (k, ru) in self.cfg.rus.iter().enumerate() {
                     if k == ru_idx {
                         continue;
@@ -164,15 +170,12 @@ impl Dmimo {
                     self.stats.ssb_copies += 1;
                     out.push(copy);
                 }
-                ctx.charge(
-                    Work::InspectHeaders { prbs: ssb[0].num_prb() as usize },
-                    XdpPlacement::Kernel,
-                );
+                ctx.charge(Work::InspectHeaders { prbs: ssb_prbs }, XdpPlacement::Kernel);
             }
         }
 
         msg.eaxc = msg.eaxc.with_ru_port(local);
-        actions::redirect(&mut msg, self.cfg.mb_mac, self.cfg.rus[ru_idx].mac);
+        actions::redirect(&mut msg, self.cfg.mb_mac, ru_mac);
         self.stats.dl_remapped += 1;
         out.push(msg);
         out
@@ -269,9 +272,13 @@ mod tests {
     }
 
     fn dl_uplane(port: u8, start_prb: u16, num: u16) -> FhMessage {
-        let section =
-            USection::from_prbs(0, start_prb, &vec![Prb::ZERO; num as usize], CompressionMethod::BFP9)
-                .unwrap();
+        let section = USection::from_prbs(
+            0,
+            start_prb,
+            &vec![Prb::ZERO; num as usize],
+            CompressionMethod::BFP9,
+        )
+        .unwrap();
         FhMessage::new(
             mac(1),
             mac(10),

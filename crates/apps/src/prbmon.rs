@@ -169,7 +169,9 @@ impl PrbMon {
             .reports
             .iter()
             .filter(|r| {
-                r.direction == direction && r.window_start_ns >= from_ns && r.window_start_ns < to_ns
+                r.direction == direction
+                    && r.window_start_ns >= from_ns
+                    && r.window_start_ns < to_ns
             })
             .fold((0u64, 0.0f64), |(u, e), r| (u + r.utilized_prbs, e + r.expected_prbs));
         if expected <= 0.0 {
@@ -334,11 +336,7 @@ mod tests {
         PrbMon::new("mon", PrbMonConfig::standard(mac(10), mac(1), mac(9), 10))
     }
 
-    fn ctx_at<'a>(
-        cache: &'a mut SymbolCache,
-        tel: &'a TelemetrySender,
-        ns: u64,
-    ) -> MbContext<'a> {
+    fn ctx_at<'a>(cache: &'a mut SymbolCache, tel: &'a TelemetrySender, ns: u64) -> MbContext<'a> {
         MbContext {
             now: SimTime(ns),
             cache,
@@ -357,7 +355,13 @@ mod tests {
     }
 
     /// A U-plane with `loud` active PRBs followed by `quiet` zero PRBs.
-    fn uplane(direction: Direction, src: EthernetAddress, loud: usize, quiet: usize, port: u8) -> FhMessage {
+    fn uplane(
+        direction: Direction,
+        src: EthernetAddress,
+        loud: usize,
+        quiet: usize,
+        port: u8,
+    ) -> FhMessage {
         let mut prbs = vec![loud_prb(); loud];
         prbs.extend(vec![Prb::ZERO; quiet]);
         let section = USection::from_prbs(0, 0, &prbs, CompressionMethod::BFP9).unwrap();
@@ -375,9 +379,11 @@ mod tests {
         let mut mb = monitor();
         let mut cache = SymbolCache::new(8);
         let tel = TelemetrySender::disconnected("t");
-        let out = mb.handle(&mut ctx_at(&mut cache, &tel, 0), uplane(Direction::Downlink, mac(1), 2, 2, 0));
+        let out = mb
+            .handle(&mut ctx_at(&mut cache, &tel, 0), uplane(Direction::Downlink, mac(1), 2, 2, 0));
         assert_eq!(out[0].eth.dst, mac(9), "DU→RU");
-        let out = mb.handle(&mut ctx_at(&mut cache, &tel, 0), uplane(Direction::Uplink, mac(9), 2, 2, 0));
+        let out =
+            mb.handle(&mut ctx_at(&mut cache, &tel, 0), uplane(Direction::Uplink, mac(9), 2, 2, 0));
         assert_eq!(out[0].eth.dst, mac(1), "RU→DU");
         assert_eq!(mb.stats.forwarded, 2);
     }
@@ -401,7 +407,8 @@ mod tests {
         let mut mb = monitor();
         let mut cache = SymbolCache::new(8);
         let tel = TelemetrySender::disconnected("t");
-        let out = mb.handle(&mut ctx_at(&mut cache, &tel, 0), uplane(Direction::Downlink, mac(1), 3, 0, 2));
+        let out = mb
+            .handle(&mut ctx_at(&mut cache, &tel, 0), uplane(Direction::Downlink, mac(1), 3, 0, 2));
         assert_eq!(out.len(), 1);
         assert_eq!(mb.stats.inspected, 0);
         assert_eq!(mb.dl.utilized_prbs, 0);
@@ -414,7 +421,10 @@ mod tests {
         let mut cache = SymbolCache::new(8);
         mb.handle(&mut ctx_at(&mut cache, &tx, 0), uplane(Direction::Downlink, mac(1), 5, 5, 0));
         // Crossing the 1 ms boundary flushes the previous window.
-        mb.handle(&mut ctx_at(&mut cache, &tx, 1_100_000), uplane(Direction::Downlink, mac(1), 5, 5, 0));
+        mb.handle(
+            &mut ctx_at(&mut cache, &tx, 1_100_000),
+            uplane(Direction::Downlink, mac(1), 5, 5, 0),
+        );
         assert_eq!(mb.reports.len(), 2, "one DL + one UL report");
         let dl = mb.reports.iter().find(|r| r.direction == Direction::Downlink).unwrap();
         assert!(dl.utilization > 0.0);
@@ -434,7 +444,10 @@ mod tests {
         let mut cache = SymbolCache::new(8);
         let tel = TelemetrySender::disconnected("t");
         mb.handle(&mut ctx_at(&mut cache, &tel, 0), uplane(Direction::Downlink, mac(1), 10, 0, 0));
-        mb.handle(&mut ctx_at(&mut cache, &tel, 2_000_000), uplane(Direction::Downlink, mac(1), 0, 1, 0));
+        mb.handle(
+            &mut ctx_at(&mut cache, &tel, 2_000_000),
+            uplane(Direction::Downlink, mac(1), 0, 1, 0),
+        );
         let dl = mb.reports.iter().find(|r| r.direction == Direction::Downlink).unwrap();
         // expected symbols/ms = 21; 10 of 21×10 PRBs utilized ≈ 4.8 %.
         assert!(dl.utilization < 0.1, "got {}", dl.utilization);
@@ -457,7 +470,10 @@ mod tests {
         let mut mb = monitor();
         let mut cache = SymbolCache::new(8);
         let tel = TelemetrySender::disconnected("t");
-        let out = mb.handle(&mut ctx_at(&mut cache, &tel, 0), uplane(Direction::Downlink, mac(77), 1, 0, 0));
+        let out = mb.handle(
+            &mut ctx_at(&mut cache, &tel, 0),
+            uplane(Direction::Downlink, mac(77), 1, 0, 0),
+        );
         assert!(out.is_empty());
     }
 
@@ -465,9 +481,30 @@ mod tests {
     fn mean_utilization_selector() {
         let mut mb = monitor();
         mb.reports = vec![
-            UtilizationReport { window_start_ns: 0, direction: Direction::Downlink, utilization: 0.2, observed_symbols: 1, utilized_prbs: 20, expected_prbs: 100.0 },
-            UtilizationReport { window_start_ns: 1_000_000, direction: Direction::Downlink, utilization: 0.4, observed_symbols: 1, utilized_prbs: 40, expected_prbs: 100.0 },
-            UtilizationReport { window_start_ns: 1_000_000, direction: Direction::Uplink, utilization: 0.9, observed_symbols: 1, utilized_prbs: 90, expected_prbs: 100.0 },
+            UtilizationReport {
+                window_start_ns: 0,
+                direction: Direction::Downlink,
+                utilization: 0.2,
+                observed_symbols: 1,
+                utilized_prbs: 20,
+                expected_prbs: 100.0,
+            },
+            UtilizationReport {
+                window_start_ns: 1_000_000,
+                direction: Direction::Downlink,
+                utilization: 0.4,
+                observed_symbols: 1,
+                utilized_prbs: 40,
+                expected_prbs: 100.0,
+            },
+            UtilizationReport {
+                window_start_ns: 1_000_000,
+                direction: Direction::Uplink,
+                utilization: 0.9,
+                observed_symbols: 1,
+                utilized_prbs: 90,
+                expected_prbs: 100.0,
+            },
         ];
         let m = mb.mean_utilization(Direction::Downlink, 0, 2_000_000);
         assert!((m - 0.3).abs() < 1e-9);

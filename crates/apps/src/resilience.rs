@@ -213,11 +213,7 @@ mod tests {
         )
     }
 
-    fn ctx_at<'a>(
-        cache: &'a mut SymbolCache,
-        tel: &'a TelemetrySender,
-        ns: u64,
-    ) -> MbContext<'a> {
+    fn ctx_at<'a>(cache: &'a mut SymbolCache, tel: &'a TelemetrySender, ns: u64) -> MbContext<'a> {
         MbContext {
             now: SimTime(ns),
             cache,
@@ -258,11 +254,14 @@ mod tests {
         assert_eq!(r.stats.failovers, 1);
         // Uplink now steers to the standby; standby DL passes; primary
         // (if it babbles) is absorbed.
-        let out = r.handle(&mut ctx_at(&mut cache, &tel, 4_000_000), msg(mac(9), Direction::Uplink));
+        let out =
+            r.handle(&mut ctx_at(&mut cache, &tel, 4_000_000), msg(mac(9), Direction::Uplink));
         assert_eq!(out[0].eth.dst, mac(2));
-        let out = r.handle(&mut ctx_at(&mut cache, &tel, 4_000_000), msg(mac(2), Direction::Downlink));
+        let out =
+            r.handle(&mut ctx_at(&mut cache, &tel, 4_000_000), msg(mac(2), Direction::Downlink));
         assert_eq!(out[0].eth.dst, mac(9));
-        let out = r.handle(&mut ctx_at(&mut cache, &tel, 4_000_000), msg(mac(1), Direction::Downlink));
+        let out =
+            r.handle(&mut ctx_at(&mut cache, &tel, 4_000_000), msg(mac(1), Direction::Downlink));
         assert!(out.is_empty());
     }
 
@@ -287,7 +286,8 @@ mod tests {
         r.fail_back();
         assert_eq!(r.active(), ActiveDu::Primary);
         assert_eq!(r.stats.failbacks, 1);
-        let out = r.handle(&mut ctx_at(&mut cache, &tel, 6_000_000), msg(mac(9), Direction::Uplink));
+        let out =
+            r.handle(&mut ctx_at(&mut cache, &tel, 6_000_000), msg(mac(9), Direction::Uplink));
         assert_eq!(out[0].eth.dst, mac(1));
     }
 

@@ -118,6 +118,9 @@ pub struct RuShareStats {
     pub misaligned_copies: u64,
     /// Packets from unknown sources or with no matching state, dropped.
     pub dropped: u64,
+    /// Packets forwarded unmodified because sharing state was missing or a
+    /// requested PRB range fell outside the RU grid (degraded mode).
+    pub pass_through: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -236,6 +239,23 @@ impl RuShare {
         self.cfg.dus.iter().position(|d| d.mac == mac)
     }
 
+    /// Does a DU-local PRB range land inside the RU grid once remapped?
+    fn range_fits_ru(&self, du_idx: usize, start: u16, num: u16) -> bool {
+        let ru_scs = self.cfg.ru.num_prb as u64 * SAMPLES_PER_PRB as u64;
+        match self.alignment.get(du_idx) {
+            Some(Alignment::Aligned { prb_offset }) => {
+                let end = *prb_offset as u64 + start as u64 + num as u64;
+                end * SAMPLES_PER_PRB as u64 <= ru_scs
+            }
+            Some(Alignment::Misaligned { sc_offset }) => {
+                let end_sc =
+                    *sc_offset as u64 + (start as u64 + num as u64) * SAMPLES_PER_PRB as u64;
+                end_sc <= ru_scs
+            }
+            None => false,
+        }
+    }
+
     /// A full-RU all-zero section in the given compression method.
     fn zero_section(&mut self, method: CompressionMethod) -> USection {
         let key = method.to_comp_hdr();
@@ -245,8 +265,9 @@ impl RuShare {
             .entry(key)
             .or_insert_with(|| {
                 let mut buf = vec![0u8; method.prb_wire_bytes()];
-                rb_fronthaul::bfp::compress_prb_wire(&Prb::ZERO, method, &mut buf)
-                    .expect("zero template");
+                // On failure the buffer stays zeroed, which is itself a
+                // valid all-zero PRB in every supported method.
+                let _ = rb_fronthaul::bfp::compress_prb_wire(&Prb::ZERO, method, &mut buf);
                 let mut payload = Vec::with_capacity(buf.len() * num_prb as usize);
                 for _ in 0..num_prb {
                     payload.extend_from_slice(&buf);
@@ -267,7 +288,10 @@ impl RuShare {
         du_idx: usize,
         msg: FhMessage,
     ) -> Vec<FhMessage> {
-        let cp = msg.as_cplane().expect("caller checked").clone();
+        let Some(cp) = msg.as_cplane().cloned() else {
+            self.stats.dropped += 1;
+            return Vec::new();
+        };
         if matches!(cp.sections, Sections::Type3 { .. }) {
             return self.prach_from_du(ctx, du_idx, msg, cp);
         }
@@ -281,12 +305,26 @@ impl RuShare {
         }
         let key = (cp.symbol.slot_start(), msg.eaxc.ru_port, cp.direction);
         let sections = cp.sections.common_fields();
+        let Some(du_prbs) = self.cfg.dus.get(du_idx).map(|d| d.carrier.num_prb) else {
+            self.stats.dropped += 1;
+            return Vec::new();
+        };
+        let ranges: Vec<(u16, u16)> =
+            sections.iter().map(|s| (s.start_prb, s.resolved_num_prb(du_prbs))).collect();
+        // A request whose remapped PRB range would fall outside the RU grid
+        // cannot be shared: degrade to pass-through (A1 untouched) so the
+        // DU keeps connectivity, and count the event.
+        if !ranges.iter().all(|&(start, num)| self.range_fits_ru(du_idx, start, num)) {
+            self.stats.pass_through += 1;
+            ctx.telemetry.count(ctx.now_ns(), "rushare_pass_through", 1);
+            let mut out = msg;
+            rb_core::actions::redirect(&mut out, self.cfg.mb_mac, self.cfg.ru_mac);
+            ctx.charge(Work::Forward, XdpPlacement::Kernel);
+            return vec![out];
+        }
         let request = DuRequest {
             du_idx,
-            ranges: sections
-                .iter()
-                .map(|s| (s.start_prb, s.resolved_num_prb(self.cfg.dus[du_idx].carrier.num_prb)))
-                .collect(),
+            ranges,
             max_symbols: sections.iter().map(|s| s.num_symbols).max().unwrap_or(0),
         };
         let state = self.cplane.entry(key).or_default();
@@ -337,13 +375,17 @@ impl RuShare {
             return Vec::new();
         }
         // All DUs reported: append sections into one message (Alg. 3).
-        let pending = self.prach_pending.remove(&key).expect("just filled");
+        let Some(pending) = self.prach_pending.remove(&key) else {
+            return Vec::new();
+        };
         let _ = ctx.cache.take(&cache_key);
         let mut merged_sections = Vec::new();
         let mut directory = HashMap::new();
         let mut header = None;
         for (idx, cp) in &pending {
-            let du = &self.cfg.dus[*idx];
+            let Some(du) = self.cfg.dus.get(*idx) else {
+                continue;
+            };
             let Sections::Type3 { time_offset, frame_structure, cp_length, comp, sections } =
                 &cp.sections
             else {
@@ -360,10 +402,14 @@ impl RuShare {
                     self.stats.dropped += 1;
                     continue;
                 };
-                directory.insert(du.du_id, PrachOrig { du_idx: *idx, orig_section_id: s.fields.section_id });
+                directory.insert(
+                    du.du_id,
+                    PrachOrig { du_idx: *idx, orig_section_id: s.fields.section_id },
+                );
                 let mut fields = s.fields;
                 fields.section_id = du.du_id;
-                merged_sections.push(rb_fronthaul::cplane::Section3 { fields, frequency_offset: fo });
+                merged_sections
+                    .push(rb_fronthaul::cplane::Section3 { fields, frequency_offset: fo });
             }
         }
         let Some((symbol, time_offset, frame_structure, cp_length, comp)) = header else {
@@ -399,7 +445,10 @@ impl RuShare {
     // ------------------------------------------------------------------
 
     fn dl_uplane_from_du(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
-        let up = msg.as_uplane().expect("caller checked");
+        let Some(up) = msg.as_uplane() else {
+            self.stats.dropped += 1;
+            return Vec::new();
+        };
         let symbol = up.symbol;
         let port = msg.eaxc.ru_port;
         let slot_key = (symbol.slot_start(), port, Direction::Downlink);
@@ -427,8 +476,7 @@ impl RuShare {
             return Vec::new();
         }
         let cached = ctx.cache.get(&cache_key);
-        let have: Vec<usize> =
-            cached.iter().filter_map(|m| self.du_index(m.eth.src)).collect();
+        let have: Vec<usize> = cached.iter().filter_map(|m| self.du_index(m.eth.src)).collect();
         if !expected.iter().all(|e| have.contains(e)) {
             return Vec::new();
         }
@@ -461,16 +509,19 @@ impl RuShare {
             };
             for s in &up.sections {
                 total_prbs += s.num_prb() as usize;
-                match self.alignment[du_idx] {
-                    Alignment::Aligned { prb_offset } => {
-                        let at = prb_offset + s.start_prb;
+                match self.alignment.get(du_idx).copied() {
+                    Some(Alignment::Aligned { prb_offset }) => {
+                        let Some(at) = prb_offset.checked_add(s.start_prb) else {
+                            self.stats.dropped += 1;
+                            continue;
+                        };
                         if rb_core::actions::copy_prbs(&mut dst, s, 0, at, s.num_prb()).is_ok() {
                             self.stats.aligned_copies += 1;
                         } else {
                             self.stats.dropped += 1;
                         }
                     }
-                    Alignment::Misaligned { sc_offset } => {
+                    Some(Alignment::Misaligned { sc_offset }) => {
                         any_misaligned = true;
                         if self.misaligned_place(&mut dst, s, sc_offset).is_ok() {
                             self.stats.misaligned_copies += 1;
@@ -478,6 +529,7 @@ impl RuShare {
                             self.stats.dropped += 1;
                         }
                     }
+                    None => self.stats.dropped += 1,
                 }
             }
         }
@@ -522,21 +574,21 @@ impl RuShare {
         // Read the affected RU PRBs, overlay, re-write.
         let mut flat: Vec<IqSample> = Vec::with_capacity((last_prb - first_prb + 1) * 12);
         for prb in first_prb..=last_prb {
-            let (p, _) = rb_fronthaul::bfp::decompress_prb_wire(
-                dst.prb_bytes(prb as u16)?,
-                dst.method,
-            )
-            .map(|(p, e, _)| (p, e))?;
+            let (p, _) =
+                rb_fronthaul::bfp::decompress_prb_wire(dst.prb_bytes(prb as u16)?, dst.method)
+                    .map(|(p, e, _)| (p, e))?;
             flat.extend_from_slice(&p.0);
         }
         let base = start_sc - first_prb * SAMPLES_PER_PRB;
         for (k, (prb, _)) in decoded.iter().enumerate() {
             let off = base + k * SAMPLES_PER_PRB;
-            flat[off..off + SAMPLES_PER_PRB].copy_from_slice(&prb.0);
+            flat.get_mut(off..off + SAMPLES_PER_PRB)
+                .ok_or(rb_fronthaul::Error::FieldRange)?
+                .copy_from_slice(&prb.0);
         }
         let prbs: Vec<Prb> = flat
             .chunks_exact(SAMPLES_PER_PRB)
-            .map(|c| Prb(c.try_into().expect("chunk of 12")))
+            .map(|c| c.try_into().map(Prb).unwrap_or(Prb::ZERO))
             .collect();
         dst.write_prbs(first_prb as u16, &prbs)
     }
@@ -546,15 +598,25 @@ impl RuShare {
     // ------------------------------------------------------------------
 
     fn ul_uplane_from_ru(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
-        let up = msg.as_uplane().expect("caller checked").clone();
+        let Some(up) = msg.as_uplane().cloned() else {
+            self.stats.dropped += 1;
+            return Vec::new();
+        };
         let port = msg.eaxc.ru_port;
         if up.filter_index == 1 {
             return self.prach_from_ru(ctx, port, up);
         }
         let slot_key = (up.symbol.slot_start(), port, Direction::Uplink);
         let Some(state) = self.cplane.get(&slot_key) else {
-            self.stats.dropped += 1;
-            return Vec::new();
+            // No C-plane state for this slot (late join, purged state, or
+            // an unsolicited RU symbol): degrade to pass-through — every DU
+            // gets the full-spectrum frame unmodified — instead of going
+            // dark, and count the event.
+            self.stats.pass_through += 1;
+            ctx.telemetry.count(ctx.now_ns(), "rushare_pass_through", 1);
+            ctx.charge(Work::Replicate { copies: self.cfg.dus.len() }, XdpPlacement::Kernel);
+            let dsts: Vec<EthernetAddress> = self.cfg.dus.iter().map(|d| d.mac).collect();
+            return rb_core::actions::replicate(&msg, self.cfg.mb_mac, &dsts);
         };
         let requests = state.requests.clone();
         let mut out = Vec::new();
@@ -564,13 +626,19 @@ impl RuShare {
             if up.symbol.symbol >= req.max_symbols {
                 continue;
             }
-            let du = self.cfg.dus[req.du_idx];
+            let (Some(du), Some(align)) =
+                (self.cfg.dus.get(req.du_idx).copied(), self.alignment.get(req.du_idx).copied())
+            else {
+                self.stats.dropped += 1;
+                continue;
+            };
             let mut sections = Vec::new();
             for (sid, (start, num)) in req.ranges.iter().enumerate() {
                 total_prbs += *num as usize;
-                let section = match self.alignment[req.du_idx] {
+                let section = match align {
                     Alignment::Aligned { prb_offset } => {
-                        self.extract_aligned(&up, prb_offset + start, *start, *num, sid as u16)
+                        let ru_start = prb_offset.saturating_add(*start);
+                        self.extract_aligned(&up, ru_start, *start, *num, sid as u16)
                     }
                     Alignment::Misaligned { sc_offset } => {
                         any_misaligned = true;
@@ -591,13 +659,7 @@ impl RuShare {
                 symbol: up.symbol,
                 sections,
             };
-            out.push(FhMessage::new(
-                self.cfg.mb_mac,
-                du.mac,
-                msg.eaxc,
-                0,
-                Body::UPlane(demuxed),
-            ));
+            out.push(FhMessage::new(self.cfg.mb_mac, du.mac, msg.eaxc, 0, Body::UPlane(demuxed)));
             self.stats.ul_demuxes += 1;
         }
         ctx.charge(
@@ -625,8 +687,8 @@ impl RuShare {
         section_id: u16,
     ) -> Option<USection> {
         for s in &up.sections {
-            let s_end = s.start_prb + s.num_prb();
-            if ru_start >= s.start_prb && ru_start + num <= s_end {
+            let s_end = s.start_prb as u32 + s.num_prb() as u32;
+            if ru_start >= s.start_prb && ru_start as u32 + num as u32 <= s_end {
                 let mut dst = USection {
                     section_id,
                     rb: false,
@@ -659,8 +721,8 @@ impl RuShare {
         let first_prb = (start_sc / SAMPLES_PER_PRB) as u16;
         let last_prb = ((end_sc - 1) / SAMPLES_PER_PRB) as u16;
         for s in &up.sections {
-            let s_end = s.start_prb + s.num_prb();
-            if first_prb < s.start_prb || last_prb >= s_end {
+            let s_end = s.start_prb as u32 + s.num_prb() as u32;
+            if first_prb < s.start_prb || last_prb as u32 >= s_end {
                 continue;
             }
             let mut flat = Vec::with_capacity((last_prb - first_prb + 1) as usize * 12);
@@ -670,10 +732,10 @@ impl RuShare {
                 flat.extend_from_slice(&p.0);
             }
             let base = start_sc - first_prb as usize * SAMPLES_PER_PRB;
-            let samples = &flat[base..base + num as usize * SAMPLES_PER_PRB];
+            let samples = flat.get(base..base + num as usize * SAMPLES_PER_PRB)?;
             let prbs: Vec<Prb> = samples
                 .chunks_exact(SAMPLES_PER_PRB)
-                .map(|c| Prb(c.try_into().expect("chunk of 12")))
+                .map(|c| c.try_into().map(Prb).unwrap_or(Prb::ZERO))
                 .collect();
             let section = USection::from_prbs(section_id, du_start, &prbs, s.method).ok()?;
             self.stats.misaligned_copies += 1;
@@ -686,7 +748,12 @@ impl RuShare {
 
     /// PRACH response demux (Algorithm 3 upstream): route each section to
     /// the DU whose id it carries, restoring the original section id.
-    fn prach_from_ru(&mut self, ctx: &mut MbContext<'_>, port: u8, up: UPlaneRepr) -> Vec<FhMessage> {
+    fn prach_from_ru(
+        &mut self,
+        ctx: &mut MbContext<'_>,
+        port: u8,
+        up: UPlaneRepr,
+    ) -> Vec<FhMessage> {
         let key = (up.symbol.slot_start(), port);
         let Some(directory) = self.prach_orig.remove(&key) else {
             self.stats.dropped += 1;
@@ -699,7 +766,10 @@ impl RuShare {
                 self.stats.dropped += 1;
                 continue;
             };
-            let du = self.cfg.dus[orig.du_idx];
+            let Some(du) = self.cfg.dus.get(orig.du_idx).copied() else {
+                self.stats.dropped += 1;
+                continue;
+            };
             let mut s = section.clone();
             s.section_id = orig.orig_section_id;
             let demuxed = UPlaneRepr {
@@ -785,9 +855,7 @@ mod tests {
 
     /// Two 40 MHz DUs aligned at RU PRB offsets 0 and 106 (Figure 6 left).
     fn aligned_cfg() -> RuShareConfig {
-        let du_center = |offset: u16| {
-            freq::aligned_du_center_hz(RU_CENTER, 273, 106, offset, SCS)
-        };
+        let du_center = |offset: u16| freq::aligned_du_center_hz(RU_CENTER, 273, 106, offset, SCS);
         RuShareConfig {
             mb_mac: mac(10),
             ru_mac: mac(9),
@@ -868,7 +936,9 @@ mod tests {
         assert_eq!(mb.alignment()[0], Alignment::Aligned { prb_offset: 0 });
         assert_eq!(mb.alignment()[1], Alignment::Aligned { prb_offset: 106 });
         let mb = RuShare::new("t", misaligned_cfg());
-        assert!(matches!(mb.alignment()[1], Alignment::Misaligned { sc_offset } if sc_offset % 12 == 6));
+        assert!(
+            matches!(mb.alignment()[1], Alignment::Misaligned { sc_offset } if sc_offset % 12 == 6)
+        );
     }
 
     #[test]
@@ -884,7 +954,8 @@ mod tests {
         assert_eq!(s.num_prb, NUM_PRB_ALL, "numPrb maximized to the whole RU");
         assert_eq!(s.start_prb, 0);
         // Second DU's request for the same slot/port/direction is absorbed.
-        let out = mb.handle(&mut ctx(&mut cache, &tel), cplane(mac(2), Direction::Downlink, 10, 30));
+        let out =
+            mb.handle(&mut ctx(&mut cache, &tel), cplane(mac(2), Direction::Downlink, 10, 30));
         assert!(out.is_empty());
         assert_eq!(mb.stats.cplane_maximized, 1);
         assert_eq!(mb.stats.cplane_absorbed, 1);
@@ -946,10 +1017,8 @@ mod tests {
         let decoded = out[0].as_uplane().unwrap().sections[0].decode().unwrap();
         // DU B PRB 0 starts at subcarrier 106×12+6: second half of RU PRB
         // 106 and first half of RU PRB 107.
-        let src_dec = USection::from_prbs(0, 0, &src, CompressionMethod::BFP9)
-            .unwrap()
-            .decode()
-            .unwrap();
+        let src_dec =
+            USection::from_prbs(0, 0, &src, CompressionMethod::BFP9).unwrap().decode().unwrap();
         let tol = 63; // two BFP round trips
         for k in 0..6 {
             let got = decoded[106].0 .0[6 + k];

@@ -122,8 +122,7 @@ impl SecMon {
         if let Some(cp) = msg.as_cplane() {
             for s in cp.sections.common_fields() {
                 let num = s.resolved_num_prb(self.cfg.carrier_prbs);
-                if s.start_prb >= self.cfg.carrier_prbs
-                    || s.start_prb + num > self.cfg.carrier_prbs
+                if s.start_prb >= self.cfg.carrier_prbs || s.start_prb + num > self.cfg.carrier_prbs
                 {
                     return self.drop_with(ctx, Violation::ImplausibleSchedule);
                 }

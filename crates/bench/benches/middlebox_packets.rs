@@ -41,7 +41,13 @@ fn tone(seed: i16) -> Prb {
     p
 }
 
-fn uplane_msg(src: EthernetAddress, dir: Direction, symbol: SymbolId, n: usize, start: u16) -> FhMessage {
+fn uplane_msg(
+    src: EthernetAddress,
+    dir: Direction,
+    symbol: SymbolId,
+    n: usize,
+    start: u16,
+) -> FhMessage {
     let prbs: Vec<Prb> = (0..n).map(|k| tone(300 + k as i16)).collect();
     let section = USection::from_prbs(0, start, &prbs, CompressionMethod::BFP9).unwrap();
     FhMessage::new(
@@ -71,7 +77,11 @@ fn bench_das(c: &mut Criterion) {
     g.bench_function("dl_uplane_replicate_x4", |b| {
         let mut das = Das::new(
             "das",
-            DasConfig { mb_mac: mac(10), du_mac: mac(1), ru_macs: (0..4).map(|k| mac(20 + k)).collect() },
+            DasConfig {
+                mb_mac: mac(10),
+                du_mac: mac(1),
+                ru_macs: (0..4).map(|k| mac(20 + k)).collect(),
+            },
         );
         let mut cache = SymbolCache::new(1024);
         let msg = uplane_msg(mac(1), Direction::Downlink, SymbolId::ZERO, 273, 0);
@@ -114,7 +124,10 @@ fn bench_dmimo(c: &mut Criterion) {
             DmimoConfig {
                 mb_mac: mac(10),
                 du_mac: mac(1),
-                rus: vec![PhysicalRu { mac: mac(20), ports: 2 }, PhysicalRu { mac: mac(21), ports: 2 }],
+                rus: vec![
+                    PhysicalRu { mac: mac(20), ports: 2 },
+                    PhysicalRu { mac: mac(21), ports: 2 },
+                ],
                 ssb_copy: false,
                 ssb: Some(SsbBand { start_prb: 126, num_prb: 20 }),
             },
@@ -202,11 +215,5 @@ fn bench_prbmon_estimators(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_das,
-    bench_dmimo,
-    bench_rushare_alignment,
-    bench_prbmon_estimators
-);
+criterion_group!(benches, bench_das, bench_dmimo, bench_rushare_alignment, bench_prbmon_estimators);
 criterion_main!(benches);

@@ -41,20 +41,14 @@ pub fn run(_quick: bool) -> Report {
     }
     r.row(vec!["— commodity total".to_string(), format!("{total:.0}")]);
     let priced = total * (1.0 + MARGIN);
-    r.row(vec![
-        format!("— offered at {:.0}% margin", MARGIN * 100.0),
-        format!("{priced:.0}"),
-    ]);
+    r.row(vec![format!("— offered at {:.0}% margin", MARGIN * 100.0), format!("{priced:.0}")]);
     let das = AREA_SQFT * DAS_PER_SQFT;
     r.row(vec![
         format!("conventional DAS ({AREA_SQFT:.0} sq ft × ${DAS_PER_SQFT:.0})"),
         format!("{das:.0}"),
     ]);
     let saving = (das - priced) / das;
-    r.note(format!(
-        "saving {:.0}% vs the conventional solution (paper: 41%)",
-        saving * 100.0
-    ));
+    r.note(format!("saving {:.0}% vs the conventional solution (paper: 41%)", saving * 100.0));
     r.note("RU sharing as an add-on would multiply the conventional price ~3×");
     r
 }

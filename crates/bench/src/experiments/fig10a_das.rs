@@ -50,10 +50,8 @@ fn das_five_floors(quick: bool, solo_floor: Option<usize>) -> (f64, f64, usize) 
         }
     }
     let rates = dep.measure_mbps(a, b);
-    let attached = ues
-        .iter()
-        .filter(|&&u| matches!(dep.ue_stats(u).attach, UeAttach::Attached(_)))
-        .count();
+    let attached =
+        ues.iter().filter(|&&u| matches!(dep.ue_stats(u).attach, UeAttach::Attached(_))).count();
     (rates.iter().map(|r| r.0).sum(), rates.iter().map(|r| r.1).sum(), attached)
 }
 
@@ -68,7 +66,12 @@ pub fn run(quick: bool) -> Report {
     .columns(vec!["configuration", "DL Mbps", "UL Mbps", "UEs attached"]);
 
     let (bl_dl, bl_ul) = baseline(quick);
-    r.row(vec!["single cell, 1 RU, 2 near UEs".to_string(), mbps(bl_dl), mbps(bl_ul), "2/2".into()]);
+    r.row(vec![
+        "single cell, 1 RU, 2 near UEs".to_string(),
+        mbps(bl_dl),
+        mbps(bl_ul),
+        "2/2".into(),
+    ]);
 
     let (dl, ul, attached) = das_five_floors(quick, None);
     r.row(vec![

@@ -36,16 +36,10 @@ fn one_level(dl_mbps: f64, ul_mbps: f64, quick: bool, seed: u64) -> (f64, f64, f
     let truth_ul = if ul_n == 0 { 0.0 } else { ul_sum / ul_n as f64 };
 
     let host = dep.engine.node_as::<MiddleboxHost<PrbMon>>(dep.mbs[0]);
-    let est_dl = host.middlebox().mean_utilization(
-        Direction::Downlink,
-        settle * 1_000_000,
-        end * 1_000_000,
-    );
-    let est_ul = host.middlebox().mean_utilization(
-        Direction::Uplink,
-        settle * 1_000_000,
-        end * 1_000_000,
-    );
+    let est_dl =
+        host.middlebox().mean_utilization(Direction::Downlink, settle * 1_000_000, end * 1_000_000);
+    let est_ul =
+        host.middlebox().mean_utilization(Direction::Uplink, settle * 1_000_000, end * 1_000_000);
     (est_dl, truth_dl, est_ul, truth_ul)
 }
 
@@ -57,27 +51,16 @@ pub fn run(quick: bool) -> Report {
         "estimates closely match the MAC-log ground truth for all load levels \
          (0–700 Mbps DL, uplink scaled alongside)",
     )
-    .columns(vec![
-        "offered DL Mbps",
-        "DL est",
-        "DL truth",
-        "UL est",
-        "UL truth",
-    ]);
+    .columns(vec!["offered DL Mbps", "DL est", "DL truth", "UL est", "UL truth"]);
 
-    let levels: &[f64] = if quick { &[0.0, 300.0, 700.0] } else { &[0.0, 100.0, 200.0, 300.0, 500.0, 700.0] };
+    let levels: &[f64] =
+        if quick { &[0.0, 300.0, 700.0] } else { &[0.0, 100.0, 200.0, 300.0, 500.0, 700.0] };
     let mut max_err = 0.0f64;
     for (k, &dl) in levels.iter().enumerate() {
         let ul = dl / 10.0; // iperf UL alongside, scaled
         let (est_dl, truth_dl, est_ul, truth_ul) = one_level(dl, ul, quick, 130 + k as u64);
         max_err = max_err.max((est_dl - truth_dl).abs());
-        r.row(vec![
-            format!("{dl:.0}"),
-            pct(est_dl),
-            pct(truth_dl),
-            pct(est_ul),
-            pct(truth_ul),
-        ]);
+        r.row(vec![format!("{dl:.0}"), pct(est_dl), pct(truth_dl), pct(est_ul), pct(truth_ul)]);
     }
     r.note(format!(
         "max |estimate − truth| on the downlink: {:.1} percentage points \

@@ -48,9 +48,7 @@ fn option1(quick: bool) -> Vec<f64> {
     let cells: Vec<(CellConfig, Position)> = floor_ru_positions(0)
         .into_iter()
         .enumerate()
-        .map(|(k, pos)| {
-            (CellConfig::mhz25(k as u16 + 1, BAND_LO + k as i64 * 25_000_000, 4), pos)
-        })
+        .map(|(k, pos)| (CellConfig::mhz25(k as u16 + 1, BAND_LO + k as i64 * 25_000_000, 4), pos))
         .collect();
     let mut dep = Deployment::multi_cell(cells, 141);
     let ru1 = floor_ru_positions(0)[0];

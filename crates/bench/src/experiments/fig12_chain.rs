@@ -61,8 +61,18 @@ pub fn run(quick: bool) -> Report {
     let mut total_a = 0.0;
     let mut total_b = 0.0;
     for (label, _, ue_a, ue_b) in &ues {
-        r.row(vec![label.to_string(), "A".into(), mbps(rates[*ue_a].0), format!("{:.1}", rates[*ue_a].1)]);
-        r.row(vec![label.to_string(), "B".into(), mbps(rates[*ue_b].0), format!("{:.1}", rates[*ue_b].1)]);
+        r.row(vec![
+            label.to_string(),
+            "A".into(),
+            mbps(rates[*ue_a].0),
+            format!("{:.1}", rates[*ue_a].1),
+        ]);
+        r.row(vec![
+            label.to_string(),
+            "B".into(),
+            mbps(rates[*ue_b].0),
+            format!("{:.1}", rates[*ue_b].1),
+        ]);
         total_a += rates[*ue_a].0;
         total_b += rates[*ue_b].0;
     }

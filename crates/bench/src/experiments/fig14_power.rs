@@ -71,13 +71,13 @@ fn chained_single_cell(quick: bool) -> (f64, f64) {
         "das",
         DasConfig { mb_mac: mb_mac(0), du_mac: du_mac(0), ru_macs: dmimo_macs.clone() },
     );
-    let das_id = engine.add_node(Box::new(MiddleboxHost::new(das, mb_mac(0), CostModel::dpdk(), 1)));
+    let das_id =
+        engine.add_node(Box::new(MiddleboxHost::new(das, mb_mac(0), CostModel::dpdk(), 1)));
     attach(&mut engine, das_id);
 
     #[allow(clippy::needless_range_loop)] // floor indexes three parallel structures
     for floor in 0..FLOORS {
-        let rus: Vec<_> =
-            (0..4u8).map(|r| ru_mac(floor as u8 * 4 + r)).collect();
+        let rus: Vec<_> = (0..4u8).map(|r| ru_mac(floor as u8 * 4 + r)).collect();
         let dm = Dmimo::new(
             format!("dmimo-f{floor}"),
             DmimoConfig {
@@ -88,8 +88,12 @@ fn chained_single_cell(quick: bool) -> (f64, f64) {
                 ssb: Some(SsbBand { start_prb: cell.ssb.start_prb, num_prb: cell.ssb.num_prb }),
             },
         );
-        let dm_id = engine
-            .add_node(Box::new(MiddleboxHost::new(dm, dmimo_macs[floor], CostModel::dpdk(), 1)));
+        let dm_id = engine.add_node(Box::new(MiddleboxHost::new(
+            dm,
+            dmimo_macs[floor],
+            CostModel::dpdk(),
+            1,
+        )));
         attach(&mut engine, dm_id);
         for (r, pos) in floor_ru_positions(floor as i32).into_iter().enumerate() {
             let ru = engine.add_node(Box::new(Ru::new(

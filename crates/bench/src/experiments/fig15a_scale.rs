@@ -29,10 +29,7 @@ fn traffic(rus: usize, quick: bool) -> (f64, f64) {
     dep.run_ms(b);
     let secs = (b - a) as f64 / 1e3;
     let c = dep.engine.port_counters(port(dep.mbs[0], 0));
-    (
-        c.rx_bytes as f64 * 8.0 / secs / 1e9,
-        c.tx_bytes as f64 * 8.0 / secs / 1e9,
-    )
+    (c.rx_bytes as f64 * 8.0 / secs / 1e9, c.tx_bytes as f64 * 8.0 / secs / 1e9)
 }
 
 /// The §6.4.1 per-slot uplink processing budget for `rus` RUs.
@@ -58,13 +55,7 @@ pub fn run(quick: bool) -> Report {
         "egress/ingress grow linearly with RUs, well under NIC capacity; one \
          core sustains up to four RUs, a second core is needed beyond that",
     )
-    .columns(vec![
-        "RUs",
-        "ingress Gbps",
-        "egress Gbps",
-        "UL slot work µs",
-        "cores needed",
-    ]);
+    .columns(vec!["RUs", "ingress Gbps", "egress Gbps", "UL slot work µs", "cores needed"]);
 
     let deadline = SlotDeadline::default();
     let sweep: &[usize] = if quick { &[2, 4, 5] } else { &[2, 3, 4, 5, 6] };

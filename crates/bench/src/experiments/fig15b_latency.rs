@@ -61,7 +61,12 @@ fn dl_cplane(symbol: SymbolId) -> FhMessage {
     )
 }
 
-fn uplane(src: EthernetAddress, direction: Direction, symbol: SymbolId, templates: &mut PrbTemplates) -> FhMessage {
+fn uplane(
+    src: EthernetAddress,
+    direction: Direction,
+    symbol: SymbolId,
+    templates: &mut PrbTemplates,
+) -> FhMessage {
     let per = templates.wire_bytes();
     let mut payload = Vec::with_capacity(per * PRBS as usize);
     for k in 0..PRBS {
@@ -151,11 +156,9 @@ pub fn run(quick: bool) -> Report {
 
     for rus in [2usize, 3, 4] {
         let mut m = measure(rus, rounds);
-        for (class, stats) in [
-            ("DL C-plane", &mut m.dl_c),
-            ("DL U-plane", &mut m.dl_u),
-            ("UL U-plane", &mut m.ul_u),
-        ] {
+        for (class, stats) in
+            [("DL C-plane", &mut m.dl_c), ("DL U-plane", &mut m.dl_u), ("UL U-plane", &mut m.ul_u)]
+        {
             let (_, p25, p50, p75, max) = stats.summary();
             let below = stats.fraction_below(SimDuration::from_nanos(300));
             r.row(vec![

@@ -59,6 +59,6 @@ pub fn by_id(id: &str, quick: bool) -> Option<Report> {
 
 /// The ids accepted by [`by_id`].
 pub const IDS: &[&str] = &[
-    "fig10a", "table2", "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14", "fig15a",
-    "fig15b", "fig16", "table1", "a2",
+    "fig10a", "table2", "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b",
+    "fig16", "table1", "a2",
 ];

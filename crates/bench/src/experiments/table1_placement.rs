@@ -104,7 +104,11 @@ pub fn run(_quick: bool) -> Report {
             dus: vec![SharedDu {
                 mac: mac(1),
                 du_id: 1,
-                carrier: CarrierSpec { center_hz: carrier.center_hz - 30_060_000, num_prb: 106, scs_hz: 30_000 },
+                carrier: CarrierSpec {
+                    center_hz: carrier.center_hz - 30_060_000,
+                    num_prb: 106,
+                    scs_hz: 30_000,
+                },
             }],
         },
     );

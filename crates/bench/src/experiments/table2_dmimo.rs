@@ -32,7 +32,10 @@ fn single_ru(layers: u8, quick: bool) -> (f64, f64, u8) {
 
 fn dmimo(per_ru_antennas: u8, quick: bool) -> (f64, f64, u8) {
     let (a, b) = windows(quick);
-    let sites = [(Position::new(22.0, 10.0, 0), per_ru_antennas), (Position::new(27.0, 10.0, 0), per_ru_antennas)];
+    let sites = [
+        (Position::new(22.0, 10.0, 0), per_ru_antennas),
+        (Position::new(27.0, 10.0, 0), per_ru_antennas),
+    ];
     let mut dep = Deployment::dmimo(cell(2 * per_ru_antennas), &sites, true, 112);
     let ue = dep.add_ue(Position::new(24.5, 10.0, 0), 4);
     let rates = dep.measure_mbps(a, b);

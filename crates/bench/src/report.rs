@@ -21,7 +21,11 @@ pub struct Report {
 
 impl Report {
     /// Start a report.
-    pub fn new(id: &'static str, title: impl Into<String>, paper_claim: impl Into<String>) -> Report {
+    pub fn new(
+        id: &'static str,
+        title: impl Into<String>,
+        paper_claim: impl Into<String>,
+    ) -> Report {
         Report {
             id,
             title: title.into(),
@@ -93,7 +97,8 @@ impl Report {
         let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
         let _ = writeln!(out, "*Paper:* {}\n", self.paper_claim);
         let _ = writeln!(out, "| {} |", self.columns.join(" | "));
-        let _ = writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ =
+            writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
         for r in &self.rows {
             let _ = writeln!(out, "| {} |", r.join(" | "));
         }

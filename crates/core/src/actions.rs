@@ -53,8 +53,8 @@ pub fn sum_sections(sections: &[&USection]) -> Result<USection> {
         if s.start_prb != first.start_prb || s.num_prb() != first.num_prb() {
             return Err(Error::ShapeMismatch);
         }
-        for (k, (prb, _exp)) in s.decode()?.into_iter().enumerate() {
-            acc[k].add_assign_saturating(&prb);
+        for (slot, (prb, _exp)) in acc.iter_mut().zip(s.decode()?.into_iter()) {
+            slot.add_assign_saturating(&prb);
         }
     }
     USection::from_prbs(first.section_id, first.start_prb, &acc, first.method)
@@ -74,10 +74,8 @@ pub fn recompress_copy(
     let decoded = src.decode()?;
     let s = src_idx as usize;
     let e = s + count as usize;
-    if e > decoded.len() {
-        return Err(Error::FieldRange);
-    }
-    let prbs: Vec<Prb> = decoded[s..e].iter().map(|(p, _)| *p).collect();
+    let range = decoded.get(s..e).ok_or(Error::FieldRange)?;
+    let prbs: Vec<Prb> = range.iter().map(|(p, _)| *p).collect();
     dst.write_prbs(dst_idx, &prbs)
 }
 
@@ -207,9 +205,9 @@ mod tests {
 
     #[test]
     fn copy_prbs_aligned_is_bit_exact() {
-        let src = USection::from_prbs(0, 0, &[prb(500), prb(600)], CompressionMethod::BFP9).unwrap();
-        let mut dst =
-            USection::from_prbs(0, 0, &[Prb::ZERO; 4], CompressionMethod::BFP9).unwrap();
+        let src =
+            USection::from_prbs(0, 0, &[prb(500), prb(600)], CompressionMethod::BFP9).unwrap();
+        let mut dst = USection::from_prbs(0, 0, &[Prb::ZERO; 4], CompressionMethod::BFP9).unwrap();
         copy_prbs(&mut dst, &src, 0, 2, 2).unwrap();
         assert_eq!(dst.prb_bytes(2).unwrap(), src.prb_bytes(0).unwrap());
         assert_eq!(dst.prb_bytes(3).unwrap(), src.prb_bytes(1).unwrap());
@@ -217,10 +215,8 @@ mod tests {
 
     #[test]
     fn copy_prbs_cross_method_recompresses() {
-        let src =
-            USection::from_prbs(0, 0, &[prb(500)], CompressionMethod::NoCompression).unwrap();
-        let mut dst =
-            USection::from_prbs(0, 0, &[Prb::ZERO; 2], CompressionMethod::BFP9).unwrap();
+        let src = USection::from_prbs(0, 0, &[prb(500)], CompressionMethod::NoCompression).unwrap();
+        let mut dst = USection::from_prbs(0, 0, &[Prb::ZERO; 2], CompressionMethod::BFP9).unwrap();
         copy_prbs(&mut dst, &src, 0, 1, 1).unwrap();
         let (got, exp) = dst.decode().unwrap()[1];
         let tol = rb_fronthaul::bfp::max_quantization_error(exp);
@@ -233,8 +229,7 @@ mod tests {
     #[test]
     fn recompress_copy_bounds_checked() {
         let src = USection::from_prbs(0, 0, &[prb(1)], CompressionMethod::BFP9).unwrap();
-        let mut dst =
-            USection::from_prbs(0, 0, &[Prb::ZERO; 2], CompressionMethod::BFP9).unwrap();
+        let mut dst = USection::from_prbs(0, 0, &[Prb::ZERO; 2], CompressionMethod::BFP9).unwrap();
         assert!(recompress_copy(&mut dst, &src, 1, 0, 1).is_err());
         assert!(recompress_copy(&mut dst, &src, 0, 2, 1).is_err());
     }

@@ -138,7 +138,13 @@ mod tests {
     }
 
     fn key(port: u16, symbol: SymbolId) -> CacheKey {
-        CacheKey { eaxc_raw: port, direction: Direction::Uplink, plane: Plane::U, filter: 0, symbol }
+        CacheKey {
+            eaxc_raw: port,
+            direction: Direction::Uplink,
+            plane: Plane::U,
+            filter: 0,
+            symbol,
+        }
     }
 
     #[test]

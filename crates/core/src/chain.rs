@@ -26,11 +26,7 @@ pub struct ChainSpec {
 impl Default for ChainSpec {
     fn default() -> Self {
         // Mellanox ConnectX-6 Dx-class defaults: ~1 µs VF hop, PCIe 4.0 ×16.
-        ChainSpec {
-            vf_latency: SimDuration::from_micros(1),
-            pcie_gbps: 126.0,
-            link_gbps: 100.0,
-        }
+        ChainSpec { vf_latency: SimDuration::from_micros(1), pcie_gbps: 126.0, link_gbps: 100.0 }
     }
 }
 
@@ -66,12 +62,7 @@ pub fn build_chain(
     let mut members = Vec::with_capacity(num_vfs);
     for (k, (host, mac)) in hosts.into_iter().enumerate() {
         let host_id = engine.add_node(host);
-        engine.connect(
-            port(nic_id, k + 1),
-            port(host_id, 0),
-            SimDuration::ZERO,
-            spec.link_gbps,
-        );
+        engine.connect(port(nic_id, k + 1), port(host_id, 0), SimDuration::ZERO, spec.link_gbps);
         members.push((host_id, mac));
     }
     Chain { nic: nic_id, phys: port(nic_id, PHYS_PORT), members }

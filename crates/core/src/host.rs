@@ -219,7 +219,8 @@ impl<M: Middlebox> MiddleboxHost<M> {
         let emits = self.mb.handle(&mut ctx, msg);
         // CPU accounting: prefer the work the handler reported; fall back
         // to the static classification.
-        let charges = if ctx.charges.is_empty() { vec![fallback] } else { std::mem::take(&mut ctx.charges) };
+        let charges =
+            if ctx.charges.is_empty() { vec![fallback] } else { std::mem::take(&mut ctx.charges) };
         drop(ctx);
         let mut total = rb_netsim::time::SimDuration::ZERO;
         for (work, placement) in charges {

@@ -28,6 +28,14 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+// The manifest denies clippy's panic-vector lints crate-wide; unit tests are
+// exempt — asserting and unwrapping is what tests are for.
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)
+)]
+
+pub use rb_hotpath_macros::rb_hot_path;
 
 pub mod actions;
 pub mod cache;

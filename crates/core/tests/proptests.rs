@@ -2,6 +2,9 @@
 //! exceeds its capacity and never loses messages it did not evict; the
 //! forwarding table is first-match-wins; replication preserves payloads.
 
+// Test code is exempt from the crate's panic-vector denies.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 use proptest::prelude::*;
 use rb_core::actions;
 use rb_core::cache::{CacheKey, Plane, SymbolCache};

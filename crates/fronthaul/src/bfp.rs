@@ -153,7 +153,10 @@ impl<'a> BitWriter<'a> {
         self.acc_bits += bits;
         while self.acc_bits >= 8 {
             self.acc_bits -= 8;
-            self.out[self.byte] = (self.acc >> self.acc_bits) as u8;
+            // Total: bytes past the (caller length-checked) buffer are dropped.
+            if let Some(b) = self.out.get_mut(self.byte) {
+                *b = (self.acc >> self.acc_bits) as u8;
+            }
             self.byte += 1;
         }
     }
@@ -161,7 +164,9 @@ impl<'a> BitWriter<'a> {
     /// Flush a trailing partial byte, MSB-aligned.
     fn finish(self) {
         if self.acc_bits > 0 {
-            self.out[self.byte] = ((self.acc << (8 - self.acc_bits)) & 0xff) as u8;
+            if let Some(b) = self.out.get_mut(self.byte) {
+                *b = ((self.acc << (8 - self.acc_bits)) & 0xff) as u8;
+            }
         }
     }
 }
@@ -182,7 +187,8 @@ impl<'a> BitReader<'a> {
     #[inline]
     fn read(&mut self, bits: u8) -> u32 {
         while self.acc_bits < bits {
-            self.acc = (self.acc << 8) | self.data[self.byte] as u64;
+            // Total: reads past the (caller length-checked) buffer yield 0.
+            self.acc = (self.acc << 8) | self.data.get(self.byte).copied().unwrap_or(0) as u64;
             self.byte += 1;
             self.acc_bits += 8;
         }
@@ -257,8 +263,11 @@ pub fn compress_prb_wire(prb: &Prb, method: CompressionMethod, out: &mut [u8]) -
             prb.write_uncompressed(out)?;
         }
         CompressionMethod::BlockFloatingPoint { iq_width } => {
-            let exp = compress_prb(prb, iq_width, &mut out[1..total])?;
-            out[0] = exp & 0x0f;
+            let mantissas = out.get_mut(1..total).ok_or(Error::BufferTooSmall)?;
+            let exp = compress_prb(prb, iq_width, mantissas)?;
+            if let Some(b) = out.first_mut() {
+                *b = exp & 0x0f;
+            }
         }
     }
     Ok(total)
@@ -279,8 +288,9 @@ pub fn decompress_prb_wire(data: &[u8], method: CompressionMethod) -> Result<(Pr
             Ok((prb, 0, total))
         }
         CompressionMethod::BlockFloatingPoint { iq_width } => {
-            let exp = data[0] & 0x0f;
-            let prb = decompress_prb(&data[1..total], iq_width, exp)?;
+            let exp = data.first().copied().unwrap_or(0) & 0x0f;
+            let mantissas = data.get(1..total).ok_or(Error::Truncated)?;
+            let prb = decompress_prb(mantissas, iq_width, exp)?;
             Ok((prb, exp, total))
         }
     }
@@ -292,11 +302,7 @@ pub fn peek_exponent(data: &[u8], method: CompressionMethod) -> Result<u8> {
     match method {
         CompressionMethod::NoCompression => Err(Error::UnknownCompression),
         CompressionMethod::BlockFloatingPoint { .. } => {
-            if data.is_empty() {
-                Err(Error::Truncated)
-            } else {
-                Ok(data[0] & 0x0f)
-            }
+            data.first().map(|b| *b & 0x0f).ok_or(Error::Truncated)
         }
     }
 }
@@ -436,10 +442,7 @@ mod tests {
     #[test]
     fn buffer_too_small_rejected() {
         let mut small = [0u8; 10];
-        assert_eq!(
-            compress_prb(&Prb::ZERO, 9, &mut small).unwrap_err(),
-            Error::BufferTooSmall
-        );
+        assert_eq!(compress_prb(&Prb::ZERO, 9, &mut small).unwrap_err(), Error::BufferTooSmall);
         assert_eq!(decompress_prb(&small, 9, 0).unwrap_err(), Error::Truncated);
     }
 

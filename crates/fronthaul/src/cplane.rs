@@ -37,6 +37,24 @@ use crate::bfp::CompressionMethod;
 use crate::timing::{SymbolId, SYMBOLS_PER_SLOT};
 use crate::{Direction, Error, Result};
 
+/// Read the byte at `i`, or 0 if the buffer is too short.
+fn read_1(d: &[u8], i: usize) -> u8 {
+    d.get(i).copied().unwrap_or(0)
+}
+
+/// Read a big-endian u16 at `off`, or 0 if the buffer is too short.
+fn read_2(d: &[u8], off: usize) -> u16 {
+    d.get(off..off + 2).and_then(|s| <[u8; 2]>::try_from(s).ok()).map_or(0, u16::from_be_bytes)
+}
+
+/// Copy `src` to `off`; a no-op if the buffer is too short (the emit path
+/// length-checks up front).
+fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
+    if let Some(s) = d.get_mut(off..off + src.len()) {
+        s.copy_from_slice(src);
+    }
+}
+
 /// `payloadVersion` value this crate emits.
 pub const PAYLOAD_VERSION: u8 = 1;
 
@@ -142,31 +160,45 @@ impl SectionFields {
 
     const WIRE_LEN: usize = 8;
 
-    fn emit(&self, out: &mut [u8]) {
-        out[0] = (self.section_id >> 4) as u8;
-        out[1] = ((self.section_id & 0x0f) as u8) << 4
-            | (self.rb as u8) << 3
-            | (self.sym_inc as u8) << 2
-            | ((self.start_prb >> 8) & 0x03) as u8;
-        out[2] = (self.start_prb & 0xff) as u8;
-        out[3] = (self.num_prb & 0xff) as u8;
-        out[4] = (self.re_mask >> 4) as u8;
-        out[5] = ((self.re_mask & 0x0f) as u8) << 4 | (self.num_symbols & 0x0f);
-        out[6] = (self.ef as u8) << 7 | ((self.beam_id >> 8) & 0x7f) as u8;
-        out[7] = (self.beam_id & 0xff) as u8;
+    fn emit_at(&self, out: &mut [u8], off: usize) {
+        let bytes = [
+            (self.section_id >> 4) as u8,
+            ((self.section_id & 0x0f) as u8) << 4
+                | (self.rb as u8) << 3
+                | (self.sym_inc as u8) << 2
+                | ((self.start_prb >> 8) & 0x03) as u8,
+            (self.start_prb & 0xff) as u8,
+            (self.num_prb & 0xff) as u8,
+            (self.re_mask >> 4) as u8,
+            ((self.re_mask & 0x0f) as u8) << 4 | (self.num_symbols & 0x0f),
+            (self.ef as u8) << 7 | ((self.beam_id >> 8) & 0x7f) as u8,
+            (self.beam_id & 0xff) as u8,
+        ];
+        write_at(out, off, &bytes);
     }
 
-    fn parse(data: &[u8]) -> SectionFields {
-        let section_id = ((data[0] as u16) << 4) | ((data[1] >> 4) as u16);
-        let rb = data[1] & 0x08 != 0;
-        let sym_inc = data[1] & 0x04 != 0;
-        let start_prb = (((data[1] & 0x03) as u16) << 8) | data[2] as u16;
-        let num_prb = data[3] as u16;
-        let re_mask = ((data[4] as u16) << 4) | ((data[5] >> 4) as u16);
-        let num_symbols = data[5] & 0x0f;
-        let ef = data[6] & 0x80 != 0;
-        let beam_id = (((data[6] & 0x7f) as u16) << 8) | data[7] as u16;
-        SectionFields { section_id, rb, sym_inc, start_prb, num_prb, re_mask, num_symbols, ef, beam_id }
+    fn parse_at(data: &[u8], off: usize) -> SectionFields {
+        let section_id = ((read_1(data, off) as u16) << 4) | ((read_1(data, off + 1) >> 4) as u16);
+        let rb = read_1(data, off + 1) & 0x08 != 0;
+        let sym_inc = read_1(data, off + 1) & 0x04 != 0;
+        let start_prb =
+            (((read_1(data, off + 1) & 0x03) as u16) << 8) | read_1(data, off + 2) as u16;
+        let num_prb = read_1(data, off + 3) as u16;
+        let re_mask = ((read_1(data, off + 4) as u16) << 4) | ((read_1(data, off + 5) >> 4) as u16);
+        let num_symbols = read_1(data, off + 5) & 0x0f;
+        let ef = read_1(data, off + 6) & 0x80 != 0;
+        let beam_id = (((read_1(data, off + 6) & 0x7f) as u16) << 8) | read_1(data, off + 7) as u16;
+        SectionFields {
+            section_id,
+            rb,
+            sym_inc,
+            start_prb,
+            num_prb,
+            re_mask,
+            num_symbols,
+            ef,
+            beam_id,
+        }
     }
 }
 
@@ -192,24 +224,20 @@ impl Section3 {
         Ok(())
     }
 
-    fn emit(&self, out: &mut [u8]) {
-        self.fields.emit(&mut out[..8]);
+    fn emit_at(&self, out: &mut [u8], off: usize) {
+        self.fields.emit_at(out, off);
         let fo = (self.frequency_offset as u32) & 0x00ff_ffff;
-        out[8] = (fo >> 16) as u8;
-        out[9] = (fo >> 8) as u8;
-        out[10] = fo as u8;
-        out[11] = 0; // reserved
+        write_at(out, off + 8, &[(fo >> 16) as u8, (fo >> 8) as u8, fo as u8, 0]);
     }
 
-    fn parse(data: &[u8]) -> Section3 {
-        let fields = SectionFields::parse(&data[..8]);
-        let raw = ((data[8] as u32) << 16) | ((data[9] as u32) << 8) | data[10] as u32;
+    fn parse_at(data: &[u8], off: usize) -> Section3 {
+        let fields = SectionFields::parse_at(data, off);
+        let raw = ((read_1(data, off + 8) as u32) << 16)
+            | ((read_1(data, off + 9) as u32) << 8)
+            | read_1(data, off + 10) as u32;
         // sign-extend 24 bits
-        let frequency_offset = if raw & 0x0080_0000 != 0 {
-            (raw | 0xff00_0000) as i32
-        } else {
-            raw as i32
-        };
+        let frequency_offset =
+            if raw & 0x0080_0000 != 0 { (raw | 0xff00_0000) as i32 } else { raw as i32 };
         Section3 { fields, frequency_offset }
     }
 }
@@ -339,9 +367,7 @@ impl CPlaneRepr {
             Sections::Type1 { sections, .. } => {
                 TYPE1_HDR_LEN + sections.len() * SectionFields::WIRE_LEN
             }
-            Sections::Type3 { sections, .. } => {
-                TYPE3_HDR_LEN + sections.len() * Section3::WIRE_LEN
-            }
+            Sections::Type3 { sections, .. } => TYPE3_HDR_LEN + sections.len() * Section3::WIRE_LEN,
         }
     }
 
@@ -380,14 +406,17 @@ impl CPlaneRepr {
     }
 
     fn emit_common(&self, out: &mut [u8], section_type: SectionType, n_sections: usize) {
-        out[0] = (self.direction.bit() << 7)
-            | ((PAYLOAD_VERSION & 0x07) << 4)
-            | (self.filter_index & 0x0f);
-        out[1] = self.symbol.frame;
-        out[2] = (self.symbol.subframe << 4) | ((self.symbol.slot >> 2) & 0x0f);
-        out[3] = ((self.symbol.slot & 0x03) << 6) | (self.symbol.symbol & 0x3f);
-        out[4] = n_sections as u8;
-        out[5] = section_type.raw();
+        let bytes = [
+            (self.direction.bit() << 7)
+                | ((PAYLOAD_VERSION & 0x07) << 4)
+                | (self.filter_index & 0x0f),
+            self.symbol.frame,
+            (self.symbol.subframe << 4) | ((self.symbol.slot >> 2) & 0x0f),
+            ((self.symbol.slot & 0x03) << 6) | (self.symbol.symbol & 0x3f),
+            n_sections as u8,
+            section_type.raw(),
+        ];
+        write_at(out, 0, &bytes);
     }
 
     /// Emit the message into `out`, which must hold [`CPlaneRepr::wire_len`]
@@ -401,35 +430,34 @@ impl CPlaneRepr {
         match &self.sections {
             Sections::Type0 { time_offset, frame_structure, cp_length, sections } => {
                 self.emit_common(out, SectionType::Type0, sections.len());
-                out[6..8].copy_from_slice(&time_offset.to_be_bytes());
-                out[8] = *frame_structure;
-                out[9..11].copy_from_slice(&cp_length.to_be_bytes());
-                out[11] = 0; // reserved
+                write_at(out, 6, &time_offset.to_be_bytes());
+                write_at(out, 8, &[*frame_structure]);
+                write_at(out, 9, &cp_length.to_be_bytes());
+                write_at(out, 11, &[0]); // reserved
                 let mut off = TYPE3_HDR_LEN;
                 for s in sections {
-                    s.emit(&mut out[off..off + SectionFields::WIRE_LEN]);
+                    s.emit_at(out, off);
                     off += SectionFields::WIRE_LEN;
                 }
             }
             Sections::Type1 { comp, sections } => {
                 self.emit_common(out, SectionType::Type1, sections.len());
-                out[6] = comp.to_comp_hdr();
-                out[7] = 0; // reserved
+                write_at(out, 6, &[comp.to_comp_hdr(), 0]); // udCompHdr + reserved
                 let mut off = TYPE1_HDR_LEN;
                 for s in sections {
-                    s.emit(&mut out[off..off + SectionFields::WIRE_LEN]);
+                    s.emit_at(out, off);
                     off += SectionFields::WIRE_LEN;
                 }
             }
             Sections::Type3 { time_offset, frame_structure, cp_length, comp, sections } => {
                 self.emit_common(out, SectionType::Type3, sections.len());
-                out[6..8].copy_from_slice(&time_offset.to_be_bytes());
-                out[8] = *frame_structure;
-                out[9..11].copy_from_slice(&cp_length.to_be_bytes());
-                out[11] = comp.to_comp_hdr();
+                write_at(out, 6, &time_offset.to_be_bytes());
+                write_at(out, 8, &[*frame_structure]);
+                write_at(out, 9, &cp_length.to_be_bytes());
+                write_at(out, 11, &[comp.to_comp_hdr()]);
                 let mut off = TYPE3_HDR_LEN;
                 for s in sections {
-                    s.emit(&mut out[off..off + Section3::WIRE_LEN]);
+                    s.emit_at(out, off);
                     off += Section3::WIRE_LEN;
                 }
             }
@@ -442,18 +470,18 @@ impl CPlaneRepr {
         if data.len() < COMMON_HDR_LEN {
             return Err(Error::Truncated);
         }
-        let direction = Direction::from_bit(data[0] >> 7);
-        let filter_index = data[0] & 0x0f;
-        let frame = data[1];
-        let subframe = data[2] >> 4;
-        let slot = ((data[2] & 0x0f) << 2) | (data[3] >> 6);
-        let symbol = data[3] & 0x3f;
+        let direction = Direction::from_bit(read_1(data, 0) >> 7);
+        let filter_index = read_1(data, 0) & 0x0f;
+        let frame = read_1(data, 1);
+        let subframe = read_1(data, 2) >> 4;
+        let slot = ((read_1(data, 2) & 0x0f) << 2) | (read_1(data, 3) >> 6);
+        let symbol = read_1(data, 3) & 0x3f;
         if subframe > 9 || symbol >= SYMBOLS_PER_SLOT {
             return Err(Error::FieldRange);
         }
         let sym = SymbolId { frame, subframe, slot, symbol };
-        let n_sections = data[4] as usize;
-        let section_type = SectionType::from_raw(data[5])?;
+        let n_sections = read_1(data, 4) as usize;
+        let section_type = SectionType::from_raw(read_1(data, 5))?;
         if n_sections == 0 {
             return Err(Error::Malformed);
         }
@@ -462,13 +490,13 @@ impl CPlaneRepr {
                 if data.len() < TYPE3_HDR_LEN + n_sections * SectionFields::WIRE_LEN {
                     return Err(Error::Truncated);
                 }
-                let time_offset = u16::from_be_bytes([data[6], data[7]]);
-                let frame_structure = data[8];
-                let cp_length = u16::from_be_bytes([data[9], data[10]]);
+                let time_offset = read_2(data, 6);
+                let frame_structure = read_1(data, 8);
+                let cp_length = read_2(data, 9);
                 let mut sections = Vec::with_capacity(n_sections);
                 let mut off = TYPE3_HDR_LEN;
                 for _ in 0..n_sections {
-                    sections.push(SectionFields::parse(&data[off..off + SectionFields::WIRE_LEN]));
+                    sections.push(SectionFields::parse_at(data, off));
                     off += SectionFields::WIRE_LEN;
                 }
                 Sections::Type0 { time_offset, frame_structure, cp_length, sections }
@@ -477,11 +505,11 @@ impl CPlaneRepr {
                 if data.len() < TYPE1_HDR_LEN + n_sections * SectionFields::WIRE_LEN {
                     return Err(Error::Truncated);
                 }
-                let comp = CompressionMethod::from_comp_hdr(data[6])?;
+                let comp = CompressionMethod::from_comp_hdr(read_1(data, 6))?;
                 let mut sections = Vec::with_capacity(n_sections);
                 let mut off = TYPE1_HDR_LEN;
                 for _ in 0..n_sections {
-                    sections.push(SectionFields::parse(&data[off..off + SectionFields::WIRE_LEN]));
+                    sections.push(SectionFields::parse_at(data, off));
                     off += SectionFields::WIRE_LEN;
                 }
                 Sections::Type1 { comp, sections }
@@ -490,14 +518,14 @@ impl CPlaneRepr {
                 if data.len() < TYPE3_HDR_LEN + n_sections * Section3::WIRE_LEN {
                     return Err(Error::Truncated);
                 }
-                let time_offset = u16::from_be_bytes([data[6], data[7]]);
-                let frame_structure = data[8];
-                let cp_length = u16::from_be_bytes([data[9], data[10]]);
-                let comp = CompressionMethod::from_comp_hdr(data[11])?;
+                let time_offset = read_2(data, 6);
+                let frame_structure = read_1(data, 8);
+                let cp_length = read_2(data, 9);
+                let comp = CompressionMethod::from_comp_hdr(read_1(data, 11))?;
                 let mut sections = Vec::with_capacity(n_sections);
                 let mut off = TYPE3_HDR_LEN;
                 for _ in 0..n_sections {
-                    sections.push(Section3::parse(&data[off..off + Section3::WIRE_LEN]));
+                    sections.push(Section3::parse_at(data, off));
                     off += Section3::WIRE_LEN;
                 }
                 Sections::Type3 { time_offset, frame_structure, cp_length, comp, sections }

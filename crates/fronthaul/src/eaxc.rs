@@ -27,17 +27,12 @@ pub struct EaxcMapping {
 
 impl EaxcMapping {
     /// The common 4/4/4/4 split used by the paper's deployment.
-    pub const DEFAULT: EaxcMapping = EaxcMapping {
-        du_port_bits: 4,
-        band_sector_bits: 4,
-        cc_bits: 4,
-        ru_port_bits: 4,
-    };
+    pub const DEFAULT: EaxcMapping =
+        EaxcMapping { du_port_bits: 4, band_sector_bits: 4, cc_bits: 4, ru_port_bits: 4 };
 
     /// Validate that the widths sum to 16 bits.
     pub fn validate(&self) -> Result<()> {
-        let total =
-            self.du_port_bits + self.band_sector_bits + self.cc_bits + self.ru_port_bits;
+        let total = self.du_port_bits + self.band_sector_bits + self.cc_bits + self.ru_port_bits;
         if total == 16 {
             Ok(())
         } else {

@@ -53,6 +53,24 @@ impl MessageType {
     }
 }
 
+/// Read the byte at `i`, or 0 if the buffer is too short.
+fn read_1(d: &[u8], i: usize) -> u8 {
+    d.get(i).copied().unwrap_or(0)
+}
+
+/// Read a big-endian u16 at `off`, or 0 if the buffer is too short.
+fn read_2(d: &[u8], off: usize) -> u16 {
+    d.get(off..off + 2).and_then(|s| <[u8; 2]>::try_from(s).ok()).map_or(0, u16::from_be_bytes)
+}
+
+/// Copy `src` to `off`; silently a no-op if the buffer is too short (the
+/// emit paths length-check before calling).
+fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
+    if let Some(s) = d.get_mut(off..off + src.len()) {
+        s.copy_from_slice(src);
+    }
+}
+
 /// A read/write view of an eCPRI message backed by a byte buffer.
 #[derive(Debug, Clone)]
 pub struct Packet<T: AsRef<[u8]>> {
@@ -80,7 +98,7 @@ impl<T: AsRef<[u8]>> Packet<T> {
         if self.version() != VERSION {
             return Err(Error::BadVersion);
         }
-        MessageType::from_raw(data[1])?;
+        MessageType::from_raw(read_1(data, 1))?;
         // payload size counts bytes after the 4-byte common header
         if (self.payload_size() as usize) + 4 > data.len() {
             return Err(Error::Malformed);
@@ -95,29 +113,27 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Protocol version (upper 4 bits of byte 0).
     pub fn version(&self) -> u8 {
-        self.buffer.as_ref()[0] >> 4
+        read_1(self.buffer.as_ref(), 0) >> 4
     }
 
     /// Concatenation indicator bit.
     pub fn concatenated(&self) -> bool {
-        self.buffer.as_ref()[0] & 0x01 != 0
+        read_1(self.buffer.as_ref(), 0) & 0x01 != 0
     }
 
     /// Message type.
     pub fn message_type(&self) -> Result<MessageType> {
-        MessageType::from_raw(self.buffer.as_ref()[1])
+        MessageType::from_raw(read_1(self.buffer.as_ref(), 1))
     }
 
     /// Declared payload size (bytes following the common header).
     pub fn payload_size(&self) -> u16 {
-        let d = self.buffer.as_ref();
-        u16::from_be_bytes([d[2], d[3]])
+        read_2(self.buffer.as_ref(), 2)
     }
 
     /// Raw 16-bit eAxC id (`ecpriPcid` / `ecpriRtcid`).
     pub fn eaxc_raw(&self) -> u16 {
-        let d = self.buffer.as_ref();
-        u16::from_be_bytes([d[4], d[5]])
+        read_2(self.buffer.as_ref(), 4)
     }
 
     /// Decoded eAxC id under the given mapping.
@@ -127,29 +143,30 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Sequence id.
     pub fn seq_id(&self) -> u8 {
-        self.buffer.as_ref()[6]
+        read_1(self.buffer.as_ref(), 6)
     }
 
     /// E-bit: last fragment of a fragmented message.
     pub fn e_bit(&self) -> bool {
-        self.buffer.as_ref()[7] & 0x80 != 0
+        read_1(self.buffer.as_ref(), 7) & 0x80 != 0
     }
 
     /// Sub-sequence id (radio-transport fragmentation).
     pub fn sub_seq_id(&self) -> u8 {
-        self.buffer.as_ref()[7] & 0x7f
+        read_1(self.buffer.as_ref(), 7) & 0x7f
     }
 
     /// Payload following the 8-byte header (the O-RAN application message).
+    /// Empty if the buffer is shorter than the header.
     pub fn payload(&self) -> &[u8] {
-        &self.buffer.as_ref()[HEADER_LEN..]
+        self.buffer.as_ref().get(HEADER_LEN..).unwrap_or(&[])
     }
 }
 
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
     /// Set the raw eAxC id.
     pub fn set_eaxc_raw(&mut self, raw: u16) {
-        self.buffer.as_mut()[4..6].copy_from_slice(&raw.to_be_bytes());
+        write_at(self.buffer.as_mut(), 4, &raw.to_be_bytes());
     }
 
     /// Set the decoded eAxC id under the given mapping.
@@ -159,17 +176,18 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
 
     /// Set the sequence id.
     pub fn set_seq_id(&mut self, seq: u8) {
-        self.buffer.as_mut()[6] = seq;
+        write_at(self.buffer.as_mut(), 6, &[seq]);
     }
 
     /// Set the declared payload size.
     pub fn set_payload_size(&mut self, size: u16) {
-        self.buffer.as_mut()[2..4].copy_from_slice(&size.to_be_bytes());
+        write_at(self.buffer.as_mut(), 2, &size.to_be_bytes());
     }
 
-    /// Mutable access to the payload after the header.
+    /// Mutable access to the payload after the header. Empty if the buffer
+    /// is shorter than the header.
     pub fn payload_mut(&mut self) -> &mut [u8] {
-        &mut self.buffer.as_mut()[HEADER_LEN..]
+        self.buffer.as_mut().get_mut(HEADER_LEN..).unwrap_or(&mut [])
     }
 }
 
@@ -210,19 +228,23 @@ impl Repr {
         (app_len + 4) as u16
     }
 
-    /// Emit the header. The buffer must hold at least [`HEADER_LEN`] bytes.
+    /// Emit the header. Fails with [`Error::BufferTooSmall`] if the buffer
+    /// cannot hold [`HEADER_LEN`] bytes.
     pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
         &self,
         packet: &mut Packet<T>,
         mapping: &EaxcMapping,
-    ) {
+    ) -> Result<()> {
         let data = packet.buffer.as_mut();
-        data[0] = VERSION << 4; // reserved + C bit zero
-        data[1] = self.message_type.raw();
-        data[2..4].copy_from_slice(&self.payload_size.to_be_bytes());
-        data[4..6].copy_from_slice(&self.eaxc.pack(mapping).to_be_bytes());
-        data[6] = self.seq_id;
-        data[7] = (if self.e_bit { 0x80 } else { 0 }) | (self.sub_seq_id & 0x7f);
+        if data.len() < HEADER_LEN {
+            return Err(Error::BufferTooSmall);
+        }
+        write_at(data, 0, &[VERSION << 4, self.message_type.raw()]); // reserved + C bit zero
+        write_at(data, 2, &self.payload_size.to_be_bytes());
+        write_at(data, 4, &self.eaxc.pack(mapping).to_be_bytes());
+        let tail = (if self.e_bit { 0x80 } else { 0 }) | (self.sub_seq_id & 0x7f);
+        write_at(data, 6, &[self.seq_id, tail]);
+        Ok(())
     }
 }
 
@@ -245,7 +267,7 @@ mod tests {
     fn roundtrip() {
         let repr = sample_repr();
         let mut buf = vec![0u8; HEADER_LEN + 16];
-        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT);
+        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT).unwrap();
         let packet = Packet::new_checked(&buf).unwrap();
         assert_eq!(Repr::parse(&packet, &EaxcMapping::DEFAULT).unwrap(), repr);
         assert_eq!(packet.payload().len(), 16);
@@ -256,7 +278,7 @@ mod tests {
         let mut repr = sample_repr();
         repr.message_type = MessageType::RtControl;
         let mut buf = vec![0u8; HEADER_LEN + 16];
-        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT);
+        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT).unwrap();
         let packet = Packet::new_checked(&buf).unwrap();
         assert_eq!(packet.message_type().unwrap(), MessageType::RtControl);
     }
@@ -265,7 +287,7 @@ mod tests {
     fn bad_version_rejected() {
         let repr = sample_repr();
         let mut buf = vec![0u8; HEADER_LEN + 16];
-        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT);
+        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT).unwrap();
         buf[0] = 2 << 4;
         assert_eq!(Packet::new_checked(&buf).unwrap_err(), Error::BadVersion);
     }
@@ -274,7 +296,7 @@ mod tests {
     fn unknown_message_type_rejected() {
         let repr = sample_repr();
         let mut buf = vec![0u8; HEADER_LEN + 16];
-        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT);
+        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT).unwrap();
         buf[1] = 5;
         assert_eq!(Packet::new_checked(&buf).unwrap_err(), Error::UnknownMessageType);
     }
@@ -288,7 +310,7 @@ mod tests {
     fn oversized_payload_size_rejected() {
         let repr = sample_repr();
         let mut buf = vec![0u8; HEADER_LEN + 16];
-        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT);
+        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT).unwrap();
         let mut packet = Packet::new_unchecked(&mut buf);
         packet.set_payload_size(1000);
         assert_eq!(Packet::new_checked(&buf).unwrap_err(), Error::Malformed);
@@ -298,7 +320,7 @@ mod tests {
     fn eaxc_rewrite_in_place() {
         let repr = sample_repr();
         let mut buf = vec![0u8; HEADER_LEN + 16];
-        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT);
+        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT).unwrap();
         let mut packet = Packet::new_unchecked(&mut buf);
         let id = packet.eaxc(&EaxcMapping::DEFAULT).with_ru_port(1);
         packet.set_eaxc(id, &EaxcMapping::DEFAULT);
@@ -312,7 +334,7 @@ mod tests {
         repr.e_bit = false;
         repr.sub_seq_id = 0x7f;
         let mut buf = vec![0u8; HEADER_LEN + 16];
-        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT);
+        repr.emit(&mut Packet::new_unchecked(&mut buf), &EaxcMapping::DEFAULT).unwrap();
         let packet = Packet::new_checked(&buf).unwrap();
         assert!(!packet.e_bit());
         assert_eq!(packet.sub_seq_id(), 0x7f);

@@ -41,11 +41,7 @@ impl EthernetAddress {
 impl fmt::Display for EthernetAddress {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        write!(
-            f,
-            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
-            b[0], b[1], b[2], b[3], b[4], b[5]
-        )
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
     }
 }
 
@@ -82,6 +78,24 @@ pub const HEADER_LEN: usize = 14;
 /// Length of a single 802.1Q tag.
 pub const VLAN_TAG_LEN: usize = 4;
 
+/// Read a big-endian u16 at `off`, or 0 if the buffer is too short.
+fn read_2(d: &[u8], off: usize) -> u16 {
+    d.get(off..off + 2).and_then(|s| <[u8; 2]>::try_from(s).ok()).map_or(0, u16::from_be_bytes)
+}
+
+/// Read six octets at `off`, or zeros if the buffer is too short.
+fn read_6(d: &[u8], off: usize) -> [u8; 6] {
+    d.get(off..off + 6).and_then(|s| <[u8; 6]>::try_from(s).ok()).unwrap_or([0; 6])
+}
+
+/// Copy `src` to `off`; silently a no-op if the buffer is too short (the
+/// emit paths length-check before calling).
+fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
+    if let Some(s) = d.get_mut(off..off + src.len()) {
+        s.copy_from_slice(src);
+    }
+}
+
 /// A read/write view of an Ethernet frame backed by a byte buffer.
 #[derive(Debug, Clone)]
 pub struct Frame<T: AsRef<[u8]>> {
@@ -91,8 +105,9 @@ pub struct Frame<T: AsRef<[u8]>> {
 impl<T: AsRef<[u8]>> Frame<T> {
     /// Wrap a buffer without checking its length.
     ///
-    /// Accessors may panic on a too-short buffer; prefer [`Frame::new_checked`]
-    /// for untrusted input.
+    /// Accessors never panic: on a too-short buffer they return zeroed
+    /// defaults. Prefer [`Frame::new_checked`] for untrusted input so
+    /// truncation is reported instead of silently read as zeros.
     pub fn new_unchecked(buffer: T) -> Frame<T> {
         Frame { buffer }
     }
@@ -123,19 +138,16 @@ impl<T: AsRef<[u8]>> Frame<T> {
 
     /// Destination MAC address.
     pub fn dst(&self) -> EthernetAddress {
-        let d = self.buffer.as_ref();
-        EthernetAddress(d[DST_OFF..DST_OFF + 6].try_into().unwrap())
+        EthernetAddress(read_6(self.buffer.as_ref(), DST_OFF))
     }
 
     /// Source MAC address.
     pub fn src(&self) -> EthernetAddress {
-        let d = self.buffer.as_ref();
-        EthernetAddress(d[SRC_OFF..SRC_OFF + 6].try_into().unwrap())
+        EthernetAddress(read_6(self.buffer.as_ref(), SRC_OFF))
     }
 
     fn raw_ethertype(&self) -> EtherType {
-        let d = self.buffer.as_ref();
-        EtherType(u16::from_be_bytes([d[TYPE_OFF], d[TYPE_OFF + 1]]))
+        EtherType(read_2(self.buffer.as_ref(), TYPE_OFF))
     }
 
     /// True if the frame carries an 802.1Q VLAN tag.
@@ -146,8 +158,7 @@ impl<T: AsRef<[u8]>> Frame<T> {
     /// The VLAN id (VID field of the TCI), if tagged.
     pub fn vlan_id(&self) -> Option<u16> {
         if self.has_vlan() {
-            let d = self.buffer.as_ref();
-            Some(u16::from_be_bytes([d[TYPE_OFF + 2], d[TYPE_OFF + 3]]) & 0x0fff)
+            Some(read_2(self.buffer.as_ref(), TYPE_OFF + 2) & 0x0fff)
         } else {
             None
         }
@@ -156,8 +167,7 @@ impl<T: AsRef<[u8]>> Frame<T> {
     /// The effective EtherType (after any VLAN tag).
     pub fn ethertype(&self) -> EtherType {
         if self.has_vlan() {
-            let d = self.buffer.as_ref();
-            EtherType(u16::from_be_bytes([d[TYPE_OFF + 4], d[TYPE_OFF + 5]]))
+            EtherType(read_2(self.buffer.as_ref(), TYPE_OFF + 4))
         } else {
             self.raw_ethertype()
         }
@@ -172,34 +182,36 @@ impl<T: AsRef<[u8]>> Frame<T> {
         }
     }
 
-    /// The payload that follows the Ethernet (and VLAN) header.
+    /// The payload that follows the Ethernet (and VLAN) header. Empty if the
+    /// buffer is shorter than the header.
     pub fn payload(&self) -> &[u8] {
-        &self.buffer.as_ref()[self.header_len()..]
+        self.buffer.as_ref().get(self.header_len()..).unwrap_or(&[])
     }
 }
 
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
     /// Set the destination MAC address.
     pub fn set_dst(&mut self, addr: EthernetAddress) {
-        self.buffer.as_mut()[DST_OFF..DST_OFF + 6].copy_from_slice(&addr.0);
+        write_at(self.buffer.as_mut(), DST_OFF, &addr.0);
     }
 
     /// Set the source MAC address.
     pub fn set_src(&mut self, addr: EthernetAddress) {
-        self.buffer.as_mut()[SRC_OFF..SRC_OFF + 6].copy_from_slice(&addr.0);
+        write_at(self.buffer.as_mut(), SRC_OFF, &addr.0);
     }
 
     /// Set the EtherType of an untagged frame (or the inner type of a tagged
     /// one — the caller is responsible for having written the tag first).
     pub fn set_ethertype(&mut self, ethertype: EtherType) {
         let off = if self.has_vlan() { TYPE_OFF + 4 } else { TYPE_OFF };
-        self.buffer.as_mut()[off..off + 2].copy_from_slice(&ethertype.0.to_be_bytes());
+        write_at(self.buffer.as_mut(), off, &ethertype.0.to_be_bytes());
     }
 
-    /// Mutable access to the payload after the header.
+    /// Mutable access to the payload after the header. Empty if the buffer
+    /// is shorter than the header.
     pub fn payload_mut(&mut self) -> &mut [u8] {
         let off = self.header_len();
-        &mut self.buffer.as_mut()[off..]
+        self.buffer.as_mut().get_mut(off..).unwrap_or(&mut [])
     }
 }
 
@@ -237,22 +249,28 @@ impl FrameRepr {
         }
     }
 
-    /// Emit the header into a frame view. The buffer must hold at least
+    /// Emit the header into a frame view. Fails with
+    /// [`Error::BufferTooSmall`] if the buffer cannot hold
     /// [`FrameRepr::header_len`] bytes.
-    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut Frame<T>) {
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut Frame<T>) -> Result<()> {
+        let need = self.header_len();
         let data = frame.buffer.as_mut();
-        data[DST_OFF..DST_OFF + 6].copy_from_slice(&self.dst.0);
-        data[SRC_OFF..SRC_OFF + 6].copy_from_slice(&self.src.0);
+        if data.len() < need {
+            return Err(Error::BufferTooSmall);
+        }
+        write_at(data, DST_OFF, &self.dst.0);
+        write_at(data, SRC_OFF, &self.src.0);
         match self.vlan {
             Some(vid) => {
-                data[TYPE_OFF..TYPE_OFF + 2].copy_from_slice(&EtherType::VLAN.0.to_be_bytes());
-                data[TYPE_OFF + 2..TYPE_OFF + 4].copy_from_slice(&(vid & 0x0fff).to_be_bytes());
-                data[TYPE_OFF + 4..TYPE_OFF + 6].copy_from_slice(&self.ethertype.0.to_be_bytes());
+                write_at(data, TYPE_OFF, &EtherType::VLAN.0.to_be_bytes());
+                write_at(data, TYPE_OFF + 2, &(vid & 0x0fff).to_be_bytes());
+                write_at(data, TYPE_OFF + 4, &self.ethertype.0.to_be_bytes());
             }
             None => {
-                data[TYPE_OFF..TYPE_OFF + 2].copy_from_slice(&self.ethertype.0.to_be_bytes());
+                write_at(data, TYPE_OFF, &self.ethertype.0.to_be_bytes());
             }
         }
+        Ok(())
     }
 }
 
@@ -272,7 +290,7 @@ mod tests {
         let (dst, src) = addrs();
         let repr = FrameRepr { dst, src, vlan: None, ethertype: EtherType::ECPRI };
         let mut buf = vec![0u8; repr.header_len() + 8];
-        repr.emit(&mut Frame::new_unchecked(&mut buf));
+        repr.emit(&mut Frame::new_unchecked(&mut buf)).unwrap();
         let frame = Frame::new_checked(&buf).unwrap();
         assert_eq!(FrameRepr::parse(&frame).unwrap(), repr);
         assert_eq!(frame.header_len(), 14);
@@ -284,7 +302,7 @@ mod tests {
         let (dst, src) = addrs();
         let repr = FrameRepr { dst, src, vlan: Some(6), ethertype: EtherType::ECPRI };
         let mut buf = vec![0u8; repr.header_len() + 8];
-        repr.emit(&mut Frame::new_unchecked(&mut buf));
+        repr.emit(&mut Frame::new_unchecked(&mut buf)).unwrap();
         let frame = Frame::new_checked(&buf).unwrap();
         assert_eq!(FrameRepr::parse(&frame).unwrap(), repr);
         assert_eq!(frame.header_len(), 18);
@@ -298,7 +316,7 @@ mod tests {
         let (dst, src) = addrs();
         let repr = FrameRepr { dst, src, vlan: Some(0xffff), ethertype: EtherType::ECPRI };
         let mut buf = vec![0u8; repr.header_len()];
-        repr.emit(&mut Frame::new_unchecked(&mut buf));
+        repr.emit(&mut Frame::new_unchecked(&mut buf)).unwrap();
         let frame = Frame::new_checked(&buf).unwrap();
         assert_eq!(frame.vlan_id(), Some(0x0fff));
     }
@@ -318,7 +336,7 @@ mod tests {
         let (dst, src) = addrs();
         let repr = FrameRepr { dst, src, vlan: None, ethertype: EtherType::ECPRI };
         let mut buf = vec![0u8; repr.header_len()];
-        repr.emit(&mut Frame::new_unchecked(&mut buf));
+        repr.emit(&mut Frame::new_unchecked(&mut buf)).unwrap();
         let mut frame = Frame::new_unchecked(&mut buf);
         frame.set_dst(src);
         frame.set_src(dst);

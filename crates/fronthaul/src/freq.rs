@@ -79,10 +79,7 @@ pub fn is_aligned(
     ru_num_prb: u16,
     scs_hz: u64,
 ) -> bool {
-    matches!(
-        prb_offset_of(du_center_hz, du_num_prb, ru_center_hz, ru_num_prb, scs_hz),
-        Ok(Some(_))
-    )
+    matches!(prb_offset_of(du_center_hz, du_num_prb, ru_center_hz, ru_num_prb, scs_hz), Ok(Some(_)))
 }
 
 /// The Appendix A.1.2 PRACH translation (eq. 11):
@@ -142,10 +139,7 @@ mod tests {
     #[test]
     fn prb0_matches_formula() {
         // center − 6·SCS·num_prb
-        assert_eq!(
-            prb0_frequency_hz(RU_CENTER, RU_PRBS, SCS),
-            RU_CENTER - 6 * 30_000 * 273
-        );
+        assert_eq!(prb0_frequency_hz(RU_CENTER, RU_PRBS, SCS), RU_CENTER - 6 * 30_000 * 273);
     }
 
     #[test]
@@ -161,18 +155,15 @@ mod tests {
     #[test]
     fn misaligned_center_detected() {
         let du_center = aligned_du_center_hz(RU_CENTER, RU_PRBS, DU_PRBS, 10, SCS) + SCS as i64;
-        assert_eq!(
-            prb_offset_of(du_center, DU_PRBS, RU_CENTER, RU_PRBS, SCS).unwrap(),
-            None
-        );
+        assert_eq!(prb_offset_of(du_center, DU_PRBS, RU_CENTER, RU_PRBS, SCS).unwrap(), None);
         assert!(!is_aligned(du_center, DU_PRBS, RU_CENTER, RU_PRBS, SCS));
     }
 
     #[test]
     fn out_of_spectrum_rejected() {
         // DU PRB 0 below RU PRB 0.
-        let du_center = aligned_du_center_hz(RU_CENTER, RU_PRBS, DU_PRBS, 0, SCS)
-            - prb_width_hz(SCS) as i64;
+        let du_center =
+            aligned_du_center_hz(RU_CENTER, RU_PRBS, DU_PRBS, 0, SCS) - prb_width_hz(SCS) as i64;
         assert_eq!(
             prb_offset_of(du_center, DU_PRBS, RU_CENTER, RU_PRBS, SCS).unwrap_err(),
             Error::FieldRange

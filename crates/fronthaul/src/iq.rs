@@ -10,6 +10,19 @@
 
 use crate::{Error, Result};
 
+/// Read a big-endian i16 at `off`, or 0 if the slice is too short.
+fn read_i16(d: &[u8], off: usize) -> i16 {
+    d.get(off..off + 2).and_then(|s| <[u8; 2]>::try_from(s).ok()).map_or(0, i16::from_be_bytes)
+}
+
+/// Copy `src` to `off`; a no-op if the slice is too short (callers
+/// length-check up front).
+fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
+    if let Some(s) = d.get_mut(off..off + src.len()) {
+        s.copy_from_slice(src);
+    }
+}
+
 /// Number of subcarriers (and therefore IQ samples) in one PRB.
 pub const SAMPLES_PER_PRB: usize = 12;
 
@@ -77,8 +90,8 @@ impl Prb {
     /// per-subcarrier addition of the signals received by different RUs.
     pub fn saturating_add(&self, other: &Prb) -> Prb {
         let mut out = Prb::ZERO;
-        for (k, slot) in out.0.iter_mut().enumerate() {
-            *slot = self.0[k].saturating_add(other.0[k]);
+        for ((slot, a), b) in out.0.iter_mut().zip(self.0.iter()).zip(other.0.iter()) {
+            *slot = a.saturating_add(*b);
         }
         out
     }
@@ -103,11 +116,7 @@ impl Prb {
     /// Largest absolute component value across the PRB — the quantity the
     /// BFP exponent is derived from.
     pub fn max_abs_component(&self) -> u16 {
-        self.0
-            .iter()
-            .map(|s| (s.i.unsigned_abs()).max(s.q.unsigned_abs()))
-            .max()
-            .unwrap_or(0)
+        self.0.iter().map(|s| (s.i.unsigned_abs()).max(s.q.unsigned_abs())).max().unwrap_or(0)
     }
 
     /// Serialize to uncompressed big-endian wire bytes (I then Q, 16 bits
@@ -116,9 +125,9 @@ impl Prb {
         if out.len() < UNCOMPRESSED_PRB_BYTES {
             return Err(Error::BufferTooSmall);
         }
-        for (k, s) in self.0.iter().enumerate() {
-            out[k * 4..k * 4 + 2].copy_from_slice(&s.i.to_be_bytes());
-            out[k * 4 + 2..k * 4 + 4].copy_from_slice(&s.q.to_be_bytes());
+        for (chunk, s) in out.chunks_exact_mut(4).zip(self.0.iter()) {
+            write_at(chunk, 0, &s.i.to_be_bytes());
+            write_at(chunk, 2, &s.q.to_be_bytes());
         }
         Ok(())
     }
@@ -129,9 +138,9 @@ impl Prb {
             return Err(Error::Truncated);
         }
         let mut prb = Prb::ZERO;
-        for (k, s) in prb.0.iter_mut().enumerate() {
-            s.i = i16::from_be_bytes([data[k * 4], data[k * 4 + 1]]);
-            s.q = i16::from_be_bytes([data[k * 4 + 2], data[k * 4 + 3]]);
+        for (chunk, s) in data.chunks_exact(4).zip(prb.0.iter_mut()) {
+            s.i = read_i16(chunk, 0);
+            s.q = read_i16(chunk, 2);
         }
         Ok(prb)
     }
@@ -163,10 +172,7 @@ mod tests {
         assert_eq!(IqSample::new(3, 4).energy(), 25);
         assert_eq!(IqSample::ZERO.energy(), 0);
         // The most negative values must not overflow.
-        assert_eq!(
-            IqSample::new(i16::MIN, i16::MIN).energy(),
-            2 * (32768u64 * 32768u64)
-        );
+        assert_eq!(IqSample::new(i16::MIN, i16::MIN).energy(), 2 * (32768u64 * 32768u64));
     }
 
     #[test]

@@ -32,13 +32,19 @@
 //!     ethertype: EtherType::ECPRI,
 //! };
 //! let mut buf = vec![0u8; repr.header_len() + 4];
-//! repr.emit(&mut Frame::new_unchecked(&mut buf));
+//! repr.emit(&mut Frame::new_unchecked(&mut buf)).unwrap();
 //! let frame = Frame::new_checked(&buf).unwrap();
 //! assert_eq!(frame.ethertype(), EtherType::ECPRI);
 //! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+// The manifest denies clippy's panic-vector lints crate-wide; unit tests are
+// exempt — asserting and unwrapping is what tests are for.
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)
+)]
 
 pub mod bfp;
 pub mod cplane;

@@ -12,6 +12,7 @@ use crate::ecpri::{self, MessageType};
 use crate::ether::{EtherType, EthernetAddress, Frame, FrameRepr};
 use crate::uplane::UPlaneRepr;
 use crate::{Direction, Error, Result};
+use rb_hotpath_macros::rb_hot_path;
 
 /// The O-RAN application body of a fronthaul frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,10 +117,11 @@ impl FhMessage {
     }
 
     /// Serialize the whole frame to bytes.
+    #[rb_hot_path]
     pub fn to_bytes(&self, mapping: &EaxcMapping) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; self.wire_len()];
         let eth_len = self.eth.header_len();
-        self.eth.emit(&mut Frame::new_unchecked(&mut buf[..]));
+        self.eth.emit(&mut Frame::new_unchecked(buf.as_mut_slice()))?;
 
         let app_len = self.body.wire_len();
         let ecpri_repr = ecpri::Repr {
@@ -130,24 +132,24 @@ impl FhMessage {
             e_bit: true,
             sub_seq_id: 0,
         };
-        ecpri_repr.emit(
-            &mut ecpri::Packet::new_unchecked(&mut buf[eth_len..]),
-            mapping,
-        );
+        let ecpri_buf = buf.get_mut(eth_len..).ok_or(Error::BufferTooSmall)?;
+        ecpri_repr.emit(&mut ecpri::Packet::new_unchecked(ecpri_buf), mapping)?;
 
         let app_off = eth_len + ecpri::HEADER_LEN;
+        let app_buf = buf.get_mut(app_off..).ok_or(Error::BufferTooSmall)?;
         match &self.body {
             Body::CPlane(c) => {
-                c.emit(&mut buf[app_off..])?;
+                c.emit(app_buf)?;
             }
             Body::UPlane(u) => {
-                u.emit(&mut buf[app_off..])?;
+                u.emit(app_buf)?;
             }
         }
         Ok(buf)
     }
 
     /// Parse a whole frame from bytes.
+    #[rb_hot_path]
     pub fn parse(data: &[u8], mapping: &EaxcMapping) -> Result<FhMessage> {
         let frame = Frame::new_checked(data)?;
         let eth = FrameRepr::parse(&frame)?;

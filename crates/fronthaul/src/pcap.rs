@@ -44,7 +44,7 @@ impl<W: Write> PcapWriter<W> {
         self.sink.write_all(&usecs.to_le_bytes())?;
         self.sink.write_all(&caplen.to_le_bytes())?;
         self.sink.write_all(&(frame.len() as u32).to_le_bytes())?;
-        self.sink.write_all(&frame[..caplen as usize])?;
+        self.sink.write_all(frame.get(..caplen as usize).unwrap_or(frame))?;
         self.frames += 1;
         Ok(())
     }

@@ -93,7 +93,13 @@ impl SymbolId {
     pub const ZERO: SymbolId = SymbolId { frame: 0, subframe: 0, slot: 0, symbol: 0 };
 
     /// Construct, validating field ranges for the given numerology.
-    pub fn new(numerology: Numerology, frame: u8, subframe: u8, slot: u8, symbol: u8) -> Result<SymbolId> {
+    pub fn new(
+        numerology: Numerology,
+        frame: u8,
+        subframe: u8,
+        slot: u8,
+        symbol: u8,
+    ) -> Result<SymbolId> {
         if subframe >= SUBFRAMES_PER_FRAME
             || slot >= numerology.slots_per_subframe()
             || symbol >= SYMBOLS_PER_SLOT
@@ -164,11 +170,7 @@ impl SymbolId {
 
 impl core::fmt::Display for SymbolId {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "F{}.SF{}.S{}.Sym{}",
-            self.frame, self.subframe, self.slot, self.symbol
-        )
+        write!(f, "F{}.SF{}.S{}.Sym{}", self.frame, self.subframe, self.slot, self.symbol)
     }
 }
 

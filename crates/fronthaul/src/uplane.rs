@@ -29,6 +29,19 @@ use crate::iq::Prb;
 use crate::timing::{SymbolId, SYMBOLS_PER_SLOT};
 use crate::{Direction, Error, Result};
 
+/// Read the byte at `i`, or 0 if the buffer is too short.
+fn read_1(d: &[u8], i: usize) -> u8 {
+    d.get(i).copied().unwrap_or(0)
+}
+
+/// Copy `src` to `off`; a no-op if the buffer is too short (the emit path
+/// length-checks up front).
+fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
+    if let Some(s) = d.get_mut(off..off + src.len()) {
+        s.copy_from_slice(src);
+    }
+}
+
 /// `payloadVersion` value this crate emits.
 pub const PAYLOAD_VERSION: u8 = 1;
 
@@ -67,8 +80,8 @@ impl USection {
         method.validate()?;
         let per = method.prb_wire_bytes();
         let mut payload = vec![0u8; prbs.len() * per];
-        for (k, prb) in prbs.iter().enumerate() {
-            bfp::compress_prb_wire(prb, method, &mut payload[k * per..(k + 1) * per])?;
+        for (chunk, prb) in payload.chunks_exact_mut(per).zip(prbs.iter()) {
+            bfp::compress_prb_wire(prb, method, chunk)?;
         }
         Ok(USection { section_id, rb: false, sym_inc: false, start_prb, method, payload })
     }
@@ -82,31 +95,23 @@ impl USection {
     pub fn prb_bytes(&self, idx: u16) -> Result<&[u8]> {
         let per = self.method.prb_wire_bytes();
         let start = idx as usize * per;
-        if start + per > self.payload.len() {
-            return Err(Error::FieldRange);
-        }
-        Ok(&self.payload[start..start + per])
+        self.payload.get(start..start + per).ok_or(Error::FieldRange)
     }
 
     /// Mutable raw wire bytes of PRB `idx`.
     pub fn prb_bytes_mut(&mut self, idx: u16) -> Result<&mut [u8]> {
         let per = self.method.prb_wire_bytes();
         let start = idx as usize * per;
-        if start + per > self.payload.len() {
-            return Err(Error::FieldRange);
-        }
-        Ok(&mut self.payload[start..start + per])
+        self.payload.get_mut(start..start + per).ok_or(Error::FieldRange)
     }
 
     /// Decode every PRB (decompressing as needed) together with its
     /// BFP exponent (0 when uncompressed).
     pub fn decode(&self) -> Result<Vec<(Prb, u8)>> {
         let per = self.method.prb_wire_bytes();
-        let n = self.num_prb() as usize;
-        let mut out = Vec::with_capacity(n);
-        for k in 0..n {
-            let (prb, exp, _) =
-                bfp::decompress_prb_wire(&self.payload[k * per..(k + 1) * per], self.method)?;
+        let mut out = Vec::with_capacity(self.num_prb() as usize);
+        for chunk in self.payload.chunks_exact(per) {
+            let (prb, exp, _) = bfp::decompress_prb_wire(chunk, self.method)?;
             out.push((prb, exp));
         }
         Ok(out)
@@ -116,9 +121,7 @@ impl USection {
     /// the fast path used by Algorithm 1 (PRB monitoring).
     pub fn exponents(&self) -> Result<Vec<u8>> {
         let per = self.method.prb_wire_bytes();
-        (0..self.num_prb() as usize)
-            .map(|k| bfp::peek_exponent(&self.payload[k * per..], self.method))
-            .collect()
+        self.payload.chunks_exact(per).map(|chunk| bfp::peek_exponent(chunk, self.method)).collect()
     }
 
     /// Overwrite the PRBs starting at local index `at` with freshly
@@ -127,11 +130,9 @@ impl USection {
         let per = self.method.prb_wire_bytes();
         let start = at as usize * per;
         let end = start + prbs.len() * per;
-        if end > self.payload.len() {
-            return Err(Error::FieldRange);
-        }
-        for (k, prb) in prbs.iter().enumerate() {
-            bfp::compress_prb_wire(prb, self.method, &mut self.payload[start + k * per..start + (k + 1) * per])?;
+        let dst = self.payload.get_mut(start..end).ok_or(Error::FieldRange)?;
+        for (chunk, prb) in dst.chunks_exact_mut(per).zip(prbs.iter()) {
+            bfp::compress_prb_wire(prb, self.method, chunk)?;
         }
         Ok(())
     }
@@ -156,10 +157,9 @@ impl USection {
         let s = src_idx as usize * per;
         let d = dst_idx as usize * per;
         let len = count as usize * per;
-        if s + len > src.payload.len() || d + len > self.payload.len() {
-            return Err(Error::FieldRange);
-        }
-        self.payload[d..d + len].copy_from_slice(&src.payload[s..s + len]);
+        let src_bytes = src.payload.get(s..s + len).ok_or(Error::FieldRange)?;
+        let dst_bytes = self.payload.get_mut(d..d + len).ok_or(Error::FieldRange)?;
+        dst_bytes.copy_from_slice(src_bytes);
         Ok(())
     }
 
@@ -230,26 +230,35 @@ impl UPlaneRepr {
         if out.len() < len {
             return Err(Error::BufferTooSmall);
         }
-        out[0] = (self.direction.bit() << 7)
-            | ((PAYLOAD_VERSION & 0x07) << 4)
-            | (self.filter_index & 0x0f);
-        out[1] = self.symbol.frame;
-        out[2] = (self.symbol.subframe << 4) | ((self.symbol.slot >> 2) & 0x0f);
-        out[3] = ((self.symbol.slot & 0x03) << 6) | (self.symbol.symbol & 0x3f);
+        write_at(
+            out,
+            0,
+            &[
+                (self.direction.bit() << 7)
+                    | ((PAYLOAD_VERSION & 0x07) << 4)
+                    | (self.filter_index & 0x0f),
+                self.symbol.frame,
+                (self.symbol.subframe << 4) | ((self.symbol.slot >> 2) & 0x0f),
+                ((self.symbol.slot & 0x03) << 6) | (self.symbol.symbol & 0x3f),
+            ],
+        );
         let mut off = APP_HDR_LEN;
         for s in &self.sections {
             let num = s.num_prb();
-            out[off] = (s.section_id >> 4) as u8;
-            out[off + 1] = ((s.section_id & 0x0f) as u8) << 4
-                | (s.rb as u8) << 3
-                | (s.sym_inc as u8) << 2
-                | ((s.start_prb >> 8) & 0x03) as u8;
-            out[off + 2] = (s.start_prb & 0xff) as u8;
-            out[off + 3] = if num > 255 { 0 } else { num as u8 };
-            out[off + 4] = s.method.to_comp_hdr();
-            out[off + 5] = 0; // reserved
+            let hdr = [
+                (s.section_id >> 4) as u8,
+                ((s.section_id & 0x0f) as u8) << 4
+                    | (s.rb as u8) << 3
+                    | (s.sym_inc as u8) << 2
+                    | ((s.start_prb >> 8) & 0x03) as u8,
+                (s.start_prb & 0xff) as u8,
+                if num > 255 { 0 } else { num as u8 },
+                s.method.to_comp_hdr(),
+                0, // reserved
+            ];
+            write_at(out, off, &hdr);
             off += SECTION_HDR_LEN;
-            out[off..off + s.payload.len()].copy_from_slice(&s.payload);
+            write_at(out, off, &s.payload);
             off += s.payload.len();
         }
         Ok(len)
@@ -260,12 +269,12 @@ impl UPlaneRepr {
         if data.len() < APP_HDR_LEN + SECTION_HDR_LEN {
             return Err(Error::Truncated);
         }
-        let direction = Direction::from_bit(data[0] >> 7);
-        let filter_index = data[0] & 0x0f;
-        let frame = data[1];
-        let subframe = data[2] >> 4;
-        let slot = ((data[2] & 0x0f) << 2) | (data[3] >> 6);
-        let symbol = data[3] & 0x3f;
+        let direction = Direction::from_bit(read_1(data, 0) >> 7);
+        let filter_index = read_1(data, 0) & 0x0f;
+        let frame = read_1(data, 1);
+        let subframe = read_1(data, 2) >> 4;
+        let slot = ((read_1(data, 2) & 0x0f) << 2) | (read_1(data, 3) >> 6);
+        let symbol = read_1(data, 3) & 0x3f;
         if subframe > 9 || symbol >= SYMBOLS_PER_SLOT {
             return Err(Error::FieldRange);
         }
@@ -276,12 +285,14 @@ impl UPlaneRepr {
             if off + SECTION_HDR_LEN > data.len() {
                 return Err(Error::Truncated);
             }
-            let section_id = ((data[off] as u16) << 4) | ((data[off + 1] >> 4) as u16);
-            let rb = data[off + 1] & 0x08 != 0;
-            let sym_inc = data[off + 1] & 0x04 != 0;
-            let start_prb = (((data[off + 1] & 0x03) as u16) << 8) | data[off + 2] as u16;
-            let num_raw = data[off + 3];
-            let method = CompressionMethod::from_comp_hdr(data[off + 4])?;
+            let section_id =
+                ((read_1(data, off) as u16) << 4) | ((read_1(data, off + 1) >> 4) as u16);
+            let rb = read_1(data, off + 1) & 0x08 != 0;
+            let sym_inc = read_1(data, off + 1) & 0x04 != 0;
+            let start_prb =
+                (((read_1(data, off + 1) & 0x03) as u16) << 8) | read_1(data, off + 2) as u16;
+            let num_raw = read_1(data, off + 3);
+            let method = CompressionMethod::from_comp_hdr(read_1(data, off + 4))?;
             off += SECTION_HDR_LEN;
             let per = method.prb_wire_bytes();
             let payload_len = if num_raw == 0 {
@@ -294,17 +305,8 @@ impl UPlaneRepr {
             } else {
                 num_raw as usize * per
             };
-            if off + payload_len > data.len() {
-                return Err(Error::Truncated);
-            }
-            sections.push(USection {
-                section_id,
-                rb,
-                sym_inc,
-                start_prb,
-                method,
-                payload: data[off..off + payload_len].to_vec(),
-            });
+            let payload = data.get(off..off + payload_len).ok_or(Error::Truncated)?.to_vec();
+            sections.push(USection { section_id, rb, sym_inc, start_prb, method, payload });
             off += payload_len;
         }
         if sections.is_empty() {
@@ -434,7 +436,8 @@ mod tests {
     #[test]
     fn copy_prbs_fast_path() {
         let src = USection::from_prbs(0, 0, &prbs(6), CompressionMethod::BFP9).unwrap();
-        let mut dst = USection::from_prbs(0, 0, &vec![Prb::ZERO; 10], CompressionMethod::BFP9).unwrap();
+        let mut dst =
+            USection::from_prbs(0, 0, &vec![Prb::ZERO; 10], CompressionMethod::BFP9).unwrap();
         dst.copy_prbs_from(&src, 2, 5, 3).unwrap();
         let src_dec = src.decode().unwrap();
         let dst_dec = dst.decode().unwrap();

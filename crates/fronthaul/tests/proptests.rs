@@ -2,6 +2,9 @@
 //! `Repr` must survive an emit/parse round trip, BFP must stay within its
 //! quantization bound, and parsers must never panic on arbitrary bytes.
 
+// Test code is exempt from the crate's panic-vector denies.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 use proptest::prelude::*;
 use rb_fronthaul::bfp::{self, CompressionMethod};
 use rb_fronthaul::cplane::{CPlaneRepr, Section3, SectionFields, Sections};
@@ -24,8 +27,12 @@ fn arb_prb() -> impl Strategy<Value = Prb> {
 }
 
 fn arb_symbol() -> impl Strategy<Value = SymbolId> {
-    (any::<u8>(), 0u8..10, 0u8..2, 0u8..14)
-        .prop_map(|(frame, subframe, slot, symbol)| SymbolId { frame, subframe, slot, symbol })
+    (any::<u8>(), 0u8..10, 0u8..2, 0u8..14).prop_map(|(frame, subframe, slot, symbol)| SymbolId {
+        frame,
+        subframe,
+        slot,
+        symbol,
+    })
 }
 
 fn arb_method() -> impl Strategy<Value = CompressionMethod> {
@@ -40,10 +47,31 @@ fn arb_direction() -> impl Strategy<Value = Direction> {
 }
 
 fn arb_section_fields() -> impl Strategy<Value = SectionFields> {
-    (0u16..=0xfff, any::<bool>(), any::<bool>(), 0u16..=0x3ff, 0u16..=255, 0u16..=0xfff, 1u8..=14, 0u16..=0x7fff)
-        .prop_map(|(section_id, rb, sym_inc, start_prb, num_prb, re_mask, num_symbols, beam_id)| {
-            SectionFields { section_id, rb, sym_inc, start_prb, num_prb, re_mask, num_symbols, ef: false, beam_id }
-        })
+    (
+        0u16..=0xfff,
+        any::<bool>(),
+        any::<bool>(),
+        0u16..=0x3ff,
+        0u16..=255,
+        0u16..=0xfff,
+        1u8..=14,
+        0u16..=0x7fff,
+    )
+        .prop_map(
+            |(section_id, rb, sym_inc, start_prb, num_prb, re_mask, num_symbols, beam_id)| {
+                SectionFields {
+                    section_id,
+                    rb,
+                    sym_inc,
+                    start_prb,
+                    num_prb,
+                    re_mask,
+                    num_symbols,
+                    ef: false,
+                    beam_id,
+                }
+            },
+        )
 }
 
 proptest! {
@@ -176,6 +204,93 @@ proptest! {
         let _ = FhMessage::parse(&data, &EaxcMapping::DEFAULT);
         let _ = CPlaneRepr::parse(&data);
         let _ = UPlaneRepr::parse(&data);
+    }
+
+    #[test]
+    fn truncated_uplane_frames_never_panic(
+        symbol in arb_symbol(),
+        prbs in proptest::collection::vec(arb_prb(), 1..20),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        // A valid eCPRI U-plane frame cut short anywhere must yield a clean
+        // Err (the middlebox then drops and counts it) or, for cuts past the
+        // last section, a shorter-but-valid parse — never a panic.
+        let section = USection::from_prbs(0, 0, &prbs, CompressionMethod::BFP9).unwrap();
+        let msg = FhMessage::new(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+            Eaxc::port(0),
+            0,
+            Body::UPlane(UPlaneRepr::single(Direction::Uplink, symbol, section)),
+        );
+        let bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+        let cut = cut.index(bytes.len());
+        if let Ok(short) = FhMessage::parse(&bytes[..cut], &EaxcMapping::DEFAULT) {
+            // Whatever parsed must re-emit without panicking.
+            let _ = short.to_bytes(&EaxcMapping::DEFAULT);
+        }
+    }
+
+    #[test]
+    fn truncated_cplane_frames_never_panic(
+        symbol in arb_symbol(),
+        sections in proptest::collection::vec(arb_section_fields(), 1..8),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let repr = CPlaneRepr {
+            direction: Direction::Downlink,
+            filter_index: 0,
+            symbol,
+            sections: Sections::Type1 { comp: CompressionMethod::BFP9, sections },
+        };
+        let msg = FhMessage::new(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+            Eaxc::port(0),
+            0,
+            Body::CPlane(repr),
+        );
+        let bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+        let cut = cut.index(bytes.len());
+        if let Ok(short) = FhMessage::parse(&bytes[..cut], &EaxcMapping::DEFAULT) {
+            let _ = short.to_bytes(&EaxcMapping::DEFAULT);
+        }
+    }
+
+    #[test]
+    fn bitflipped_frames_never_panic(
+        symbol in arb_symbol(),
+        prbs in proptest::collection::vec(arb_prb(), 1..20),
+        flip in any::<proptest::sample::Index>(),
+        bit in 0u8..8,
+        cplane in any::<bool>(),
+    ) {
+        // Single-bit corruption anywhere in a valid frame: header fields,
+        // lengths, compression params — parse must be total (Ok or Err).
+        let body = if cplane {
+            Body::CPlane(CPlaneRepr::single(
+                Direction::Downlink,
+                symbol,
+                CompressionMethod::BFP9,
+                SectionFields::data(0, 0, 106, 1),
+            ))
+        } else {
+            let section = USection::from_prbs(0, 0, &prbs, CompressionMethod::BFP9).unwrap();
+            Body::UPlane(UPlaneRepr::single(Direction::Uplink, symbol, section))
+        };
+        let msg = FhMessage::new(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+            Eaxc::port(0),
+            0,
+            body,
+        );
+        let mut bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+        let at = flip.index(bytes.len());
+        bytes[at] ^= 1 << bit;
+        if let Ok(parsed) = FhMessage::parse(&bytes, &EaxcMapping::DEFAULT) {
+            let _ = parsed.to_bytes(&EaxcMapping::DEFAULT);
+        }
     }
 
     #[test]

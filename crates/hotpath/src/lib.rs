@@ -1,0 +1,23 @@
+//! Marker attributes for the hot-path invariant linter.
+//!
+//! `#[rb_hot_path]` expands to nothing — it exists so `cargo xtask lint`
+//! can seed its reachability walk from functions that are on the per-packet
+//! path but are not themselves `Middlebox` trait methods (parsers,
+//! emitters, compression kernels). See `DESIGN.md` § "Static analysis &
+//! hot-path invariants".
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Mark a function as a hot-path root for `cargo xtask lint`.
+///
+/// The attribute is a no-op at compile time: the item is returned
+/// unchanged. Its only effect is static — the linter treats the annotated
+/// function, and everything reachable from it, as per-packet code that must
+/// be free of panic vectors.
+#[proc_macro_attribute]
+pub fn rb_hot_path(_args: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

@@ -309,7 +309,8 @@ mod tests {
         let x = CostModel::xdp();
         for work in [Work::Forward, Work::Cache, Work::MergeIq { prbs: 106, streams: 4 }] {
             assert!(
-                x.packet_cost(work, XdpPlacement::Kernel) > d.packet_cost(work, XdpPlacement::Kernel)
+                x.packet_cost(work, XdpPlacement::Kernel)
+                    > d.packet_cost(work, XdpPlacement::Kernel)
             );
         }
     }
@@ -362,7 +363,8 @@ mod tests {
                 total += m.packet_cost(Work::Cache, XdpPlacement::Kernel);
             }
             for _ in 0..merges {
-                total += m.packet_cost(Work::MergeIq { prbs: 273, streams: rus }, XdpPlacement::Kernel);
+                total +=
+                    m.packet_cost(Work::MergeIq { prbs: 273, streams: rus }, XdpPlacement::Kernel);
             }
             total
         };

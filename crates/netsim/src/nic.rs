@@ -172,7 +172,7 @@ mod tests {
     fn frame_bytes(src: EthernetAddress, dst: EthernetAddress, payload: usize) -> Vec<u8> {
         let repr = FrameRepr { dst, src, vlan: None, ethertype: EtherType::ECPRI };
         let mut buf = vec![0u8; repr.header_len() + payload];
-        repr.emit(&mut Frame::new_unchecked(&mut buf[..]));
+        repr.emit(&mut Frame::new_unchecked(&mut buf[..])).unwrap();
         buf
     }
 

@@ -102,13 +102,15 @@ impl Rack {
         self.servers
             .iter()
             .zip(usage)
-            .map(|((model, on), (active, low))| {
-                if *on {
-                    model.power_for(*active, *low)
-                } else {
-                    0.0
-                }
-            })
+            .map(
+                |((model, on), (active, low))| {
+                    if *on {
+                        model.power_for(*active, *low)
+                    } else {
+                        0.0
+                    }
+                },
+            )
             .sum()
     }
 }

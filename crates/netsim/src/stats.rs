@@ -157,18 +157,12 @@ impl TimeSeries {
 
     /// Per-bucket means (empty buckets yield `None`).
     pub fn means(&self) -> Vec<Option<f64>> {
-        self.acc
-            .iter()
-            .map(|(sum, n)| if *n > 0 { Some(sum / *n as f64) } else { None })
-            .collect()
+        self.acc.iter().map(|(sum, n)| if *n > 0 { Some(sum / *n as f64) } else { None }).collect()
     }
 
     /// Mean across every sample in the series.
     pub fn overall_mean(&self) -> f64 {
-        let (sum, n) = self
-            .acc
-            .iter()
-            .fold((0.0, 0u64), |(s, c), (sum, n)| (s + sum, c + n));
+        let (sum, n) = self.acc.iter().fold((0.0, 0u64), |(s, c), (sum, n)| (s + sum, c + n));
         if n == 0 {
             0.0
         } else {

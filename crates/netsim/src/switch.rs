@@ -96,7 +96,7 @@ mod tests {
     fn frame(src: EthernetAddress, dst: EthernetAddress) -> Vec<u8> {
         let repr = FrameRepr { dst, src, vlan: None, ethertype: EtherType::ECPRI };
         let mut buf = vec![0u8; repr.header_len() + 10];
-        repr.emit(&mut rb_fronthaul::ether::Frame::new_unchecked(&mut buf[..]));
+        repr.emit(&mut rb_fronthaul::ether::Frame::new_unchecked(&mut buf[..])).unwrap();
         buf
     }
 

@@ -155,16 +155,14 @@ impl CellConfig {
 
     /// Is `absolute_slot` an SSB slot? (First slot of each SSB period.)
     pub fn is_ssb_slot(&self, absolute_slot: u32) -> bool {
-        let slots_per_period =
-            self.ssb.period_ms * self.numerology.slots_per_subframe() as u32;
+        let slots_per_period = self.ssb.period_ms * self.numerology.slots_per_subframe() as u32;
         absolute_slot.is_multiple_of(slots_per_period)
     }
 
     /// Is `absolute_slot` a PRACH occasion? (Last UL slot of each period.)
     pub fn is_prach_slot(&self, absolute_slot: u32) -> bool {
         let tdd = self.tdd();
-        let slots_per_period =
-            self.prach.period_ms * self.numerology.slots_per_subframe() as u32;
+        let slots_per_period = self.prach.period_ms * self.numerology.slots_per_subframe() as u32;
         if absolute_slot % slots_per_period != slots_per_period - 1 {
             return false;
         }

@@ -211,7 +211,11 @@ impl Du {
     }
 
     /// Schedule the DU's first slot tick. Call once after adding the node.
-    pub fn start(engine: &mut Engine, id: NodeId, cfg_numerology: rb_fronthaul::timing::Numerology) {
+    pub fn start(
+        engine: &mut Engine,
+        id: NodeId,
+        cfg_numerology: rb_fronthaul::timing::Numerology,
+    ) {
         let first = timebase::slot_start(cfg_numerology, 1);
         // First prepared slot is slot 1, transmitted tx_advance early.
         engine.schedule_timer(id, SimTime(first.as_nanos().saturating_sub(300_000)), DU_TICK);
@@ -342,8 +346,7 @@ impl Du {
                 if bits == 0 {
                     continue;
                 }
-                let prbs =
-                    ((share as u64 * bits).div_ceil(capacity) as u16).clamp(1, share);
+                let prbs = ((share as u64 * bits).div_ceil(capacity) as u16).clamp(1, share);
                 let (lo, hi) = cell.prb_freq_range(cursor_prb, prbs);
                 m.deposit_dl(
                     slot,
@@ -354,7 +357,12 @@ impl Du {
                 cursor_prb += prbs;
             }
         }
-        self.sched_log.push(SlotUsage { slot, kind: if special { SlotKind::Special } else { SlotKind::Downlink }, dl_prbs: cursor_prb, ul_prbs: 0 });
+        self.sched_log.push(SlotUsage {
+            slot,
+            kind: if special { SlotKind::Special } else { SlotKind::Downlink },
+            dl_prbs: cursor_prb,
+            ul_prbs: 0,
+        });
 
         // Emit fronthaul packets.
         let used = cursor_prb;
@@ -391,7 +399,12 @@ impl Du {
                 let in_ssb_symbols = sym >= cell.ssb.start_symbol
                     && sym < cell.ssb.start_symbol + cell.ssb.num_symbols;
                 if ssb_slot && port == 0 && in_ssb_symbols {
-                    usects.push(self.template_section(1, cell.ssb.start_prb, cell.ssb.num_prb, true));
+                    usects.push(self.template_section(
+                        1,
+                        cell.ssb.start_prb,
+                        cell.ssb.num_prb,
+                        true,
+                    ));
                 }
                 if usects.is_empty() {
                     continue;
@@ -465,11 +478,16 @@ impl Du {
                 if bits == 0 {
                     continue;
                 }
-                let prbs =
-                    ((share as u64 * bits).div_ceil(capacity) as u16).clamp(1, share);
+                let prbs = ((share as u64 * bits).div_ceil(capacity) as u16).clamp(1, share);
                 let (lo, hi) = cell.prb_freq_range(cursor_prb, prbs);
                 m.deposit_ul(slot, UlAlloc { pci: cell.pci, ue, freq_lo: lo, freq_hi: hi, prbs });
-                pend.push(PendingUl { ue, start_prb: cursor_prb, num_prb: prbs, bits, done: false });
+                pend.push(PendingUl {
+                    ue,
+                    start_prb: cursor_prb,
+                    num_prb: prbs,
+                    bits,
+                    done: false,
+                });
                 *backlog -= bits as f64;
                 cursor_prb += prbs;
             }
@@ -533,9 +551,10 @@ impl Du {
             for section in &up.sections {
                 let energy = mean_sample_energy(section, None);
                 if energy > 8.0 * noise_sample_energy
-                    && self.medium.lock().prach_detect(cell.pci).is_some() {
-                        self.stats.prach_detections += 1;
-                    }
+                    && self.medium.lock().prach_detect(cell.pci).is_some()
+                {
+                    self.stats.prach_detections += 1;
+                }
             }
             return;
         }
@@ -557,8 +576,8 @@ impl Du {
                 if hi <= lo {
                     continue;
                 }
-                energy_sum +=
-                    mean_sample_energy(section, Some((lo - s_start, hi - s_start))) * (hi - lo) as f64;
+                energy_sum += mean_sample_energy(section, Some((lo - s_start, hi - s_start)))
+                    * (hi - lo) as f64;
                 prbs_found += hi - lo;
             }
             if prbs_found < p.num_prb {
@@ -616,8 +635,7 @@ impl Node for Du {
                 }
                 self.cursor += 1;
                 let next = timebase::slot_start(self.cfg.cell.numerology, self.cursor);
-                let at =
-                    SimTime(next.as_nanos().saturating_sub(self.cfg.tx_advance.as_nanos()));
+                let at = SimTime(next.as_nanos().saturating_sub(self.cfg.tx_advance.as_nanos()));
                 out.schedule_at(at, DU_TICK);
             }
             NodeEvent::Timer { .. } => {}
@@ -676,10 +694,7 @@ mod tests {
     }
 
     fn parse_all(frames: &[Vec<u8>]) -> Vec<FhMessage> {
-        frames
-            .iter()
-            .map(|f| FhMessage::parse(f, &EaxcMapping::DEFAULT).unwrap())
-            .collect()
+        frames.iter().map(|f| FhMessage::parse(f, &EaxcMapping::DEFAULT).unwrap()).collect()
     }
 
     #[test]
@@ -688,10 +703,8 @@ mod tests {
         let msgs = parse_all(&engine.node_as::<Capture>(cap).frames);
         assert!(!msgs.is_empty());
         // No UEs → no data. Expect SSB C/U-plane on port 0 and PRACH ST3.
-        let ssb_uplane: Vec<_> = msgs
-            .iter()
-            .filter(|m| matches!(m.body, Body::UPlane(_)))
-            .collect();
+        let ssb_uplane: Vec<_> =
+            msgs.iter().filter(|m| matches!(m.body, Body::UPlane(_))).collect();
         // SSB slots at 0(unprepared), 40, 80 → ≥ 2 slots × 4 symbols.
         assert!(ssb_uplane.len() >= 8, "got {}", ssb_uplane.len());
         for m in &ssb_uplane {
@@ -704,11 +717,8 @@ mod tests {
             // SSB PRBs are live signal (nonzero exponents).
             assert!(s.exponents().unwrap().iter().all(|&e| e > 0));
         }
-        let prach: Vec<_> = msgs
-            .iter()
-            .filter_map(|m| m.as_cplane())
-            .filter(|c| c.filter_index == 1)
-            .collect();
+        let prach: Vec<_> =
+            msgs.iter().filter_map(|m| m.as_cplane()).filter(|c| c.filter_index == 1).collect();
         assert!(!prach.is_empty(), "PRACH occasions emitted");
         for c in prach {
             assert!(matches!(c.sections, Sections::Type3 { .. }));
@@ -724,7 +734,7 @@ mod tests {
         // Attach a UE directly through the medium back door.
         let ue = {
             let mut med = m.lock();
-            
+
             med.add_ue(crate::channel::Position::new(10.0, 10.0, 0), 4)
         };
         // Force attach: emulate a completed PRACH.
@@ -750,8 +760,7 @@ mod tests {
         assert!(util > 0.8, "utilization {util}");
         let msgs = parse_all(&engine.node_as::<Capture>(cap).frames);
         // Data flows on all four ports now.
-        let ports: std::collections::HashSet<u8> =
-            msgs.iter().map(|m| m.eaxc.ru_port).collect();
+        let ports: std::collections::HashSet<u8> = msgs.iter().map(|m| m.eaxc.ru_port).collect();
         assert!(ports.contains(&3), "4-layer transmission uses port 3");
         // UL C-plane scheduled too.
         assert!(msgs

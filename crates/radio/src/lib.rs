@@ -31,8 +31,8 @@
 pub mod cell;
 pub mod channel;
 pub mod du;
-pub mod mcs;
 pub mod iqgen;
+pub mod mcs;
 pub mod medium;
 pub mod ru;
 pub mod timebase;

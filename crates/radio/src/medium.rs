@@ -375,11 +375,8 @@ impl Medium {
         };
         // SSB detection: in an SSB slot, a port-0 radiation covering a
         // cell's SSB band is that cell's beacon.
-        let cells: Vec<(Pci, (i64, i64), bool)> = self
-            .cells
-            .values()
-            .map(|c| (c.pci, c.ssb_freq_range(), c.is_ssb_slot(slot)))
-            .collect();
+        let cells: Vec<(Pci, (i64, i64), bool)> =
+            self.cells.values().map(|c| (c.pci, c.ssb_freq_range(), c.is_ssb_slot(slot))).collect();
         if rad.port0 {
             for (pci, (lo, hi), is_ssb_slot) in cells {
                 // A radiation beacons a cell's SSB only if the RU actually
@@ -389,8 +386,8 @@ impl Medium {
                     continue;
                 }
                 for e in self.ues.iter_mut() {
-                    let rsrp = rad.tx_dbm_per_prb
-                        - self.params.channel.path_loss_db(&rad.ru_pos, &e.pos);
+                    let rsrp =
+                        rad.tx_dbm_per_prb - self.params.channel.path_loss_db(&rad.ru_pos, &e.pos);
                     if rsrp >= self.params.channel.attach_rsrp_dbm {
                         // Keep the freshest sighting; within one slot (DAS
                         // replicas) keep the strongest.
@@ -437,8 +434,7 @@ impl Medium {
         for a in allocs {
             let ue = &self.ues[a.ue];
             let rx_dbm = self.params.channel.ul_rx_dbm(&ue.pos, &ru_pos);
-            let amp = self.params.ul_ref_amp
-                * 10f64.powf((rx_dbm - self.params.ul_ref_dbm) / 20.0);
+            let amp = self.params.ul_ref_amp * 10f64.powf((rx_dbm - self.params.ul_ref_dbm) / 20.0);
             for (k, slot_amp) in out.iter_mut().enumerate() {
                 let p_lo = freq_lo + prb_width * k as i64;
                 let p_hi = p_lo + prb_width;
@@ -527,8 +523,7 @@ impl Medium {
             if cov <= 0.0 {
                 continue;
             }
-            let rx_dbm =
-                r.tx_dbm_per_prb - self.params.channel.path_loss_db(&r.ru_pos, ue_pos);
+            let rx_dbm = r.tx_dbm_per_prb - self.params.channel.path_loss_db(&r.ru_pos, ue_pos);
             total += dbm_to_mw(rx_dbm) * cov;
         }
         total
@@ -562,12 +557,7 @@ impl Medium {
         let Some(allocs) = self.dl_allocs.remove(&slot) else {
             return;
         };
-        let scs = self
-            .cells
-            .values()
-            .next()
-            .map(|c| c.scs_hz())
-            .unwrap_or(30_000);
+        let scs = self.cells.values().next().map(|c| c.scs_hz()).unwrap_or(30_000);
         for a in allocs {
             let ue_pos = self.ues[a.ue].pos;
             // Carriers: radiations of this cell covering the allocation.
@@ -579,8 +569,7 @@ impl Medium {
                 if !r.pcis.contains(&a.pci) || r.coverage(a.freq_lo, a.freq_hi) < 0.9 {
                     continue;
                 }
-                let rsrp =
-                    r.tx_dbm_per_prb - self.params.channel.path_loss_db(&r.ru_pos, &ue_pos);
+                let rsrp = r.tx_dbm_per_prb - self.params.channel.path_loss_db(&r.ru_pos, &ue_pos);
                 if rsrp >= self.params.channel.stream_rsrp_dbm && !streams.contains(&r.stream) {
                     streams.push(r.stream);
                 }
@@ -667,9 +656,7 @@ impl Medium {
                                 .filter(|(_, (_, r))| {
                                     *r > serving_rsrp + params.channel.handover_hysteresis_db
                                 })
-                                .max_by(|a, b| {
-                                    a.1 .1.partial_cmp(&b.1 .1).expect("finite rsrp")
-                                })
+                                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite rsrp"))
                                 .map(|(p, _)| *p);
                             if let Some(target) = better {
                                 e.attach = UeAttach::PrachPending(target);
@@ -703,7 +690,11 @@ mod tests {
         (m, cell)
     }
 
-    fn full_radiation(cell: &CellConfig, _ru_pos: Position, _stream: (u64, u8)) -> (i64, Vec<bool>) {
+    fn full_radiation(
+        cell: &CellConfig,
+        _ru_pos: Position,
+        _stream: (u64, u8),
+    ) -> (i64, Vec<bool>) {
         let (lo, _) = cell.carrier_freq_range();
         (lo, vec![true; cell.num_prb as usize])
     }

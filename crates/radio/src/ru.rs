@@ -175,7 +175,12 @@ impl Ru {
     }
 
     /// Schedule the RU's first slot tick.
-    pub fn start(engine: &mut Engine, id: NodeId, numerology: Numerology, tick_offset: SimDuration) {
+    pub fn start(
+        engine: &mut Engine,
+        id: NodeId,
+        numerology: Numerology,
+        tick_offset: SimDuration,
+    ) {
         let at = timebase::slot_start(numerology, 1) + tick_offset;
         engine.schedule_timer(id, at, RU_TICK);
     }
@@ -239,7 +244,13 @@ impl Ru {
         if let Some(scheds) = self.ul_sched.remove(&slot) {
             let profile = {
                 let m = self.medium.lock();
-                m.ul_profile(slot, self.cfg.pos, self.carrier_lo(), self.prb_width(), self.cfg.num_prb)
+                m.ul_profile(
+                    slot,
+                    self.cfg.pos,
+                    self.carrier_lo(),
+                    self.prb_width(),
+                    self.cfg.num_prb,
+                )
             };
             // One U-plane packet per (symbol, port) carrying every
             // scheduled section; oversized (> 255 PRB) sections sort last
@@ -345,10 +356,11 @@ impl Ru {
                     if num == 0 {
                         continue;
                     }
-                    self.ul_sched
-                        .entry(slot)
-                        .or_default()
-                        .push(UlDataSched { port, start_prb: start, num_prb: num });
+                    self.ul_sched.entry(slot).or_default().push(UlDataSched {
+                        port,
+                        start_prb: start,
+                        num_prb: num,
+                    });
                 }
             }
             Sections::Type3 { sections, .. } => {
@@ -410,8 +422,8 @@ impl Node for Ru {
                 let slot = self.cursor;
                 self.process_slot(slot, out);
                 self.cursor += 1;
-                let at = timebase::slot_start(self.cfg.numerology, self.cursor)
-                    + self.cfg.tick_offset;
+                let at =
+                    timebase::slot_start(self.cfg.numerology, self.cursor) + self.cfg.tick_offset;
                 out.schedule_at(at, RU_TICK);
             }
             NodeEvent::Timer { .. } => {}
@@ -471,16 +483,8 @@ mod tests {
     fn setup() -> (Engine, NodeId, NodeId, SharedMedium) {
         let m = medium::shared(Medium::new(MediumParams::default(), 3));
         m.lock().register_cell(CellConfig::mhz100(1, CENTER, 4));
-        let cfg = RuConfig::new(
-            mac(9),
-            mac(1),
-            CENTER,
-            273,
-            4,
-            Position::new(10.0, 10.0, 0),
-            vec![1],
-            7,
-        );
+        let cfg =
+            RuConfig::new(mac(9), mac(1), CENTER, 273, 4, Position::new(10.0, 10.0, 0), vec![1], 7);
         let mut engine = Engine::new();
         let ru = engine.add_node(Box::new(Ru::new(cfg, m.clone())));
         let cap = engine.add_node(Box::new(Capture { frames: vec![] }));
@@ -540,7 +544,10 @@ mod tests {
             let ue = med.add_ue(Position::new(12.0, 10.0, 0), 4);
             let cell = med.cell(1).unwrap().clone();
             let (lo, hi) = cell.prb_freq_range(50, 10);
-            med.deposit_ul(8, crate::medium::UlAlloc { pci: 1, ue, freq_lo: lo, freq_hi: hi, prbs: 10 });
+            med.deposit_ul(
+                8,
+                crate::medium::UlAlloc { pci: 1, ue, freq_lo: lo, freq_hi: hi, prbs: 10 },
+            );
         }
         engine.inject(SimTime(3_500_000), port(ru, 0), ul_cplane_bytes(8, 0, 0, 0));
         engine.run_until(SimTime(6_000_000));

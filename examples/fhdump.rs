@@ -92,10 +92,8 @@ fn main() {
     let mut engine = Engine::new();
     let sw = engine.add_node(Box::new(Switch::new("sw", 3)));
     let cell = CellConfig::mhz100(1, 3_460_000_000, 4);
-    let du = engine.add_node(Box::new(Du::new(
-        DuConfig::new(cell, du_mac(0), mb_mac(0)),
-        medium.clone(),
-    )));
+    let du = engine
+        .add_node(Box::new(Du::new(DuConfig::new(cell, du_mac(0), mb_mac(0)), medium.clone())));
     let tap = engine.add_node(Box::new(MiddleboxHost::new(
         Tap { samples: vec![] },
         mb_mac(0),
@@ -103,14 +101,28 @@ fn main() {
         1,
     )));
     let ru = engine.add_node(Box::new(Ru::new(
-        RuConfig::new(ru_mac(0), mb_mac(0), 3_460_000_000, 273, 4, Position::new(10.0, 10.0, 0), vec![1], 1),
+        RuConfig::new(
+            ru_mac(0),
+            mb_mac(0),
+            3_460_000_000,
+            273,
+            4,
+            Position::new(10.0, 10.0, 0),
+            vec![1],
+            1,
+        ),
         medium.clone(),
     )));
     for (k, n) in [du, tap, ru].iter().enumerate() {
         engine.connect(port(sw, k), port(*n, 0), SimDuration::from_micros(5), 100.0);
     }
     Du::start(&mut engine, du, ranbooster::fronthaul::timing::Numerology::Mu1);
-    Ru::start(&mut engine, ru, ranbooster::fronthaul::timing::Numerology::Mu1, SimDuration::from_micros(150));
+    Ru::start(
+        &mut engine,
+        ru,
+        ranbooster::fronthaul::timing::Numerology::Mu1,
+        SimDuration::from_micros(150),
+    );
     medium.lock().add_ue(Position::new(12.0, 10.0, 0), 4);
 
     engine.run_until(SimTime(120_000_000));

@@ -22,9 +22,7 @@ fn main() {
     // Subscribe to the middlebox's telemetry feed — this is the §4.4
     // "external application" side of the interface.
     let (tx, rx) = telemetry::channel("prbmon");
-    dep.engine
-        .node_as_mut::<MiddleboxHost<PrbMon>>(dep.mbs[0])
-        .set_telemetry(tx);
+    dep.engine.node_as_mut::<MiddleboxHost<PrbMon>>(dep.mbs[0]).set_telemetry(tx);
 
     // Phase 1: light browsing traffic.
     dep.set_demand(0, ue, 80e6, 5e6);
@@ -51,12 +49,7 @@ fn main() {
         last_bucket = bucket;
         let util = utilized as f64 / total.max(1) as f64;
         let bar = "#".repeat((util * 50.0).round() as usize);
-        println!(
-            "{:>6.0} ms |{:<50}| {:>5.1} %",
-            record.at_ns as f64 / 1e6,
-            bar,
-            util * 100.0
-        );
+        println!("{:>6.0} ms |{:<50}| {:>5.1} %", record.at_ns as f64 / 1e6, bar, util * 100.0);
     }
     println!(
         "\nphases: 0-400 ms light (80 Mbps), 400-800 ms heavy (700 Mbps), 800-1200 ms idle.\n\

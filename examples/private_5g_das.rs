@@ -59,7 +59,8 @@ fn main() {
             format!("das-floor{floor}"),
             DasConfig { mb_mac: mb_mac(k), du_mac: du_mac(k), ru_macs: ru_macs.clone() },
         );
-        let mb = engine.add_node(Box::new(MiddleboxHost::new(das, mb_mac(k), CostModel::dpdk(), 1)));
+        let mb =
+            engine.add_node(Box::new(MiddleboxHost::new(das, mb_mac(k), CostModel::dpdk(), 1)));
         attach(&mut engine, mb, 100.0);
 
         for (r, pos) in floor_ru_positions(floor).into_iter().enumerate() {
@@ -116,11 +117,12 @@ fn main() {
             UeAttach::Attached(pci) => format!("cell {pci}"),
             other => format!("{other:?}"),
         };
-        println!(
-            "{:<6} ({:>4.0},{:>4.0})        {:>10} {:>12.0}",
-            floor, pos.x, pos.y, attach, dl
-        );
+        println!("{:<6} ({:>4.0},{:>4.0})        {:>10} {:>12.0}", floor, pos.x, pos.y, attach, dl);
     }
-    let attached = ues.iter().filter(|&&(_, u)| matches!(m.ue_stats(u).attach, UeAttach::Attached(_))).count();
-    println!("\n{attached}/{} devices attached — full-building coverage, no cell planning", ues.len());
+    let attached =
+        ues.iter().filter(|&&(_, u)| matches!(m.ue_stats(u).attach, UeAttach::Attached(_))).count();
+    println!(
+        "\n{attached}/{} devices attached — full-building coverage, no cell planning",
+        ues.len()
+    );
 }

@@ -23,8 +23,7 @@ fn main() {
     let mut dep = Deployment::das(cell, &ru_positions, 42);
 
     // One UE per floor, near its RU.
-    let ues: Vec<_> =
-        (0..3).map(|floor| dep.add_ue(Position::new(27.0, 10.0, floor), 4)).collect();
+    let ues: Vec<_> = (0..3).map(|floor| dep.add_ue(Position::new(27.0, 10.0, floor), 4)).collect();
 
     println!("running 450 ms of simulated time (attach + iperf)...");
     let rates = dep.measure_mbps(250, 450);

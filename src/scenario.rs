@@ -49,10 +49,7 @@ pub fn ru_mac(k: u8) -> EthernetAddress {
 
 /// The four ceiling-RU positions of one testbed floor (Figure 9a).
 pub fn floor_ru_positions(floor: i32) -> Vec<Position> {
-    [7.0, 19.5, 32.0, 44.0]
-        .iter()
-        .map(|&x| Position::new(x, 10.5, floor))
-        .collect()
+    [7.0, 19.5, 32.0, 44.0].iter().map(|&x| Position::new(x, 10.5, floor)).collect()
 }
 
 /// Link parameters used throughout (100 GbE switch fabric, 25 GbE RUs).
@@ -122,7 +119,13 @@ impl Wiring {
         id
     }
 
-    fn add_mb<M: Middlebox>(&mut self, mb: M, mb_addr: EthernetAddress, cost: CostModel, cores: usize) -> NodeId {
+    fn add_mb<M: Middlebox>(
+        &mut self,
+        mb: M,
+        mb_addr: EthernetAddress,
+        cost: CostModel,
+        cores: usize,
+    ) -> NodeId {
         let host = MiddleboxHost::new(mb, mb_addr, cost, cores);
         let id = self.engine.add_node(Box::new(host));
         self.attach(id, MB_GBPS);
@@ -507,9 +510,6 @@ mod tests {
         let mut dep = Deployment::single_cell(cell, Position::new(10.0, 10.0, 0), 1);
         let ue = dep.add_ue(Position::new(12.0, 10.0, 0), 4);
         dep.run_ms(80);
-        assert!(matches!(
-            dep.ue_stats(ue).attach,
-            rb_radio::medium::UeAttach::Attached(1)
-        ));
+        assert!(matches!(dep.ue_stats(ue).attach, rb_radio::medium::UeAttach::Attached(1)));
     }
 }

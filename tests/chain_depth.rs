@@ -123,8 +123,5 @@ fn pcie_saturation_inflates_latency() {
     // chain takes far longer — the §5 bottleneck made visible.
     let (fast, _) = run_chain(3, 126.0);
     let (slow, _) = run_chain(3, 0.05);
-    assert!(
-        slow.as_nanos() > fast.as_nanos() * 5,
-        "saturated PCIe: {slow} vs {fast}"
-    );
+    assert!(slow.as_nanos() > fast.as_nanos() * 5, "saturated PCIe: {slow} vs {fast}");
 }

@@ -38,8 +38,7 @@ fn baseline_single_ru_cell() {
 #[test]
 fn das_extends_coverage_across_five_floors() {
     // One RU per floor, one UE per floor near its RU.
-    let ru_positions: Vec<Position> =
-        (0..5).map(|f| Position::new(25.0, 10.0, f)).collect();
+    let ru_positions: Vec<Position> = (0..5).map(|f| Position::new(25.0, 10.0, f)).collect();
     let mut dep = Deployment::das(cell(), &ru_positions, 7);
     let ues: Vec<_> = (0..5).map(|f| dep.add_ue(Position::new(27.0, 10.0, f), 4)).collect();
     let rates = dep.measure_mbps(250, 450);
@@ -57,9 +56,9 @@ fn das_extends_coverage_across_five_floors() {
     assert!((agg_dl - 898.0).abs() < 90.0, "aggregate dl {agg_dl}");
     assert!((agg_ul - 70.0).abs() < 12.0, "aggregate ul {agg_ul}");
     // The middlebox performed uplink merges and no unknown drops.
-    let host = dep.engine.node_as::<ranbooster::core::host::MiddleboxHost<
-        ranbooster::apps::das::Das,
-    >>(dep.mbs[0]);
+    let host = dep
+        .engine
+        .node_as::<ranbooster::core::host::MiddleboxHost<ranbooster::apps::das::Das>>(dep.mbs[0]);
     assert!(host.middlebox().stats.ul_merges > 1000);
     assert_eq!(host.middlebox().stats.merge_errors, 0);
     assert_eq!(host.stats.parse_errors, 0);
@@ -69,8 +68,7 @@ fn das_extends_coverage_across_five_floors() {
 fn das_individual_ue_gets_full_cell() {
     // One active UE per measurement (the paper's second test type): a
     // single UE on the top floor gets the whole cell's capacity.
-    let ru_positions: Vec<Position> =
-        (0..3).map(|f| Position::new(25.0, 10.0, f)).collect();
+    let ru_positions: Vec<Position> = (0..3).map(|f| Position::new(25.0, 10.0, f)).collect();
     let mut dep = Deployment::das(cell(), &ru_positions, 9);
     let top = dep.add_ue(Position::new(27.0, 10.0, 2), 4);
     let rates = dep.measure_mbps(250, 450);

@@ -49,9 +49,7 @@ fn table2_four_layer_dmimo_matches_single_ru() {
     // Paper: 896.9 Mbps (vs 898.2 baseline), rank 4.
     assert!((rates[ue].0 - 898.0).abs() < 70.0, "dl {}", rates[ue].0);
     assert_eq!(dep.ue_stats(ue).rank, 4, "UE rank indicator is 4");
-    let host = dep
-        .engine
-        .node_as::<MiddleboxHost<Dmimo>>(dep.mbs[0]);
+    let host = dep.engine.node_as::<MiddleboxHost<Dmimo>>(dep.mbs[0]);
     assert!(host.middlebox().stats.dl_remapped > 1000);
     assert!(host.middlebox().stats.ssb_copies > 0, "SSB cloned to RU 2");
     assert_eq!(host.middlebox().stats.bad_port, 0);
@@ -106,10 +104,8 @@ fn ssb_copy_keeps_far_ue_attached() {
 fn four_single_antenna_rus_make_a_rank4_cell() {
     // The Figure 13 upgrade: four cheap 1-antenna RUs across the floor
     // form a 4-layer cell.
-    let rus: Vec<(Position, u8)> = ranbooster::scenario::floor_ru_positions(0)
-        .into_iter()
-        .map(|p| (p, 1))
-        .collect();
+    let rus: Vec<(Position, u8)> =
+        ranbooster::scenario::floor_ru_positions(0).into_iter().map(|p| (p, 1)).collect();
     let mut dep = Deployment::dmimo(cell(4), &rus, true, 12);
     let ue = dep.add_ue(Position::new(25.0, 10.0, 0), 4);
     let rates = dep.measure_mbps(250, 450);

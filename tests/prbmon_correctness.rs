@@ -26,8 +26,7 @@ fn run_level(dl_mbps: f64, seed: u64) -> (f64, f64) {
     let to_slot = dep.slot_at_ms(500);
     let truth = dep.du(0).dl_utilization(from_slot, to_slot);
     let host = dep.engine.node_as::<MiddleboxHost<PrbMon>>(dep.mbs[0]);
-    let estimate =
-        host.middlebox().mean_utilization(Direction::Downlink, 200_000_000, 500_000_000);
+    let estimate = host.middlebox().mean_utilization(Direction::Downlink, 200_000_000, 500_000_000);
     (estimate, truth)
 }
 

@@ -56,7 +56,16 @@ fn spoofed_frames_are_dropped_and_service_is_unaffected() {
     attach(&mut engine, mb, 100.0);
 
     let ru = engine.add_node(Box::new(Ru::new(
-        RuConfig::new(ru_mac(0), mb_mac(0), CENTER, 273, 4, Position::new(10.0, 10.0, 0), vec![1], 1),
+        RuConfig::new(
+            ru_mac(0),
+            mb_mac(0),
+            CENTER,
+            273,
+            4,
+            Position::new(10.0, 10.0, 0),
+            vec![1],
+            1,
+        ),
         medium.clone(),
     )));
     attach(&mut engine, ru, 25.0);

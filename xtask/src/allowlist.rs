@@ -1,0 +1,194 @@
+//! Parser for `xtask/lint-allow.toml`.
+//!
+//! The linter is dependency-free, so this is a hand-rolled reader for the
+//! small TOML subset the allowlist uses: `[[allow]]` array-of-tables with
+//! `key = "string"` pairs and `#` comments. Every entry must carry a
+//! `reason` — an allowlist grant without a justification is itself an error.
+
+use crate::checks::Rule;
+
+/// One allowlist grant.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Function key the grant applies to (`crate::module::Type::name`).
+    pub function: String,
+    /// Rule family being granted.
+    pub rule: Rule,
+    /// One-line justification (required).
+    pub reason: String,
+    /// Line in the allowlist file (for diagnostics).
+    pub line: u32,
+}
+
+/// Parse result: entries plus any format problems found.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Successfully parsed grants.
+    pub entries: Vec<AllowEntry>,
+    /// Human-readable problems (missing keys, unknown rules, …).
+    pub problems: Vec<String>,
+}
+
+fn parse_rule(s: &str) -> Option<Rule> {
+    match s {
+        "panic" => Some(Rule::Panic),
+        "indexing" => Some(Rule::Indexing),
+        "unsafe" => Some(Rule::Unsafe),
+        "alloc" => Some(Rule::Alloc),
+        _ => None,
+    }
+}
+
+fn unquote(s: &str) -> Option<String> {
+    let s = s.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Some(s[1..s.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+/// Parse the allowlist text.
+pub fn parse(text: &str) -> Allowlist {
+    let mut out = Allowlist::default();
+    let mut cur: Option<(Option<String>, Option<Rule>, Option<String>, u32)> = None;
+
+    let flush = |cur: &mut Option<(Option<String>, Option<Rule>, Option<String>, u32)>,
+                 out: &mut Allowlist| {
+        if let Some((func, rule, reason, line)) = cur.take() {
+            match (func, rule, reason) {
+                (Some(function), Some(rule), Some(reason)) if !reason.trim().is_empty() => {
+                    out.entries.push(AllowEntry { function, rule, reason, line });
+                }
+                (f, r, reason) => {
+                    let mut missing = Vec::new();
+                    if f.is_none() {
+                        missing.push("function");
+                    }
+                    if r.is_none() {
+                        missing.push("rule");
+                    }
+                    if reason.map_or(true, |s| s.trim().is_empty()) {
+                        missing.push("reason");
+                    }
+                    out.problems.push(format!(
+                        "allowlist entry at line {line} is missing: {}",
+                        missing.join(", ")
+                    ));
+                }
+            }
+        }
+    };
+
+    for (ln, raw) in text.lines().enumerate() {
+        let lineno = (ln + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            flush(&mut cur, &mut out);
+            cur = Some((None, None, None, lineno));
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut cur, &mut out);
+            out.problems.push(format!("unknown table at line {lineno}: {line}"));
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            out.problems.push(format!("unparseable line {lineno}: {line}"));
+            continue;
+        };
+        let key = line[..eq].trim();
+        // Strip a trailing comment outside the quoted value.
+        let mut val_part = line[eq + 1..].trim();
+        if let Some(close) = val_part.rfind('"') {
+            val_part = &val_part[..=close];
+        }
+        let Some(val) = unquote(val_part) else {
+            out.problems.push(format!("value for `{key}` at line {lineno} must be a \"string\""));
+            continue;
+        };
+        let Some(entry) = cur.as_mut() else {
+            out.problems.push(format!("`{key}` at line {lineno} appears outside [[allow]]"));
+            continue;
+        };
+        match key {
+            "function" => entry.0 = Some(val),
+            "rule" => match parse_rule(&val) {
+                Some(r) => entry.1 = Some(r),
+                None => out.problems.push(format!(
+                    "unknown rule `{val}` at line {lineno} (expected panic/indexing/unsafe/alloc)"
+                )),
+            },
+            "reason" => entry.2 = Some(val),
+            _ => out.problems.push(format!("unknown key `{key}` at line {lineno}")),
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+impl Allowlist {
+    /// True if some entry grants `rule` for function key `key`.
+    pub fn grants(&self, key: &str, rule: Rule) -> bool {
+        self.entries.iter().any(|e| e.rule == rule && e.function == key)
+    }
+
+    /// Entries that never matched any violation (stale grants).
+    pub fn unused<'a>(&'a self, used: &[bool]) -> Vec<&'a AllowEntry> {
+        self.entries
+            .iter()
+            .zip(used.iter())
+            .filter_map(|(e, &u)| if u { None } else { Some(e) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let a = parse(
+            "# header comment\n\
+             [[allow]]\n\
+             function = \"rb-fronthaul::bfp::BitWriter::put\"\n\
+             rule = \"indexing\"\n\
+             reason = \"bounds proven by up-front length check\"\n\
+             \n\
+             [[allow]]\n\
+             function = \"rb-core::actions::sum\"\n\
+             rule = \"alloc\" # inline comment\n\
+             reason = \"one Vec per tick, not per packet\"\n",
+        );
+        assert!(a.problems.is_empty(), "{:?}", a.problems);
+        assert_eq!(a.entries.len(), 2);
+        assert!(a.grants("rb-fronthaul::bfp::BitWriter::put", Rule::Indexing));
+        assert!(!a.grants("rb-fronthaul::bfp::BitWriter::put", Rule::Panic));
+    }
+
+    #[test]
+    fn missing_reason_is_a_problem() {
+        let a = parse("[[allow]]\nfunction = \"x\"\nrule = \"panic\"\n");
+        assert_eq!(a.entries.len(), 0);
+        assert_eq!(a.problems.len(), 1);
+        assert!(a.problems[0].contains("reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_problem() {
+        let a = parse("[[allow]]\nfunction = \"x\"\nrule = \"segfault\"\nreason = \"r\"\n");
+        assert!(a.problems.iter().any(|p| p.contains("unknown rule")));
+    }
+
+    #[test]
+    fn unused_detection() {
+        let a = parse("[[allow]]\nfunction = \"x\"\nrule = \"panic\"\nreason = \"r\"\n");
+        let unused = a.unused(&[false]);
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].function, "x");
+    }
+}

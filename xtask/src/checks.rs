@@ -1,0 +1,238 @@
+//! Panic-vector and allocation checks over a function body's tokens.
+//!
+//! Four rule families, mirroring the workspace clippy wall:
+//!
+//! * `panic` — `.unwrap()`, `.expect(..)`, `.unwrap_err()`, `.expect_err(..)`
+//!   and the panicking macros `panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!`, `assert!`, `assert_eq!`, `assert_ne!`
+//!   (`debug_assert*` is permitted: it compiles out of release datapaths).
+//! * `indexing` — direct slice/array indexing `x[i]` or slicing `x[a..b]`
+//!   instead of the checked `.get(..)` family.
+//! * `unsafe` — any `unsafe` block or function in reachable code.
+//! * `alloc` — heap allocation on the per-packet path (`vec!`, `Vec::new`,
+//!   `Box::new`, `.to_vec()`, `.clone()`, `format!`, …). Reported as
+//!   advisory by default (`--deny-alloc` promotes it): the current message
+//!   types own their payloads, so allocation is a performance smell here,
+//!   not a crash vector.
+
+use crate::lexer::{TokKind, Token};
+
+/// Rule families the linter enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Panicking call or macro.
+    Panic,
+    /// Direct indexing / slicing.
+    Indexing,
+    /// `unsafe` code.
+    Unsafe,
+    /// Heap allocation (advisory unless promoted).
+    Alloc,
+}
+
+impl Rule {
+    /// Stable name used in reports and `lint-allow.toml`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Indexing => "indexing",
+            Rule::Unsafe => "unsafe",
+            Rule::Alloc => "alloc",
+        }
+    }
+}
+
+/// One detected violation inside a function body.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule family fired.
+    pub rule: Rule,
+    /// 1-based source line.
+    pub line: u32,
+    /// A short token snippet for the report.
+    pub what: String,
+}
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: &[&str] =
+    &["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "clone"];
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Keywords that can directly precede `[` without it being an index
+/// expression (`let [a, b] = ..`, `for [x] in ..`, `&mut [0u8; 4]`, …).
+const NON_INDEXABLE_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "else", "while", "match", "return", "as", "move", "static",
+    "const", "loop", "break", "continue", "for", "where", "impl", "dyn", "fn", "use", "pub",
+    "crate", "super", "box", "await", "async", "unsafe", "become", "yield",
+];
+
+fn in_nested(idx: usize, nested: &[(usize, usize)]) -> bool {
+    nested.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+/// Scan the body tokens `toks[body.0..body.1]`, skipping any `nested`
+/// sub-ranges (bodies of nested `fn` items).
+pub fn scan_body(
+    toks: &[Token],
+    body: (usize, usize),
+    nested: &[(usize, usize)],
+    is_unsafe_fn: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if is_unsafe_fn {
+        let line = toks.get(body.0).map_or(0, |t| t.line);
+        out.push(Violation { rule: Rule::Unsafe, line, what: "unsafe fn".to_string() });
+    }
+    let (start, end) = body;
+    let mut i = start;
+    while i < end {
+        if in_nested(i, nested) {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+
+        if t.kind == TokKind::Ident {
+            let name = t.text.as_str();
+            let prev_dot = i > start && toks[i - 1].is_punct('.');
+            let next_bang = i + 1 < end && toks[i + 1].is_punct('!');
+            let next_paren = i + 1 < end && toks[i + 1].is_punct('(');
+
+            if name == "unsafe" {
+                out.push(Violation {
+                    rule: Rule::Unsafe,
+                    line: t.line,
+                    what: "unsafe block".to_string(),
+                });
+            } else if prev_dot && next_paren && PANIC_METHODS.contains(&name) {
+                out.push(Violation { rule: Rule::Panic, line: t.line, what: format!(".{name}()") });
+            } else if next_bang && PANIC_MACROS.contains(&name) {
+                out.push(Violation { rule: Rule::Panic, line: t.line, what: format!("{name}!") });
+            } else if next_bang && ALLOC_MACROS.contains(&name) {
+                out.push(Violation { rule: Rule::Alloc, line: t.line, what: format!("{name}!") });
+            } else if prev_dot && next_paren && ALLOC_METHODS.contains(&name) {
+                out.push(Violation { rule: Rule::Alloc, line: t.line, what: format!(".{name}()") });
+            } else if next_paren
+                && !prev_dot
+                && i >= start + 2
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+            {
+                // Qualified call: check for Type::alloc-constructors.
+                if let Some(q) = toks.get(i.wrapping_sub(3)) {
+                    let qual = q.text.as_str();
+                    let is_alloc_ctor = matches!(
+                        (qual, name),
+                        ("Vec", "new")
+                            | ("Vec", "with_capacity")
+                            | ("Box", "new")
+                            | ("String", "new")
+                            | ("String", "from")
+                            | ("String", "with_capacity")
+                    );
+                    if is_alloc_ctor {
+                        out.push(Violation {
+                            rule: Rule::Alloc,
+                            line: t.line,
+                            what: format!("{qual}::{name}()"),
+                        });
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.is_punct('[') && i > start {
+            let prev = &toks[i - 1];
+            let indexable = match prev.kind {
+                TokKind::Ident => !NON_INDEXABLE_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.is_punct(')') || prev.is_punct(']') || prev.is_punct('?'),
+                _ => false,
+            };
+            if indexable {
+                // Reconstruct a short snippet: `recv[..`.
+                let mut what = prev.text.clone();
+                what.push('[');
+                for k in (i + 1)..(i + 4).min(end) {
+                    what.push_str(&toks[k].text);
+                }
+                what.push_str("..]");
+                out.push(Violation { rule: Rule::Indexing, line: t.line, what });
+            }
+            i += 1;
+            continue;
+        }
+
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn scan(src: &str) -> Vec<Violation> {
+        let toks = tokenize(src);
+        scan_body(&toks, (0, toks.len()), &[], false)
+    }
+
+    fn rules(src: &str) -> Vec<Rule> {
+        scan(src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect() {
+        assert_eq!(rules("x.unwrap(); y.expect(\"m\");"), vec![Rule::Panic, Rule::Panic]);
+        // unwrap_or / unwrap_or_default are fine.
+        assert!(rules("x.unwrap_or(0); x.unwrap_or_default();").is_empty());
+    }
+
+    #[test]
+    fn panic_macros() {
+        assert_eq!(rules("panic!(\"x\")"), vec![Rule::Panic]);
+        assert_eq!(rules("unreachable!()"), vec![Rule::Panic]);
+        assert_eq!(rules("assert_eq!(a, b)"), vec![Rule::Panic]);
+        assert!(rules("debug_assert!(a)").is_empty());
+    }
+
+    #[test]
+    fn indexing_and_slicing() {
+        assert_eq!(rules("data[0]"), vec![Rule::Indexing]);
+        assert_eq!(rules("buf[a..b]"), vec![Rule::Indexing]);
+        assert!(rules("data.get(0)").is_empty());
+        // Array literals / types / patterns are not indexing.
+        assert!(rules("let x: [u8; 4] = [0u8; 4];").is_empty());
+        assert!(rules("let [a, b] = pair;").is_empty());
+        assert!(rules("vec![0u8; 4]").iter().all(|r| *r == Rule::Alloc));
+    }
+
+    #[test]
+    fn unsafe_blocks() {
+        assert_eq!(rules("unsafe { *p }"), vec![Rule::Unsafe]);
+    }
+
+    #[test]
+    fn alloc_advisories() {
+        assert_eq!(
+            rules("Vec::new(); x.to_vec(); format!(\"{}\", 1); msg.clone();"),
+            vec![Rule::Alloc, Rule::Alloc, Rule::Alloc, Rule::Alloc]
+        );
+    }
+
+    #[test]
+    fn nested_ranges_are_skipped() {
+        let toks = tokenize("a.unwrap() b.unwrap()");
+        // Skip the first four tokens (a . unwrap ( )).
+        let v = scan_body(&toks, (0, toks.len()), &[(0, 5)], false);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn strings_do_not_trigger() {
+        assert!(rules("let s = \"please do not unwrap() or panic! here\";").is_empty());
+    }
+}

@@ -1,0 +1,318 @@
+//! Lint engine: crate discovery, extraction, reachability, rule checks,
+//! allowlist application.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::allowlist::{self, Allowlist};
+use crate::checks::{self, Rule};
+use crate::extract;
+use crate::graph::{self, GlobalFn};
+use crate::lexer;
+
+/// Crates whose hot-path-reachable functions are held to the deny rules.
+pub const DEFAULT_ENFORCED: &[&str] = &["rb-fronthaul", "rb-core", "rb-apps"];
+
+/// Directory names never scanned for sources.
+const SKIP_DIRS: &[&str] = &["target", "tests", "benches", "examples", ".git"];
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Crates whose violations are enforced (others only contribute
+    /// definitions for reachability).
+    pub enforced: Vec<String>,
+    /// Promote `alloc` findings from advisory to denied.
+    pub deny_alloc: bool,
+    /// Lint every non-test function in enforced crates, not only the
+    /// hot-path-reachable set.
+    pub all: bool,
+    /// Allowlist path; defaults to `<root>/xtask/lint-allow.toml`.
+    pub allowlist_path: Option<PathBuf>,
+}
+
+impl Options {
+    /// Default options rooted at `root`.
+    pub fn new(root: PathBuf) -> Self {
+        Options {
+            root,
+            enforced: DEFAULT_ENFORCED.iter().map(|s| s.to_string()).collect(),
+            deny_alloc: false,
+            all: false,
+            allowlist_path: None,
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Function key (`crate::module::Type::name`).
+    pub key: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line of the violating token.
+    pub line: u32,
+    /// Rule family.
+    pub rule: Rule,
+    /// Short snippet of the offending expression.
+    pub what: String,
+    /// Granted by the allowlist.
+    pub allowed: bool,
+    /// Advisory only (never fails the run).
+    pub advisory: bool,
+    /// Root→function call chain that makes this function hot.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    /// True when this finding should fail the lint run.
+    pub fn is_error(&self) -> bool {
+        !self.allowed && !self.advisory
+    }
+}
+
+/// Aggregate result of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, errors and advisories alike.
+    pub findings: Vec<Finding>,
+    /// Keys of all hot-path-reachable functions, sorted.
+    pub hot_fns: Vec<String>,
+    /// Total functions extracted across scanned crates.
+    pub total_fns: usize,
+    /// Problems in the allowlist file itself (these fail the run).
+    pub allow_problems: Vec<String>,
+    /// Allowlist entries that matched nothing (these fail the run: stale
+    /// grants must be pruned, not accumulated).
+    pub unused_allow: Vec<String>,
+}
+
+impl Report {
+    /// Number of findings that fail the run.
+    pub fn error_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.is_error()).count()
+            + self.allow_problems.len()
+            + self.unused_allow.len()
+    }
+}
+
+/// Read the `name = "..."` of a Cargo.toml `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(v) = rest.strip_prefix('=') {
+                    let v = v.trim();
+                    if v.len() >= 2 && v.starts_with('"') {
+                        if let Some(close) = v[1..].find('"') {
+                            return Some(v[1..1 + close].to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Find `(crate_name, crate_dir)` pairs under `root`, skipping `xtask`
+/// itself (its helper names like `parse` would otherwise leak into the
+/// name-based call graph as false candidates).
+fn discover_crates(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![(root.to_path_buf(), 0usize)];
+    while let Some((dir, depth)) = stack.pop() {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)?;
+            if let Some(name) = package_name(&text) {
+                if name != "xtask" {
+                    out.push((name, dir.clone()));
+                }
+            }
+        }
+        if depth >= 3 {
+            continue;
+        }
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if !path.is_dir() {
+                continue;
+            }
+            let base = entry.file_name();
+            let base = base.to_string_lossy();
+            if SKIP_DIRS.contains(&base.as_ref()) || base == "xtask" || base.starts_with('.') {
+                continue;
+            }
+            stack.push((path, depth + 1));
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// Collect `.rs` files under `dir/src`, with their module path.
+fn source_files(crate_dir: &Path) -> Vec<(PathBuf, String)> {
+    let src = crate_dir.join("src");
+    let mut out = Vec::new();
+    let mut stack = vec![src.clone()];
+    while let Some(dir) = stack.pop() {
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let base = entry.file_name();
+            let base = base.to_string_lossy().to_string();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&base.as_str()) {
+                    stack.push(path);
+                }
+                continue;
+            }
+            if !base.ends_with(".rs") {
+                continue;
+            }
+            let rel = match path.strip_prefix(&src) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            let mut parts: Vec<String> = rel
+                .iter()
+                .map(|c| c.to_string_lossy().trim_end_matches(".rs").to_string())
+                .collect();
+            if let Some(last) = parts.last() {
+                if last == "lib" || last == "main" || last == "mod" {
+                    parts.pop();
+                }
+            }
+            out.push((path, parts.join("::")));
+        }
+    }
+    out.sort();
+    out
+}
+
+fn load_allowlist(opts: &Options) -> Allowlist {
+    let path = opts
+        .allowlist_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("xtask").join("lint-allow.toml"));
+    match fs::read_to_string(&path) {
+        Ok(text) => allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    }
+}
+
+/// Run the lint over the workspace at `opts.root`.
+pub fn run(opts: &Options) -> io::Result<Report> {
+    let mut units: Vec<Vec<lexer::Token>> = Vec::new();
+    let mut fns: Vec<GlobalFn> = Vec::new();
+
+    for (crate_name, crate_dir) in discover_crates(&opts.root)? {
+        for (path, module) in source_files(&crate_dir) {
+            let text = fs::read_to_string(&path)?;
+            let toks = lexer::tokenize(&text);
+            let defs = extract::extract_fns(&toks, &crate_name, &module);
+            let unit = units.len();
+            let file = path.strip_prefix(&opts.root).unwrap_or(&path).to_string_lossy().to_string();
+            for def in defs {
+                fns.push(GlobalFn {
+                    unit,
+                    file: file.clone(),
+                    crate_name: crate_name.clone(),
+                    def,
+                });
+            }
+            units.push(toks);
+        }
+    }
+
+    let parent = graph::reachable(&units, &fns);
+    let allow = load_allowlist(opts);
+    let mut used = vec![false; allow.entries.len()];
+
+    let mut report = Report {
+        total_fns: fns.len(),
+        allow_problems: allow.problems.clone(),
+        ..Report::default()
+    };
+
+    let mut hot: BTreeSet<String> = BTreeSet::new();
+    for &idx in parent.keys() {
+        hot.insert(fns[idx].def.key.clone());
+    }
+    report.hot_fns = hot.into_iter().collect();
+
+    for (idx, f) in fns.iter().enumerate() {
+        if f.def.is_test {
+            continue;
+        }
+        if !opts.enforced.iter().any(|c| c == &f.crate_name) {
+            continue;
+        }
+        let is_hot = parent.contains_key(&idx);
+        if !is_hot && !opts.all {
+            continue;
+        }
+        let violations =
+            checks::scan_body(&units[f.unit], f.def.body, &f.def.nested, f.def.is_unsafe_fn);
+        if violations.is_empty() {
+            continue;
+        }
+        let chain = if is_hot { graph::chain(&fns, &parent, idx) } else { vec![f.def.key.clone()] };
+        for v in violations {
+            let advisory = v.rule == Rule::Alloc && !opts.deny_alloc;
+            let allowed = allow.grants(&f.def.key, v.rule);
+            if allowed {
+                for (ei, e) in allow.entries.iter().enumerate() {
+                    if e.rule == v.rule && e.function == f.def.key {
+                        used[ei] = true;
+                    }
+                }
+            }
+            report.findings.push(Finding {
+                key: f.def.key.clone(),
+                file: f.file.clone(),
+                line: v.line,
+                rule: v.rule,
+                what: v.what,
+                allowed,
+                advisory,
+                chain: chain.clone(),
+            });
+        }
+    }
+
+    for e in allow.unused(&used) {
+        report.unused_allow.push(format!(
+            "unused allowlist entry: {} / {} ({})",
+            e.function,
+            e.rule.name(),
+            e.reason
+        ));
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule.name()).cmp(&(&b.file, b.line, b.rule.name())));
+    Ok(report)
+}

@@ -1,0 +1,476 @@
+//! Reconstructs item structure (modules, impls, traits, functions) from a
+//! token stream, without building a full AST.
+//!
+//! The extractor walks the tokens of one file keeping a scope stack that
+//! mirrors brace nesting. Every `{` pushes a scope (a module, impl, trait,
+//! function body or anonymous block) and every `}` pops one, so function
+//! body extents fall out of the walk. Attributes are accumulated at item
+//! position and attached to the following item, which is how `#[cfg(test)]`
+//! modules, `#[test]` functions and `#[rb_hot_path]` markers are
+//! recognized.
+
+use crate::lexer::{TokKind, Token};
+
+/// One extracted function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Stable key used in reports and the allowlist:
+    /// `crate::module::Type::name` (empty segments omitted).
+    pub key: String,
+    /// The bare function name.
+    pub name: String,
+    /// Name of the `impl` target type (or the trait, for default methods in
+    /// a trait definition), if any.
+    pub impl_type: Option<String>,
+    /// Name of the trait being implemented (for `impl Trait for Type`) or
+    /// defined (for default bodies inside `trait Trait { .. }`).
+    pub trait_name: Option<String>,
+    /// Attribute texts attached to the function (whitespace-free).
+    pub attrs: Vec<String>,
+    /// True when the function is test-only (`#[test]`, `#[cfg(test)]`, or
+    /// nested inside a `#[cfg(test)]` module).
+    pub is_test: bool,
+    /// True for `unsafe fn`.
+    pub is_unsafe_fn: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body, excluding the outer braces.
+    pub body: (usize, usize),
+    /// Body ranges of functions nested inside this one (excluded when
+    /// scanning this function's own tokens).
+    pub nested: Vec<(usize, usize)>,
+}
+
+#[derive(Debug)]
+enum Scope {
+    Mod { test: bool },
+    Impl { ty: String, tr: Option<String>, test: bool },
+    Trait { name: String, test: bool },
+    Fn { def_idx: usize },
+    Block,
+}
+
+fn attr_text(toks: &[Token], mut i: usize, end: usize) -> (String, usize) {
+    // `i` points at `[`; return the joined text inside the balanced
+    // brackets and the index just past the closing `]`.
+    let mut depth = 0usize;
+    let mut text = String::new();
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('[') {
+            depth += 1;
+            if depth == 1 {
+                i += 1;
+                continue;
+            }
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (text, i + 1);
+            }
+        }
+        text.push_str(&t.text);
+        i += 1;
+    }
+    (text, i)
+}
+
+fn has_cfg_test(attrs: &[String]) -> bool {
+    attrs.iter().any(|a| a.starts_with("cfg") && a.contains("test"))
+}
+
+fn is_test_attr(attrs: &[String]) -> bool {
+    attrs.iter().any(|a| a == "test" || a.ends_with("::test") || a == "bench")
+}
+
+/// Skip a balanced `<...>` group starting at `i` (which must point at `<`).
+/// `->` and `=>` arrows never reach here because `>` is only decremented
+/// when depth is positive and `-`/`=` don't open groups.
+fn skip_angles(toks: &[Token], mut i: usize, end: usize) -> usize {
+    let mut depth = 0isize;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            // Ignore `->`/`=>` arrow heads.
+            let arrow = i > 0 && (toks[i - 1].is_punct('-') || toks[i - 1].is_punct('='));
+            if !arrow {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+        } else if t.is_punct('(') {
+            i = skip_parens(toks, i, end);
+            continue;
+        } else if t.is_punct(';') || t.is_punct('{') {
+            // Malformed / unexpected: bail out rather than overrun.
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skip a balanced `(...)` group starting at `i` (which must point at `(`).
+fn skip_parens(toks: &[Token], mut i: usize, end: usize) -> usize {
+    let mut depth = 0isize;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth <= 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse the path after `impl` generics / `for`, returning the last path
+/// segment before generic arguments, and the index where parsing stopped.
+fn parse_path_last_segment(toks: &[Token], mut i: usize, end: usize) -> (Option<String>, usize) {
+    let mut last: Option<String> = None;
+    // Leading `&`, `dyn`, lifetimes.
+    while i < end
+        && (toks[i].is_punct('&')
+            || toks[i].kind == TokKind::Lifetime
+            || toks[i].is_ident("dyn")
+            || toks[i].is_ident("mut"))
+    {
+        i += 1;
+    }
+    while i < end {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            last = Some(t.text.clone());
+            i += 1;
+            // `::` continues the path.
+            if i + 1 < end && toks[i].is_punct(':') && toks[i + 1].is_punct(':') {
+                i += 2;
+                continue;
+            }
+            if i < end && toks[i].is_punct('<') {
+                i = skip_angles(toks, i, end);
+            }
+            break;
+        }
+        break;
+    }
+    (last, i)
+}
+
+/// Extract all function definitions from one file's tokens.
+///
+/// `crate_name` and `module` seed the report keys; `module` is the path
+/// derived from the file name (empty for `lib.rs`/`main.rs`).
+pub fn extract_fns(toks: &[Token], crate_name: &str, module: &str) -> Vec<FnDef> {
+    let n = toks.len();
+    let mut defs: Vec<FnDef> = Vec::new();
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut mod_path: Vec<String> =
+        if module.is_empty() { Vec::new() } else { vec![module.to_string()] };
+    let mut pending: Vec<String> = Vec::new();
+    let mut i = 0usize;
+
+    let in_test = |stack: &[Scope]| {
+        stack.iter().any(|s| match s {
+            Scope::Mod { test } | Scope::Impl { test, .. } | Scope::Trait { test, .. } => *test,
+            _ => false,
+        })
+    };
+    let impl_ctx = |stack: &[Scope]| -> (Option<String>, Option<String>) {
+        for s in stack.iter().rev() {
+            match s {
+                Scope::Impl { ty, tr, .. } => return (Some(ty.clone()), tr.clone()),
+                Scope::Trait { name, .. } => return (Some(name.clone()), Some(name.clone())),
+                _ => {}
+            }
+        }
+        (None, None)
+    };
+
+    while i < n {
+        let t = &toks[i];
+
+        // Attributes.
+        if t.is_punct('#') && i + 1 < n {
+            if toks[i + 1].is_punct('[') {
+                let (text, next) = attr_text(toks, i + 1, n);
+                pending.push(text);
+                i = next;
+                continue;
+            }
+            if toks[i + 1].is_punct('!') && i + 2 < n && toks[i + 2].is_punct('[') {
+                let (_, next) = attr_text(toks, i + 2, n);
+                i = next;
+                continue;
+            }
+        }
+
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "mod" if i + 1 < n && toks[i + 1].kind == TokKind::Ident => {
+                    let name = toks[i + 1].text.clone();
+                    let test = has_cfg_test(&pending) || in_test(&stack);
+                    pending.clear();
+                    i += 2;
+                    if i < n && toks[i].is_punct('{') {
+                        stack.push(Scope::Mod { test });
+                        mod_path.push(name);
+                        i += 1;
+                    }
+                    continue;
+                }
+                "impl" => {
+                    let test = has_cfg_test(&pending) || in_test(&stack);
+                    pending.clear();
+                    let mut j = i + 1;
+                    if j < n && toks[j].is_punct('<') {
+                        j = skip_angles(toks, j, n);
+                    }
+                    let (first, mut j2) = parse_path_last_segment(toks, j, n);
+                    let (ty, tr);
+                    if j2 < n && toks[j2].is_ident("for") {
+                        let (second, j3) = parse_path_last_segment(toks, j2 + 1, n);
+                        tr = first;
+                        ty = second;
+                        j2 = j3;
+                    } else {
+                        ty = first;
+                        tr = None;
+                    }
+                    // Scan to the opening brace (skipping where clauses).
+                    while j2 < n && !toks[j2].is_punct('{') && !toks[j2].is_punct(';') {
+                        if toks[j2].is_punct('<') {
+                            j2 = skip_angles(toks, j2, n);
+                        } else if toks[j2].is_punct('(') {
+                            j2 = skip_parens(toks, j2, n);
+                        } else {
+                            j2 += 1;
+                        }
+                    }
+                    if j2 < n && toks[j2].is_punct('{') {
+                        stack.push(Scope::Impl { ty: ty.unwrap_or_default(), tr, test });
+                        i = j2 + 1;
+                    } else {
+                        i = (j2 + 1).min(n);
+                    }
+                    continue;
+                }
+                "trait" if i + 1 < n && toks[i + 1].kind == TokKind::Ident => {
+                    let name = toks[i + 1].text.clone();
+                    let test = has_cfg_test(&pending) || in_test(&stack);
+                    pending.clear();
+                    let mut j = i + 2;
+                    while j < n && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                        if toks[j].is_punct('<') {
+                            j = skip_angles(toks, j, n);
+                        } else if toks[j].is_punct('(') {
+                            j = skip_parens(toks, j, n);
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    if j < n && toks[j].is_punct('{') {
+                        stack.push(Scope::Trait { name, test });
+                        i = j + 1;
+                    } else {
+                        i = (j + 1).min(n);
+                    }
+                    continue;
+                }
+                "fn" if i + 1 < n && toks[i + 1].kind == TokKind::Ident => {
+                    let name = toks[i + 1].text.clone();
+                    let attrs = std::mem::take(&mut pending);
+                    let is_unsafe_fn = i > 0 && toks[i - 1].is_ident("unsafe");
+                    let line = t.line;
+                    let mut j = i + 2;
+                    if j < n && toks[j].is_punct('<') {
+                        j = skip_angles(toks, j, n);
+                    }
+                    if j < n && toks[j].is_punct('(') {
+                        j = skip_parens(toks, j, n);
+                    }
+                    // Return type / where clause up to body or `;`.
+                    while j < n && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                        if toks[j].is_punct('<') {
+                            j = skip_angles(toks, j, n);
+                        } else if toks[j].is_punct('(') {
+                            j = skip_parens(toks, j, n);
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    if j < n && toks[j].is_punct('{') {
+                        let (impl_type, trait_name) = impl_ctx(&stack);
+                        let is_test =
+                            is_test_attr(&attrs) || has_cfg_test(&attrs) || in_test(&stack);
+                        let mut key_parts: Vec<&str> = vec![crate_name];
+                        for m in &mod_path {
+                            key_parts.push(m);
+                        }
+                        if let Some(ty) = &impl_type {
+                            key_parts.push(ty);
+                        }
+                        key_parts.push(&name);
+                        let def_idx = defs.len();
+                        defs.push(FnDef {
+                            key: key_parts.join("::"),
+                            name,
+                            impl_type,
+                            trait_name,
+                            attrs,
+                            is_test,
+                            is_unsafe_fn,
+                            line,
+                            body: (j + 1, j + 1), // end patched at pop
+                            nested: Vec::new(),
+                        });
+                        stack.push(Scope::Fn { def_idx });
+                        i = j + 1;
+                    } else {
+                        i = (j + 1).min(n);
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        if t.is_punct('{') {
+            stack.push(Scope::Block);
+            pending.clear();
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            match stack.pop() {
+                Some(Scope::Fn { def_idx }) => {
+                    defs[def_idx].body.1 = i;
+                    // Register as nested body in the closest enclosing fn.
+                    for s in stack.iter().rev() {
+                        if let Scope::Fn { def_idx: outer } = s {
+                            let range = defs[def_idx].body;
+                            defs[*outer].nested.push(range);
+                            break;
+                        }
+                    }
+                }
+                Some(Scope::Mod { .. }) => {
+                    mod_path.pop();
+                }
+                _ => {}
+            }
+            pending.clear();
+            i += 1;
+            continue;
+        }
+
+        // Any other token at item position invalidates pending attributes,
+        // except visibility/ABI modifiers that sit between attrs and `fn`.
+        let keeps_attrs = match t.kind {
+            TokKind::Ident => matches!(
+                t.text.as_str(),
+                "pub"
+                    | "crate"
+                    | "super"
+                    | "self"
+                    | "in"
+                    | "const"
+                    | "unsafe"
+                    | "async"
+                    | "extern"
+                    | "default"
+            ),
+            TokKind::Str => true, // extern "C"
+            TokKind::Punct => t.is_punct('(') || t.is_punct(')'),
+            _ => false,
+        };
+        if !keeps_attrs {
+            pending.clear();
+        }
+        i += 1;
+    }
+    defs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn extract(src: &str) -> Vec<FnDef> {
+        extract_fns(&tokenize(src), "test-crate", "m")
+    }
+
+    #[test]
+    fn free_and_method_fns() {
+        let defs = extract(
+            "fn free() { inner(); }\n\
+             impl Foo { fn method(&self) -> u8 { 1 } }\n\
+             impl Bar for Foo { fn tm(&self) {} }",
+        );
+        let keys: Vec<&str> = defs.iter().map(|d| d.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec!["test-crate::m::free", "test-crate::m::Foo::method", "test-crate::m::Foo::tm"]
+        );
+        assert_eq!(defs[2].trait_name.as_deref(), Some("Bar"));
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_fns() {
+        let defs =
+            extract("#[cfg(test)] mod tests { fn helper() {} #[test] fn t() {} } fn live() {}");
+        assert!(defs[0].is_test && defs[1].is_test);
+        assert!(!defs[2].is_test);
+        assert_eq!(defs[2].key, "test-crate::m::live");
+    }
+
+    #[test]
+    fn attrs_attach_through_pub() {
+        let defs = extract("#[rb_hot_path] pub fn entry() {}");
+        assert_eq!(defs[0].attrs, vec!["rb_hot_path"]);
+    }
+
+    #[test]
+    fn generics_and_where_clauses() {
+        let defs = extract(
+            "impl<T: AsRef<[u8]>> Frame<T> { fn payload(&self) -> &[u8] where T: Clone { &self.b } }",
+        );
+        assert_eq!(defs[0].key, "test-crate::m::Frame::payload");
+    }
+
+    #[test]
+    fn trait_default_bodies() {
+        let defs = extract("trait Middlebox { fn handle(&self) { self.go() } fn go(&self); }");
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].trait_name.as_deref(), Some("Middlebox"));
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_recorded() {
+        let defs = extract("fn outer() { fn inner() { bad() } good() }");
+        assert_eq!(defs.len(), 2);
+        let outer = defs.iter().find(|d| d.name == "outer").unwrap();
+        assert_eq!(outer.nested.len(), 1);
+    }
+
+    #[test]
+    fn inline_mod_path_in_key() {
+        let defs = extract("mod sub { pub fn f() {} }");
+        assert_eq!(defs[0].key, "test-crate::m::sub::f");
+    }
+
+    #[test]
+    fn return_impl_trait_signature() {
+        let defs = extract("fn f() -> impl Iterator<Item = u8> { std::iter::empty() }");
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].name, "f");
+    }
+}

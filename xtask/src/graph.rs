@@ -1,0 +1,290 @@
+//! Name-based call graph and hot-path reachability.
+//!
+//! Resolution is deliberately over-approximate: a call site `.foo(..)` links
+//! to *every* known function named `foo`, and `T::foo(..)` prefers functions
+//! whose `impl` target is `T` but falls back to any `foo`. Over-approximation
+//! is the right failure mode for a lint — it can only widen the enforced set,
+//! never silently exclude a function that really is on the packet path.
+//!
+//! Roots are:
+//! * every method of a `Middlebox` impl (or default body in the trait
+//!   definition itself), and
+//! * every function carrying the `#[rb_hot_path]` marker attribute.
+//!
+//! Test-only functions are never roots and never linked.
+
+use std::collections::HashMap;
+
+use crate::extract::FnDef;
+use crate::lexer::{TokKind, Token};
+
+/// A function definition tied to the file (unit) it came from.
+#[derive(Debug, Clone)]
+pub struct GlobalFn {
+    /// Index into the engine's unit (file) list.
+    pub unit: usize,
+    /// Repo-relative path of the defining file.
+    pub file: String,
+    /// Name of the crate the file belongs to.
+    pub crate_name: String,
+    /// The extracted definition.
+    pub def: FnDef,
+}
+
+/// How a call site referred to its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `recv.foo(..)` — method syntax.
+    Method,
+    /// `foo(..)` — plain path-less call.
+    Plain,
+    /// `Qual::foo(..)` — the last qualifying segment is carried.
+    Qualified(String),
+}
+
+/// One extracted call site.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Shape of the call expression.
+    pub kind: CallKind,
+    /// Callee name.
+    pub name: String,
+}
+
+/// Idents that look like `ident (` but are control flow, not calls.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "match", "return", "for", "in", "as", "let", "else", "loop", "move", "break",
+    "continue", "where", "unsafe", "await", "fn", "dyn", "impl", "ref", "mut", "pub", "use",
+];
+
+fn in_nested(idx: usize, nested: &[(usize, usize)]) -> bool {
+    nested.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+/// Extract call sites from a function body (nested fn bodies excluded —
+/// nested fns are linked through their own `fn name(` signature tokens,
+/// which sit outside the nested body ranges).
+pub fn calls_in_body(toks: &[Token], body: (usize, usize), nested: &[(usize, usize)]) -> Vec<Call> {
+    let (start, end) = body;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        if in_nested(i, nested) {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && i + 1 < end
+            && toks[i + 1].is_punct('(')
+            && !NOT_CALLS.contains(&t.text.as_str())
+        {
+            let name = t.text.clone();
+            if i > start && toks[i - 1].is_punct('.') {
+                out.push(Call { kind: CallKind::Method, name });
+            } else if i >= start + 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+                let qual = if i >= start + 3 && toks[i - 3].kind == TokKind::Ident {
+                    toks[i - 3].text.clone()
+                } else {
+                    String::new()
+                };
+                out.push(Call { kind: CallKind::Qualified(qual), name });
+            } else {
+                out.push(Call { kind: CallKind::Plain, name });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Compute the hot-path-reachable set over `fns`, given per-unit token
+/// streams. Returns a map from reachable function index to the index of the
+/// function that pulled it in (roots map to themselves).
+pub fn reachable(units: &[Vec<Token>], fns: &[GlobalFn]) -> HashMap<usize, usize> {
+    // Name → candidate definition indices (tests excluded outright).
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (idx, f) in fns.iter().enumerate() {
+        if !f.def.is_test {
+            by_name.entry(f.def.name.as_str()).or_default().push(idx);
+        }
+    }
+
+    let is_root = |f: &GlobalFn| {
+        if f.def.is_test {
+            return false;
+        }
+        if f.def.trait_name.as_deref() == Some("Middlebox") {
+            return true;
+        }
+        f.def.attrs.iter().any(|a| a.contains("rb_hot_path"))
+    };
+
+    let mut parent: HashMap<usize, usize> = HashMap::new();
+    let mut queue: Vec<usize> = Vec::new();
+    for (idx, f) in fns.iter().enumerate() {
+        if is_root(f) {
+            parent.insert(idx, idx);
+            queue.push(idx);
+        }
+    }
+
+    while let Some(cur) = queue.pop() {
+        let f = &fns[cur];
+        let toks = &units[f.unit];
+        for call in calls_in_body(toks, f.def.body, &f.def.nested) {
+            let Some(cands) = by_name.get(call.name.as_str()) else {
+                continue;
+            };
+            // Resolution by call shape: `.foo(..)` can only reach methods,
+            // bare `foo(..)` can only reach free functions, and `T::foo(..)`
+            // prefers methods of `T` (`Self` resolves to the caller's type)
+            // falling back to free functions for module-qualified paths like
+            // `bfp::compress(..)`. Without the shape filter, std calls like
+            // `Vec::new()` or `.all(..)` would link to every same-named
+            // function in the workspace.
+            let targets: Vec<usize> = match &call.kind {
+                CallKind::Method => {
+                    cands.iter().copied().filter(|&c| fns[c].def.impl_type.is_some()).collect()
+                }
+                CallKind::Plain => {
+                    cands.iter().copied().filter(|&c| fns[c].def.impl_type.is_none()).collect()
+                }
+                CallKind::Qualified(q) => {
+                    let qual = if q == "Self" {
+                        f.def.impl_type.clone().unwrap_or_default()
+                    } else {
+                        q.clone()
+                    };
+                    let matching: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| fns[c].def.impl_type.as_deref() == Some(qual.as_str()))
+                        .collect();
+                    if matching.is_empty() {
+                        cands.iter().copied().filter(|&c| fns[c].def.impl_type.is_none()).collect()
+                    } else {
+                        matching
+                    }
+                }
+            };
+            for tgt in targets {
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(tgt) {
+                    e.insert(cur);
+                    queue.push(tgt);
+                }
+            }
+        }
+    }
+    parent
+}
+
+/// Reconstruct the root→function chain for a reachable function, as keys.
+pub fn chain(fns: &[GlobalFn], parent: &HashMap<usize, usize>, mut idx: usize) -> Vec<String> {
+    let mut out = vec![fns[idx].def.key.clone()];
+    let mut hops = 0;
+    while let Some(&p) = parent.get(&idx) {
+        if p == idx || hops > 64 {
+            break;
+        }
+        out.push(fns[p].def.key.clone());
+        idx = p;
+        hops += 1;
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_fns;
+    use crate::lexer::tokenize;
+
+    fn build(src: &str) -> (Vec<Vec<Token>>, Vec<GlobalFn>) {
+        let toks = tokenize(src);
+        let defs = extract_fns(&toks, "t", "");
+        let fns = defs
+            .into_iter()
+            .map(|def| GlobalFn {
+                unit: 0,
+                file: "t.rs".to_string(),
+                crate_name: "t".to_string(),
+                def,
+            })
+            .collect();
+        (vec![toks], fns)
+    }
+
+    fn reach_names(src: &str) -> Vec<String> {
+        let (units, fns) = build(src);
+        let r = reachable(&units, &fns);
+        let mut names: Vec<String> = r.keys().map(|&i| fns[i].def.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn middlebox_methods_are_roots() {
+        let names = reach_names(
+            "impl Middlebox for Mb { fn on_uplane(&self) { helper() } }\n\
+             fn helper() { deep() }\n\
+             fn deep() {}\n\
+             fn cold() {}",
+        );
+        assert_eq!(names, vec!["deep", "helper", "on_uplane"]);
+    }
+
+    #[test]
+    fn hot_path_attr_is_root() {
+        let names = reach_names("#[rb_hot_path] fn entry() { step() } fn step() {} fn cold() {}");
+        assert_eq!(names, vec!["entry", "step"]);
+    }
+
+    #[test]
+    fn method_calls_link_by_name() {
+        let names = reach_names(
+            "#[rb_hot_path] fn entry(x: &P) { x.decode(); }\n\
+             impl P { fn decode(&self) { self.raw() } fn raw(&self) {} }",
+        );
+        assert_eq!(names, vec!["decode", "entry", "raw"]);
+    }
+
+    #[test]
+    fn qualified_calls_prefer_matching_impl() {
+        let names = reach_names(
+            "#[rb_hot_path] fn entry() { A::go(); }\n\
+             impl A { fn go() {} }\n\
+             impl B { fn go() { very_cold() } }\n\
+             fn very_cold() {}",
+        );
+        assert_eq!(names, vec!["entry", "go"]);
+    }
+
+    #[test]
+    fn test_fns_never_link() {
+        let names = reach_names(
+            "#[rb_hot_path] fn entry() { helper() }\n\
+             #[cfg(test)] mod tests { pub fn helper() { panic!() } }",
+        );
+        assert_eq!(names, vec!["entry"]);
+    }
+
+    #[test]
+    fn trait_default_bodies_are_roots() {
+        let names = reach_names(
+            "trait Middlebox { fn handle(&self) { self.dispatch() } }\n\
+             impl Q { fn dispatch(&self) {} }",
+        );
+        assert_eq!(names, vec!["dispatch", "handle"]);
+    }
+
+    #[test]
+    fn chains_trace_to_root() {
+        let (units, fns) = build("#[rb_hot_path] fn a() { b() } fn b() { c() } fn c() {}");
+        let r = reachable(&units, &fns);
+        let c_idx = fns.iter().position(|f| f.def.name == "c").unwrap();
+        let ch = chain(&fns, &r, c_idx);
+        assert_eq!(ch, vec!["t::a", "t::b", "t::c"]);
+    }
+}

@@ -1,0 +1,325 @@
+//! A minimal, self-contained Rust lexer.
+//!
+//! The hot-path linter cannot depend on `syn` (the workspace builds in
+//! hermetic environments with no registry access), so it carries its own
+//! token scanner. It understands everything needed to walk item structure
+//! and spot panic vectors: comments (line, nested block), string/char/byte
+//! literals, raw strings and raw identifiers, lifetimes, numbers and
+//! single-character punctuation. It does **not** build an AST — the
+//! extractor in [`crate::extract`] reconstructs just enough structure
+//! (modules, impls, traits, functions) from the token stream.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// Single-character punctuation (`::` arrives as two `:` tokens).
+    Punct,
+    /// Numeric literal (integers and the digit-led part of floats).
+    Num,
+    /// String, raw-string or byte-string literal (contents dropped).
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime such as `'a` (quote and name, no closing quote).
+    Lifetime,
+}
+
+/// One lexed token with its source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (empty for string literals — contents are never
+    /// needed and dropping them avoids false matches inside messages).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize Rust source text. Invalid input never panics the lexer; it
+/// degrades to skipping the offending character.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let push = |out: &mut Vec<Token>, kind: TokKind, text: String, line: u32| {
+        out.push(Token { kind, text, line });
+    };
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments (covers doc comments too).
+        if c == '/' && i + 1 < n {
+            if b[i + 1] == '/' {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if b[i + 1] == '*' {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        // Raw strings / byte strings / raw identifiers: r"", r#""#, br"",
+        // b"", b'', rb is not a thing, r#ident is a raw identifier.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            let mut raw = c == 'r';
+            if c == 'b' && j < n && b[j] == 'r' {
+                raw = true;
+                j += 1;
+            }
+            if raw {
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    // Raw (byte) string: scan for `"` followed by `hashes` #s.
+                    j += 1;
+                    let start_line = line;
+                    'scan: while j < n {
+                        if b[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if b[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    push(&mut out, TokKind::Str, String::new(), start_line);
+                    i = j;
+                    continue;
+                }
+                if c == 'r' && hashes == 1 && j < n && is_ident_start(b[j]) {
+                    // Raw identifier r#type.
+                    let start = j;
+                    while j < n && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    push(&mut out, TokKind::Ident, b[start..j].iter().collect(), line);
+                    i = j;
+                    continue;
+                }
+                // Not a raw string/ident after all: fall through to plain
+                // identifier handling below.
+            } else if c == 'b' && j < n && (b[j] == '"' || b[j] == '\'') {
+                // Byte string / byte char: delegate to the quote handler by
+                // skipping the `b` prefix.
+                i = j;
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            push(&mut out, TokKind::Ident, b[start..i].iter().collect(), line);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n {
+                if is_ident_continue(b[i]) {
+                    i += 1;
+                } else if b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit() {
+                    // Float like 1.5 — but not the range 1..2.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            push(&mut out, TokKind::Num, b[start..i].iter().collect(), line);
+            continue;
+        }
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < n {
+                match b[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            push(&mut out, TokKind::Str, String::new(), start_line);
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime or char literal.
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal: '\n', '\'', '\u{1F600}'.
+                let mut j = i + 2;
+                if j < n && b[j] == 'u' && j + 1 < n && b[j + 1] == '{' {
+                    j += 2;
+                    while j < n && b[j] != '}' {
+                        j += 1;
+                    }
+                    j += 1;
+                } else {
+                    j += 1;
+                }
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                push(&mut out, TokKind::Char, String::new(), line);
+                i = (j + 1).min(n);
+                continue;
+            }
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' {
+                    // Char literal like 'a'.
+                    push(&mut out, TokKind::Char, String::new(), line);
+                    i = j + 1;
+                } else {
+                    // Lifetime.
+                    push(&mut out, TokKind::Lifetime, b[i + 1..j].iter().collect(), line);
+                    i = j;
+                }
+                continue;
+            }
+            // Char literal of a single non-ident char: '(' etc.
+            if i + 2 < n && b[i + 2] == '\'' {
+                push(&mut out, TokKind::Char, String::new(), line);
+                i += 3;
+                continue;
+            }
+            // Stray quote — skip.
+            i += 1;
+            continue;
+        }
+        push(&mut out, TokKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("fn foo(x: u8) -> u8 { x }");
+        assert!(t.contains(&(TokKind::Ident, "fn".into())));
+        assert!(t.contains(&(TokKind::Ident, "foo".into())));
+        assert!(t.contains(&(TokKind::Punct, "{".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert!(kinds("// unwrap()\n/* panic!() /* nested */ */ ok").len() == 1);
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        let t = kinds(r#"let s = "call .unwrap() here";"#);
+        assert!(!t.iter().any(|(_, s)| s == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let t = kinds(r###"let s = r#"has "quotes" and unwrap()"#; x"###);
+        assert!(!t.iter().any(|(_, s)| s == "unwrap"));
+        assert!(t.iter().any(|(_, s)| s == "x"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let e = '\\n'; }");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let t = kinds("a[1..2] + 0x1f + 1.5");
+        let nums: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Num).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(nums, vec!["1", "2", "0x1f", "1.5"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = tokenize("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

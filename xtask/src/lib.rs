@@ -1,0 +1,24 @@
+//! Workspace automation for the RANBooster repo.
+//!
+//! The flagship task is `cargo xtask lint` — a hot-path invariant linter
+//! that walks every function reachable from the `Middlebox` packet handlers
+//! (plus anything annotated `#[rb_hot_path]`) and rejects panic vectors:
+//! `unwrap`/`expect`, panicking macros, direct slice indexing, `unsafe`
+//! blocks, and (advisory) heap allocation. Violations must be granted in
+//! `xtask/lint-allow.toml` with a one-line justification.
+//!
+//! The implementation is dependency-free (no `syn`): the workspace builds
+//! in hermetic environments with no registry access, so the linter carries
+//! its own lexer ([`lexer`]), item extractor ([`extract`]), and call-graph
+//! walker ([`graph`]).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod allowlist;
+pub mod checks;
+pub mod engine;
+pub mod extract;
+pub mod graph;
+pub mod lexer;
+pub mod report;

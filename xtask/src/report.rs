@@ -1,0 +1,148 @@
+//! Human-readable and JSON rendering of a lint report.
+
+use std::fmt::Write as _;
+
+use crate::engine::Report;
+
+/// Render the report for terminals.
+pub fn human(report: &Report) -> String {
+    let mut out = String::new();
+    let errors = report.error_count();
+    let advisories = report.findings.iter().filter(|f| f.advisory && !f.allowed).count();
+
+    for f in &report.findings {
+        let status = if f.allowed {
+            "allowed"
+        } else if f.advisory {
+            "advisory"
+        } else {
+            "DENY"
+        };
+        let _ = writeln!(
+            out,
+            "{status:>8}  {}:{}  [{}] {}  in {}",
+            f.file,
+            f.line,
+            f.rule.name(),
+            f.what,
+            f.key
+        );
+        if f.is_error() && f.chain.len() > 1 {
+            let _ = writeln!(out, "          hot via: {}", f.chain.join(" -> "));
+        }
+    }
+    for p in &report.allow_problems {
+        let _ = writeln!(out, "   ERROR  lint-allow.toml: {p}");
+    }
+    for u in &report.unused_allow {
+        let _ = writeln!(out, "   ERROR  {u}");
+    }
+    let _ = writeln!(
+        out,
+        "hot-path lint: {} functions scanned, {} hot, {} error(s), {} advisory",
+        report.total_fns,
+        report.hot_fns.len(),
+        errors,
+        advisories
+    );
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let inner: Vec<String> = items.iter().map(|s| format!("\"{}\"", json_escape(s))).collect();
+    format!("[{}]", inner.join(","))
+}
+
+/// Render the report as a single JSON object (stable key order) for CI.
+pub fn json(report: &Report) -> String {
+    let mut findings = Vec::new();
+    for f in &report.findings {
+        findings.push(format!(
+            "{{\"function\":\"{}\",\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"what\":\"{}\",\
+             \"allowed\":{},\"advisory\":{},\"chain\":{}}}",
+            json_escape(&f.key),
+            json_escape(&f.file),
+            f.line,
+            f.rule.name(),
+            json_escape(&f.what),
+            f.allowed,
+            f.advisory,
+            json_str_array(&f.chain),
+        ));
+    }
+    format!(
+        "{{\"total_fns\":{},\"hot_fns\":{},\"errors\":{},\"findings\":[{}],\
+         \"allow_problems\":{},\"unused_allow\":{}}}",
+        report.total_fns,
+        report.hot_fns.len(),
+        report.error_count(),
+        findings.join(","),
+        json_str_array(&report.allow_problems),
+        json_str_array(&report.unused_allow),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::Rule;
+    use crate::engine::{Finding, Report};
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding {
+                key: "rb-x::m::f".to_string(),
+                file: "crates/x/src/m.rs".to_string(),
+                line: 7,
+                rule: Rule::Panic,
+                what: ".unwrap()".to_string(),
+                allowed: false,
+                advisory: false,
+                chain: vec!["rb-x::root".to_string(), "rb-x::m::f".to_string()],
+            }],
+            hot_fns: vec!["rb-x::m::f".to_string()],
+            total_fns: 2,
+            allow_problems: Vec::new(),
+            unused_allow: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn human_mentions_denials() {
+        let h = human(&sample());
+        assert!(h.contains("DENY"));
+        assert!(h.contains(".unwrap()"));
+        assert!(h.contains("hot via"));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let j = json(&sample());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"rule\":\"panic\""));
+        assert!(j.contains("\"errors\":1"));
+        // Escaping.
+        let mut r = sample();
+        r.findings[0].what = "a\"b\\c".to_string();
+        let j2 = json(&r);
+        assert!(j2.contains("a\\\"b\\\\c"));
+    }
+}

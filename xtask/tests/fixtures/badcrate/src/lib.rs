@@ -1,0 +1,36 @@
+//! Deliberately violates every `xtask lint` rule family. This crate is a
+//! lint fixture: it is lexed by the linter's tests, never compiled.
+use rb_hotpath_macros::rb_hot_path;
+
+/// Hot-path root: annotated, so everything it calls is scanned too.
+#[rb_hot_path]
+pub fn hot_entry(data: &[u8]) -> u8 {
+    let first = data[0]; // indexing violation
+    let second = data.get(1).copied().unwrap(); // panic violation (unwrap)
+    helper(first, second)
+}
+
+/// Only hot by reachability from `hot_entry` — exercises the call graph.
+fn helper(a: u8, b: u8) -> u8 {
+    if a > b {
+        panic!("a > b"); // panic violation (panic!)
+    }
+    let buf = vec![a; 4]; // alloc advisory
+    unsafe { *buf.as_ptr() } // unsafe violation
+}
+
+/// Cold: never reached from a root, so its violations must NOT be reported
+/// in default (hot-only) mode.
+pub fn cold_fn(data: &[u8]) -> u8 {
+    data[7]
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code is exempt even inside an enforced crate.
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

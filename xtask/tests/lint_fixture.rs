@@ -1,0 +1,111 @@
+//! End-to-end tests for `xtask lint`: the seeded-violation fixture crate
+//! must fail the lint, and the real repository tree must pass it.
+
+use std::path::PathBuf;
+
+use xtask::checks::Rule;
+use xtask::engine::{self, Options};
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(option_env!("CARGO_MANIFEST_DIR").unwrap_or("xtask"))
+}
+
+fn fixture_opts() -> Options {
+    let root = manifest_dir().join("tests").join("fixtures").join("badcrate");
+    let mut opts = Options::new(root);
+    opts.enforced = vec!["rb-badcrate".to_string()];
+    opts
+}
+
+#[test]
+fn fixture_crate_fails_the_lint() {
+    let report = engine::run(&fixture_opts()).expect("lint run");
+    assert!(report.error_count() > 0, "seeded violations must be reported");
+
+    let errors: Vec<_> = report.findings.iter().filter(|f| f.is_error()).collect();
+    let rule_hit = |r: Rule| errors.iter().any(|f| f.rule == r);
+    assert!(rule_hit(Rule::Indexing), "data[0] in hot_entry: {errors:?}");
+    assert!(rule_hit(Rule::Panic), "unwrap/panic! in fixture: {errors:?}");
+    assert!(rule_hit(Rule::Unsafe), "unsafe block in helper: {errors:?}");
+
+    // Alloc findings stay advisory unless --deny-alloc.
+    assert!(report.findings.iter().any(|f| f.rule == Rule::Alloc && f.advisory));
+
+    // helper() is hot only via the call graph from the #[rb_hot_path] root.
+    assert!(
+        report.hot_fns.iter().any(|k| k == "rb-badcrate::helper"),
+        "reachability must pull helper() into the hot set: {:?}",
+        report.hot_fns
+    );
+    // cold_fn() is not reachable, so its indexing violation is not an error.
+    assert!(
+        !errors.iter().any(|f| f.key == "rb-badcrate::cold_fn"),
+        "cold functions are out of scope in hot-only mode"
+    );
+    // Test functions are exempt even in an enforced crate.
+    assert!(!report.findings.iter().any(|f| f.key.contains("tests_may_unwrap")));
+}
+
+#[test]
+fn deny_alloc_promotes_advisories() {
+    let mut opts = fixture_opts();
+    opts.deny_alloc = true;
+    let report = engine::run(&opts).expect("lint run");
+    assert!(report.findings.iter().any(|f| f.rule == Rule::Alloc && f.is_error()));
+}
+
+#[test]
+fn all_mode_reports_cold_functions_too() {
+    let mut opts = fixture_opts();
+    opts.all = true;
+    let report = engine::run(&opts).expect("lint run");
+    assert!(report.findings.iter().any(|f| f.key == "rb-badcrate::cold_fn" && f.is_error()));
+}
+
+#[test]
+fn allowlist_grants_suppress_and_stale_grants_fail() {
+    let dir = std::env::temp_dir().join("rb_lint_allow_test");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let allow_path = dir.join("lint-allow.toml");
+    std::fs::write(
+        &allow_path,
+        "[[allow]]\n\
+         function = \"rb-badcrate::hot_entry\"\n\
+         rule = \"indexing\"\n\
+         reason = \"fixture grant for the allowlist test\"\n\
+         \n\
+         [[allow]]\n\
+         function = \"rb-badcrate::no_such_fn\"\n\
+         rule = \"panic\"\n\
+         reason = \"stale grant that matches nothing\"\n",
+    )
+    .expect("write allowlist");
+
+    let mut opts = fixture_opts();
+    opts.allowlist_path = Some(allow_path.clone());
+    let report = engine::run(&opts).expect("lint run");
+
+    // The granted indexing finding is reported but no longer an error.
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.key == "rb-badcrate::hot_entry" && f.rule == Rule::Indexing && f.allowed));
+    // The stale grant itself fails the run.
+    assert_eq!(report.unused_allow.len(), 1, "{:?}", report.unused_allow);
+
+    std::fs::remove_file(&allow_path).ok();
+}
+
+#[test]
+fn repo_tree_is_clean() {
+    let root = manifest_dir().join("..");
+    let report = engine::run(&Options::new(root)).expect("lint run");
+    let errors: Vec<_> = report.findings.iter().filter(|f| f.is_error()).collect();
+    assert_eq!(
+        report.error_count(),
+        0,
+        "the checked-in tree must lint clean: {errors:?} {:?} {:?}",
+        report.allow_problems,
+        report.unused_allow
+    );
+}
