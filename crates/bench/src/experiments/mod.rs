@@ -3,6 +3,7 @@
 //! windows (CI smoke mode) without changing the experiment's structure.
 
 pub mod appendix_a2;
+pub mod dataplane_scale;
 pub mod fig10a_das;
 pub mod fig10b_rushare;
 pub mod fig10c_prbmon;
@@ -34,6 +35,7 @@ pub fn all(quick: bool) -> Vec<Report> {
         fig16_cpu::run(quick),
         table1_placement::run(quick),
         appendix_a2::run(quick),
+        dataplane_scale::run(quick),
     ]
 }
 
@@ -53,12 +55,25 @@ pub fn by_id(id: &str, quick: bool) -> Option<Report> {
         "fig16" => fig16_cpu::run(quick),
         "table1" => table1_placement::run(quick),
         "a2" | "appendix_a2" => appendix_a2::run(quick),
+        "dataplane" => dataplane_scale::run(quick),
         _ => return None,
     })
 }
 
 /// The ids accepted by [`by_id`].
 pub const IDS: &[&str] = &[
-    "fig10a", "table2", "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b",
-    "fig16", "table1", "a2",
+    "fig10a",
+    "table2",
+    "fig10b",
+    "fig10c",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15a",
+    "fig15b",
+    "fig16",
+    "table1",
+    "a2",
+    "dataplane",
 ];

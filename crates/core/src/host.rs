@@ -1,85 +1,39 @@
 //! Hosting a [`Middlebox`] inside the network simulation.
 //!
 //! [`MiddleboxHost`] is the glue between a middlebox implementation and
-//! the [`rb_netsim::engine`]: it owns the middlebox's VF-facing port,
-//! parses incoming frames, invokes the handlers, applies the management
-//! forwarding rules, stamps fresh eCPRI sequence numbers per output
-//! stream, serializes the results, and charges the configured
-//! [`CostModel`] to a [`CpuLedger`] so the same run yields both functional
-//! results and the CPU/latency measurements of the paper's Figures 15–16.
+//! the [`rb_netsim::engine`]: it owns the middlebox's VF-facing port and
+//! drives the shared [`MbPipeline`] (parse, MAC filter, handlers,
+//! management rules, sequence restamping, serialization) from simulated
+//! packet events, charging the configured [`CostModel`] to a [`CpuLedger`]
+//! so the same run yields both functional results and the CPU/latency
+//! measurements of the paper's Figures 15–16. The identical pipeline runs
+//! on real packet I/O in `rb-dataplane`.
 
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 
 use rb_fronthaul::eaxc::EaxcMapping;
 use rb_fronthaul::ether::EthernetAddress;
-use rb_fronthaul::msg::{Body, FhMessage};
-use rb_fronthaul::Direction;
 use rb_netsim::cost::{CostModel, CpuLedger};
 use rb_netsim::engine::{Node, NodeEvent, Outbox};
 use rb_netsim::stats::LatencyStats;
 
-use crate::cache::SymbolCache;
-use crate::mgmt::{self, SharedRules};
-use crate::middlebox::{MbContext, Middlebox};
+use crate::middlebox::Middlebox;
+use crate::pipeline::{MbPipeline, ProcessOutcome};
 use crate::telemetry::TelemetrySender;
 
-/// Traffic classes used for per-class latency accounting (Figure 15b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TrafficClass {
-    /// Downlink C-plane.
-    DlCPlane,
-    /// Downlink U-plane.
-    DlUPlane,
-    /// Uplink C-plane.
-    UlCPlane,
-    /// Uplink U-plane.
-    UlUPlane,
-}
-
-impl TrafficClass {
-    /// Classify a parsed message.
-    pub fn of(msg: &FhMessage) -> TrafficClass {
-        match (msg.body.direction(), &msg.body) {
-            (Direction::Downlink, Body::CPlane(_)) => TrafficClass::DlCPlane,
-            (Direction::Downlink, Body::UPlane(_)) => TrafficClass::DlUPlane,
-            (Direction::Uplink, Body::CPlane(_)) => TrafficClass::UlCPlane,
-            (Direction::Uplink, Body::UPlane(_)) => TrafficClass::UlUPlane,
-        }
-    }
-}
-
-/// Aggregate datapath statistics of one hosted middlebox.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct HostStats {
-    /// Frames received.
-    pub rx: u64,
-    /// Frames transmitted.
-    pub tx: u64,
-    /// Frames that failed to parse.
-    pub parse_errors: u64,
-    /// Frames filtered out because they were not addressed to this host
-    /// (the VF's MAC filter).
-    pub not_for_us: u64,
-    /// Messages dropped by management rules.
-    pub rule_drops: u64,
-    /// Messages that failed to serialize (handler produced invalid repr).
-    pub emit_errors: u64,
-}
+pub use crate::pipeline::{HostStats, TrafficClass};
 
 /// A network node wrapping a middlebox implementation.
+///
+/// Dereferences to the underlying [`MbPipeline`], so datapath state
+/// (`stats`, `middlebox()`, `rules()`, …) reads the same whether the
+/// pipeline runs under the simulator or under the dataplane runtime.
 pub struct MiddleboxHost<M: Middlebox> {
-    mb: M,
-    mac: EthernetAddress,
-    mapping: EaxcMapping,
-    cache: SymbolCache,
-    telemetry: TelemetrySender,
-    rules: SharedRules,
+    pipeline: MbPipeline<M>,
     cost: CostModel,
     ledger: CpuLedger,
-    seq: HashMap<(EthernetAddress, u16), u8>,
     tick: Option<(rb_netsim::time::SimDuration, u64)>,
-    /// Aggregate counters.
-    pub stats: HostStats,
     /// Modeled per-packet processing latency per traffic class.
     pub latency: HashMap<TrafficClass, LatencyStats>,
 }
@@ -88,33 +42,25 @@ impl<M: Middlebox> MiddleboxHost<M> {
     /// Host `mb` at Ethernet address `mac`, charging `cost` to a ledger of
     /// `cores` cores.
     pub fn new(mb: M, mac: EthernetAddress, cost: CostModel, cores: usize) -> MiddleboxHost<M> {
-        let telemetry = TelemetrySender::disconnected(mb.name());
         MiddleboxHost {
-            mb,
-            mac,
-            mapping: EaxcMapping::DEFAULT,
-            cache: SymbolCache::new(4096),
-            telemetry,
-            rules: mgmt::shared(),
+            pipeline: MbPipeline::new(mb, mac),
             ledger: CpuLedger::new(cost.datapath, cores),
             cost,
-            seq: HashMap::new(),
             tick: None,
-            stats: HostStats::default(),
             latency: HashMap::new(),
         }
     }
 
     /// Attach a telemetry sender (replaces the disconnected default).
     pub fn with_telemetry(mut self, telemetry: TelemetrySender) -> Self {
-        self.telemetry = telemetry;
+        self.pipeline.set_telemetry(telemetry);
         self
     }
 
     /// Swap the telemetry sender at runtime (e.g. a monitoring
     /// application subscribing to an already-deployed middlebox).
     pub fn set_telemetry(&mut self, telemetry: TelemetrySender) {
-        self.telemetry = telemetry;
+        self.pipeline.set_telemetry(telemetry);
     }
 
     /// Deliver a periodic tick with `tag` to the middlebox every `period`
@@ -128,29 +74,14 @@ impl<M: Middlebox> MiddleboxHost<M> {
 
     /// Use a non-default eAxC mapping.
     pub fn with_mapping(mut self, mapping: EaxcMapping) -> Self {
-        self.mapping = mapping;
+        self.pipeline.set_mapping(mapping);
         self
     }
 
     /// Share a management rule table (e.g. with an orchestrator).
-    pub fn with_rules(mut self, rules: SharedRules) -> Self {
-        self.rules = rules;
+    pub fn with_rules(mut self, rules: crate::mgmt::SharedRules) -> Self {
+        self.pipeline.set_rules(rules);
         self
-    }
-
-    /// This host's MAC address.
-    pub fn mac(&self) -> EthernetAddress {
-        self.mac
-    }
-
-    /// The hosted middlebox.
-    pub fn middlebox(&self) -> &M {
-        &self.mb
-    }
-
-    /// Mutable access to the hosted middlebox.
-    pub fn middlebox_mut(&mut self) -> &mut M {
-        &mut self.mb
     }
 
     /// The CPU ledger (utilization queries).
@@ -163,74 +94,31 @@ impl<M: Middlebox> MiddleboxHost<M> {
         &mut self.ledger
     }
 
-    /// The shared management rule table.
-    pub fn rules(&self) -> SharedRules {
-        self.rules.clone()
-    }
-
-    fn next_seq(&mut self, dst: EthernetAddress, eaxc_raw: u16) -> u8 {
-        let counter = self.seq.entry((dst, eaxc_raw)).or_insert(0);
-        let v = *counter;
-        *counter = counter.wrapping_add(1);
-        v
-    }
-
-    fn transmit(&mut self, out: &mut Outbox, mut msg: FhMessage) {
-        let eaxc_raw = msg.eaxc.pack(&self.mapping);
-        if !self.rules.write().apply(&mut msg, eaxc_raw) {
-            self.stats.rule_drops += 1;
-            return;
-        }
-        msg.seq_id = self.next_seq(msg.eth.dst, eaxc_raw);
-        match msg.to_bytes(&self.mapping) {
-            Ok(bytes) => {
-                self.stats.tx += 1;
-                out.send(0, bytes);
-            }
-            Err(_) => self.stats.emit_errors += 1,
-        }
-    }
-
     fn process(&mut self, out: &mut Outbox, frame: Vec<u8>) {
-        self.stats.rx += 1;
-        let msg = match FhMessage::parse(&frame, &self.mapping) {
-            Ok(m) => m,
-            Err(_) => {
-                self.stats.parse_errors += 1;
-                return;
+        let now = out.now();
+        let outcome = self.pipeline.process(now, &frame, &mut |bytes| out.send(0, bytes));
+        if let ProcessOutcome::Handled { class, charges } = outcome {
+            let mut total = rb_netsim::time::SimDuration::ZERO;
+            for (work, placement) in charges {
+                total += self.cost.packet_cost(work, placement);
             }
-        };
-        // VF MAC filtering: only frames addressed to us (or broadcast)
-        // reach the middlebox. This also breaks forwarding loops caused by
-        // unknown-destination flooding in the embedded switch.
-        if msg.eth.dst != self.mac && !msg.eth.dst.is_broadcast() {
-            self.stats.not_for_us += 1;
-            return;
+            self.ledger.charge_balanced(total);
+            self.latency.entry(class).or_default().record(total);
         }
-        let class = TrafficClass::of(&msg);
-        let fallback = self.mb.classify(&msg);
-        let mut ctx = MbContext {
-            now: out.now(),
-            cache: &mut self.cache,
-            telemetry: &self.telemetry,
-            mapping: self.mapping,
-            charges: Vec::new(),
-        };
-        let emits = self.mb.handle(&mut ctx, msg);
-        // CPU accounting: prefer the work the handler reported; fall back
-        // to the static classification.
-        let charges =
-            if ctx.charges.is_empty() { vec![fallback] } else { std::mem::take(&mut ctx.charges) };
-        drop(ctx);
-        let mut total = rb_netsim::time::SimDuration::ZERO;
-        for (work, placement) in charges {
-            total += self.cost.packet_cost(work, placement);
-        }
-        self.ledger.charge_balanced(total);
-        self.latency.entry(class).or_default().record(total);
-        for m in emits {
-            self.transmit(out, m);
-        }
+    }
+}
+
+impl<M: Middlebox> Deref for MiddleboxHost<M> {
+    type Target = MbPipeline<M>;
+
+    fn deref(&self) -> &MbPipeline<M> {
+        &self.pipeline
+    }
+}
+
+impl<M: Middlebox> DerefMut for MiddleboxHost<M> {
+    fn deref_mut(&mut self) -> &mut MbPipeline<M> {
+        &mut self.pipeline
     }
 }
 
@@ -239,17 +127,8 @@ impl<M: Middlebox> Node for MiddleboxHost<M> {
         match ev {
             NodeEvent::Packet { frame, .. } => self.process(out, frame),
             NodeEvent::Timer { tag } => {
-                let mut ctx = MbContext {
-                    now: out.now(),
-                    cache: &mut self.cache,
-                    telemetry: &self.telemetry,
-                    mapping: self.mapping,
-                    charges: Vec::new(),
-                };
-                let emits = self.mb.on_tick(&mut ctx, tag);
-                for m in emits {
-                    self.transmit(out, m);
-                }
+                let now = out.now();
+                self.pipeline.tick(now, tag, &mut |bytes| out.send(0, bytes));
                 if let Some((period, tick_tag)) = self.tick {
                     if tag == tick_tag {
                         out.schedule(period, tick_tag);
@@ -260,7 +139,7 @@ impl<M: Middlebox> Node for MiddleboxHost<M> {
     }
 
     fn name(&self) -> &str {
-        self.mb.name()
+        self.pipeline.middlebox().name()
     }
 }
 
@@ -272,7 +151,9 @@ mod tests {
     use rb_fronthaul::bfp::CompressionMethod;
     use rb_fronthaul::cplane::{CPlaneRepr, SectionFields};
     use rb_fronthaul::eaxc::Eaxc;
+    use rb_fronthaul::msg::{Body, FhMessage};
     use rb_fronthaul::timing::SymbolId;
+    use rb_fronthaul::Direction;
     use rb_netsim::engine::{port, Engine};
     use rb_netsim::time::{SimDuration, SimTime};
 

@@ -43,4 +43,5 @@ pub mod chain;
 pub mod host;
 pub mod mgmt;
 pub mod middlebox;
+pub mod pipeline;
 pub mod telemetry;

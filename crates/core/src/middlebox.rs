@@ -83,6 +83,34 @@ pub trait Middlebox: 'static {
     }
 }
 
+// Boxed middleboxes are middleboxes too: the dataplane runtime builds one
+// instance per worker from a factory returning `Box<dyn Middlebox>`.
+impl Middlebox for Box<dyn Middlebox> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn on_cplane(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
+        self.as_mut().on_cplane(ctx, msg)
+    }
+
+    fn on_uplane(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
+        self.as_mut().on_uplane(ctx, msg)
+    }
+
+    fn on_tick(&mut self, ctx: &mut MbContext<'_>, tag: u64) -> Vec<FhMessage> {
+        self.as_mut().on_tick(ctx, tag)
+    }
+
+    fn classify(&self, msg: &FhMessage) -> (Work, XdpPlacement) {
+        self.as_ref().classify(msg)
+    }
+
+    fn handle(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
+        self.as_mut().handle(ctx, msg)
+    }
+}
+
 /// A trivial middlebox that forwards everything to a fixed destination —
 /// useful as a chain placeholder and in tests.
 pub struct Passthrough {

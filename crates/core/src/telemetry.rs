@@ -2,13 +2,27 @@
 //!
 //! RANBooster middleboxes "expose monitoring and management interfaces …
 //! to send telemetry data to applications" (paper §3.2). Telemetry is a
-//! stream of timestamped events over a lock-free channel: the middlebox
-//! side holds a cheap-to-clone [`TelemetrySender`]; external applications
-//! (e.g. the PRB-utilization consumer of §4.4) drain a
+//! stream of timestamped events over a lock-free **bounded** channel: the
+//! middlebox side holds a cheap-to-clone [`TelemetrySender`]; external
+//! applications (e.g. the PRB-utilization consumer of §4.4) drain a
 //! [`TelemetryReceiver`].
+//!
+//! Telemetry must never perturb the datapath. Sends never block: when the
+//! consumer falls behind and the channel fills, new events are discarded
+//! and counted in the shared `telemetry_dropped` counter instead — the
+//! same back-pressure-free discipline the dataplane runtime applies to
+//! its packet rings.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
+
+/// Default bound of a telemetry channel, in records. Deep enough to absorb
+/// a burst of per-packet events between consumer polls, small enough that
+/// an absent consumer costs bounded memory.
+pub const DEFAULT_CAPACITY: usize = 65_536;
 
 /// One telemetry event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,25 +63,43 @@ pub struct TelemetryRecord {
     pub event: TelemetryEvent,
 }
 
-/// The sending half held by middleboxes. Sends never block and are silently
-/// dropped if no receiver is attached (telemetry must not perturb the
-/// datapath).
+/// The sending half held by middleboxes. Sends never block: events are
+/// silently discarded when no receiver is attached, and discarded-and-
+/// counted when the bounded channel is full (telemetry must not perturb
+/// the datapath).
 #[derive(Debug, Clone)]
 pub struct TelemetrySender {
     source: String,
     tx: Option<Sender<TelemetryRecord>>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl TelemetrySender {
-    /// A sender with no attached receiver — all events are discarded.
+    /// A sender with no attached receiver — all events are discarded
+    /// (without counting them as drops: there is no consumer to starve).
     pub fn disconnected(source: impl Into<String>) -> TelemetrySender {
-        TelemetrySender { source: source.into(), tx: None }
+        TelemetrySender { source: source.into(), tx: None, dropped: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// A sender on the same channel attributing its events to a different
+    /// `source` (e.g. per-worker attribution in the dataplane runtime).
+    pub fn with_source(&self, source: impl Into<String>) -> TelemetrySender {
+        TelemetrySender {
+            source: source.into(),
+            tx: self.tx.clone(),
+            dropped: Arc::clone(&self.dropped),
+        }
     }
 
     /// Emit an event at simulated time `at_ns`.
     pub fn emit(&self, at_ns: u64, event: TelemetryEvent) {
         if let Some(tx) = &self.tx {
-            let _ = tx.send(TelemetryRecord { source: self.source.clone(), at_ns, event });
+            let record = TelemetryRecord { source: self.source.clone(), at_ns, event };
+            if tx.try_send(record).is_err() {
+                // Full or disconnected: either way the record is lost and
+                // the consumer should know how many it missed.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -80,12 +112,19 @@ impl TelemetrySender {
     pub fn gauge(&self, at_ns: u64, name: &str, value: f64) {
         self.emit(at_ns, TelemetryEvent::Gauge { name: name.to_string(), value });
     }
+
+    /// Records discarded because the channel was full (or the receiver was
+    /// dropped), across all senders cloned from the same channel.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
 }
 
 /// The receiving half held by monitoring applications.
 #[derive(Debug)]
 pub struct TelemetryReceiver {
     rx: Receiver<TelemetryRecord>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl TelemetryReceiver {
@@ -102,12 +141,35 @@ impl TelemetryReceiver {
     pub fn try_recv(&self) -> Option<TelemetryRecord> {
         self.rx.try_recv().ok()
     }
+
+    /// Records the senders discarded because this channel was full — the
+    /// `telemetry_dropped` counter. A non-zero value means the drained
+    /// stream has gaps and the consumer should poll more often (or the
+    /// channel should be created with a larger capacity).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
 }
 
-/// Create a connected telemetry channel for a middlebox named `source`.
+/// Create a connected telemetry channel for a middlebox named `source`,
+/// bounded at [`DEFAULT_CAPACITY`] records.
 pub fn channel(source: impl Into<String>) -> (TelemetrySender, TelemetryReceiver) {
-    let (tx, rx) = unbounded();
-    (TelemetrySender { source: source.into(), tx: Some(tx) }, TelemetryReceiver { rx })
+    channel_with_capacity(source, DEFAULT_CAPACITY)
+}
+
+/// Create a connected telemetry channel bounded at `capacity` records.
+/// When the channel is full further events are dropped (and counted),
+/// never blocking the emitting datapath.
+pub fn channel_with_capacity(
+    source: impl Into<String>,
+    capacity: usize,
+) -> (TelemetrySender, TelemetryReceiver) {
+    let (tx, rx) = bounded(capacity.max(1));
+    let dropped = Arc::new(AtomicU64::new(0));
+    (
+        TelemetrySender { source: source.into(), tx: Some(tx), dropped: Arc::clone(&dropped) },
+        TelemetryReceiver { rx, dropped },
+    )
 }
 
 #[cfg(test)]
@@ -132,6 +194,7 @@ mod tests {
     fn disconnected_sender_is_silent() {
         let tx = TelemetrySender::disconnected("x");
         tx.count(0, "anything", 1); // must not panic
+        assert_eq!(tx.dropped(), 0, "no consumer, so nothing counts as dropped");
     }
 
     #[test]
@@ -141,6 +204,39 @@ mod tests {
         for _ in 0..1000 {
             tx.count(0, "n", 1);
         }
+    }
+
+    #[test]
+    fn full_channel_drops_and_counts_instead_of_blocking() {
+        let (tx, rx) = channel_with_capacity("x", 4);
+        for k in 0..10 {
+            tx.count(k, "n", 1);
+        }
+        assert_eq!(tx.dropped(), 6, "overflow counted on the sender");
+        assert_eq!(rx.dropped(), 6, "and visible to the consumer");
+        let got = rx.drain();
+        assert_eq!(got.len(), 4, "the first `capacity` records survive");
+        assert_eq!(got[0].at_ns, 0);
+        // Draining frees capacity again; new events flow and the drop
+        // counter keeps its history.
+        tx.count(99, "n", 1);
+        assert_eq!(rx.drain().len(), 1);
+        assert_eq!(rx.dropped(), 6);
+    }
+
+    #[test]
+    fn with_source_shares_channel_and_drop_counter() {
+        let (tx, rx) = channel_with_capacity("rt", 2);
+        let w0 = tx.with_source("rt/w0");
+        let w1 = tx.with_source("rt/w1");
+        w0.count(0, "rx", 1);
+        w1.count(1, "rx", 1);
+        w1.count(2, "rx", 1); // overflows
+        let got = rx.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].source, "rt/w0");
+        assert_eq!(got[1].source, "rt/w1");
+        assert_eq!(tx.dropped(), 1, "drop counter shared across derived senders");
     }
 
     #[test]

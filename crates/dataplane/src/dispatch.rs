@@ -1,0 +1,138 @@
+//! RSS-style flow dispatch.
+//!
+//! The dispatcher must keep per-flow ordering while spreading load, so it
+//! hashes the pair that defines a fronthaul flow — the **eAxC id** (which
+//! antenna-carrier stream) and the **direction bit** (DL vs UL share an
+//! eAxC id but are independent flows) — onto the worker set. Only a cheap
+//! header peek happens here: Ethernet header, eCPRI header, one payload
+//! byte. The full parse is the workers' job; a frame the peek cannot
+//! classify still goes to a deterministic worker so its parse error is
+//! counted exactly once, exactly like in the simulator.
+
+use rb_fronthaul::ecpri;
+use rb_fronthaul::ether::{EtherType, Frame};
+use rb_fronthaul::Direction;
+use rb_hotpath_macros::rb_hot_path;
+
+/// The identity of a fronthaul flow for dispatch purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Packed eAxC id straight off the wire.
+    pub eaxc_raw: u16,
+    /// Transport direction (`dataDirection` bit of the app header).
+    pub direction: Direction,
+}
+
+/// Peek at a raw frame and extract its [`FlowKey`]. `None` means the
+/// frame is not recognizable eCPRI-over-Ethernet — the caller routes it
+/// to a fixed worker whose pipeline counts the parse error.
+#[rb_hot_path]
+pub fn flow_key(frame: &[u8]) -> Option<FlowKey> {
+    let eth = Frame::new_checked(frame).ok()?;
+    if eth.ethertype() != EtherType::ECPRI {
+        return None;
+    }
+    let pkt = ecpri::Packet::new_checked(eth.payload()).ok()?;
+    // Both O-RAN C-plane and U-plane app headers carry dataDirection in
+    // bit 7 of their first byte.
+    let first = pkt.payload().first().copied()?;
+    Some(FlowKey { eaxc_raw: pkt.eaxc_raw(), direction: Direction::from_bit(first >> 7) })
+}
+
+/// Map a flow onto one of `workers` shards (FNV-1a over the key bytes).
+/// Total: `workers == 0` is treated as one worker.
+#[rb_hot_path]
+pub fn shard(key: FlowKey, workers: usize) -> usize {
+    if workers <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let [b0, b1] = key.eaxc_raw.to_be_bytes();
+    for b in [b0, b1, key.direction.bit()] {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // The low bits of FNV are the well-mixed ones; modulo is fine.
+    (h % workers as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_fronthaul::bfp::CompressionMethod;
+    use rb_fronthaul::cplane::{CPlaneRepr, SectionFields};
+    use rb_fronthaul::eaxc::{Eaxc, EaxcMapping};
+    use rb_fronthaul::ether::EthernetAddress;
+    use rb_fronthaul::iq::Prb;
+    use rb_fronthaul::msg::{Body, FhMessage};
+    use rb_fronthaul::timing::SymbolId;
+    use rb_fronthaul::uplane::{UPlaneRepr, USection};
+
+    fn mac(last: u8) -> EthernetAddress {
+        EthernetAddress::new(2, 0, 0, 0, 0, last)
+    }
+
+    fn frame(eaxc: u16, direction: Direction, cplane: bool) -> Vec<u8> {
+        let body = if cplane {
+            Body::CPlane(CPlaneRepr::single(
+                direction,
+                SymbolId::ZERO,
+                CompressionMethod::BFP9,
+                SectionFields::data(0, 0, 10, 1),
+            ))
+        } else {
+            let s = USection::from_prbs(0, 0, &[Prb::ZERO], CompressionMethod::BFP9).unwrap();
+            Body::UPlane(UPlaneRepr::single(direction, SymbolId::ZERO, s))
+        };
+        let eaxc = Eaxc::unpack(eaxc, &EaxcMapping::DEFAULT);
+        FhMessage::new(mac(1), mac(2), eaxc, 0, body).to_bytes(&EaxcMapping::DEFAULT).unwrap()
+    }
+
+    #[test]
+    fn key_reflects_eaxc_and_direction() {
+        let k = flow_key(&frame(7, Direction::Downlink, true)).unwrap();
+        assert_eq!(k, FlowKey { eaxc_raw: 7, direction: Direction::Downlink });
+        let k = flow_key(&frame(7, Direction::Uplink, false)).unwrap();
+        assert_eq!(k, FlowKey { eaxc_raw: 7, direction: Direction::Uplink });
+    }
+
+    #[test]
+    fn cplane_and_uplane_of_same_flow_share_a_key() {
+        let c = flow_key(&frame(3, Direction::Downlink, true)).unwrap();
+        let u = flow_key(&frame(3, Direction::Downlink, false)).unwrap();
+        assert_eq!(c, u, "planes of one flow must land on one worker");
+    }
+
+    #[test]
+    fn unrecognizable_frames_have_no_key() {
+        assert!(flow_key(&[0u8; 7]).is_none(), "runt");
+        let mut f = frame(0, Direction::Downlink, true);
+        f[12] = 0x08;
+        f[13] = 0x00; // IPv4 ethertype
+        assert!(flow_key(&f).is_none());
+    }
+
+    #[test]
+    fn shard_is_stable_and_in_range() {
+        for eaxc in 0..64u16 {
+            for dir in [Direction::Downlink, Direction::Uplink] {
+                let k = FlowKey { eaxc_raw: eaxc, direction: dir };
+                let s = shard(k, 4);
+                assert!(s < 4);
+                assert_eq!(s, shard(k, 4), "deterministic");
+            }
+        }
+        assert_eq!(shard(FlowKey { eaxc_raw: 1, direction: Direction::Uplink }, 0), 0);
+        assert_eq!(shard(FlowKey { eaxc_raw: 1, direction: Direction::Uplink }, 1), 0);
+    }
+
+    #[test]
+    fn shard_spreads_flows() {
+        let mut hit = [false; 4];
+        for eaxc in 0..64u16 {
+            let k = FlowKey { eaxc_raw: eaxc, direction: Direction::Downlink };
+            hit[shard(k, 4)] = true;
+        }
+        assert!(hit.iter().all(|h| *h), "64 flows must touch all 4 workers");
+    }
+}

@@ -1,0 +1,325 @@
+//! Frame I/O backends for the dataplane runtime.
+//!
+//! [`FrameIo`] is the narrow waist between the runtime and the outside
+//! world: batched receive, single-frame transmit. Two backends exist
+//! today — [`PcapReplay`] (drive a recorded capture through middleboxes
+//! at full speed, the workhorse of benchmarks and sim-equivalence tests)
+//! and [`Loopback`] (an in-process pair for wiring runtimes together in
+//! tests). The AF_XDP/AF_PACKET backend slots in behind the same trait
+//! once the runtime leaves the lab; nothing above this module changes.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::ArrayQueue;
+use rb_fronthaul::pcap::{PcapReader, PcapWriter};
+
+/// One raw Ethernet frame with its capture/ingress timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFrame {
+    /// Nanoseconds since capture epoch (pcap timestamp, or the ingress
+    /// clock of a live backend).
+    pub at_ns: u64,
+    /// The frame bytes, starting at the Ethernet header.
+    pub bytes: Vec<u8>,
+}
+
+/// Result of one receive poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxPoll {
+    /// This many frames were appended to the caller's buffer.
+    Ready(usize),
+    /// Nothing available right now; more may arrive later.
+    Idle,
+    /// The source is exhausted; no further frames will ever arrive.
+    Eof,
+}
+
+/// A dataplane packet interface: the runtime pulls batches in and pushes
+/// processed frames out. Implementations must be cheap to poll — the
+/// runtime calls `rx_batch` in a tight loop.
+pub trait FrameIo: Send {
+    /// Append up to `max` frames to `out`.
+    fn rx_batch(&mut self, out: &mut Vec<RawFrame>, max: usize) -> RxPoll;
+
+    /// Transmit one frame. Returns `false` if the frame could not be sent
+    /// (sink error, peer gone); the runtime counts such failures.
+    fn tx(&mut self, frame: RawFrame) -> bool;
+}
+
+enum TxSink {
+    /// Keep transmitted frames in memory (tests, equivalence checks).
+    Memory(Vec<RawFrame>),
+    /// Write them to a pcap stream.
+    Writer(PcapWriter<BufWriter<File>>),
+    /// Discard them, counting only.
+    Discard(u64),
+}
+
+/// Replays a classic pcap capture as fast as the runtime can pull it, and
+/// records whatever the middleboxes transmit.
+pub struct PcapReplay<R: Read + Send> {
+    src: PcapReader<R>,
+    sink: TxSink,
+    read_errors: u64,
+    exhausted: bool,
+}
+
+/// A replay over an in-memory capture.
+pub type MemReplay = PcapReplay<std::io::Cursor<Vec<u8>>>;
+
+impl MemReplay {
+    /// Replay a capture already in memory; transmitted frames are kept in
+    /// memory for inspection via [`PcapReplay::take_tx`].
+    pub fn from_bytes(capture: Vec<u8>) -> std::io::Result<MemReplay> {
+        let src = PcapReader::new(std::io::Cursor::new(capture))?;
+        Ok(PcapReplay { src, sink: TxSink::Memory(Vec::new()), read_errors: 0, exhausted: false })
+    }
+}
+
+impl PcapReplay<BufReader<File>> {
+    /// Replay a capture file. With `out` set, transmitted frames are
+    /// written to that path as a pcap capture; without it they are
+    /// discarded (pure throughput runs).
+    pub fn open(path: &Path, out: Option<&Path>) -> std::io::Result<PcapReplay<BufReader<File>>> {
+        let src = PcapReader::new(BufReader::new(File::open(path)?))?;
+        let sink = match out {
+            Some(p) => TxSink::Writer(PcapWriter::new(BufWriter::new(File::create(p)?))?),
+            None => TxSink::Discard(0),
+        };
+        Ok(PcapReplay { src, sink, read_errors: 0, exhausted: false })
+    }
+}
+
+impl<R: Read + Send> PcapReplay<R> {
+    /// Frames transmitted so far (all sinks count).
+    pub fn tx_frames(&self) -> u64 {
+        match &self.sink {
+            TxSink::Memory(v) => v.len() as u64,
+            TxSink::Writer(w) => w.frames(),
+            TxSink::Discard(n) => *n,
+        }
+    }
+
+    /// Malformed records skipped while reading the capture.
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors
+    }
+
+    /// Take the transmitted frames accumulated by a memory sink (empty
+    /// for file/discard sinks).
+    pub fn take_tx(&mut self) -> Vec<RawFrame> {
+        match &mut self.sink {
+            TxSink::Memory(v) => std::mem::take(v),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Flush a file-backed sink. Memory/discard sinks are no-ops.
+    pub fn finish(self) -> std::io::Result<()> {
+        if let TxSink::Writer(w) = self.sink {
+            w.finish()?;
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read + Send> FrameIo for PcapReplay<R> {
+    fn rx_batch(&mut self, out: &mut Vec<RawFrame>, max: usize) -> RxPoll {
+        if self.exhausted {
+            return RxPoll::Eof;
+        }
+        let mut n = 0;
+        while n < max {
+            match self.src.next_frame() {
+                Ok(Some((at_ns, bytes))) => {
+                    out.push(RawFrame { at_ns, bytes });
+                    n += 1;
+                }
+                Ok(None) => {
+                    self.exhausted = true;
+                    break;
+                }
+                Err(_) => {
+                    // A damaged record poisons the rest of the stream
+                    // (record framing is lost); stop here but keep what
+                    // was already read.
+                    self.read_errors += 1;
+                    self.exhausted = true;
+                    break;
+                }
+            }
+        }
+        if n > 0 {
+            RxPoll::Ready(n)
+        } else {
+            RxPoll::Eof
+        }
+    }
+
+    fn tx(&mut self, frame: RawFrame) -> bool {
+        match &mut self.sink {
+            TxSink::Memory(v) => {
+                v.push(frame);
+                true
+            }
+            TxSink::Writer(w) => w.write_frame(frame.at_ns, &frame.bytes).is_ok(),
+            TxSink::Discard(n) => {
+                *n += 1;
+                true
+            }
+        }
+    }
+}
+
+struct LoopbackLane {
+    q: ArrayQueue<RawFrame>,
+    closed: AtomicBool,
+    overflowed: AtomicU64,
+}
+
+impl LoopbackLane {
+    fn new(capacity: usize) -> Arc<LoopbackLane> {
+        Arc::new(LoopbackLane {
+            q: ArrayQueue::new(capacity.max(1)),
+            closed: AtomicBool::new(false),
+            overflowed: AtomicU64::new(0),
+        })
+    }
+}
+
+/// One endpoint of an in-process cross-connected pair: what one side
+/// transmits, the other receives. Dropping an endpoint signals EOF to its
+/// peer once the lane drains.
+pub struct Loopback {
+    rx: Arc<LoopbackLane>,
+    tx: Arc<LoopbackLane>,
+}
+
+impl Loopback {
+    /// Create a connected pair with `capacity` frames of buffering per
+    /// direction.
+    pub fn pair(capacity: usize) -> (Loopback, Loopback) {
+        let ab = LoopbackLane::new(capacity);
+        let ba = LoopbackLane::new(capacity);
+        (Loopback { rx: Arc::clone(&ba), tx: Arc::clone(&ab) }, Loopback { rx: ab, tx: ba })
+    }
+
+    /// Frames the peer failed to deliver to us because our lane was full.
+    pub fn overflowed(&self) -> u64 {
+        self.rx.overflowed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Loopback {
+    fn drop(&mut self) {
+        self.tx.closed.store(true, Ordering::Release);
+        self.rx.closed.store(true, Ordering::Release);
+    }
+}
+
+impl FrameIo for Loopback {
+    fn rx_batch(&mut self, out: &mut Vec<RawFrame>, max: usize) -> RxPoll {
+        let mut n = 0;
+        while n < max {
+            match self.rx.q.pop() {
+                Some(f) => {
+                    out.push(f);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            RxPoll::Ready(n)
+        } else if self.rx.closed.load(Ordering::Acquire) && self.rx.q.is_empty() {
+            RxPoll::Eof
+        } else {
+            RxPoll::Idle
+        }
+    }
+
+    fn tx(&mut self, frame: RawFrame) -> bool {
+        if self.tx.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        if self.tx.q.push(frame).is_err() {
+            // Peer is not draining: shed at the transmitter, never block.
+            self.tx.overflowed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture(frames: &[(u64, Vec<u8>)]) -> Vec<u8> {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for (at, f) in frames {
+            w.write_frame(*at, f).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn replay_pulls_batches_then_eof() {
+        // Timestamps in whole µs: the pcap writer stores µs resolution.
+        let cap =
+            capture(&[(1_000, vec![1u8; 20]), (2_000, vec![2u8; 20]), (3_000, vec![3u8; 20])]);
+        let mut io = MemReplay::from_bytes(cap).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(io.rx_batch(&mut out, 2), RxPoll::Ready(2));
+        assert_eq!(io.rx_batch(&mut out, 2), RxPoll::Ready(1));
+        assert_eq!(io.rx_batch(&mut out, 2), RxPoll::Eof);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2], RawFrame { at_ns: 3_000, bytes: vec![3u8; 20] });
+    }
+
+    #[test]
+    fn replay_memory_sink_records_tx() {
+        let cap = capture(&[]);
+        let mut io = MemReplay::from_bytes(cap).unwrap();
+        assert!(io.tx(RawFrame { at_ns: 9, bytes: vec![7u8; 14] }));
+        assert_eq!(io.tx_frames(), 1);
+        let got = io.take_tx();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].at_ns, 9);
+        assert!(io.take_tx().is_empty());
+    }
+
+    #[test]
+    fn replay_stops_at_damaged_record() {
+        let mut cap = capture(&[(1, vec![1u8; 20])]);
+        cap.truncate(cap.len() - 5); // cut into the frame data
+        let mut io = MemReplay::from_bytes(cap).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(io.rx_batch(&mut out, 8), RxPoll::Eof);
+        assert_eq!(io.read_errors(), 1);
+    }
+
+    #[test]
+    fn loopback_crosses_over() {
+        let (mut a, mut b) = Loopback::pair(8);
+        assert!(a.tx(RawFrame { at_ns: 1, bytes: vec![1] }));
+        let mut out = Vec::new();
+        assert_eq!(b.rx_batch(&mut out, 8), RxPoll::Ready(1));
+        assert_eq!(out[0].bytes, vec![1]);
+        assert_eq!(b.rx_batch(&mut out, 8), RxPoll::Idle);
+        drop(a);
+        assert_eq!(b.rx_batch(&mut out, 8), RxPoll::Eof);
+    }
+
+    #[test]
+    fn loopback_sheds_on_full_lane() {
+        let (mut a, b) = Loopback::pair(1);
+        assert!(a.tx(RawFrame { at_ns: 1, bytes: vec![1] }));
+        assert!(!a.tx(RawFrame { at_ns: 2, bytes: vec![2] }));
+        assert_eq!(b.overflowed(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # rb-dataplane — the RANBooster real-time execution runtime
+//!
+//! The simulator (`rb-netsim` + `rb-core`'s `MiddleboxHost`) answers *what
+//! does this middlebox do to a flow*; this crate answers *how fast can it
+//! do it on real packet I/O*. The same unmodified
+//! [`rb_core::middlebox::Middlebox`] implementations run here on worker
+//! threads fed by an RSS-style dispatcher, mirroring how the paper's
+//! middleboxes run on DPDK/XDP cores behind the fronthaul switch (§3.3):
+//!
+//! * [`io`] — the [`io::FrameIo`] backend abstraction: pcap replay today,
+//!   an in-process loopback pair for tests, with the AF_XDP/AF_PACKET
+//!   slot reserved for a future backend;
+//! * [`dispatch`] — a cheap header peek (eAxC id + direction bit, no full
+//!   parse) hashed onto N workers so every flow keeps per-flow ordering;
+//! * [`ring`] — bounded SPSC rings between dispatcher and workers with a
+//!   drop-oldest overload policy: the dispatcher never blocks, drops are
+//!   counted per ring;
+//! * [`worker`] — the per-core loop: batched dequeue into the shared
+//!   `MbPipeline` (the exact code path the simulator runs);
+//! * [`runtime`] — assembles the above, drives I/O from the caller's
+//!   thread and drains everything on shutdown;
+//! * [`stats`] — per-worker counters plus batch-size / queue-depth
+//!   histograms, exported over `rb_core::telemetry`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+// The manifest denies clippy's panic-vector lints crate-wide; unit tests are
+// exempt — asserting and unwrapping is what tests are for.
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)
+)]
+
+pub mod dispatch;
+pub mod io;
+pub mod ring;
+pub mod runtime;
+pub mod stats;
+pub mod worker;
+
+pub use io::{FrameIo, Loopback, PcapReplay, RawFrame, RxPoll};
+pub use runtime::{Runtime, RuntimeConfig, RuntimeReport};

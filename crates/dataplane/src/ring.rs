@@ -1,0 +1,228 @@
+//! Bounded SPSC rings with a drop-oldest overload policy.
+//!
+//! One ring connects the dispatcher to each worker (and each worker back
+//! to the collector). The cardinal rule of the fronthaul dataplane is that
+//! *ingress never blocks*: when a worker falls behind, its ring sheds the
+//! **oldest** queued frame — stale fronthaul traffic is worthless anyway
+//! (a symbol that missed its slot deadline cannot be transmitted) — and
+//! the shed is counted so overload is observable, never silent.
+//!
+//! The single-producer/single-consumer discipline is enforced by
+//! construction: [`ring`] returns exactly one non-cloneable
+//! [`RingProducer`] and one non-cloneable [`RingConsumer`]. The queue
+//! underneath is lock-free ([`crossbeam::queue::ArrayQueue`]), so pushes
+//! and pops on the packet path never take a lock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::ArrayQueue;
+
+struct Shared<T> {
+    q: ArrayQueue<T>,
+    dropped: AtomicU64,
+    closed: AtomicBool,
+}
+
+/// What [`RingProducer::push`] did with the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Stored without shedding anything.
+    Stored,
+    /// Stored, after shedding this many oldest entries to make room
+    /// (normally 1; more only if the consumer raced us).
+    StoredAfterDropping(u64),
+    /// The ring is closed; the frame was discarded.
+    Closed,
+}
+
+/// Create a bounded SPSC ring of at least one slot.
+pub fn ring<T>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>) {
+    let shared = Arc::new(Shared {
+        q: ArrayQueue::new(capacity.max(1)),
+        dropped: AtomicU64::new(0),
+        closed: AtomicBool::new(false),
+    });
+    (RingProducer { s: Arc::clone(&shared) }, RingConsumer { s: shared })
+}
+
+/// The sending half, held by exactly one thread.
+pub struct RingProducer<T> {
+    s: Arc<Shared<T>>,
+}
+
+impl<T> RingProducer<T> {
+    /// Enqueue `v`, shedding the oldest queued entries if the ring is
+    /// full. Never blocks and never fails while the ring is open.
+    pub fn push(&self, v: T) -> PushOutcome {
+        if self.s.closed.load(Ordering::Acquire) {
+            return PushOutcome::Closed;
+        }
+        let mut v = v;
+        let mut shed = 0u64;
+        loop {
+            match self.s.q.push(v) {
+                Ok(()) => {
+                    return if shed == 0 {
+                        PushOutcome::Stored
+                    } else {
+                        self.s.dropped.fetch_add(shed, Ordering::Relaxed);
+                        PushOutcome::StoredAfterDropping(shed)
+                    };
+                }
+                Err(back) => {
+                    // Full: shed the oldest entry and retry. The consumer
+                    // may pop concurrently — then the retry simply
+                    // succeeds without us shedding anything.
+                    if self.s.q.pop().is_some() {
+                        shed += 1;
+                    }
+                    v = back;
+                }
+            }
+        }
+    }
+
+    /// Mark the ring closed. The consumer drains what is queued, then
+    /// observes end-of-stream.
+    pub fn close(&self) {
+        self.s.closed.store(true, Ordering::Release);
+    }
+
+    /// Frames shed so far by the drop-oldest policy.
+    pub fn dropped(&self) -> u64 {
+        self.s.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.s.q.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.s.q.is_empty()
+    }
+
+    /// The ring's capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.s.q.capacity()
+    }
+}
+
+impl<T> Drop for RingProducer<T> {
+    fn drop(&mut self) {
+        // A vanished producer must not strand its consumer in a spin loop.
+        self.close();
+    }
+}
+
+/// The receiving half, held by exactly one thread.
+pub struct RingConsumer<T> {
+    s: Arc<Shared<T>>,
+}
+
+impl<T> RingConsumer<T> {
+    /// Dequeue one entry.
+    pub fn pop(&self) -> Option<T> {
+        self.s.q.pop()
+    }
+
+    /// Dequeue up to `max` entries into `out`; returns how many arrived.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.s.q.pop() {
+                Some(v) => {
+                    out.push(v);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// True once the producer closed the ring *and* every queued entry has
+    /// been drained — the clean end-of-stream condition.
+    pub fn is_finished(&self) -> bool {
+        // Order matters: a producer may push then close, so check closed
+        // first and re-check emptiness after.
+        self.s.closed.load(Ordering::Acquire) && self.s.q.is_empty()
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.s.q.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.s.q.is_empty()
+    }
+
+    /// Frames shed so far by the producer's drop-oldest policy.
+    pub fn dropped(&self) -> u64 {
+        self.s.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = ring(8);
+        for k in 0..8 {
+            assert_eq!(tx.push(k), PushOutcome::Stored);
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 64), 8);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(rx.dropped(), 0);
+    }
+
+    #[test]
+    fn overload_sheds_oldest_and_counts() {
+        let (tx, rx) = ring(4);
+        for k in 0..10 {
+            tx.push(k);
+        }
+        assert_eq!(tx.dropped(), 6);
+        let mut out = Vec::new();
+        rx.pop_batch(&mut out, 64);
+        assert_eq!(out, vec![6, 7, 8, 9], "the newest survive, in order");
+    }
+
+    #[test]
+    fn close_then_drain() {
+        let (tx, rx) = ring(4);
+        tx.push(1);
+        tx.push(2);
+        tx.close();
+        assert_eq!(tx.push(3), PushOutcome::Closed, "no enqueue after close");
+        assert!(!rx.is_finished(), "still has queued entries");
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert!(rx.is_finished());
+    }
+
+    #[test]
+    fn dropping_producer_closes() {
+        let (tx, rx) = ring::<u32>(4);
+        drop(tx);
+        assert!(rx.is_finished());
+    }
+
+    #[test]
+    fn pop_batch_respects_max() {
+        let (tx, rx) = ring(8);
+        for k in 0..6 {
+            tx.push(k);
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 4), 4);
+        assert_eq!(rx.len(), 2);
+    }
+}

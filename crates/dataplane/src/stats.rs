@@ -1,0 +1,193 @@
+//! Per-worker runtime statistics.
+//!
+//! Counters say *how much*; the two histograms say *how it felt*: the
+//! batch-size histogram shows whether workers run saturated (full
+//! batches) or poll-limited (singletons), and the queue-depth histogram
+//! shows how close each ring came to shedding. Both use power-of-two
+//! buckets so recording is one `leading_zeros` on the hot path, and both
+//! are exported over the bounded telemetry channel at shutdown.
+
+use rb_core::pipeline::HostStats;
+use rb_core::telemetry::TelemetrySender;
+use rb_hotpath_macros::rb_hot_path;
+
+/// Bucket count: value `v` lands in bucket `⌈log2(v+1)⌉`, clamped. Bucket
+/// 0 holds zeros, bucket 1 holds ones, bucket k holds `2^(k-1)..2^k-1`,
+/// the last bucket holds everything ≥ 2^(BUCKETS-2).
+const BUCKETS: usize = 18;
+
+/// A power-of-two-bucketed histogram of small integer samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one sample.
+    #[rb_hot_path]
+    pub fn record(&mut self, v: u64) {
+        if let Some(b) = self.buckets.get_mut(Self::bucket_of(v)) {
+            *b += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample recorded.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound (inclusive) of the bucket containing the q-quantile
+    /// sample (`q` in 0..=1) — e.g. `quantile_bound(0.99)` bounds p99.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (k, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank.max(1) {
+                return match k {
+                    0 => 0,
+                    _ => (1u64 << k) - 1,
+                };
+            }
+        }
+        self.max
+    }
+
+    /// The raw bucket counts (bucket k counts samples in `2^(k-1)..2^k`).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Counters and histograms for one worker thread.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Frames dequeued from the ingress ring.
+    pub rx: u64,
+    /// Frames pushed onto the egress ring.
+    pub tx: u64,
+    /// Non-empty batches processed.
+    pub batches: u64,
+    /// Frames the ingress ring shed before we could dequeue them
+    /// (drop-oldest overload policy).
+    pub rx_ring_dropped: u64,
+    /// Frames the egress ring shed before the collector drained them.
+    pub tx_ring_dropped: u64,
+    /// Sizes of the non-empty batches dequeued.
+    pub batch_size: Histogram,
+    /// Ingress queue depth sampled after each batch dequeue.
+    pub queue_depth: Histogram,
+}
+
+impl WorkerStats {
+    /// Export the final counters and histogram summaries as telemetry
+    /// (attributed to the sender's source, i.e. one worker).
+    pub fn export(&self, telemetry: &TelemetrySender, at_ns: u64) {
+        telemetry.count(at_ns, "dp_rx", self.rx);
+        telemetry.count(at_ns, "dp_tx", self.tx);
+        telemetry.count(at_ns, "dp_batches", self.batches);
+        telemetry.count(at_ns, "dp_rx_ring_dropped", self.rx_ring_dropped);
+        telemetry.count(at_ns, "dp_tx_ring_dropped", self.tx_ring_dropped);
+        telemetry.gauge(at_ns, "dp_batch_mean", self.batch_size.mean());
+        telemetry.gauge(at_ns, "dp_batch_p99", self.batch_size.quantile_bound(0.99) as f64);
+        telemetry.gauge(at_ns, "dp_depth_mean", self.queue_depth.mean());
+        telemetry.gauge(at_ns, "dp_depth_p99", self.queue_depth.quantile_bound(0.99) as f64);
+    }
+}
+
+/// Everything a worker hands back when it exits: its runtime counters and
+/// the pipeline's datapath statistics.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Worker index (0-based).
+    pub id: usize,
+    /// Runtime-level counters and histograms.
+    pub stats: WorkerStats,
+    /// Pipeline-level counters (parses, MAC filtering, rule drops…).
+    pub pipeline: HostStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.buckets()[0], 1, "one zero");
+        assert_eq!(h.buckets()[1], 1, "one one");
+        assert_eq!(h.buckets()[2], 2, "2 and 3");
+        assert_eq!(h.buckets()[3], 2, "4 and 7");
+        assert_eq!(h.buckets()[4], 1, "8");
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(100);
+        assert_eq!(h.quantile_bound(0.5), 1);
+        assert!(h.quantile_bound(1.0) >= 100);
+        assert_eq!(Histogram::default().quantile_bound(0.99), 0);
+    }
+
+    #[test]
+    fn mean_tracks_sum() {
+        let mut h = Histogram::default();
+        h.record(2);
+        h.record(4);
+        assert!((h.mean() - 3.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn export_emits_counters_and_gauges() {
+        let (tx, rx) = rb_core::telemetry::channel("w0");
+        let mut s = WorkerStats::default();
+        s.rx = 10;
+        s.batch_size.record(5);
+        s.export(&tx, 123);
+        let got = rx.drain();
+        assert_eq!(got.len(), 9);
+        assert!(got.iter().all(|r| r.source == "w0" && r.at_ns == 123));
+    }
+}

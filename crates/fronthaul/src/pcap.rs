@@ -5,16 +5,28 @@
 //! Figure 2 — the most convenient way to inspect what a middlebox did to
 //! a flow. The format is the original libpcap one (magic `0xa1b2c3d4`,
 //! microsecond timestamps, LINKTYPE_ETHERNET), written to any
-//! `std::io::Write` sink.
+//! `std::io::Write` sink. [`PcapReader`] reads the same format back —
+//! including byte-swapped and nanosecond-resolution variants produced by
+//! other tools — which is what the dataplane runtime's replay source is
+//! built on.
 
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 
 /// Global pcap header magic (microsecond timestamps, native endian).
 const MAGIC: u32 = 0xa1b2_c3d4;
+/// Magic of the nanosecond-resolution variant.
+const MAGIC_NANOS: u32 = 0xa1b2_3c4d;
+/// [`MAGIC`] as written by an opposite-endian producer.
+const MAGIC_SWAPPED: u32 = 0xd4c3_b2a1;
+/// [`MAGIC_NANOS`] as written by an opposite-endian producer.
+const MAGIC_NANOS_SWAPPED: u32 = 0x4d3c_b2a1;
 /// LINKTYPE_ETHERNET.
 const LINKTYPE: u32 = 1;
 /// Snapshot length: fronthaul jumbo frames fit comfortably.
 const SNAPLEN: u32 = 65535;
+/// Upper bound accepted for a record's captured length; anything larger
+/// means a corrupt or hostile file, not a fronthaul frame.
+const MAX_CAPLEN: u32 = 1 << 20;
 
 /// Writes frames into a classic pcap stream.
 pub struct PcapWriter<W: Write> {
@@ -58,6 +70,118 @@ impl<W: Write> PcapWriter<W> {
     pub fn finish(mut self) -> io::Result<W> {
         self.sink.flush()?;
         Ok(self.sink)
+    }
+}
+
+/// Fill `buf` from `src`, tolerating short reads. Returns how many bytes
+/// were actually read (less than `buf.len()` only at end of stream).
+fn fill(src: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let Some(dst) = buf.get_mut(filled..) else { break };
+        match src.read(dst) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Reads frames back out of a classic pcap stream.
+///
+/// Accepts all four classic-pcap flavors (either byte order, microsecond
+/// or nanosecond timestamps) but only LINKTYPE_ETHERNET captures. Every
+/// malformation — truncated record, absurd capture length, unknown magic —
+/// surfaces as an [`io::Error`]; the reader never panics on hostile input.
+pub struct PcapReader<R: Read> {
+    src: R,
+    swapped: bool,
+    nanos: bool,
+    frames: u64,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Open a capture: reads and validates the 24-byte global header.
+    pub fn new(mut src: R) -> io::Result<PcapReader<R>> {
+        let mut hdr = [0u8; 24];
+        if fill(&mut src, &mut hdr)? != hdr.len() {
+            return Err(bad("pcap: truncated global header"));
+        }
+        let [m0, m1, m2, m3, .., t0, t1, t2, t3] = hdr;
+        let (swapped, nanos) = match u32::from_le_bytes([m0, m1, m2, m3]) {
+            MAGIC => (false, false),
+            MAGIC_NANOS => (false, true),
+            MAGIC_SWAPPED => (true, false),
+            MAGIC_NANOS_SWAPPED => (true, true),
+            _ => return Err(bad("pcap: unrecognized magic")),
+        };
+        let word = |b: [u8; 4]| if swapped { u32::from_be_bytes(b) } else { u32::from_le_bytes(b) };
+        if word([t0, t1, t2, t3]) != LINKTYPE {
+            return Err(bad("pcap: not an Ethernet capture"));
+        }
+        Ok(PcapReader { src, swapped, nanos, frames: 0 })
+    }
+
+    fn word(&self, b: [u8; 4]) -> u32 {
+        if self.swapped {
+            u32::from_be_bytes(b)
+        } else {
+            u32::from_le_bytes(b)
+        }
+    }
+
+    /// Read the next frame as `(at_ns, bytes)`. Returns `Ok(None)` at a
+    /// clean end of stream; a stream ending mid-record is an error.
+    pub fn next_frame(&mut self) -> io::Result<Option<(u64, Vec<u8>)>> {
+        let mut rec = [0u8; 16];
+        match fill(&mut self.src, &mut rec)? {
+            0 => return Ok(None),
+            n if n < rec.len() => return Err(bad("pcap: truncated record header")),
+            _ => {}
+        }
+        let [s0, s1, s2, s3, u0, u1, u2, u3, c0, c1, c2, c3, ..] = rec;
+        let secs = self.word([s0, s1, s2, s3]);
+        let subsec = self.word([u0, u1, u2, u3]);
+        let caplen = self.word([c0, c1, c2, c3]);
+        if caplen > MAX_CAPLEN {
+            return Err(bad("pcap: unreasonable capture length"));
+        }
+        let at_ns = u64::from(secs) * 1_000_000_000
+            + u64::from(subsec) * if self.nanos { 1 } else { 1_000 };
+        let mut frame = vec![0u8; caplen as usize];
+        if fill(&mut self.src, &mut frame)? != frame.len() {
+            return Err(bad("pcap: truncated frame data"));
+        }
+        self.frames += 1;
+        Ok(Some((at_ns, frame)))
+    }
+
+    /// Number of frames read so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Read the remainder of the capture into memory.
+    pub fn read_all(&mut self) -> io::Result<Vec<(u64, Vec<u8>)>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_frame()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = io::Result<(u64, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<io::Result<(u64, Vec<u8>)>> {
+        self.next_frame().transpose()
     }
 }
 
@@ -132,5 +256,101 @@ mod tests {
         let msg = FhMessage::parse(frame, &EaxcMapping::DEFAULT).unwrap();
         assert!(msg.as_uplane().is_some());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reader_roundtrips_writer_output() {
+        let frame = sample_frame();
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_frame(1_234_567_000, &frame).unwrap();
+        w.write_frame(2_000_000_000, &frame).unwrap();
+        let buf = w.finish().unwrap();
+
+        let mut r = PcapReader::new(buf.as_slice()).unwrap();
+        let got = r.read_all().unwrap();
+        assert_eq!(got.len(), 2);
+        // Microsecond resolution: the ns timestamp is truncated to µs.
+        assert_eq!(got[0].0, 1_234_567_000);
+        assert_eq!(got[1].0, 2_000_000_000);
+        assert_eq!(got[0].1, frame);
+        assert_eq!(r.frames(), 2);
+        assert!(r.next_frame().unwrap().is_none(), "EOF is sticky and clean");
+    }
+
+    #[test]
+    fn reader_is_an_iterator() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_frame(0, &sample_frame()).unwrap();
+        let buf = w.finish().unwrap();
+        let frames: Vec<_> =
+            PcapReader::new(buf.as_slice()).unwrap().collect::<io::Result<_>>().unwrap();
+        assert_eq!(frames.len(), 1);
+    }
+
+    fn be_capture(nanos: bool, subsec: u32, frame: &[u8]) -> Vec<u8> {
+        let magic: u32 = if nanos { MAGIC_NANOS } else { MAGIC };
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&magic.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0i32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&SNAPLEN.to_be_bytes());
+        buf.extend_from_slice(&LINKTYPE.to_be_bytes());
+        buf.extend_from_slice(&3u32.to_be_bytes()); // secs
+        buf.extend_from_slice(&subsec.to_be_bytes());
+        buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        buf.extend_from_slice(frame);
+        buf
+    }
+
+    #[test]
+    fn reader_handles_byte_swapped_and_nanosecond_captures() {
+        let frame = sample_frame();
+        let got =
+            PcapReader::new(be_capture(false, 7, &frame).as_slice()).unwrap().read_all().unwrap();
+        assert_eq!(got[0].0, 3_000_007_000, "µs subseconds scaled to ns");
+        assert_eq!(got[0].1, frame);
+
+        let got =
+            PcapReader::new(be_capture(true, 7, &frame).as_slice()).unwrap().read_all().unwrap();
+        assert_eq!(got[0].0, 3_000_000_007, "ns subseconds taken verbatim");
+    }
+
+    #[test]
+    fn reader_rejects_malformed_input() {
+        // Unknown magic.
+        let mut buf = vec![0u8; 24];
+        buf[..4].copy_from_slice(&0xdead_beefu32.to_le_bytes());
+        assert!(PcapReader::new(buf.as_slice()).is_err());
+
+        // Non-Ethernet linktype.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_frame(0, &[0u8; 4]).unwrap();
+        let mut buf = w.finish().unwrap();
+        buf[20..24].copy_from_slice(&113u32.to_le_bytes()); // LINKTYPE_LINUX_SLL
+        assert!(PcapReader::new(buf.as_slice()).is_err());
+
+        // Truncated global header.
+        assert!(PcapReader::new(&b"\xd4\xc3\xb2\xa1 short"[..]).is_err());
+
+        // Truncated record header and truncated frame data.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_frame(0, &sample_frame()).unwrap();
+        let full = w.finish().unwrap();
+        let mut r = PcapReader::new(&full[..24 + 8]).unwrap();
+        assert!(r.next_frame().is_err(), "record header cut short");
+        let mut r = PcapReader::new(&full[..full.len() - 3]).unwrap();
+        assert!(r.next_frame().is_err(), "frame data cut short");
+
+        // Absurd caplen is rejected before allocating.
+        let mut buf = full[..24].to_vec();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&(MAX_CAPLEN + 1).to_le_bytes());
+        buf.extend_from_slice(&(MAX_CAPLEN + 1).to_le_bytes());
+        let mut r = PcapReader::new(buf.as_slice()).unwrap();
+        assert!(r.next_frame().is_err());
     }
 }

@@ -29,6 +29,7 @@
 
 pub use rb_apps as apps;
 pub use rb_core as core;
+pub use rb_dataplane as dataplane;
 pub use rb_fronthaul as fronthaul;
 pub use rb_netsim as netsim;
 pub use rb_radio as radio;

@@ -21,7 +21,7 @@ lint options:
   --list-hot       print the hot-path-reachable function set and exit
   --root <path>    workspace root (default: auto-detected)
   --crates <a,b>   comma-separated enforced crates
-                   (default: rb-fronthaul,rb-core,rb-apps)
+                   (default: rb-fronthaul,rb-core,rb-apps,rb-dataplane)
 ";
 
 fn workspace_root() -> PathBuf {
