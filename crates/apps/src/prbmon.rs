@@ -209,7 +209,17 @@ impl PrbMon {
     }
 
     fn flush_window(&mut self, ctx: &mut MbContext<'_>, now_ns: u64) {
-        let window_secs = self.cfg.report_every.as_secs_f64();
+        // Flushes are lazy (driven by packet arrivals), so by the time one
+        // happens several reporting periods may have elapsed — after a
+        // quiet gap the accumulated counts span the whole gap, and the
+        // denominator must too, or utilization is over-reported N× after
+        // N quiet periods. All accumulation happened inside the first
+        // period (arrivals after a boundary flush before accumulating),
+        // so scaling by whole elapsed periods honestly averages the gap.
+        let period_ns = self.cfg.report_every.as_nanos().max(1);
+        let elapsed_ns = now_ns.saturating_sub(self.window_start_ns);
+        let periods = (elapsed_ns / period_ns).max(1);
+        let window_secs = (periods * period_ns) as f64 / 1e9;
         for (direction, acc, expected_per_sec) in [
             (Direction::Downlink, self.dl, self.cfg.expected_dl_symbols_per_sec),
             (Direction::Uplink, self.ul, self.cfg.expected_ul_symbols_per_sec),
@@ -237,7 +247,10 @@ impl PrbMon {
         }
         self.dl = WindowAcc::default();
         self.ul = WindowAcc::default();
-        self.window_start_ns = now_ns;
+        // Advance by whole periods (not to `now_ns`): window boundaries
+        // stay aligned to the reporting grid instead of drifting by each
+        // flush's position inside its period.
+        self.window_start_ns += periods * period_ns;
     }
 
     fn maybe_flush(&mut self, ctx: &mut MbContext<'_>) {
@@ -282,7 +295,6 @@ impl Middlebox for PrbMon {
         let direction = msg.body.direction();
         if msg.eaxc.ru_port == self.cfg.port {
             if let Body::UPlane(up) = &msg.body {
-                let up = up.clone();
                 self.stats.inspected += 1;
                 let prbs: usize = up.sections.iter().map(|s| s.num_prb() as usize).sum();
                 ctx.charge(Work::InspectHeaders { prbs }, XdpPlacement::Kernel);
@@ -290,7 +302,7 @@ impl Middlebox for PrbMon {
                     Direction::Downlink => (self.cfg.thr_dl, true),
                     Direction::Uplink => (self.cfg.thr_ul, false),
                 };
-                let utilized = self.count_utilized(&up, thr);
+                let utilized = self.count_utilized(up, thr);
                 let acc = if acc_is_dl { &mut self.dl } else { &mut self.ul };
                 acc.utilized_prbs += utilized;
                 acc.observed_symbols += 1;
@@ -452,6 +464,54 @@ mod tests {
         // expected symbols/ms = 21; 10 of 21×10 PRBs utilized ≈ 4.8 %.
         assert!(dl.utilization < 0.1, "got {}", dl.utilization);
         assert!(dl.utilization > 0.02);
+    }
+
+    #[test]
+    fn quiet_periods_scale_the_denominator() {
+        // Regression: lazy flushes used one reporting period as the
+        // denominator no matter how late they ran, so a window flushed
+        // after N quiet periods over-reported utilization N×. Doubling
+        // the gap before the flush must halve the reported utilization.
+        let run = |gap_ns: u64| {
+            let mut mb = monitor();
+            let mut cache = SymbolCache::new(8);
+            let tel = TelemetrySender::disconnected("t");
+            mb.handle(
+                &mut ctx_at(&mut cache, &tel, 0),
+                uplane(Direction::Downlink, mac(1), 10, 0, 0),
+            );
+            mb.handle(
+                &mut ctx_at(&mut cache, &tel, gap_ns),
+                uplane(Direction::Downlink, mac(1), 0, 1, 0),
+            );
+            mb.reports.iter().find(|r| r.direction == Direction::Downlink).unwrap().utilization
+        };
+        let one_period = run(1_100_000);
+        let two_periods = run(2_200_000);
+        assert!(one_period > 0.0);
+        assert!(
+            (one_period / two_periods - 2.0).abs() < 1e-9,
+            "2 ms gap must halve utilization: {one_period} vs {two_periods}"
+        );
+    }
+
+    #[test]
+    fn window_starts_advance_on_period_boundaries() {
+        // Regression: `window_start_ns = now_ns` let boundaries drift by
+        // wherever inside a period the flushing packet happened to land.
+        let mut mb = monitor();
+        let mut cache = SymbolCache::new(8);
+        let tel = TelemetrySender::disconnected("t");
+        mb.handle(&mut ctx_at(&mut cache, &tel, 0), uplane(Direction::Downlink, mac(1), 5, 5, 0));
+        // Flush lands mid-period at 2.7 ms: the closed window spanned two
+        // whole periods and the next one starts on the 2 ms boundary.
+        mb.handle(
+            &mut ctx_at(&mut cache, &tel, 2_700_000),
+            uplane(Direction::Downlink, mac(1), 5, 5, 0),
+        );
+        let dl = mb.reports.iter().find(|r| r.direction == Direction::Downlink).unwrap();
+        assert_eq!(dl.window_start_ns, 0);
+        assert_eq!(mb.window_start_ns, 2_000_000, "grid-aligned, not 2_700_000");
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Heap-allocation counting hooks for the allocation-free datapath bench.
+//!
+//! The counting [`std::alloc::GlobalAlloc`] itself lives in the `repro`
+//! binary (a global allocator must be installed at link time, and this
+//! library forbids unsafe code); it reports every allocation here. When
+//! no counting allocator is installed — unit tests, other binaries —
+//! [`installed`] stays false and measurements degrade to `None` instead
+//! of reporting garbage.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Record one heap allocation. Called by the counting allocator on every
+/// `alloc` / `alloc_zeroed` / `realloc`.
+pub fn record() {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Declare that a counting global allocator is installed in this process.
+pub fn note_installed() {
+    INSTALLED.store(true, Ordering::Relaxed);
+}
+
+/// Is a counting allocator feeding [`record`]?
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Total allocations recorded so far in this process.
+pub fn current() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let before = current();
+        record();
+        record();
+        assert!(current() >= before + 2);
+    }
+}

@@ -15,6 +15,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use rb_apps::das::{Das, DasConfig};
+use rb_core::middlebox::Passthrough;
 use rb_dataplane::io::MemReplay;
 use rb_dataplane::runtime::{Runtime, RuntimeConfig};
 use rb_fronthaul::bfp::CompressionMethod;
@@ -28,7 +29,16 @@ use rb_fronthaul::timing::SymbolId;
 use rb_fronthaul::uplane::{UPlaneRepr, USection};
 use rb_fronthaul::Direction;
 
+use crate::alloc_count;
 use crate::report::Report;
+
+/// Single-worker pps measured at the seed commit (pre-pooling), kept in
+/// the results file so the allocation-free path's before/after is
+/// visible without digging through git history. Measured by building the
+/// seed commit and this tree with the *same* toolchain and flags on the
+/// same host — absolute pps differs across toolchains, so only a
+/// same-build ratio is meaningful.
+const SEED_1W_PPS: f64 = 851_000.0;
 
 /// eAxC ports in the capture — 16 flows so the FNV shard spreads work
 /// across every worker count measured.
@@ -136,9 +146,57 @@ fn measure(cap: &[u8], workers: usize, reps: u32) -> Run {
     best.expect("reps >= 1")
 }
 
+/// Replay a pure-forwarding workload (Passthrough, discard sink, one
+/// worker) and count heap allocations across the run. The capture is
+/// built *outside* the counted region; the default 1024-slot rings bound
+/// the in-flight window so warm-up state is identical across run lengths.
+fn run_passthrough(rounds: u32) -> (u64, u64) {
+    let cap = capture(rounds);
+    let mut io = MemReplay::from_bytes(cap).expect("valid capture").discard_tx();
+    let cfg = RuntimeConfig::new(mac(10));
+    let before = alloc_count::current();
+    let report = Runtime::run(&cfg, &mut io, |_| Passthrough::new("pt", mac(10), mac(20)))
+        .expect("replay never fails");
+    (alloc_count::current().saturating_sub(before), report.pipeline_totals().rx)
+}
+
+/// Steady-state heap allocations per forwarded frame, measured
+/// differentially: one run at N rounds, one at 2N, then
+/// `(allocs₂ − allocs₁) / (frames₂ − frames₁)`. Subtracting cancels the
+/// fixed costs both runs share — thread spawn, ring and scratch setup,
+/// pool warm-up — leaving only what scales with frame count. `None` when
+/// no counting allocator is installed (unit tests, other binaries).
+///
+/// N must be large enough that pool warm-up *completes within the
+/// shorter run*: pooled buffers start at zero capacity and grow to the
+/// working frame size over their first few uses, and on an overloaded
+/// single-core host the worker only processes a trickle of the replay,
+/// so ~1k pool buffers need several thousand forwarded frames before
+/// the last of them stops re-allocating. 8k rounds is comfortably past
+/// that on a starved 1-core host while still sub-second, so quick mode
+/// uses the same length rather than a shorter, warm-up-polluted one.
+fn measure_allocs(_quick: bool) -> Option<f64> {
+    if !alloc_count::installed() {
+        return None;
+    }
+    let n = 8_000;
+    let (allocs_1, frames_1) = run_passthrough(n);
+    let (allocs_2, frames_2) = run_passthrough(2 * n);
+    let frames = frames_2.saturating_sub(frames_1);
+    if frames == 0 {
+        return None;
+    }
+    Some(allocs_2.saturating_sub(allocs_1) as f64 / frames as f64)
+}
+
 /// Hand-rolled JSON (no serializer dependency in the hot loop's way):
 /// `results/BENCH_dataplane.json` at the repo root.
-fn write_json(runs: &[Run], speedup: f64, quick: bool) -> std::io::Result<PathBuf> {
+fn write_json(
+    runs: &[Run],
+    speedup: f64,
+    quick: bool,
+    allocs_per_frame: Option<f64>,
+) -> std::io::Result<PathBuf> {
     let root = option_env!("CARGO_MANIFEST_DIR")
         .map(|m| PathBuf::from(m).join("../.."))
         .unwrap_or_else(|| PathBuf::from("."));
@@ -163,7 +221,20 @@ fn write_json(runs: &[Run], speedup: f64, quick: bool) -> std::io::Result<PathBu
         s.push_str(if k + 1 < runs.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
-    let _ = writeln!(s, "  \"speedup_1_to_4\": {speedup:.3}");
+    let _ = writeln!(s, "  \"speedup_1_to_4\": {speedup:.3},");
+    s.push_str(
+        "  \"alloc_workload\": \"passthrough forwarding, discard sink, 1 worker, \
+         differential over two run lengths\",\n",
+    );
+    match allocs_per_frame {
+        Some(a) => {
+            let _ = writeln!(s, "  \"allocs_per_frame\": {a:.6},");
+        }
+        None => s.push_str("  \"allocs_per_frame\": null,\n"),
+    }
+    let _ = writeln!(s, "  \"seed_1w_pps\": {SEED_1W_PPS:.0},");
+    let pps_1w = runs.first().map_or(0.0, |r| r.pps);
+    let _ = writeln!(s, "  \"pps_1w_vs_seed\": {:.3}", pps_1w / SEED_1W_PPS);
     s.push_str("}\n");
     std::fs::write(&path, s)?;
     Ok(path)
@@ -197,9 +268,21 @@ pub fn run(quick: bool) -> Report {
         ]);
     }
     let speedup = runs.last().map_or(0.0, |r| r.pps) / base;
-    match write_json(&runs, speedup, quick) {
+    let allocs_per_frame = measure_allocs(quick);
+    match write_json(&runs, speedup, quick, allocs_per_frame) {
         Ok(path) => r.note(format!("written to {}", path.display())),
         Err(e) => r.note(format!("could not write BENCH_dataplane.json: {e}")),
+    }
+    match allocs_per_frame {
+        Some(a) => r.note(format!(
+            "pooled packet path: {a:.4} heap allocations per forwarded frame \
+             after warm-up (differential passthrough measurement)"
+        )),
+        None => r.note(
+            "allocs_per_frame not measured (no counting allocator in this \
+             process; run via the repro binary)"
+                .to_string(),
+        ),
     }
     let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
     r.note(format!(

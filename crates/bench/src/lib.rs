@@ -21,5 +21,6 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alloc_count;
 pub mod experiments;
 pub mod report;

@@ -96,10 +96,13 @@ impl<M: Middlebox> MiddleboxHost<M> {
 
     fn process(&mut self, out: &mut Outbox, frame: Vec<u8>) {
         let now = out.now();
-        let outcome = self.pipeline.process(now, &frame, &mut |bytes| out.send(0, bytes));
-        if let ProcessOutcome::Handled { class, charges } = outcome {
+        // The emit slice borrows the pipeline's reused buffer; the engine
+        // owns its packet events, so the simulator side copies here.
+        let outcome =
+            self.pipeline.process(now, &frame, &mut |bytes: &[u8]| out.send(0, bytes.to_vec()));
+        if let ProcessOutcome::Handled { class } = outcome {
             let mut total = rb_netsim::time::SimDuration::ZERO;
-            for (work, placement) in charges {
+            for &(work, placement) in self.pipeline.last_charges() {
                 total += self.cost.packet_cost(work, placement);
             }
             self.ledger.charge_balanced(total);
@@ -128,7 +131,7 @@ impl<M: Middlebox> Node for MiddleboxHost<M> {
             NodeEvent::Packet { frame, .. } => self.process(out, frame),
             NodeEvent::Timer { tag } => {
                 let now = out.now();
-                self.pipeline.tick(now, tag, &mut |bytes| out.send(0, bytes));
+                self.pipeline.tick(now, tag, &mut |bytes: &[u8]| out.send(0, bytes.to_vec()));
                 if let Some((period, tick_tag)) = self.tick {
                     if tag == tick_tag {
                         out.schedule(period, tick_tag);

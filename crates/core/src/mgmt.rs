@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use rb_fronthaul::eaxc::Eaxc;
 use rb_fronthaul::ether::EthernetAddress;
 use rb_fronthaul::msg::{Body, FhMessage};
 use rb_fronthaul::Direction;
@@ -88,6 +89,8 @@ pub enum RuleAction {
     SetSrc(EthernetAddress),
     /// Set (or clear) the VLAN tag.
     SetVlan(Option<u16>),
+    /// Rewrite the eAxC id (antenna-carrier stream remapping).
+    SetEaxc(Eaxc),
     /// Explicitly pass the message unchanged (stops rule evaluation).
     Pass,
 }
@@ -147,6 +150,7 @@ impl ForwardingTable {
                     RuleAction::SetDst(mac) => msg.eth.dst = mac,
                     RuleAction::SetSrc(mac) => msg.eth.src = mac,
                     RuleAction::SetVlan(vlan) => msg.eth.vlan = vlan,
+                    RuleAction::SetEaxc(eaxc) => msg.eaxc = eaxc,
                     RuleAction::Pass => {}
                 }
                 return true;
@@ -252,6 +256,21 @@ mod tests {
         });
         let mut c = msg(Direction::Downlink, 0);
         assert!(t.apply(&mut c, raw(0)), "C-plane passes a U-only rule");
+    }
+
+    #[test]
+    fn set_eaxc_remaps_the_stream() {
+        let mut t = ForwardingTable::new();
+        t.push(Rule {
+            matcher: Match { eaxc_raw: Some(raw(0)), ..Match::any() },
+            action: RuleAction::SetEaxc(Eaxc::port(5)),
+        });
+        let mut hit = msg(Direction::Downlink, 0);
+        let mut miss = msg(Direction::Downlink, 1);
+        assert!(t.apply(&mut hit, raw(0)));
+        assert!(t.apply(&mut miss, raw(1)));
+        assert_eq!(hit.eaxc, Eaxc::port(5));
+        assert_eq!(miss.eaxc, Eaxc::port(1));
     }
 
     #[test]

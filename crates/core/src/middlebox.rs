@@ -81,6 +81,15 @@ pub trait Middlebox: 'static {
             Body::UPlane(_) => self.on_uplane(ctx, msg),
         }
     }
+
+    /// Dispatch `msg` and append the messages to transmit to `out` — the
+    /// datapath entry point. The default delegates to [`Middlebox::handle`]
+    /// and moves the returned vector's elements over; allocation-sensitive
+    /// middleboxes override this to push straight into the caller's
+    /// reusable scratch buffer instead of building a fresh `Vec` per frame.
+    fn handle_into(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage, out: &mut Vec<FhMessage>) {
+        out.append(&mut self.handle(ctx, msg));
+    }
 }
 
 // Boxed middleboxes are middleboxes too: the dataplane runtime builds one
@@ -108,6 +117,10 @@ impl Middlebox for Box<dyn Middlebox> {
 
     fn handle(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
         self.as_mut().handle(ctx, msg)
+    }
+
+    fn handle_into(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage, out: &mut Vec<FhMessage>) {
+        self.as_mut().handle_into(ctx, msg, out);
     }
 }
 
@@ -143,6 +156,19 @@ impl Middlebox for Passthrough {
     fn on_uplane(&mut self, _ctx: &mut MbContext<'_>, mut msg: FhMessage) -> Vec<FhMessage> {
         crate::actions::redirect(&mut msg, self.src, self.dst);
         vec![msg]
+    }
+
+    // Forwarding needs no per-plane dispatch and no return vector: push the
+    // redirected message straight into the pipeline's scratch. This keeps
+    // the plain-forwarding datapath allocation-free.
+    fn handle_into(
+        &mut self,
+        _ctx: &mut MbContext<'_>,
+        mut msg: FhMessage,
+        out: &mut Vec<FhMessage>,
+    ) {
+        crate::actions::redirect(&mut msg, self.src, self.dst);
+        out.push(msg);
     }
 }
 
@@ -236,6 +262,25 @@ mod tests {
         assert_eq!(out[0].eth.dst, mac(20));
         let out = pt.handle(&mut ctx(&mut cache, &telemetry), umsg());
         assert_eq!(out[0].eth.src, mac(10));
+    }
+
+    #[test]
+    fn handle_into_matches_handle() {
+        let mut cache = SymbolCache::new(8);
+        let telemetry = TelemetrySender::disconnected("t");
+        let mut pt = Passthrough::new("pt", mac(10), mac(20));
+        for msg in [cmsg(), umsg()] {
+            let via_handle = pt.handle(&mut ctx(&mut cache, &telemetry), msg.clone());
+            let mut via_into = Vec::new();
+            pt.handle_into(&mut ctx(&mut cache, &telemetry), msg, &mut via_into);
+            assert_eq!(via_into, via_handle);
+        }
+        // Boxed dispatch forwards the override too.
+        let mut boxed: Box<dyn Middlebox> = Box::new(Passthrough::new("pt", mac(10), mac(20)));
+        let mut out = Vec::new();
+        boxed.handle_into(&mut ctx(&mut cache, &telemetry), cmsg(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].eth.dst, mac(20));
     }
 
     #[test]

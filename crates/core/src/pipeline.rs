@@ -20,7 +20,7 @@ use std::collections::HashMap;
 
 use rb_fronthaul::eaxc::EaxcMapping;
 use rb_fronthaul::ether::EthernetAddress;
-use rb_fronthaul::msg::{Body, FhMessage};
+use rb_fronthaul::msg::{Body, FhMessage, MsgRecycler};
 use rb_fronthaul::Direction;
 use rb_netsim::cost::{Work, XdpPlacement};
 use rb_netsim::time::SimTime;
@@ -74,16 +74,14 @@ pub struct HostStats {
 }
 
 /// What happened to one input frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcessOutcome {
-    /// The frame reached the handler: its traffic class, and the work the
-    /// handler reported (or the static [`Middlebox::classify`] fallback)
-    /// for CPU accounting.
+    /// The frame reached the handler. The work charges the handler
+    /// reported (or the static [`Middlebox::classify`] fallback) are
+    /// available from [`MbPipeline::last_charges`] until the next call.
     Handled {
         /// Traffic class of the input message.
         class: TrafficClass,
-        /// Work performed, for the host's cost model.
-        charges: Vec<(Work, XdpPlacement)>,
     },
     /// The frame failed to parse (counted in
     /// [`HostStats::parse_errors`]).
@@ -106,6 +104,14 @@ pub struct MbPipeline<M: Middlebox> {
     telemetry: TelemetrySender,
     rules: SharedRules,
     seq: HashMap<(EthernetAddress, u16), u8>,
+    // Per-pipeline scratch, cleared and reused across process() calls so
+    // the steady-state packet path performs no heap allocation: the
+    // serialization buffer, the handler's emit list, the work charges of
+    // the most recent frame, and the body-buffer recycler feeding parses.
+    tx_buf: Vec<u8>,
+    emits: Vec<FhMessage>,
+    charges: Vec<(Work, XdpPlacement)>,
+    recycler: MsgRecycler,
     /// Aggregate counters.
     pub stats: HostStats,
 }
@@ -124,6 +130,10 @@ impl<M: Middlebox> MbPipeline<M> {
             telemetry,
             rules: mgmt::shared(),
             seq: HashMap::new(),
+            tx_buf: Vec::new(),
+            emits: Vec::new(),
+            charges: Vec::new(),
+            recycler: MsgRecycler::default(),
             stats: HostStats::default(),
         }
     }
@@ -176,33 +186,47 @@ impl<M: Middlebox> MbPipeline<M> {
         v
     }
 
-    fn transmit(&mut self, mut msg: FhMessage, emit: &mut dyn FnMut(Vec<u8>)) {
+    /// The work charges recorded for the most recent
+    /// [`MbPipeline::process`] call that returned
+    /// [`ProcessOutcome::Handled`] (valid until the next call).
+    pub fn last_charges(&self) -> &[(Work, XdpPlacement)] {
+        &self.charges
+    }
+
+    fn transmit(&mut self, mut msg: FhMessage, emit: &mut dyn FnMut(&[u8])) {
         let eaxc_raw = msg.eaxc.pack(&self.mapping);
         if !self.rules.write().apply(&mut msg, eaxc_raw) {
             self.stats.rule_drops += 1;
+            self.recycler.recycle(msg);
             return;
         }
+        // A rule may have rewritten the eAxC id (`SetEaxc`): sequence
+        // streams are keyed by the *post-rule* (dst, eAxC) pair the frame
+        // actually leaves on, so re-derive the raw id after the rules ran.
+        let eaxc_raw = msg.eaxc.pack(&self.mapping);
         msg.seq_id = self.next_seq(msg.eth.dst, eaxc_raw);
-        match msg.to_bytes(&self.mapping) {
-            Ok(bytes) => {
+        match msg.serialize_into(&self.mapping, &mut self.tx_buf) {
+            Ok(()) => {
                 self.stats.tx += 1;
-                emit(bytes);
+                emit(&self.tx_buf);
             }
             Err(_) => self.stats.emit_errors += 1,
         }
+        self.recycler.recycle(msg);
     }
 
     /// Run one raw frame through the full path: parse, MAC-filter, handle,
     /// apply rules, restamp sequence numbers, serialize. Every emitted
-    /// frame is passed to `emit` in transmission order.
+    /// frame is passed to `emit` in transmission order; the slice is only
+    /// valid for the duration of the call (the buffer is reused).
     pub fn process(
         &mut self,
         now: SimTime,
         frame: &[u8],
-        emit: &mut dyn FnMut(Vec<u8>),
+        emit: &mut dyn FnMut(&[u8]),
     ) -> ProcessOutcome {
         self.stats.rx += 1;
-        let msg = match FhMessage::parse(frame, &self.mapping) {
+        let msg = match self.recycler.parse(frame, &self.mapping) {
             Ok(m) => m,
             Err(_) => {
                 self.stats.parse_errors += 1;
@@ -214,41 +238,48 @@ impl<M: Middlebox> MbPipeline<M> {
         // unknown-destination flooding in the embedded switch.
         if msg.eth.dst != self.mac && !msg.eth.dst.is_broadcast() {
             self.stats.not_for_us += 1;
+            self.recycler.recycle(msg);
             return ProcessOutcome::NotForUs;
         }
         let class = TrafficClass::of(&msg);
         let fallback = self.mb.classify(&msg);
+        self.charges.clear();
+        let mut emits = std::mem::take(&mut self.emits);
+        emits.clear();
         let mut ctx = MbContext {
             now,
             cache: &mut self.cache,
             telemetry: &self.telemetry,
             mapping: self.mapping,
-            charges: Vec::new(),
+            charges: std::mem::take(&mut self.charges),
         };
-        let emits = self.mb.handle(&mut ctx, msg);
+        self.mb.handle_into(&mut ctx, msg, &mut emits);
+        self.charges = ctx.charges;
         // CPU accounting: prefer the work the handler reported; fall back
         // to the static classification.
-        let charges =
-            if ctx.charges.is_empty() { vec![fallback] } else { std::mem::take(&mut ctx.charges) };
-        drop(ctx);
-        for m in emits {
+        if self.charges.is_empty() {
+            self.charges.push(fallback);
+        }
+        for m in emits.drain(..) {
             self.transmit(m, emit);
         }
-        ProcessOutcome::Handled { class, charges }
+        self.emits = emits;
+        ProcessOutcome::Handled { class }
     }
 
     /// Deliver a timer tick to the middlebox, transmitting whatever it
     /// emits (watchdog reports, purge notifications).
-    pub fn tick(&mut self, now: SimTime, tag: u64, emit: &mut dyn FnMut(Vec<u8>)) {
+    pub fn tick(&mut self, now: SimTime, tag: u64, emit: &mut dyn FnMut(&[u8])) {
+        self.charges.clear();
         let mut ctx = MbContext {
             now,
             cache: &mut self.cache,
             telemetry: &self.telemetry,
             mapping: self.mapping,
-            charges: Vec::new(),
+            charges: std::mem::take(&mut self.charges),
         };
         let emits = self.mb.on_tick(&mut ctx, tag);
-        drop(ctx);
+        self.charges = ctx.charges;
         for m in emits {
             self.transmit(m, emit);
         }
@@ -269,10 +300,14 @@ mod tests {
     }
 
     fn cplane_bytes(dst: EthernetAddress, seq: u8) -> Vec<u8> {
+        cplane_bytes_port(dst, seq, 0)
+    }
+
+    fn cplane_bytes_port(dst: EthernetAddress, seq: u8, port: u8) -> Vec<u8> {
         FhMessage::new(
             mac(1),
             dst,
-            Eaxc::port(0),
+            Eaxc::port(port),
             seq,
             Body::CPlane(CPlaneRepr::single(
                 Direction::Downlink,
@@ -289,9 +324,11 @@ mod tests {
     fn process_emits_and_counts() {
         let mut p = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
         let mut out = Vec::new();
-        let outcome =
-            p.process(SimTime(5), &cplane_bytes(mac(10), 9), &mut |bytes| out.push(bytes));
-        assert!(matches!(outcome, ProcessOutcome::Handled { class: TrafficClass::DlCPlane, .. }));
+        let outcome = p.process(SimTime(5), &cplane_bytes(mac(10), 9), &mut |bytes: &[u8]| {
+            out.push(bytes.to_vec());
+        });
+        assert!(matches!(outcome, ProcessOutcome::Handled { class: TrafficClass::DlCPlane }));
+        assert_eq!(p.last_charges().len(), 1, "classify fallback recorded");
         assert_eq!(out.len(), 1);
         assert_eq!(p.stats.rx, 1);
         assert_eq!(p.stats.tx, 1);
@@ -303,7 +340,7 @@ mod tests {
     #[test]
     fn parse_error_and_mac_filter_outcomes() {
         let mut p = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
-        let mut emit = |_bytes: Vec<u8>| panic!("nothing may be emitted");
+        let mut emit = |_bytes: &[u8]| panic!("nothing may be emitted");
         assert_eq!(p.process(SimTime(0), &[0u8; 11], &mut emit), ProcessOutcome::ParseError);
         let other = cplane_bytes(mac(77), 0);
         assert_eq!(p.process(SimTime(0), &other, &mut emit), ProcessOutcome::NotForUs);
@@ -317,10 +354,52 @@ mod tests {
         let mut p = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
         let mut seqs = Vec::new();
         for _ in 0..3 {
-            p.process(SimTime(0), &cplane_bytes(mac(10), 99), &mut |bytes| {
-                seqs.push(FhMessage::parse(&bytes, &EaxcMapping::DEFAULT).unwrap().seq_id);
+            p.process(SimTime(0), &cplane_bytes(mac(10), 99), &mut |bytes: &[u8]| {
+                seqs.push(FhMessage::parse(bytes, &EaxcMapping::DEFAULT).unwrap().seq_id);
             });
         }
         assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn seq_counters_key_on_post_rule_eaxc() {
+        use crate::mgmt::{Match, Rule, RuleAction};
+        // Regression: the sequence key used the eAxC id packed *before*
+        // management rules ran, so a rule remapping port 0 onto port 5 left
+        // the merged output stream with two independent counters — emitting
+        // duplicate sequence numbers on one (dst, eAxC) wire stream.
+        let mut p = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
+        let raw0 = Eaxc::port(0).pack(&EaxcMapping::DEFAULT);
+        let raw5 = Eaxc::port(5).pack(&EaxcMapping::DEFAULT);
+        p.rules().write().push(Rule {
+            matcher: Match { eaxc_raw: Some(raw0), ..Match::any() },
+            action: RuleAction::SetEaxc(Eaxc::port(5)),
+        });
+        let mut seqs = Vec::new();
+        for port in [0u8, 5, 0, 5] {
+            p.process(SimTime(0), &cplane_bytes_port(mac(10), 0, port), &mut |bytes: &[u8]| {
+                let m = FhMessage::parse(bytes, &EaxcMapping::DEFAULT).unwrap();
+                assert_eq!(m.eaxc.pack(&EaxcMapping::DEFAULT), raw5, "all remapped to port 5");
+                seqs.push(m.seq_id);
+            });
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3], "one counter for the merged post-rule stream");
+    }
+
+    #[test]
+    fn steady_state_emit_buffer_is_reused() {
+        // The emit slice must always reflect the current frame even though
+        // the underlying buffer is recycled across calls.
+        let mut p = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
+        for seq in 0..4u8 {
+            let mut emitted = 0;
+            p.process(SimTime(0), &cplane_bytes(mac(10), seq), &mut |bytes: &[u8]| {
+                let m = FhMessage::parse(bytes, &EaxcMapping::DEFAULT).unwrap();
+                assert_eq!(m.seq_id, seq, "fresh restamp visible in the reused buffer");
+                emitted += 1;
+            });
+            assert_eq!(emitted, 1);
+        }
+        assert_eq!(p.stats.tx, 4);
     }
 }

@@ -17,14 +17,17 @@ use std::sync::Arc;
 use crossbeam::queue::ArrayQueue;
 use rb_fronthaul::pcap::{PcapReader, PcapWriter};
 
+use crate::pool::{BufferPool, PooledBuf};
+
 /// One raw Ethernet frame with its capture/ingress timestamp.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawFrame {
     /// Nanoseconds since capture epoch (pcap timestamp, or the ingress
     /// clock of a live backend).
     pub at_ns: u64,
-    /// The frame bytes, starting at the Ethernet header.
-    pub bytes: Vec<u8>,
+    /// The frame bytes, starting at the Ethernet header. Pooled: dropping
+    /// the frame (successful tx, ring shed) recycles the payload buffer.
+    pub bytes: PooledBuf,
 }
 
 /// Result of one receive poll.
@@ -64,9 +67,14 @@ enum TxSink {
 pub struct PcapReplay<R: Read + Send> {
     src: PcapReader<R>,
     sink: TxSink,
+    pool: BufferPool,
     read_errors: u64,
     exhausted: bool,
 }
+
+/// Spare ingress buffers a replay keeps; sized to cover every ring in a
+/// many-worker runtime so steady state never allocates.
+const REPLAY_POOL_SLOTS: usize = 8192;
 
 /// A replay over an in-memory capture.
 pub type MemReplay = PcapReplay<std::io::Cursor<Vec<u8>>>;
@@ -76,7 +84,20 @@ impl MemReplay {
     /// memory for inspection via [`PcapReplay::take_tx`].
     pub fn from_bytes(capture: Vec<u8>) -> std::io::Result<MemReplay> {
         let src = PcapReader::new(std::io::Cursor::new(capture))?;
-        Ok(PcapReplay { src, sink: TxSink::Memory(Vec::new()), read_errors: 0, exhausted: false })
+        Ok(PcapReplay {
+            src,
+            sink: TxSink::Memory(Vec::new()),
+            pool: BufferPool::new(REPLAY_POOL_SLOTS),
+            read_errors: 0,
+            exhausted: false,
+        })
+    }
+
+    /// Switch to a discard sink (count transmissions, keep nothing) —
+    /// pure-throughput and allocation benchmarks.
+    pub fn discard_tx(mut self) -> MemReplay {
+        self.sink = TxSink::Discard(0);
+        self
     }
 }
 
@@ -90,11 +111,23 @@ impl PcapReplay<BufReader<File>> {
             Some(p) => TxSink::Writer(PcapWriter::new(BufWriter::new(File::create(p)?))?),
             None => TxSink::Discard(0),
         };
-        Ok(PcapReplay { src, sink, read_errors: 0, exhausted: false })
+        Ok(PcapReplay {
+            src,
+            sink,
+            pool: BufferPool::new(REPLAY_POOL_SLOTS),
+            read_errors: 0,
+            exhausted: false,
+        })
     }
 }
 
 impl<R: Read + Send> PcapReplay<R> {
+    /// Times the ingress pool had to allocate because no recycled buffer
+    /// was free.
+    pub fn pool_grows(&self) -> u64 {
+        self.pool.grows()
+    }
+
     /// Frames transmitted so far (all sinks count).
     pub fn tx_frames(&self) -> u64 {
         match &self.sink {
@@ -134,9 +167,10 @@ impl<R: Read + Send> FrameIo for PcapReplay<R> {
         }
         let mut n = 0;
         while n < max {
-            match self.src.next_frame() {
-                Ok(Some((at_ns, bytes))) => {
-                    out.push(RawFrame { at_ns, bytes });
+            let mut buf = self.pool.take();
+            match self.src.next_frame_into(buf.vec_mut()) {
+                Ok(Some(at_ns)) => {
+                    out.push(RawFrame { at_ns, bytes: buf });
                     n += 1;
                 }
                 Ok(None) => {
@@ -278,14 +312,14 @@ mod tests {
         assert_eq!(io.rx_batch(&mut out, 2), RxPoll::Ready(1));
         assert_eq!(io.rx_batch(&mut out, 2), RxPoll::Eof);
         assert_eq!(out.len(), 3);
-        assert_eq!(out[2], RawFrame { at_ns: 3_000, bytes: vec![3u8; 20] });
+        assert_eq!(out[2], RawFrame { at_ns: 3_000, bytes: vec![3u8; 20].into() });
     }
 
     #[test]
     fn replay_memory_sink_records_tx() {
         let cap = capture(&[]);
         let mut io = MemReplay::from_bytes(cap).unwrap();
-        assert!(io.tx(RawFrame { at_ns: 9, bytes: vec![7u8; 14] }));
+        assert!(io.tx(RawFrame { at_ns: 9, bytes: vec![7u8; 14].into() }));
         assert_eq!(io.tx_frames(), 1);
         let got = io.take_tx();
         assert_eq!(got.len(), 1);
@@ -306,7 +340,7 @@ mod tests {
     #[test]
     fn loopback_crosses_over() {
         let (mut a, mut b) = Loopback::pair(8);
-        assert!(a.tx(RawFrame { at_ns: 1, bytes: vec![1] }));
+        assert!(a.tx(RawFrame { at_ns: 1, bytes: vec![1].into() }));
         let mut out = Vec::new();
         assert_eq!(b.rx_batch(&mut out, 8), RxPoll::Ready(1));
         assert_eq!(out[0].bytes, vec![1]);
@@ -318,8 +352,8 @@ mod tests {
     #[test]
     fn loopback_sheds_on_full_lane() {
         let (mut a, b) = Loopback::pair(1);
-        assert!(a.tx(RawFrame { at_ns: 1, bytes: vec![1] }));
-        assert!(!a.tx(RawFrame { at_ns: 2, bytes: vec![2] }));
+        assert!(a.tx(RawFrame { at_ns: 1, bytes: vec![1].into() }));
+        assert!(!a.tx(RawFrame { at_ns: 2, bytes: vec![2].into() }));
         assert_eq!(b.overflowed(), 1);
     }
 }

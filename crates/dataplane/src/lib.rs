@@ -15,6 +15,9 @@
 //! * [`ring`] — bounded SPSC rings between dispatcher and workers with a
 //!   drop-oldest overload policy: the dispatcher never blocks, drops are
 //!   counted per ring;
+//! * [`pool`] — free-list buffer pools: frame payloads are
+//!   [`pool::PooledBuf`]s that recycle themselves on drop, so the steady
+//!   state datapath allocates nothing per frame;
 //! * [`worker`] — the per-core loop: batched dequeue into the shared
 //!   `MbPipeline` (the exact code path the simulator runs);
 //! * [`runtime`] — assembles the above, drives I/O from the caller's
@@ -33,10 +36,12 @@
 
 pub mod dispatch;
 pub mod io;
+pub mod pool;
 pub mod ring;
 pub mod runtime;
 pub mod stats;
 pub mod worker;
 
 pub use io::{FrameIo, Loopback, PcapReplay, RawFrame, RxPoll};
+pub use pool::{BufferPool, PooledBuf};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeReport};

@@ -1,0 +1,224 @@
+//! Free-list buffer pool for frame payloads.
+//!
+//! Every [`crate::io::RawFrame`] carries a [`PooledBuf`]: a `Vec<u8>`
+//! that returns itself to the pool it was taken from when dropped.
+//! Ingress backends take buffers from their pool, fill them from the
+//! wire (or a capture), and hand them downstream; whoever drops the
+//! frame last — the transmit path after a successful send, or a ring's
+//! drop-oldest shed policy — recycles the payload automatically. After a
+//! short warm-up the steady-state datapath therefore allocates nothing
+//! per frame: buffers just cycle between the free list and the rings.
+//!
+//! The pool is a lock-free MPMC free list (`ArrayQueue`), shared by
+//! cloning, so producers and consumers on different threads recycle into
+//! the same pool. Taking from an empty pool falls back to a fresh heap
+//! allocation (counted in [`BufferPool::grows`]) rather than ever
+//! blocking the datapath; dropping into a full pool lets the buffer die
+//! normally, bounding memory at `slots` spare buffers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::ArrayQueue;
+
+#[derive(Debug)]
+struct PoolInner {
+    free: ArrayQueue<Vec<u8>>,
+    grows: AtomicU64,
+}
+
+/// A shared free list of reusable payload buffers.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// A pool keeping at most `slots` spare buffers.
+    pub fn new(slots: usize) -> BufferPool {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                free: ArrayQueue::new(slots.max(1)),
+                grows: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Take a buffer: reuse a recycled one if available, otherwise grow
+    /// the heap (counted, never blocking). The buffer comes back empty.
+    ///
+    /// Fresh buffers start with zero capacity and size themselves to the
+    /// first payload written; recycled buffers keep their grown capacity,
+    /// so the steady state neither allocates nor re-allocates. (Deliberately
+    /// no pre-sizing: an over-sized capacity would triple the resident
+    /// footprint of every ring and capture sink for nothing.)
+    pub fn take(&self) -> PooledBuf {
+        let bytes = match self.inner.free.pop() {
+            Some(b) => b,
+            None => {
+                self.inner.grows.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        };
+        PooledBuf { bytes, pool: Some(Arc::clone(&self.inner)) }
+    }
+
+    /// How many times `take` had to allocate because the free list was
+    /// empty. Stable after warm-up in a healthy steady state.
+    pub fn grows(&self) -> u64 {
+        self.inner.grows.load(Ordering::Relaxed)
+    }
+
+    /// Spare buffers currently on the free list.
+    pub fn available(&self) -> usize {
+        self.inner.free.len()
+    }
+}
+
+/// A payload buffer owned by (at most) one frame at a time; returns to
+/// its pool's free list on drop. Dereferences to the byte slice.
+#[derive(Debug)]
+pub struct PooledBuf {
+    bytes: Vec<u8>,
+    pool: Option<Arc<PoolInner>>,
+}
+
+impl PooledBuf {
+    /// Replace the contents with a copy of `data` (no allocation once the
+    /// buffer has grown to the working frame size).
+    pub fn copy_from(&mut self, data: &[u8]) {
+        self.bytes.clear();
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// The underlying vector, for writers that fill in place (e.g.
+    /// `PcapReader::next_frame_into`).
+    pub fn vec_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.bytes
+    }
+
+    /// Detach from the pool and take the bytes (the pool loses this
+    /// buffer; used at boundaries handing data to pool-unaware code).
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.pool = None;
+        std::mem::take(&mut self.bytes)
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            let mut b = std::mem::take(&mut self.bytes);
+            b.clear();
+            // A full free list means the pool is already at capacity:
+            // let this buffer deallocate normally.
+            let _ = pool.free.push(b);
+        }
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+}
+
+/// An unpooled buffer (dies normally on drop) — convenient for tests and
+/// pool-unaware producers.
+impl From<Vec<u8>> for PooledBuf {
+    fn from(bytes: Vec<u8>) -> PooledBuf {
+        PooledBuf { bytes, pool: None }
+    }
+}
+
+/// Cloning deep-copies into an *unpooled* buffer: clones are escape
+/// hatches (tests, inspection), not datapath citizens.
+impl Clone for PooledBuf {
+    fn clone(&self) -> PooledBuf {
+        PooledBuf { bytes: self.bytes.clone(), pool: None }
+    }
+}
+
+impl PartialEq for PooledBuf {
+    fn eq(&self, other: &PooledBuf) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for PooledBuf {}
+
+impl PartialEq<Vec<u8>> for PooledBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.bytes == other
+    }
+}
+
+impl PartialEq<PooledBuf> for Vec<u8> {
+    fn eq(&self, other: &PooledBuf) -> bool {
+        self == &other.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_recycle_through_the_free_list() {
+        let pool = BufferPool::new(4);
+        for k in 0..1000u32 {
+            let mut b = pool.take();
+            b.copy_from(&k.to_be_bytes());
+            assert_eq!(&b[..], k.to_be_bytes());
+            // Dropping b returns it to the pool for the next iteration.
+        }
+        assert_eq!(pool.grows(), 1, "one cold-start allocation, then reuse");
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn full_free_list_drops_excess_buffers() {
+        let pool = BufferPool::new(2);
+        let a = pool.take();
+        let b = pool.take();
+        let c = pool.take();
+        drop(a);
+        drop(b);
+        drop(c);
+        assert_eq!(pool.grows(), 3);
+        assert_eq!(pool.available(), 2, "third buffer deallocated, not queued");
+    }
+
+    #[test]
+    fn into_vec_detaches_from_the_pool() {
+        let pool = BufferPool::new(4);
+        let mut b = pool.take();
+        b.copy_from(&[1, 2, 3]);
+        let v = b.into_vec();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(pool.available(), 0, "detached buffer never comes back");
+    }
+
+    #[test]
+    fn clones_and_conversions_are_unpooled() {
+        let pool = BufferPool::new(4);
+        let mut b = pool.take();
+        b.copy_from(&[9, 9]);
+        let c = b.clone();
+        drop(c);
+        assert_eq!(pool.available(), 0, "clone did not recycle");
+        drop(b);
+        assert_eq!(pool.available(), 1);
+        let from: PooledBuf = vec![1u8].into();
+        drop(from);
+        assert_eq!(pool.available(), 1, "From<Vec> buffers are unpooled");
+    }
+}

@@ -171,14 +171,17 @@ impl Runtime {
         }
 
         // Dispatch until the source is exhausted, draining egress as we go
-        // so the collector never falls a full run behind.
+        // so the collector never falls a full run behind. Both scratch
+        // buffers live for the whole run — the loop itself allocates
+        // nothing per iteration.
         let mut rx_buf: Vec<RawFrame> = Vec::with_capacity(batch);
+        let mut drain_buf: Vec<RawFrame> = Vec::with_capacity(batch);
         loop {
             rx_buf.clear();
             match io.rx_batch(&mut rx_buf, batch) {
                 RxPoll::Eof => break,
                 RxPoll::Idle => {
-                    if Self::drain(&mut handles, io, batch, &mut report) == 0 {
+                    if Self::drain(&mut handles, io, batch, &mut drain_buf, &mut report) == 0 {
                         std::thread::yield_now();
                     }
                 }
@@ -191,7 +194,7 @@ impl Runtime {
                             report.dispatched += 1;
                         }
                     }
-                    Self::drain(&mut handles, io, batch, &mut report);
+                    Self::drain(&mut handles, io, batch, &mut drain_buf, &mut report);
                 }
             }
         }
@@ -203,7 +206,7 @@ impl Runtime {
             r.close();
         }
         loop {
-            let drained = Self::drain(&mut handles, io, batch, &mut report);
+            let drained = Self::drain(&mut handles, io, batch, &mut drain_buf, &mut report);
             if drained == 0 && handles.iter().all(|h| h.out.is_finished()) {
                 break;
             }
@@ -223,18 +226,18 @@ impl Runtime {
     }
 
     /// Move frames from every egress ring into the backend; returns how
-    /// many were moved.
+    /// many were moved. `buf` is the caller's reusable scratch.
     fn drain<Io: FrameIo + ?Sized>(
         handles: &mut [WorkerHandle],
         io: &mut Io,
         batch: usize,
+        buf: &mut Vec<RawFrame>,
         report: &mut RuntimeReport,
     ) -> usize {
         let mut moved = 0;
-        let mut buf: Vec<RawFrame> = Vec::with_capacity(batch);
         for h in handles.iter_mut() {
             buf.clear();
-            let n = h.out.pop_batch(&mut buf, batch);
+            let n = h.out.pop_batch(buf, batch);
             moved += n;
             for f in buf.drain(..) {
                 if io.tx(f) {

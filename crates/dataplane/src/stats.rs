@@ -79,6 +79,10 @@ impl Histogram {
             if seen >= rank.max(1) {
                 return match k {
                     0 => 0,
+                    // The last bucket is open-ended (everything ≥ its
+                    // lower edge lands there), so its only honest upper
+                    // bound is the actual maximum seen.
+                    _ if k == BUCKETS - 1 => self.max,
                     _ => (1u64 << k) - 1,
                 };
             }
@@ -106,6 +110,9 @@ pub struct WorkerStats {
     pub rx_ring_dropped: u64,
     /// Frames the egress ring shed before the collector drained them.
     pub tx_ring_dropped: u64,
+    /// Times the worker's egress buffer pool had to heap-allocate because
+    /// no recycled buffer was free (stable after warm-up when healthy).
+    pub pool_grows: u64,
     /// Sizes of the non-empty batches dequeued.
     pub batch_size: Histogram,
     /// Ingress queue depth sampled after each batch dequeue.
@@ -121,6 +128,7 @@ impl WorkerStats {
         telemetry.count(at_ns, "dp_batches", self.batches);
         telemetry.count(at_ns, "dp_rx_ring_dropped", self.rx_ring_dropped);
         telemetry.count(at_ns, "dp_tx_ring_dropped", self.tx_ring_dropped);
+        telemetry.count(at_ns, "dp_pool_grows", self.pool_grows);
         telemetry.gauge(at_ns, "dp_batch_mean", self.batch_size.mean());
         telemetry.gauge(at_ns, "dp_batch_p99", self.batch_size.quantile_bound(0.99) as f64);
         telemetry.gauge(at_ns, "dp_depth_mean", self.queue_depth.mean());
@@ -172,6 +180,27 @@ mod tests {
     }
 
     #[test]
+    fn overflow_bucket_reports_true_max() {
+        // Regression: the saturated last bucket used to report
+        // `(1 << (BUCKETS-1)) - 1` = 131071 regardless of the real value.
+        let mut h = Histogram::default();
+        h.record(1 << 20);
+        assert_eq!(h.quantile_bound(0.99), 1 << 20);
+        assert_eq!(h.quantile_bound(1.0), 1 << 20);
+        // A mixed population whose p99 lands in the overflow bucket.
+        let mut h = Histogram::default();
+        for _ in 0..50 {
+            h.record(1);
+        }
+        for _ in 0..50 {
+            h.record(5_000_000);
+        }
+        assert_eq!(h.quantile_bound(0.99), 5_000_000);
+        // Quantiles below the overflow bucket still use power-of-two bounds.
+        assert_eq!(h.quantile_bound(0.25), 1);
+    }
+
+    #[test]
     fn mean_tracks_sum() {
         let mut h = Histogram::default();
         h.record(2);
@@ -187,7 +216,7 @@ mod tests {
         s.batch_size.record(5);
         s.export(&tx, 123);
         let got = rx.drain();
-        assert_eq!(got.len(), 9);
+        assert_eq!(got.len(), 10);
         assert!(got.iter().all(|r| r.source == "w0" && r.at_ns == 123));
     }
 }

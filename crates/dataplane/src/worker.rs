@@ -15,6 +15,7 @@ use rb_hotpath_macros::rb_hot_path;
 use rb_netsim::time::SimTime;
 
 use crate::io::RawFrame;
+use crate::pool::BufferPool;
 use crate::ring::{PushOutcome, RingConsumer, RingProducer};
 use crate::stats::{WorkerReport, WorkerStats};
 
@@ -37,6 +38,11 @@ pub fn run<M: Middlebox>(
 ) -> WorkerReport {
     let batch = batch.max(1);
     let mut stats = WorkerStats::default();
+    // Egress payloads cycle through this pool: the collector (or the
+    // ring's shed policy) drops each frame after transmit, which returns
+    // its buffer here. Sized so a full egress ring plus one in-flight
+    // batch never forces a steady-state allocation.
+    let pool = BufferPool::new(tx.capacity() + batch);
     let mut buf: Vec<RawFrame> = Vec::with_capacity(batch);
     let mut idle_polls = 0u32;
     let mut last_at_ns = 0u64;
@@ -63,8 +69,10 @@ pub fn run<M: Middlebox>(
             let at_ns = f.at_ns;
             last_at_ns = at_ns;
             let mut txed = 0u64;
-            pipeline.process(SimTime(at_ns), &f.bytes, &mut |bytes| {
-                if tx.push(RawFrame { at_ns, bytes }) != PushOutcome::Closed {
+            pipeline.process(SimTime(at_ns), &f.bytes, &mut |bytes: &[u8]| {
+                let mut out = pool.take();
+                out.copy_from(bytes);
+                if tx.push(RawFrame { at_ns, bytes: out }) != PushOutcome::Closed {
                     txed += 1;
                 }
             });
@@ -72,6 +80,7 @@ pub fn run<M: Middlebox>(
             stats.tx += txed;
         }
     }
+    stats.pool_grows = pool.grows();
     stats.rx_ring_dropped = rx.dropped();
     stats.tx_ring_dropped = tx.dropped();
     stats.export(&telemetry, last_at_ns);
@@ -118,9 +127,9 @@ mod tests {
         let (in_tx, in_rx) = crate::ring::ring(64);
         let (out_tx, out_rx) = crate::ring::ring(64);
         for k in 0..5u64 {
-            in_tx.push(RawFrame { at_ns: k * 1000, bytes: cplane_bytes(mac(10)) });
+            in_tx.push(RawFrame { at_ns: k * 1000, bytes: cplane_bytes(mac(10)).into() });
         }
-        in_tx.push(RawFrame { at_ns: 9000, bytes: vec![0u8; 9] }); // runt
+        in_tx.push(RawFrame { at_ns: 9000, bytes: vec![0u8; 9].into() }); // runt
         in_tx.close();
         let pipeline = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
         let report = run(0, pipeline, in_rx, out_tx, 4, TelemetrySender::disconnected("w0"));
@@ -135,5 +144,50 @@ mod tests {
         // Frames keep their ingress timestamps.
         assert_eq!(out[0].at_ns, 0);
         assert_eq!(out[4].at_ns, 4000);
+    }
+
+    #[test]
+    fn egress_pool_grows_stay_bounded_under_load() {
+        // Many more frames than egress slots: the collector drains while
+        // the worker runs, so buffers recycle and the pool only grows to
+        // roughly cover the in-flight window — never once per frame.
+        const FRAMES: u64 = 500;
+        const EGRESS: usize = 8;
+        let (in_tx, in_rx) = crate::ring::ring(1024);
+        let (out_tx, out_rx) = crate::ring::ring(EGRESS);
+        for k in 0..FRAMES {
+            in_tx.push(RawFrame { at_ns: k * 1000, bytes: cplane_bytes(mac(10)).into() });
+        }
+        in_tx.close();
+        let pipeline = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
+        let collector = std::thread::spawn(move || {
+            let mut drained = 0u64;
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                let n = out_rx.pop_batch(&mut buf, 64);
+                drained += n as u64;
+                if n == 0 {
+                    if out_rx.is_finished() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            drained
+        });
+        let report = run(0, pipeline, in_rx, out_tx, 32, TelemetrySender::disconnected("w0"));
+        let drained = collector.join().unwrap();
+        assert_eq!(report.stats.rx, FRAMES);
+        assert_eq!(report.stats.tx, drained + report.stats.tx_ring_dropped);
+        let bound = (EGRESS + 32 + 1) as u64;
+        assert!(
+            report.stats.pool_grows <= bound,
+            "pool grew {} times for {} frames (bound {})",
+            report.stats.pool_grows,
+            FRAMES,
+            bound
+        );
+        assert!(report.stats.pool_grows >= 1, "the pool started cold");
     }
 }

@@ -140,7 +140,7 @@ fn run_in_dataplane(frames: &[(u64, Vec<u8>)], workers: usize) -> Vec<Vec<u8>> {
     let report = Runtime::run(&cfg, &mut io, |_| das()).unwrap();
     assert_eq!(report.worker_failures, 0);
     assert_eq!(report.in_ring_dropped + report.out_ring_dropped, 0, "no overload in this test");
-    io.take_tx().into_iter().map(|f| f.bytes).collect()
+    io.take_tx().into_iter().map(|f| f.bytes.into_vec()).collect()
 }
 
 /// Zero the eCPRI sequence id so independently-stamped streams compare.

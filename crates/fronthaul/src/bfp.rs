@@ -115,8 +115,13 @@ impl CompressionMethod {
 
 /// Pick the smallest exponent such that every component of `prb`, shifted
 /// right by it, fits in a signed `width`-bit mantissa.
-pub fn exponent_for(prb: &Prb, width: u8) -> u8 {
-    debug_assert!((1..=16).contains(&width));
+///
+/// Rejects widths outside `1..=16` in release builds too: `width = 0`
+/// would otherwise wrap `width - 1` and produce garbage limits.
+pub fn exponent_for(prb: &Prb, width: u8) -> Result<u8> {
+    if !(1..=16).contains(&width) {
+        return Err(Error::BadIqWidth);
+    }
     let limit_pos = (1i32 << (width - 1)) - 1;
     let limit_neg = -(1i32 << (width - 1));
     for exp in 0u8..16 {
@@ -126,10 +131,10 @@ pub fn exponent_for(prb: &Prb, width: u8) -> u8 {
             i >= limit_neg && i <= limit_pos && q >= limit_neg && q <= limit_pos
         });
         if fits {
-            return exp;
+            return Ok(exp);
         }
     }
-    15
+    Ok(15)
 }
 
 /// MSB-first bit packer used for mantissa serialization. Accumulates
@@ -208,7 +213,7 @@ pub fn compress_prb(prb: &Prb, width: u8, out: &mut [u8]) -> Result<u8> {
     if out.len() < method.mantissa_bytes() {
         return Err(Error::BufferTooSmall);
     }
-    let exp = exponent_for(prb, width);
+    let exp = exponent_for(prb, width)?;
     let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
     let mut writer = BitWriter::new(out);
     for s in prb.0.iter() {
@@ -299,6 +304,7 @@ pub fn decompress_prb_wire(data: &[u8], method: CompressionMethod) -> Result<(Pr
 /// Read just the `udCompParam` exponent of a wire PRB without touching the
 /// mantissas — the fast path of Algorithm 1.
 pub fn peek_exponent(data: &[u8], method: CompressionMethod) -> Result<u8> {
+    method.validate()?;
     match method {
         CompressionMethod::NoCompression => Err(Error::UnknownCompression),
         CompressionMethod::BlockFloatingPoint { .. } => {
@@ -365,9 +371,9 @@ mod tests {
     #[test]
     fn loud_prb_has_high_exponent() {
         let prb = prb_with_amplitude(i16::MAX);
-        assert!(exponent_for(&prb, 9) >= 7);
+        assert!(exponent_for(&prb, 9).unwrap() >= 7);
         let quiet = prb_with_amplitude(200);
-        assert!(exponent_for(&quiet, 9) <= 1);
+        assert!(exponent_for(&quiet, 9).unwrap() <= 1);
     }
 
     #[test]
@@ -437,6 +443,18 @@ mod tests {
         assert_eq!(compress_prb(&Prb::ZERO, 0, &mut buf).unwrap_err(), Error::BadIqWidth);
         assert_eq!(compress_prb(&Prb::ZERO, 17, &mut buf).unwrap_err(), Error::BadIqWidth);
         assert_eq!(decompress_prb(&buf, 0, 0).unwrap_err(), Error::BadIqWidth);
+    }
+
+    #[test]
+    fn exponent_for_rejects_bad_width_in_release() {
+        // Regression: `width = 0` used to be guarded only by a
+        // `debug_assert!` and wrapped `width - 1` in release builds.
+        assert_eq!(exponent_for(&Prb::ZERO, 0).unwrap_err(), Error::BadIqWidth);
+        assert_eq!(exponent_for(&Prb::ZERO, 17).unwrap_err(), Error::BadIqWidth);
+        assert_eq!(exponent_for(&Prb::ZERO, u8::MAX).unwrap_err(), Error::BadIqWidth);
+        for w in 1..=16u8 {
+            assert!(exponent_for(&Prb::ZERO, w).is_ok());
+        }
     }
 
     #[test]

@@ -467,6 +467,34 @@ impl CPlaneRepr {
 
     /// Parse a C-plane message from the eCPRI payload bytes.
     pub fn parse(data: &[u8]) -> Result<CPlaneRepr> {
+        let mut repr = CPlaneRepr::empty();
+        repr.parse_into(data)?;
+        Ok(repr)
+    }
+
+    /// An empty shell whose section buffers a later
+    /// [`CPlaneRepr::parse_into`] grows into. Not a valid message (zero
+    /// sections) until parsed into.
+    pub(crate) fn empty() -> CPlaneRepr {
+        CPlaneRepr {
+            direction: Direction::Downlink,
+            filter_index: 0,
+            symbol: SymbolId::ZERO,
+            // Vec::new is capacity-0: building the shell never allocates.
+            sections: Sections::Type1 {
+                comp: CompressionMethod::NoCompression,
+                sections: Vec::new(),
+            },
+        }
+    }
+
+    /// Parse into `self`, reusing its section buffers.
+    ///
+    /// Behaves exactly like [`CPlaneRepr::parse`]. On error, `self`'s field
+    /// values are unspecified but its buffers stay available for the next
+    /// parse. All validation runs before the buffers are touched, so a
+    /// rejected frame cannot discard a previously grown buffer.
+    pub fn parse_into(&mut self, data: &[u8]) -> Result<()> {
         if data.len() < COMMON_HDR_LEN {
             return Err(Error::Truncated);
         }
@@ -485,53 +513,72 @@ impl CPlaneRepr {
         if n_sections == 0 {
             return Err(Error::Malformed);
         }
-        let sections = match section_type {
+        let (hdr_len, per) = match section_type {
+            SectionType::Type0 => (TYPE3_HDR_LEN, SectionFields::WIRE_LEN),
+            SectionType::Type1 => (TYPE1_HDR_LEN, SectionFields::WIRE_LEN),
+            SectionType::Type3 => (TYPE3_HDR_LEN, Section3::WIRE_LEN),
+        };
+        if data.len() < hdr_len + n_sections * per {
+            return Err(Error::Truncated);
+        }
+        let comp = match section_type {
+            SectionType::Type0 => CompressionMethod::NoCompression,
+            SectionType::Type1 => CompressionMethod::from_comp_hdr(read_1(data, 6))?,
+            SectionType::Type3 => CompressionMethod::from_comp_hdr(read_1(data, 11))?,
+        };
+        // Everything fallible has passed: salvage the previous parse's
+        // section buffers by element type and refill them in place.
+        let placeholder =
+            Sections::Type1 { comp: CompressionMethod::NoCompression, sections: Vec::new() };
+        let (mut fields, mut sec3) = match core::mem::replace(&mut self.sections, placeholder) {
+            Sections::Type0 { sections, .. } | Sections::Type1 { sections, .. } => {
+                (sections, Vec::new())
+            }
+            Sections::Type3 { sections, .. } => (Vec::new(), sections),
+        };
+        fields.clear();
+        sec3.clear();
+        self.direction = direction;
+        self.filter_index = filter_index;
+        self.symbol = sym;
+        self.sections = match section_type {
             SectionType::Type0 => {
-                if data.len() < TYPE3_HDR_LEN + n_sections * SectionFields::WIRE_LEN {
-                    return Err(Error::Truncated);
-                }
-                let time_offset = read_2(data, 6);
-                let frame_structure = read_1(data, 8);
-                let cp_length = read_2(data, 9);
-                let mut sections = Vec::with_capacity(n_sections);
                 let mut off = TYPE3_HDR_LEN;
                 for _ in 0..n_sections {
-                    sections.push(SectionFields::parse_at(data, off));
+                    fields.push(SectionFields::parse_at(data, off));
                     off += SectionFields::WIRE_LEN;
                 }
-                Sections::Type0 { time_offset, frame_structure, cp_length, sections }
+                Sections::Type0 {
+                    time_offset: read_2(data, 6),
+                    frame_structure: read_1(data, 8),
+                    cp_length: read_2(data, 9),
+                    sections: fields,
+                }
             }
             SectionType::Type1 => {
-                if data.len() < TYPE1_HDR_LEN + n_sections * SectionFields::WIRE_LEN {
-                    return Err(Error::Truncated);
-                }
-                let comp = CompressionMethod::from_comp_hdr(read_1(data, 6))?;
-                let mut sections = Vec::with_capacity(n_sections);
                 let mut off = TYPE1_HDR_LEN;
                 for _ in 0..n_sections {
-                    sections.push(SectionFields::parse_at(data, off));
+                    fields.push(SectionFields::parse_at(data, off));
                     off += SectionFields::WIRE_LEN;
                 }
-                Sections::Type1 { comp, sections }
+                Sections::Type1 { comp, sections: fields }
             }
             SectionType::Type3 => {
-                if data.len() < TYPE3_HDR_LEN + n_sections * Section3::WIRE_LEN {
-                    return Err(Error::Truncated);
-                }
-                let time_offset = read_2(data, 6);
-                let frame_structure = read_1(data, 8);
-                let cp_length = read_2(data, 9);
-                let comp = CompressionMethod::from_comp_hdr(read_1(data, 11))?;
-                let mut sections = Vec::with_capacity(n_sections);
                 let mut off = TYPE3_HDR_LEN;
                 for _ in 0..n_sections {
-                    sections.push(Section3::parse_at(data, off));
+                    sec3.push(Section3::parse_at(data, off));
                     off += Section3::WIRE_LEN;
                 }
-                Sections::Type3 { time_offset, frame_structure, cp_length, comp, sections }
+                Sections::Type3 {
+                    time_offset: read_2(data, 6),
+                    frame_structure: read_1(data, 8),
+                    cp_length: read_2(data, 9),
+                    comp,
+                    sections: sec3,
+                }
             }
         };
-        Ok(CPlaneRepr { direction, filter_index, symbol: sym, sections })
+        Ok(())
     }
 }
 

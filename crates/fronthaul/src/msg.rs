@@ -117,9 +117,24 @@ impl FhMessage {
     }
 
     /// Serialize the whole frame to bytes.
-    #[rb_hot_path]
+    ///
+    /// Convenience form that allocates a fresh vector per call; the
+    /// datapath uses [`FhMessage::serialize_into`] with a reused buffer.
     pub fn to_bytes(&self, mapping: &EaxcMapping) -> Result<Vec<u8>> {
-        let mut buf = vec![0u8; self.wire_len()];
+        let mut buf = Vec::new();
+        self.serialize_into(mapping, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Serialize the whole frame into `buf`, reusing its capacity.
+    ///
+    /// `buf` is cleared and resized to [`FhMessage::wire_len`]; once the
+    /// buffer has grown to the largest frame it has carried, repeated
+    /// calls perform no heap allocation.
+    #[rb_hot_path]
+    pub fn serialize_into(&self, mapping: &EaxcMapping, buf: &mut Vec<u8>) -> Result<()> {
+        buf.clear();
+        buf.resize(self.wire_len(), 0);
         let eth_len = self.eth.header_len();
         self.eth.emit(&mut Frame::new_unchecked(buf.as_mut_slice()))?;
 
@@ -145,7 +160,7 @@ impl FhMessage {
                 u.emit(app_buf)?;
             }
         }
-        Ok(buf)
+        Ok(())
     }
 
     /// Parse a whole frame from bytes.
@@ -163,6 +178,83 @@ impl FhMessage {
             MessageType::IqData => Body::UPlane(UPlaneRepr::parse(packet.payload())?),
         };
         Ok(FhMessage { eth, eaxc: ecpri_repr.eaxc, seq_id: ecpri_repr.seq_id, body })
+    }
+}
+
+/// Parses frames while recycling message-body allocations across calls.
+///
+/// The datapath keeps one recycler per pipeline: [`MsgRecycler::parse`]
+/// reuses the section and payload buffers of previously recycled bodies
+/// (matched by plane), and [`MsgRecycler::recycle`] takes back a message
+/// the caller is done with so its buffers feed the next parse. Steady-state
+/// parsing of a mixed C-/U-plane stream touches the heap zero times once
+/// one spare body per plane has warmed up.
+#[derive(Debug, Default)]
+pub struct MsgRecycler {
+    c: Option<CPlaneRepr>,
+    u: Option<UPlaneRepr>,
+}
+
+impl MsgRecycler {
+    /// Parse a whole frame, reusing recycled body buffers when possible.
+    ///
+    /// Exactly equivalent to [`FhMessage::parse`] (same accepts, same
+    /// rejects, same parsed value) — only the allocation behaviour differs.
+    #[rb_hot_path]
+    pub fn parse(&mut self, data: &[u8], mapping: &EaxcMapping) -> Result<FhMessage> {
+        let frame = Frame::new_checked(data)?;
+        let eth = FrameRepr::parse(&frame)?;
+        if eth.ethertype != EtherType::ECPRI {
+            return Err(Error::WrongEtherType);
+        }
+        let packet = ecpri::Packet::new_checked(frame.payload())?;
+        let ecpri_repr = ecpri::Repr::parse(&packet, mapping)?;
+        let body = match ecpri_repr.message_type {
+            MessageType::RtControl => {
+                let mut c = self.c.take().unwrap_or_else(CPlaneRepr::empty);
+                match c.parse_into(packet.payload()) {
+                    Ok(()) => Body::CPlane(c),
+                    Err(e) => {
+                        // Keep the shell (and its buffers) for the next frame.
+                        self.c = Some(c);
+                        return Err(e);
+                    }
+                }
+            }
+            MessageType::IqData => {
+                let mut u = self.u.take().unwrap_or_else(UPlaneRepr::empty);
+                match u.parse_into(packet.payload()) {
+                    Ok(()) => Body::UPlane(u),
+                    Err(e) => {
+                        self.u = Some(u);
+                        return Err(e);
+                    }
+                }
+            }
+        };
+        Ok(FhMessage { eth, eaxc: ecpri_repr.eaxc, seq_id: ecpri_repr.seq_id, body })
+    }
+
+    /// Return a finished message so its body buffers feed later parses.
+    pub fn recycle(&mut self, msg: FhMessage) {
+        self.recycle_body(msg.body);
+    }
+
+    /// Return just a body. At most one spare is kept per plane; extra
+    /// recycles simply free their buffers.
+    pub fn recycle_body(&mut self, body: Body) {
+        match body {
+            Body::CPlane(c) => {
+                if self.c.is_none() {
+                    self.c = Some(c);
+                }
+            }
+            Body::UPlane(u) => {
+                if self.u.is_none() {
+                    self.u = Some(u);
+                }
+            }
+        }
     }
 }
 
@@ -259,6 +351,39 @@ mod tests {
         let frame = Frame::new_checked(&bytes[..]).unwrap();
         let pkt = ecpri::Packet::new_checked(frame.payload()).unwrap();
         assert_eq!(pkt.payload_size() as usize, 4 + msg.body.wire_len());
+    }
+
+    #[test]
+    fn serialize_into_reuses_buffer_and_matches_to_bytes() {
+        let mut buf = Vec::new();
+        for msg in [cplane_msg(), uplane_msg(), cplane_msg()] {
+            msg.serialize_into(&EaxcMapping::DEFAULT, &mut buf).unwrap();
+            assert_eq!(buf, msg.to_bytes(&EaxcMapping::DEFAULT).unwrap());
+            assert_eq!(FhMessage::parse(&buf, &EaxcMapping::DEFAULT).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn recycler_parse_matches_plain_parse() {
+        let mut rec = MsgRecycler::default();
+        let mut wires = Vec::new();
+        for msg in [cplane_msg(), uplane_msg(), cplane_msg(), uplane_msg()] {
+            wires.push(msg.to_bytes(&EaxcMapping::DEFAULT).unwrap());
+        }
+        for wire in &wires {
+            let plain = FhMessage::parse(wire, &EaxcMapping::DEFAULT).unwrap();
+            let pooled = rec.parse(wire, &EaxcMapping::DEFAULT).unwrap();
+            assert_eq!(pooled, plain);
+            rec.recycle(pooled);
+        }
+        // Errors are preserved too, and a failed parse keeps the spare.
+        let mut bad = wires[0].clone();
+        bad.truncate(bad.len() - 1);
+        assert!(rec.parse(&bad, &EaxcMapping::DEFAULT).is_err());
+        assert_eq!(
+            rec.parse(&wires[0], &EaxcMapping::DEFAULT).unwrap(),
+            FhMessage::parse(&wires[0], &EaxcMapping::DEFAULT).unwrap()
+        );
     }
 
     #[test]

@@ -139,6 +139,18 @@ impl<R: Read> PcapReader<R> {
     /// Read the next frame as `(at_ns, bytes)`. Returns `Ok(None)` at a
     /// clean end of stream; a stream ending mid-record is an error.
     pub fn next_frame(&mut self) -> io::Result<Option<(u64, Vec<u8>)>> {
+        let mut frame = Vec::new();
+        match self.next_frame_into(&mut frame)? {
+            Some(at_ns) => Ok(Some((at_ns, frame))),
+            None => Ok(None),
+        }
+    }
+
+    /// Read the next frame into `buf` (cleared and resized to the captured
+    /// length), returning its timestamp, or `Ok(None)` at a clean end of
+    /// stream. Reuses `buf`'s capacity — the allocation-free read behind
+    /// the dataplane's pooled replay source.
+    pub fn next_frame_into(&mut self, buf: &mut Vec<u8>) -> io::Result<Option<u64>> {
         let mut rec = [0u8; 16];
         match fill(&mut self.src, &mut rec)? {
             0 => return Ok(None),
@@ -154,12 +166,13 @@ impl<R: Read> PcapReader<R> {
         }
         let at_ns = u64::from(secs) * 1_000_000_000
             + u64::from(subsec) * if self.nanos { 1 } else { 1_000 };
-        let mut frame = vec![0u8; caplen as usize];
-        if fill(&mut self.src, &mut frame)? != frame.len() {
+        buf.clear();
+        buf.resize(caplen as usize, 0);
+        if fill(&mut self.src, buf.as_mut_slice())? != buf.len() {
             return Err(bad("pcap: truncated frame data"));
         }
         self.frames += 1;
-        Ok(Some((at_ns, frame)))
+        Ok(Some(at_ns))
     }
 
     /// Number of frames read so far.

@@ -266,6 +266,30 @@ impl UPlaneRepr {
 
     /// Parse a U-plane message from the eCPRI payload bytes.
     pub fn parse(data: &[u8]) -> Result<UPlaneRepr> {
+        let mut repr = UPlaneRepr::empty();
+        repr.parse_into(data)?;
+        Ok(repr)
+    }
+
+    /// An empty shell whose section and payload buffers a later
+    /// [`UPlaneRepr::parse_into`] grows into. Not a valid message (zero
+    /// sections) until parsed into.
+    pub(crate) fn empty() -> UPlaneRepr {
+        UPlaneRepr {
+            direction: Direction::Downlink,
+            filter_index: 0,
+            symbol: SymbolId::ZERO,
+            // Vec::new is capacity-0: building the shell never allocates.
+            sections: Vec::new(),
+        }
+    }
+
+    /// Parse into `self`, reusing its section and payload buffers.
+    ///
+    /// Behaves exactly like [`UPlaneRepr::parse`]. On error, `self`'s
+    /// contents are unspecified but its buffers stay available for the
+    /// next parse.
+    pub fn parse_into(&mut self, data: &[u8]) -> Result<()> {
         if data.len() < APP_HDR_LEN + SECTION_HDR_LEN {
             return Err(Error::Truncated);
         }
@@ -278,8 +302,10 @@ impl UPlaneRepr {
         if subframe > 9 || symbol >= SYMBOLS_PER_SLOT {
             return Err(Error::FieldRange);
         }
-        let sym = SymbolId { frame, subframe, slot, symbol };
-        let mut sections = Vec::new();
+        self.direction = direction;
+        self.filter_index = filter_index;
+        self.symbol = SymbolId { frame, subframe, slot, symbol };
+        let mut used = 0usize;
         let mut off = APP_HDR_LEN;
         while off < data.len() {
             if off + SECTION_HDR_LEN > data.len() {
@@ -305,14 +331,35 @@ impl UPlaneRepr {
             } else {
                 num_raw as usize * per
             };
-            let payload = data.get(off..off + payload_len).ok_or(Error::Truncated)?.to_vec();
-            sections.push(USection { section_id, rb, sym_inc, start_prb, method, payload });
+            let payload = data.get(off..off + payload_len).ok_or(Error::Truncated)?;
+            if let Some(s) = self.sections.get_mut(used) {
+                // Steady state: refill the recycled section slot in place.
+                s.section_id = section_id;
+                s.rb = rb;
+                s.sym_inc = sym_inc;
+                s.start_prb = start_prb;
+                s.method = method;
+                s.payload.clear();
+                s.payload.extend_from_slice(payload);
+            } else {
+                // Cold start / section-count growth: materialize a slot.
+                self.sections.push(USection {
+                    section_id,
+                    rb,
+                    sym_inc,
+                    start_prb,
+                    method,
+                    payload: payload.to_vec(),
+                });
+            }
+            used += 1;
             off += payload_len;
         }
-        if sections.is_empty() {
+        if used == 0 {
             return Err(Error::Malformed);
         }
-        Ok(UPlaneRepr { direction, filter_index, symbol: sym, sections })
+        self.sections.truncate(used);
+        Ok(())
     }
 }
 

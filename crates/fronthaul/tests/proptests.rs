@@ -100,8 +100,24 @@ proptest! {
     }
 
     #[test]
+    fn bad_widths_are_rejected_everywhere(prb in arb_prb(), width in prop_oneof![Just(0u8), Just(17u8), 18u8..]) {
+        // Regression (release-mode guard): width 0 / > 16 must surface as a
+        // clean Err from every public entry point, never wrap or panic.
+        let mut buf = vec![0u8; 64];
+        prop_assert!(bfp::exponent_for(&prb, width).is_err());
+        prop_assert!(bfp::compress_prb(&prb, width, &mut buf).is_err());
+        prop_assert!(bfp::decompress_prb(&buf, width, 1).is_err());
+        let method = CompressionMethod::BlockFloatingPoint { iq_width: width };
+        prop_assert!(method.validate().is_err());
+        prop_assert!(bfp::compress_prb_wire(&prb, method, &mut buf).is_err());
+        prop_assert!(bfp::decompress_prb_wire(&buf, method).is_err());
+        prop_assert!(bfp::peek_exponent(&buf, method).is_err());
+        prop_assert!(USection::from_prbs(0, 0, &[prb], method).is_err());
+    }
+
+    #[test]
     fn exponent_is_minimal(prb in arb_prb(), width in 2u8..=15) {
-        let exp = bfp::exponent_for(&prb, width);
+        let exp = bfp::exponent_for(&prb, width).unwrap();
         if exp > 0 {
             // One less must not fit.
             let limit_pos = (1i32 << (width - 1)) - 1;
