@@ -19,9 +19,17 @@ use rb_core::cache::{CacheKey, Plane};
 use rb_core::middlebox::{MbContext, Middlebox};
 use rb_fronthaul::ether::EthernetAddress;
 use rb_fronthaul::msg::{Body, FhMessage};
+use rb_fronthaul::timing::Numerology;
 use rb_fronthaul::uplane::USection;
 use rb_fronthaul::Direction;
 use rb_netsim::cost::{Work, XdpPlacement};
+
+/// Default [`Das::with_merge_window`] horizon in symbols.
+const DEFAULT_MERGE_WINDOW: u64 = 8;
+
+/// Backward jump (in symbols) beyond which the clock is considered to
+/// have wrapped the 256-frame hyperperiod rather than jittered.
+const WRAP_GUARD: u64 = 64 * 14;
 
 /// DAS middlebox configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +51,9 @@ pub struct DasStats {
     pub ul_cached: u64,
     /// Uplink merges performed.
     pub ul_merges: u64,
+    /// Merges forced by the merge window with one or more RU streams
+    /// missing (a subset of [`DasStats::ul_merges`]).
+    pub ul_partial_merges: u64,
     /// Merges that failed (shape mismatch across RUs).
     pub merge_errors: u64,
     /// Packets from unknown sources, dropped.
@@ -53,6 +64,13 @@ pub struct DasStats {
 pub struct Das {
     name: String,
     cfg: DasConfig,
+    /// Symbols a partially-populated uplink key may wait for its missing
+    /// RUs before being merged as-is; `0` waits forever (the pre-chaos
+    /// stall-on-loss behavior).
+    merge_window: u64,
+    /// Uplink keys still waiting for RUs: `(key, absolute symbol when
+    /// first cached)`. Bounded by the merge window × active eAxC streams.
+    pending: Vec<(CacheKey, u64)>,
     /// Counters.
     pub stats: DasStats,
 }
@@ -61,7 +79,20 @@ impl Das {
     /// Build a DAS middlebox distributing `du` across `rus`.
     pub fn new(name: impl Into<String>, cfg: DasConfig) -> Das {
         assert!(!cfg.ru_macs.is_empty(), "DAS needs at least one RU");
-        Das { name: name.into(), cfg, stats: DasStats::default() }
+        Das {
+            name: name.into(),
+            cfg,
+            merge_window: DEFAULT_MERGE_WINDOW,
+            pending: Vec::new(),
+            stats: DasStats::default(),
+        }
+    }
+
+    /// Change how many symbols an incomplete uplink key may wait for
+    /// missing RU streams before a partial merge (`0` = wait forever).
+    pub fn with_merge_window(mut self, symbols: u64) -> Das {
+        self.merge_window = symbols;
+        self
     }
 
     /// The configuration.
@@ -115,6 +146,47 @@ impl Das {
         ctx.telemetry.count(ctx.now_ns(), "ul_merges", 1);
         Some(out)
     }
+
+    /// Merge every pending key of the current frame's eAxC stream whose
+    /// wait exceeded the merge window, with however many RUs reported.
+    ///
+    /// Scoped to one stream on purpose: the dataplane shards by
+    /// `(eAxC, direction)`, so a flush triggered by progress on a
+    /// *different* stream would fire on a different worker (or never) and
+    /// break the 1-vs-N-worker output equivalence the chaos suite proves.
+    fn flush_overdue(
+        &mut self,
+        ctx: &mut MbContext<'_>,
+        eaxc_raw: u16,
+        now_abs: u64,
+        out: &mut Vec<FhMessage>,
+    ) {
+        if self.merge_window == 0 {
+            return;
+        }
+        let mut i = 0;
+        while i < self.pending.len() {
+            let (key, at_abs) = match self.pending.get(i) {
+                Some(&(k, at)) => (k, at),
+                None => break,
+            };
+            let overdue = now_abs > at_abs + self.merge_window || now_abs + WRAP_GUARD < at_abs;
+            if key.eaxc_raw != eaxc_raw || !overdue {
+                i += 1;
+                continue;
+            }
+            self.pending.swap_remove(i);
+            let cached = ctx.cache.take(&key);
+            if cached.is_empty() {
+                continue; // evicted by cache pressure meanwhile
+            }
+            self.stats.ul_partial_merges += 1;
+            ctx.telemetry.count(ctx.now_ns(), "das_partial_merge", 1);
+            if let Some(m) = self.merge(ctx, cached) {
+                out.push(m);
+            }
+        }
+    }
 }
 
 impl Middlebox for Das {
@@ -153,17 +225,27 @@ impl Middlebox for Das {
             filter: up.filter_index,
             symbol: up.symbol,
         };
+        let now_abs = up.symbol.absolute_symbol(Numerology::Mu1);
         self.stats.ul_cached += 1;
         ctx.cache.insert(key, msg);
+        // Older symbols of this stream that ran out of patience merge
+        // first (partially), so one lost RU stalls a symbol for at most
+        // the merge window instead of forever.
+        let mut out = Vec::new();
+        self.flush_overdue(ctx, key.eaxc_raw, now_abs, &mut out);
         if ctx.cache.count(&key) < self.cfg.ru_macs.len() {
+            if self.merge_window > 0 && !self.pending.iter().any(|(k, _)| *k == key) {
+                self.pending.push((key, now_abs));
+            }
             ctx.charge(Work::Cache, XdpPlacement::Userspace);
-            return Vec::new();
+            return out;
         }
+        self.pending.retain(|(k, _)| *k != key);
         let cached = ctx.cache.take(&key);
-        match self.merge(ctx, cached) {
-            Some(merged) => vec![merged],
-            None => Vec::new(),
+        if let Some(merged) = self.merge(ctx, cached) {
+            out.push(merged);
         }
+        out
     }
 
     fn classify(&self, msg: &FhMessage) -> (Work, XdpPlacement) {
@@ -334,6 +416,84 @@ mod tests {
         let events = rx.drain();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].source, "das-test");
+    }
+
+    fn ul_uplane_sym(src: EthernetAddress, amp: i16, port: u8, symbol: u8) -> FhMessage {
+        let mut msg = ul_uplane(src, amp, port);
+        if let Some(up) = msg.as_uplane_mut() {
+            up.symbol = SymbolId { frame: 0, subframe: 0, slot: 0, symbol };
+        }
+        msg
+    }
+
+    #[test]
+    fn missing_ru_stream_partial_merges_after_window() {
+        let mut mb = das().with_merge_window(4);
+        let mut cache = SymbolCache::new(64);
+        let tel = TelemetrySender::disconnected("t");
+        // Symbol 0: only two of the three RUs report (mac(23) is dead).
+        assert!(mb
+            .handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(21), 100, 0, 0))
+            .is_empty());
+        assert!(mb
+            .handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(22), 200, 0, 0))
+            .is_empty());
+        // Symbol 4 is still inside the window — no flush yet.
+        assert!(mb.handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(21), 10, 0, 4)).is_empty());
+        assert_eq!(mb.stats.ul_partial_merges, 0);
+        // Symbol 5 pushes symbol 0 past the window: partial merge of the
+        // two cached RUs, forwarded to the DU.
+        let out = mb.handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(21), 10, 0, 5));
+        assert_eq!(out.len(), 1, "overdue symbol 0 merges partially");
+        assert_eq!(out[0].eth.dst, mac(1));
+        let decoded = out[0].as_uplane().unwrap().sections[0].decode().unwrap();
+        assert_eq!(decoded[0].0 .0[0].i, 300, "sum of the two surviving RUs");
+        assert_eq!(mb.stats.ul_partial_merges, 1);
+        assert_eq!(mb.stats.ul_merges, 1);
+    }
+
+    #[test]
+    fn late_ru_completion_still_merges_fully_inside_window() {
+        let mut mb = das().with_merge_window(4);
+        let mut cache = SymbolCache::new(64);
+        let tel = TelemetrySender::disconnected("t");
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(21), 100, 0, 0));
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(22), 100, 0, 0));
+        // Third RU arrives late but inside the window: normal full merge.
+        let out = mb.handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(23), 100, 0, 0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(mb.stats.ul_partial_merges, 0);
+        assert_eq!(mb.stats.ul_merges, 1);
+        assert!(mb.pending.is_empty(), "completed key leaves the pending list");
+    }
+
+    #[test]
+    fn flush_is_scoped_to_the_triggering_stream() {
+        let mut mb = das().with_merge_window(2);
+        let mut cache = SymbolCache::new(64);
+        let tel = TelemetrySender::disconnected("t");
+        // Port 0 symbol 0 is incomplete; progress on port 1 far past the
+        // window must NOT flush it (different dataplane shard).
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(21), 100, 0, 0));
+        let out = mb.handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(21), 10, 1, 9));
+        assert!(out.is_empty());
+        assert_eq!(mb.stats.ul_partial_merges, 0, "cross-stream progress never flushes");
+        // Progress on port 0 itself does.
+        let out = mb.handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(21), 10, 0, 9));
+        assert_eq!(out.len(), 1);
+        assert_eq!(mb.stats.ul_partial_merges, 1);
+    }
+
+    #[test]
+    fn zero_window_restores_wait_forever() {
+        let mut mb = das().with_merge_window(0);
+        let mut cache = SymbolCache::new(64);
+        let tel = TelemetrySender::disconnected("t");
+        mb.handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(21), 100, 0, 0));
+        let out = mb.handle(&mut ctx(&mut cache, &tel), ul_uplane_sym(mac(21), 10, 0, 13));
+        assert!(out.is_empty());
+        assert_eq!(mb.stats.ul_partial_merges, 0);
+        assert!(mb.pending.is_empty(), "window 0 tracks nothing");
     }
 
     #[test]

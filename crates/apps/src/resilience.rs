@@ -69,6 +69,7 @@ pub struct Resilience {
     cfg: ResilienceConfig,
     active: ActiveDu,
     last_dl: Option<SimTime>,
+    last_failover: Option<SimTime>,
     /// Counters.
     pub stats: ResilienceStats,
 }
@@ -84,6 +85,7 @@ impl Resilience {
             cfg,
             active: ActiveDu::Primary,
             last_dl: None,
+            last_failover: None,
             stats: ResilienceStats::default(),
         }
     }
@@ -96,6 +98,17 @@ impl Resilience {
     /// Which DU is currently active.
     pub fn active(&self) -> ActiveDu {
         self.active
+    }
+
+    /// When the watchdog last failed over to the standby (for recovery
+    /// latency measurements); `None` until the first failover.
+    pub fn last_failover(&self) -> Option<SimTime> {
+        self.last_failover
+    }
+
+    /// When the active DU was last heard on the downlink.
+    pub fn last_dl(&self) -> Option<SimTime> {
+        self.last_dl
     }
 
     fn active_mac(&self) -> EthernetAddress {
@@ -157,6 +170,7 @@ impl Middlebox for Resilience {
         if let Some(last) = self.last_dl {
             if ctx.now.since(last) >= self.cfg.failure_timeout {
                 self.active = ActiveDu::Standby;
+                self.last_failover = Some(ctx.now);
                 self.stats.failovers += 1;
                 ctx.telemetry.count(ctx.now_ns(), "failover", 1);
             }

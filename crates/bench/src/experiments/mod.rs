@@ -3,6 +3,7 @@
 //! windows (CI smoke mode) without changing the experiment's structure.
 
 pub mod appendix_a2;
+pub mod chaos;
 pub mod dataplane_scale;
 pub mod fig10a_das;
 pub mod fig10b_rushare;
@@ -36,6 +37,7 @@ pub fn all(quick: bool) -> Vec<Report> {
         table1_placement::run(quick),
         appendix_a2::run(quick),
         dataplane_scale::run(quick),
+        chaos::run(quick),
     ]
 }
 
@@ -56,6 +58,7 @@ pub fn by_id(id: &str, quick: bool) -> Option<Report> {
         "table1" => table1_placement::run(quick),
         "a2" | "appendix_a2" => appendix_a2::run(quick),
         "dataplane" => dataplane_scale::run(quick),
+        "chaos" => chaos::run(quick),
         _ => return None,
     })
 }
@@ -76,4 +79,5 @@ pub const IDS: &[&str] = &[
     "table1",
     "a2",
     "dataplane",
+    "chaos",
 ];

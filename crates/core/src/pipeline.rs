@@ -71,6 +71,15 @@ pub struct HostStats {
     pub rule_drops: u64,
     /// Messages that failed to serialize (handler produced invalid repr).
     pub emit_errors: u64,
+    /// Missing eCPRI sequence numbers observed across all rx streams: a
+    /// jump from 3 to 7 on one `(src, eAxC)` stream adds 3.
+    pub seq_gaps: u64,
+    /// Repeated or late-replayed eCPRI sequence numbers observed.
+    pub seq_dups: u64,
+    /// Parse failures on frames that carried the eCPRI EtherType — damaged
+    /// fronthaul traffic, as opposed to foreign protocols or line noise
+    /// (a subset of [`HostStats::parse_errors`]).
+    pub frames_corrupt: u64,
 }
 
 /// What happened to one input frame.
@@ -104,6 +113,9 @@ pub struct MbPipeline<M: Middlebox> {
     telemetry: TelemetrySender,
     rules: SharedRules,
     seq: HashMap<(EthernetAddress, u16), u8>,
+    // Last eCPRI sequence number seen per (source MAC, eAxC) rx stream —
+    // the gap/duplicate detector the fault-injection suite exercises.
+    rx_seq: HashMap<(EthernetAddress, u16), u8>,
     // Per-pipeline scratch, cleared and reused across process() calls so
     // the steady-state packet path performs no heap allocation: the
     // serialization buffer, the handler's emit list, the work charges of
@@ -130,6 +142,7 @@ impl<M: Middlebox> MbPipeline<M> {
             telemetry,
             rules: mgmt::shared(),
             seq: HashMap::new(),
+            rx_seq: HashMap::new(),
             tx_buf: Vec::new(),
             emits: Vec::new(),
             charges: Vec::new(),
@@ -186,6 +199,31 @@ impl<M: Middlebox> MbPipeline<M> {
         v
     }
 
+    /// Track the incoming eCPRI sequence number of one `(src, eAxC)`
+    /// stream with 8-bit wrapping arithmetic: a forward jump of `d`
+    /// records `d - 1` gaps, a repeat or a backward jump records a
+    /// duplicate (late replays do not rewind the stream position).
+    fn observe_seq(&mut self, src: EthernetAddress, eaxc_raw: u16, seq: u8) {
+        match self.rx_seq.get_mut(&(src, eaxc_raw)) {
+            Some(last) => {
+                let delta = seq.wrapping_sub(*last);
+                if delta == 1 {
+                    *last = seq;
+                } else if delta == 0 {
+                    self.stats.seq_dups += 1;
+                } else if delta <= 128 {
+                    self.stats.seq_gaps += u64::from(delta) - 1;
+                    *last = seq;
+                } else {
+                    self.stats.seq_dups += 1;
+                }
+            }
+            None => {
+                self.rx_seq.insert((src, eaxc_raw), seq);
+            }
+        }
+    }
+
     /// The work charges recorded for the most recent
     /// [`MbPipeline::process`] call that returned
     /// [`ProcessOutcome::Handled`] (valid until the next call).
@@ -230,6 +268,9 @@ impl<M: Middlebox> MbPipeline<M> {
             Ok(m) => m,
             Err(_) => {
                 self.stats.parse_errors += 1;
+                if looks_like_ecpri(frame) {
+                    self.stats.frames_corrupt += 1;
+                }
                 return ProcessOutcome::ParseError;
             }
         };
@@ -241,6 +282,7 @@ impl<M: Middlebox> MbPipeline<M> {
             self.recycler.recycle(msg);
             return ProcessOutcome::NotForUs;
         }
+        self.observe_seq(msg.eth.src, msg.eaxc.pack(&self.mapping), msg.seq_id);
         let class = TrafficClass::of(&msg);
         let fallback = self.mb.classify(&msg);
         self.charges.clear();
@@ -283,6 +325,17 @@ impl<M: Middlebox> MbPipeline<M> {
         for m in emits {
             self.transmit(m, emit);
         }
+    }
+}
+
+/// Best-effort check whether an unparseable frame was *meant* to be
+/// fronthaul traffic: the eCPRI EtherType (`0xAEFE`), directly or behind
+/// one VLAN tag (`0x8100`).
+fn looks_like_ecpri(frame: &[u8]) -> bool {
+    match frame.get(12..14) {
+        Some(&[0xae, 0xfe]) => true,
+        Some(&[0x81, 0x00]) => matches!(frame.get(16..18), Some(&[0xae, 0xfe])),
+        _ => false,
     }
 }
 
@@ -384,6 +437,65 @@ mod tests {
             });
         }
         assert_eq!(seqs, vec![0, 1, 2, 3], "one counter for the merged post-rule stream");
+    }
+
+    #[test]
+    fn seq_gap_and_dup_detection_per_stream() {
+        let mut p = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
+        let mut sink = |_: &[u8]| {};
+        // In-order prefix: 0, 1 — no findings.
+        for seq in [0u8, 1] {
+            p.process(SimTime(0), &cplane_bytes(mac(10), seq), &mut sink);
+        }
+        assert_eq!((p.stats.seq_gaps, p.stats.seq_dups), (0, 0));
+        // Jump 1 -> 5: three missing frames (2, 3, 4).
+        p.process(SimTime(0), &cplane_bytes(mac(10), 5), &mut sink);
+        assert_eq!(p.stats.seq_gaps, 3);
+        // Exact repeat of 5: one duplicate.
+        p.process(SimTime(0), &cplane_bytes(mac(10), 5), &mut sink);
+        assert_eq!(p.stats.seq_dups, 1);
+        // Late replay of 3 (backward jump): counted as duplicate, the
+        // stream position stays at 5 so the following 6 is clean.
+        p.process(SimTime(0), &cplane_bytes(mac(10), 3), &mut sink);
+        assert_eq!(p.stats.seq_dups, 2);
+        p.process(SimTime(0), &cplane_bytes(mac(10), 6), &mut sink);
+        assert_eq!((p.stats.seq_gaps, p.stats.seq_dups), (3, 2));
+        // A different eAxC port is an independent stream: its first frame
+        // establishes a new counter without findings.
+        p.process(SimTime(0), &cplane_bytes_port(mac(10), 200, 4), &mut sink);
+        assert_eq!((p.stats.seq_gaps, p.stats.seq_dups), (3, 2));
+    }
+
+    #[test]
+    fn seq_wraparound_is_not_a_gap() {
+        let mut p = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
+        let mut sink = |_: &[u8]| {};
+        for seq in [254u8, 255, 0, 1] {
+            p.process(SimTime(0), &cplane_bytes(mac(10), seq), &mut sink);
+        }
+        assert_eq!((p.stats.seq_gaps, p.stats.seq_dups), (0, 0));
+    }
+
+    #[test]
+    fn corrupt_ecpri_frames_are_counted_and_emit_nothing() {
+        let mut p = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
+        let mut emit = |_: &[u8]| panic!("corrupt frames must not emit");
+        // A valid frame truncated mid-message still carries the eCPRI
+        // EtherType: parse error *and* corrupt.
+        let mut cut = cplane_bytes(mac(10), 0);
+        cut.truncate(20);
+        assert_eq!(p.process(SimTime(0), &cut, &mut emit), ProcessOutcome::ParseError);
+        assert_eq!(p.stats.frames_corrupt, 1);
+        // A bit-flipped version number is also corrupt fronthaul traffic.
+        let mut flipped = cplane_bytes(mac(10), 1);
+        flipped[14] ^= 0xf0;
+        assert_eq!(p.process(SimTime(0), &flipped, &mut emit), ProcessOutcome::ParseError);
+        assert_eq!(p.stats.frames_corrupt, 2);
+        // Foreign garbage is a parse error but not "corrupt fronthaul".
+        assert_eq!(p.process(SimTime(0), &[0u8; 40], &mut emit), ProcessOutcome::ParseError);
+        assert_eq!(p.stats.parse_errors, 3);
+        assert_eq!(p.stats.frames_corrupt, 2);
+        assert_eq!(p.stats.tx, 0);
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //! * [`runtime`] — assembles the above, drives I/O from the caller's
 //!   thread and drains everything on shutdown;
 //! * [`stats`] — per-worker counters plus batch-size / queue-depth
-//!   histograms, exported over `rb_core::telemetry`.
+//!   histograms, exported over `rb_core::telemetry`;
+//! * [`chaos`] — a deterministic fault-injection wrapper over any
+//!   backend: seeded drop / duplicate / reorder / truncate / corrupt /
+//!   jitter plus timed outages, replayable from a `(seed, config)` pair.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,6 +37,7 @@
     allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)
 )]
 
+pub mod chaos;
 pub mod dispatch;
 pub mod io;
 pub mod pool;
@@ -42,6 +46,7 @@ pub mod runtime;
 pub mod stats;
 pub mod worker;
 
+pub use chaos::{ChaosConfig, ChaosIo, ChaosRng, ChaosStats, Impairments, Outage};
 pub use io::{FrameIo, Loopback, PcapReplay, RawFrame, RxPoll};
 pub use pool::{BufferPool, PooledBuf};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeReport};

@@ -111,6 +111,9 @@ impl RuntimeReport {
             t.not_for_us += w.pipeline.not_for_us;
             t.rule_drops += w.pipeline.rule_drops;
             t.emit_errors += w.pipeline.emit_errors;
+            t.seq_gaps += w.pipeline.seq_gaps;
+            t.seq_dups += w.pipeline.seq_dups;
+            t.frames_corrupt += w.pipeline.frames_corrupt;
         }
         t
     }

@@ -136,6 +136,15 @@ impl WorkerStats {
     }
 }
 
+/// Export a pipeline's impairment-facing counters — sequence gaps,
+/// duplicates and corrupt frames — over telemetry at worker shutdown,
+/// next to the `dp_*` worker counters.
+pub fn export_pipeline(stats: &HostStats, telemetry: &TelemetrySender, at_ns: u64) {
+    telemetry.count(at_ns, "seq_gaps", stats.seq_gaps);
+    telemetry.count(at_ns, "seq_dups", stats.seq_dups);
+    telemetry.count(at_ns, "frames_corrupt", stats.frames_corrupt);
+}
+
 /// Everything a worker hands back when it exits: its runtime counters and
 /// the pipeline's datapath statistics.
 #[derive(Debug, Clone)]

@@ -84,6 +84,7 @@ pub fn run<M: Middlebox>(
     stats.rx_ring_dropped = rx.dropped();
     stats.tx_ring_dropped = tx.dropped();
     stats.export(&telemetry, last_at_ns);
+    crate::stats::export_pipeline(&pipeline.stats, &telemetry, last_at_ns);
     telemetry.count(last_at_ns, "telemetry_dropped", telemetry.dropped());
     tx.close();
     WorkerReport { id, stats, pipeline: pipeline.stats }
