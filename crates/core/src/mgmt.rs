@@ -3,13 +3,21 @@
 //! Operators (or orchestration frameworks) modify middlebox behaviour
 //! on-the-fly by installing match/action rules (paper §3.2: "apply
 //! forwarding rules"). Rules are evaluated against every message a
-//! middlebox emits, first match wins; the table is shared behind a
-//! read-write lock so a management plane can swap rules while the
-//! datapath runs.
+//! middlebox emits, first match wins.
+//!
+//! The table is published by *generation* rather than locked per message:
+//! the management plane mutates a locked master copy ([`SharedRules`]) and
+//! every write bumps a generation counter; each datapath pipeline keeps a
+//! private [`RulesCache`] that polls the counter with one atomic load per
+//! message and re-clones the master only when it moved. Steady-state
+//! traffic therefore takes no lock and shares no mutable state with the
+//! management plane.
 
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use rb_fronthaul::eaxc::Eaxc;
 use rb_fronthaul::ether::EthernetAddress;
 use rb_fronthaul::msg::{Body, FhMessage};
@@ -160,12 +168,150 @@ impl ForwardingTable {
     }
 }
 
-/// A forwarding table shared between the datapath and a management plane.
-pub type SharedRules = Arc<RwLock<ForwardingTable>>;
+/// A forwarding table shared between the datapath and a management plane,
+/// published by generation (epoch) instead of locked per message.
+///
+/// The master copy lives behind a `RwLock` taken only by the management
+/// plane and by per-pipeline cache refreshes. Dropping a write guard bumps
+/// the generation with `Release`; [`RulesCache::apply`] polls it with a
+/// single `Acquire` load per message and re-clones the master only when
+/// the generation moved, so a rule update becomes visible to the datapath
+/// within one message without any lock on the steady-state packet path.
+#[derive(Clone)]
+pub struct SharedRules {
+    inner: Arc<RulesShared>,
+}
+
+struct RulesShared {
+    /// Publication counter; bumped (`Release`) when a write guard drops.
+    gen: AtomicU64,
+    /// Master table; mutated under the lock by the management plane.
+    master: RwLock<ForwardingTable>,
+}
+
+impl SharedRules {
+    /// An empty shared table.
+    pub fn new() -> SharedRules {
+        // The generation starts at 1 so a fresh `RulesCache` (which records
+        // generation 0) refreshes on first use and picks up any rules
+        // installed before the cache was attached.
+        SharedRules {
+            inner: Arc::new(RulesShared {
+                gen: AtomicU64::new(1),
+                master: RwLock::new(ForwardingTable::new()),
+            }),
+        }
+    }
+
+    /// Read access to the master table (management plane / inspection).
+    pub fn read(&self) -> RwLockReadGuard<'_, ForwardingTable> {
+        self.inner.master.read()
+    }
+
+    /// Write access to the master table. Dropping the guard publishes a
+    /// new generation, making the mutation visible to datapath caches.
+    pub fn write(&self) -> RulesWriteGuard<'_> {
+        RulesWriteGuard { guard: self.inner.master.write(), gen: &self.inner.gen }
+    }
+
+    /// The current publication generation.
+    pub fn generation(&self) -> u64 {
+        self.inner.gen.load(Ordering::Acquire)
+    }
+}
+
+impl Default for SharedRules {
+    fn default() -> SharedRules {
+        SharedRules::new()
+    }
+}
+
+/// Write access to the master rule table; publishes a new generation when
+/// dropped.
+pub struct RulesWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, ForwardingTable>,
+    gen: &'a AtomicU64,
+}
+
+impl Deref for RulesWriteGuard<'_> {
+    type Target = ForwardingTable;
+    fn deref(&self) -> &ForwardingTable {
+        &self.guard
+    }
+}
+
+impl DerefMut for RulesWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ForwardingTable {
+        &mut self.guard
+    }
+}
+
+impl Drop for RulesWriteGuard<'_> {
+    fn drop(&mut self) {
+        // Release pairs with the Acquire load in `SharedRules::generation`:
+        // the table mutation above happens-before any cache refresh that
+        // observes the bumped generation. The bump runs while the write
+        // lock is still held, so a cache that reads the new value blocks
+        // on the master lock until the mutation is complete.
+        self.gen.fetch_add(1, Ordering::Release);
+    }
+}
 
 /// Create an empty shared table.
 pub fn shared() -> SharedRules {
-    Arc::new(RwLock::new(ForwardingTable::new()))
+    SharedRules::new()
+}
+
+/// A datapath-private copy of a [`SharedRules`] table.
+///
+/// `apply` costs one `Acquire` load per message in steady state; the
+/// master lock is taken (and the rule list cloned) only when the
+/// management plane published a new generation — once per update, not per
+/// message. A concurrent update can at worst make one extra message see
+/// the previous rule set plus one redundant refresh; content is never
+/// torn because refresh clones under the master lock.
+#[derive(Debug, Default)]
+pub struct RulesCache {
+    table: ForwardingTable,
+    seen_gen: u64,
+}
+
+impl RulesCache {
+    /// An empty cache; the first `apply` clones the master table.
+    pub fn new() -> RulesCache {
+        RulesCache { table: ForwardingTable::new(), seen_gen: 0 }
+    }
+
+    /// Forget the cached generation so the next `apply` re-clones the
+    /// master (used when the pipeline is pointed at a different table).
+    pub fn invalidate(&mut self) {
+        self.seen_gen = 0;
+    }
+
+    /// Messages dropped by rules through this cache.
+    pub fn drops(&self) -> u64 {
+        self.table.drops
+    }
+
+    /// Apply the (cached) table to a message: returns `false` if dropped.
+    pub fn apply(&mut self, shared: &SharedRules, msg: &mut FhMessage, eaxc_raw: u16) -> bool {
+        let gen = shared.generation();
+        if gen != self.seen_gen {
+            self.refresh(shared, gen);
+        }
+        self.table.apply(msg, eaxc_raw)
+    }
+
+    #[cold]
+    fn refresh(&mut self, shared: &SharedRules, gen: u64) {
+        // Off the steady-state path by construction: runs once per
+        // management update (and once at attach), never per message.
+        // `clone_from` reuses the cache's existing Vec allocation when
+        // capacity suffices; the local drop counter survives refreshes.
+        let master = shared.inner.master.read();
+        self.table.rules.clone_from(&master.rules);
+        self.seen_gen = gen;
+    }
 }
 
 #[cfg(test)]
@@ -298,5 +444,54 @@ mod tests {
         // Management plane swaps the rule set.
         shared.write().replace(vec![]);
         assert!(shared.read().is_empty());
+    }
+
+    #[test]
+    fn cache_sees_updates_on_the_next_message() {
+        let shared = shared();
+        let mut cache = RulesCache::new();
+        let mut m = msg(Direction::Downlink, 0);
+        assert!(cache.apply(&shared, &mut m, raw(0)), "empty table passes");
+        shared.write().push(Rule { matcher: Match::any(), action: RuleAction::Drop });
+        let mut m2 = msg(Direction::Downlink, 0);
+        assert!(!cache.apply(&shared, &mut m2, raw(0)), "update visible without re-attach");
+        assert_eq!(cache.drops(), 1);
+    }
+
+    #[test]
+    fn cache_picks_up_rules_installed_before_attach() {
+        let shared = shared();
+        shared.write().push(Rule { matcher: Match::any(), action: RuleAction::SetSrc(mac(7)) });
+        let mut cache = RulesCache::new();
+        let mut m = msg(Direction::Uplink, 0);
+        assert!(cache.apply(&shared, &mut m, raw(0)));
+        assert_eq!(m.eth.src, mac(7));
+    }
+
+    #[test]
+    fn write_guard_drop_publishes_a_generation() {
+        let shared = shared();
+        let before = shared.generation();
+        shared.write().push(Rule { matcher: Match::any(), action: RuleAction::Pass });
+        assert!(shared.generation() > before);
+        // Read access is not a publication: no generation movement.
+        let g = shared.generation();
+        assert_eq!(shared.read().len(), 1);
+        assert_eq!(shared.generation(), g);
+    }
+
+    #[test]
+    fn invalidated_cache_refetches_after_retarget() {
+        let a = shared();
+        let b = shared();
+        b.write().push(Rule { matcher: Match::any(), action: RuleAction::Drop });
+        let mut cache = RulesCache::new();
+        let mut m = msg(Direction::Downlink, 0);
+        assert!(cache.apply(&a, &mut m, raw(0)), "table `a` is empty");
+        // Pointing the cache at `b` without invalidating could leave the
+        // stale clone in place if the generations happen to collide.
+        cache.invalidate();
+        let mut m2 = msg(Direction::Downlink, 0);
+        assert!(!cache.apply(&b, &mut m2, raw(0)), "table `b` drops");
     }
 }

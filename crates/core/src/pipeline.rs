@@ -26,7 +26,7 @@ use rb_netsim::cost::{Work, XdpPlacement};
 use rb_netsim::time::SimTime;
 
 use crate::cache::SymbolCache;
-use crate::mgmt::{self, SharedRules};
+use crate::mgmt::{self, RulesCache, SharedRules};
 use crate::middlebox::{MbContext, Middlebox};
 use crate::telemetry::TelemetrySender;
 
@@ -112,6 +112,10 @@ pub struct MbPipeline<M: Middlebox> {
     cache: SymbolCache,
     telemetry: TelemetrySender,
     rules: SharedRules,
+    // Datapath-private clone of the rule table, refreshed only when the
+    // management plane publishes a new generation — the steady-state
+    // packet path never takes the shared table's lock.
+    rules_cache: RulesCache,
     seq: HashMap<(EthernetAddress, u16), u8>,
     // Last eCPRI sequence number seen per (source MAC, eAxC) rx stream —
     // the gap/duplicate detector the fault-injection suite exercises.
@@ -141,6 +145,7 @@ impl<M: Middlebox> MbPipeline<M> {
             cache: SymbolCache::new(4096),
             telemetry,
             rules: mgmt::shared(),
+            rules_cache: RulesCache::new(),
             seq: HashMap::new(),
             rx_seq: HashMap::new(),
             tx_buf: Vec::new(),
@@ -165,6 +170,9 @@ impl<M: Middlebox> MbPipeline<M> {
     /// Share a management rule table (e.g. with an orchestrator).
     pub fn set_rules(&mut self, rules: SharedRules) {
         self.rules = rules;
+        // The cached clone belongs to the previous table; force a refresh
+        // on the next message even if the generations happen to collide.
+        self.rules_cache.invalidate();
     }
 
     /// This pipeline's MAC address.
@@ -233,7 +241,7 @@ impl<M: Middlebox> MbPipeline<M> {
 
     fn transmit(&mut self, mut msg: FhMessage, emit: &mut dyn FnMut(&[u8])) {
         let eaxc_raw = msg.eaxc.pack(&self.mapping);
-        if !self.rules.write().apply(&mut msg, eaxc_raw) {
+        if !self.rules_cache.apply(&self.rules, &mut msg, eaxc_raw) {
             self.stats.rule_drops += 1;
             self.recycler.recycle(msg);
             return;

@@ -111,14 +111,18 @@ fn consumer_unblocks_when_producer_dies_mid_stream() {
             count += rx.pop_batch(&mut buf, 16) as u64;
             thread::yield_now();
         }
-        fin.store(true, Ordering::SeqCst);
+        // Release pairs with the Acquire load below: the main thread's
+        // `join()` already orders everything the consumer did before its
+        // exit, so Release/Acquire is the (sufficient) edge here — SeqCst
+        // would buy nothing this flag needs.
+        fin.store(true, Ordering::Release);
         count
     });
     tx.push(1);
     tx.push(2);
     drop(tx); // producer vanishes without an explicit close
     let count = consumer.join().unwrap();
-    assert!(finished.load(Ordering::SeqCst), "consumer observed end-of-stream");
+    assert!(finished.load(Ordering::Acquire), "consumer observed end-of-stream");
     assert_eq!(count, 2);
 }
 

@@ -30,13 +30,7 @@ pub struct Allowlist {
 }
 
 fn parse_rule(s: &str) -> Option<Rule> {
-    match s {
-        "panic" => Some(Rule::Panic),
-        "indexing" => Some(Rule::Indexing),
-        "unsafe" => Some(Rule::Unsafe),
-        "alloc" => Some(Rule::Alloc),
-        _ => None,
-    }
+    Rule::ALL.iter().copied().find(|r| r.name() == s)
 }
 
 fn unquote(s: &str) -> Option<String> {
@@ -119,7 +113,8 @@ pub fn parse(text: &str) -> Allowlist {
             "rule" => match parse_rule(&val) {
                 Some(r) => entry.1 = Some(r),
                 None => out.problems.push(format!(
-                    "unknown rule `{val}` at line {lineno} (expected panic/indexing/unsafe/alloc)"
+                    "unknown rule `{val}` at line {lineno} \
+                     (expected panic/indexing/unsafe/alloc/block/recursion/ordering)"
                 )),
             },
             "reason" => entry.2 = Some(val),
@@ -182,6 +177,19 @@ mod tests {
     fn unknown_rule_is_a_problem() {
         let a = parse("[[allow]]\nfunction = \"x\"\nrule = \"segfault\"\nreason = \"r\"\n");
         assert!(a.problems.iter().any(|p| p.contains("unknown rule")));
+    }
+
+    #[test]
+    fn v2_rules_parse() {
+        for rule in ["block", "recursion", "ordering"] {
+            let a = parse(&format!(
+                "[[allow]]\nfunction = \"x\"\nrule = \"{rule}\"\nreason = \"edge named here\"\n"
+            ));
+            assert!(a.problems.is_empty(), "{rule}: {:?}", a.problems);
+            assert_eq!(a.entries.len(), 1, "{rule}");
+        }
+        assert!(parse("[[allow]]\nfunction = \"x\"\nrule = \"block\"\nreason = \"r\"\n")
+            .grants("x", Rule::Block));
     }
 
     #[test]

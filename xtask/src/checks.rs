@@ -1,6 +1,7 @@
-//! Panic-vector and allocation checks over a function body's tokens.
+//! Panic-vector, allocation and deadline-safety checks over a function
+//! body's tokens.
 //!
-//! Four rule families, mirroring the workspace clippy wall:
+//! Seven rule families, mirroring the workspace clippy wall:
 //!
 //! * `panic` — `.unwrap()`, `.expect(..)`, `.unwrap_err()`, `.expect_err(..)`
 //!   and the panicking macros `panic!`, `unreachable!`, `todo!`,
@@ -14,6 +15,22 @@
 //!   advisory by default (`--deny-alloc` promotes it): the current message
 //!   types own their payloads, so allocation is a performance smell here,
 //!   not a crash vector.
+//! * `block` — anything that can block or syscall for an unbounded time on
+//!   a symbol-deadline path: lock acquisition (`.lock()`, zero-argument
+//!   `.read()`/`.write()`, the `Mutex`/`RwLock`/`Condvar`/`Barrier`
+//!   primitives themselves), blocking channel receives (`.recv()`,
+//!   `.recv_timeout(..)`), thread blocking (`thread::sleep`/`park`,
+//!   zero-argument `.join()`, `.wait*(..)`), filesystem and network I/O
+//!   (`File::*`, `fs::*`, `net::*`, socket types), stdio macros
+//!   (`println!`, `eprintln!`, `dbg!`, …) and process/thread spawning
+//!   (`Command::*`, `.spawn(..)`).
+//! * `recursion` — not a token check: call-graph cycles reachable from a
+//!   hot root are detected in [`crate::graph`] and reported under this
+//!   rule (unbounded stack and time on a deadline path).
+//! * `ordering` — `Ordering::SeqCst` atomics (a global-fence smell that
+//!   usually hides an unnamed happens-before edge; grants must name the
+//!   edge), plus `static mut` / interior-mutable `static` shared state,
+//!   which the engine detects at item scope.
 
 use crate::lexer::{TokKind, Token};
 
@@ -28,18 +45,38 @@ pub enum Rule {
     Unsafe,
     /// Heap allocation (advisory unless promoted).
     Alloc,
+    /// Blocking syscall, lock acquisition or unbounded wait.
+    Block,
+    /// Call-graph cycle reachable from a hot root.
+    Recursion,
+    /// `SeqCst` atomics or non-atomic shared mutable state.
+    Ordering,
 }
 
 impl Rule {
-    /// Stable name used in reports and `lint-allow.toml`.
+    /// Stable name used in reports, `--json` output and `lint-allow.toml`.
     pub fn name(self) -> &'static str {
         match self {
             Rule::Panic => "panic",
             Rule::Indexing => "indexing",
             Rule::Unsafe => "unsafe",
             Rule::Alloc => "alloc",
+            Rule::Block => "block",
+            Rule::Recursion => "recursion",
+            Rule::Ordering => "ordering",
         }
     }
+
+    /// Every rule family, in stable report order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::Panic,
+        Rule::Indexing,
+        Rule::Unsafe,
+        Rule::Alloc,
+        Rule::Block,
+        Rule::Recursion,
+        Rule::Ordering,
+    ];
 }
 
 /// One detected violation inside a function body.
@@ -58,6 +95,52 @@ const PANIC_MACROS: &[&str] =
     &["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
 const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "clone"];
 const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Method calls that block regardless of arity: lock/channel/thread waits
+/// and spawning. (`try_lock`/`try_recv`/`try_send` stay permitted.)
+const BLOCK_METHODS: &[&str] = &[
+    "lock",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "park",
+    "park_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "spawn",
+    "get_or_init",
+    "get_or_try_init",
+];
+/// Method calls that are blocking only in their zero-argument form:
+/// `.read()`/`.write()` with no argument is `RwLock` guard acquisition
+/// (`io::Read`/`io::Write` always take a buffer), and zero-argument
+/// `.join()` is a thread join (`[str]::join` takes a separator).
+const BLOCK_METHODS_ZERO_ARG: &[&str] = &["read", "write", "join"];
+/// Qualifying type/module segments whose associated calls mean blocking
+/// syscalls or lock primitives on the hot path (`File::open`, `fs::read`,
+/// `Command::new`, `Mutex::new`, `thread::sleep`, …).
+const BLOCK_QUALS: &[&str] = &[
+    "File",
+    "OpenOptions",
+    "fs",
+    "net",
+    "TcpStream",
+    "TcpListener",
+    "UdpSocket",
+    "UnixStream",
+    "UnixListener",
+    "Command",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+];
+/// `thread::` associated calls that block or spawn (channel plumbing like
+/// `thread::current` is fine).
+const BLOCK_THREAD_FNS: &[&str] = &["sleep", "park", "park_timeout", "spawn", "scope"];
+/// Stdio macros: hidden mutex + write syscall per invocation.
+const BLOCK_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
 
 /// Keywords that can directly precede `[` without it being an index
 /// expression (`let [a, b] = ..`, `for [x] in ..`, `&mut [0u8; 4]`, …).
@@ -99,11 +182,20 @@ pub fn scan_body(
             let next_bang = i + 1 < end && toks[i + 1].is_punct('!');
             let next_paren = i + 1 < end && toks[i + 1].is_punct('(');
 
+            // Zero-argument call: `name` followed by `(` then `)`.
+            let next_empty_parens = next_paren && i + 2 < end && toks[i + 2].is_punct(')');
+
             if name == "unsafe" {
                 out.push(Violation {
                     rule: Rule::Unsafe,
                     line: t.line,
                     what: "unsafe block".to_string(),
+                });
+            } else if name == "SeqCst" {
+                out.push(Violation {
+                    rule: Rule::Ordering,
+                    line: t.line,
+                    what: "Ordering::SeqCst".to_string(),
                 });
             } else if prev_dot && next_paren && PANIC_METHODS.contains(&name) {
                 out.push(Violation { rule: Rule::Panic, line: t.line, what: format!(".{name}()") });
@@ -111,15 +203,24 @@ pub fn scan_body(
                 out.push(Violation { rule: Rule::Panic, line: t.line, what: format!("{name}!") });
             } else if next_bang && ALLOC_MACROS.contains(&name) {
                 out.push(Violation { rule: Rule::Alloc, line: t.line, what: format!("{name}!") });
+            } else if next_bang && BLOCK_MACROS.contains(&name) {
+                out.push(Violation { rule: Rule::Block, line: t.line, what: format!("{name}!") });
             } else if prev_dot && next_paren && ALLOC_METHODS.contains(&name) {
                 out.push(Violation { rule: Rule::Alloc, line: t.line, what: format!(".{name}()") });
+            } else if prev_dot
+                && next_paren
+                && (BLOCK_METHODS.contains(&name)
+                    || (next_empty_parens && BLOCK_METHODS_ZERO_ARG.contains(&name)))
+            {
+                out.push(Violation { rule: Rule::Block, line: t.line, what: format!(".{name}()") });
             } else if next_paren
                 && !prev_dot
                 && i >= start + 2
                 && toks[i - 1].is_punct(':')
                 && toks[i - 2].is_punct(':')
             {
-                // Qualified call: check for Type::alloc-constructors.
+                // Qualified call: check for Type::alloc-constructors and
+                // blocking-facility paths.
                 if let Some(q) = toks.get(i.wrapping_sub(3)) {
                     let qual = q.text.as_str();
                     let is_alloc_ctor = matches!(
@@ -131,9 +232,18 @@ pub fn scan_body(
                             | ("String", "from")
                             | ("String", "with_capacity")
                     );
+                    let is_block = BLOCK_QUALS.contains(&qual)
+                        || (qual == "thread" && BLOCK_THREAD_FNS.contains(&name))
+                        || (qual == "io" && matches!(name, "stdin" | "stdout" | "stderr"));
                     if is_alloc_ctor {
                         out.push(Violation {
                             rule: Rule::Alloc,
+                            line: t.line,
+                            what: format!("{qual}::{name}()"),
+                        });
+                    } else if is_block {
+                        out.push(Violation {
+                            rule: Rule::Block,
                             line: t.line,
                             what: format!("{qual}::{name}()"),
                         });
@@ -234,5 +344,58 @@ mod tests {
     #[test]
     fn strings_do_not_trigger() {
         assert!(rules("let s = \"please do not unwrap() or panic! here\";").is_empty());
+    }
+
+    #[test]
+    fn lock_acquisition_blocks() {
+        assert_eq!(rules("self.rules.lock();"), vec![Rule::Block]);
+        // Zero-argument read/write are RwLock guard acquisition...
+        assert_eq!(rules("table.read(); table.write();"), vec![Rule::Block, Rule::Block]);
+        // ...but io-style read/write with a buffer argument are not.
+        assert!(rules("sock.read(buf); w.write(bytes);").is_empty());
+        // Non-blocking probes are permitted.
+        assert!(rules("m.try_lock(); rx.try_recv(); tx.try_send(x);").is_empty());
+        // Lock primitives by qualified path.
+        assert_eq!(rules("Mutex::new(0)"), vec![Rule::Block]);
+        assert_eq!(rules("RwLock::new(t)"), vec![Rule::Block]);
+    }
+
+    #[test]
+    fn channel_and_thread_blocking() {
+        assert_eq!(rules("rx.recv()"), vec![Rule::Block]);
+        assert_eq!(rules("rx.recv_timeout(d)"), vec![Rule::Block]);
+        assert_eq!(rules("thread::sleep(d)"), vec![Rule::Block]);
+        assert_eq!(rules("thread::spawn(f)"), vec![Rule::Block]);
+        // Zero-arg join is a thread join; join with a separator is str::join.
+        assert_eq!(rules("handle.join()"), vec![Rule::Block]);
+        assert!(rules("parts.join(\", \")").is_empty());
+    }
+
+    #[test]
+    fn fs_net_and_stdio_block() {
+        assert_eq!(rules("File::open(p)"), vec![Rule::Block]);
+        assert_eq!(rules("fs::read_to_string(p)"), vec![Rule::Block]);
+        assert_eq!(rules("TcpStream::connect(a)"), vec![Rule::Block]);
+        assert_eq!(rules("Command::new(\"sh\")"), vec![Rule::Block]);
+        assert_eq!(rules("io::stdin()"), vec![Rule::Block]);
+        assert_eq!(rules("println!(\"x\"); dbg!(y);"), vec![Rule::Block, Rule::Block]);
+        // write! into a fmt buffer is not stdio.
+        assert!(rules("write!(buf, \"x\")").is_empty());
+    }
+
+    #[test]
+    fn seqcst_is_an_ordering_violation() {
+        assert_eq!(rules("flag.store(true, Ordering::SeqCst)"), vec![Rule::Ordering]);
+        assert!(rules("flag.load(Ordering::Acquire)").is_empty());
+        assert!(rules("flag.store(true, Ordering::Release)").is_empty());
+    }
+
+    #[test]
+    fn rule_names_are_stable() {
+        let names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+        assert_eq!(
+            names,
+            vec!["panic", "indexing", "unsafe", "alloc", "block", "recursion", "ordering"]
+        );
     }
 }

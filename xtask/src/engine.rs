@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 
 use crate::allowlist::{self, Allowlist};
 use crate::checks::{self, Rule};
-use crate::extract;
+use crate::extract::{self, StaticDef};
 use crate::graph::{self, GlobalFn};
 use crate::lexer;
 
@@ -226,21 +226,26 @@ fn load_allowlist(opts: &Options) -> Allowlist {
 pub fn run(opts: &Options) -> io::Result<Report> {
     let mut units: Vec<Vec<lexer::Token>> = Vec::new();
     let mut fns: Vec<GlobalFn> = Vec::new();
+    // `(crate, file, static)` triples for the ordering-rule shared-state scan.
+    let mut statics: Vec<(String, String, StaticDef)> = Vec::new();
 
     for (crate_name, crate_dir) in discover_crates(&opts.root)? {
         for (path, module) in source_files(&crate_dir) {
             let text = fs::read_to_string(&path)?;
             let toks = lexer::tokenize(&text);
-            let defs = extract::extract_fns(&toks, &crate_name, &module);
+            let items = extract::extract_file(&toks, &crate_name, &module);
             let unit = units.len();
             let file = path.strip_prefix(&opts.root).unwrap_or(&path).to_string_lossy().to_string();
-            for def in defs {
+            for def in items.fns {
                 fns.push(GlobalFn {
                     unit,
                     file: file.clone(),
                     crate_name: crate_name.clone(),
                     def,
                 });
+            }
+            for s in items.statics {
+                statics.push((crate_name.clone(), file.clone(), s));
             }
             units.push(toks);
         }
@@ -262,6 +267,18 @@ pub fn run(opts: &Options) -> io::Result<Report> {
     }
     report.hot_fns = hot.into_iter().collect();
 
+    let mark_used = |key: &str, rule: Rule, used: &mut Vec<bool>| -> bool {
+        let allowed = allow.grants(key, rule);
+        if allowed {
+            for (ei, e) in allow.entries.iter().enumerate() {
+                if e.rule == rule && e.function == key {
+                    used[ei] = true;
+                }
+            }
+        }
+        allowed
+    };
+
     for (idx, f) in fns.iter().enumerate() {
         if f.def.is_test {
             continue;
@@ -281,14 +298,7 @@ pub fn run(opts: &Options) -> io::Result<Report> {
         let chain = if is_hot { graph::chain(&fns, &parent, idx) } else { vec![f.def.key.clone()] };
         for v in violations {
             let advisory = v.rule == Rule::Alloc && !opts.deny_alloc;
-            let allowed = allow.grants(&f.def.key, v.rule);
-            if allowed {
-                for (ei, e) in allow.entries.iter().enumerate() {
-                    if e.rule == v.rule && e.function == f.def.key {
-                        used[ei] = true;
-                    }
-                }
-            }
+            let allowed = mark_used(&f.def.key, v.rule, &mut used);
             report.findings.push(Finding {
                 key: f.def.key.clone(),
                 file: f.file.clone(),
@@ -302,7 +312,78 @@ pub fn run(opts: &Options) -> io::Result<Report> {
         }
     }
 
+    // Recursion: call-graph cycles reachable from hot roots. Each cycle is
+    // one finding against its representative (smallest-key) member, with
+    // the full cycle path in the diagnostic.
+    for cycle in graph::cycles(&units, &fns, &parent) {
+        let rep = match cycle.path.first() {
+            Some(&r) => r,
+            None => continue,
+        };
+        let f = &fns[rep];
+        if !opts.enforced.iter().any(|c| c == &f.crate_name) {
+            continue;
+        }
+        let mut what = String::from("cycle: ");
+        for (n, &m) in cycle.path.iter().enumerate() {
+            if n > 0 {
+                what.push_str(" -> ");
+            }
+            what.push_str(&fns[m].def.key);
+        }
+        what.push_str(" -> ");
+        what.push_str(&f.def.key);
+        let allowed = mark_used(&f.def.key, Rule::Recursion, &mut used);
+        report.findings.push(Finding {
+            key: f.def.key.clone(),
+            file: f.file.clone(),
+            line: f.def.line,
+            rule: Rule::Recursion,
+            what,
+            allowed,
+            advisory: false,
+            chain: graph::chain(&fns, &parent, rep),
+        });
+    }
+
+    // Ordering: shared mutable state without atomics, at item scope.
+    // Statics are process-wide, so they are checked in every enforced
+    // crate regardless of hot-path reachability.
+    for (crate_name, file, s) in &statics {
+        if s.is_test || !opts.enforced.iter().any(|c| c == crate_name) {
+            continue;
+        }
+        let what = if s.is_mut {
+            format!("static mut {}", s.name)
+        } else if s.interior_mut {
+            format!("interior-mutable static {}", s.name)
+        } else {
+            continue;
+        };
+        let allowed = mark_used(&s.key, Rule::Ordering, &mut used);
+        report.findings.push(Finding {
+            key: s.key.clone(),
+            file: file.clone(),
+            line: s.line,
+            rule: Rule::Ordering,
+            what,
+            allowed,
+            advisory: false,
+            chain: vec![s.key.clone()],
+        });
+    }
+
+    // An allowlist entry for a crate outside the enforced set cannot match
+    // in this invocation (CI runs the lint with more than one --crates
+    // subset); only entries for enforced crates count as stale.
+    let enforced_key = |function: &str| {
+        let krate = function.split("::").next().unwrap_or(function);
+        opts.enforced.iter().any(|c| c == krate)
+    };
     for e in allow.unused(&used) {
+        if !enforced_key(&e.function) {
+            continue;
+        }
         report.unused_allow.push(format!(
             "unused allowlist entry: {} / {} ({})",
             e.function,

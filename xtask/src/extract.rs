@@ -41,6 +41,34 @@ pub struct FnDef {
     pub nested: Vec<(usize, usize)>,
 }
 
+/// One extracted `static` item (module- or function-scoped: both have
+/// `'static` storage shared across threads).
+#[derive(Debug, Clone)]
+pub struct StaticDef {
+    /// Stable key: `crate::module::NAME`.
+    pub key: String,
+    /// The static's name.
+    pub name: String,
+    /// Declared `static mut`.
+    pub is_mut: bool,
+    /// Type mentions a non-`Sync` interior-mutability cell
+    /// (`Cell`/`RefCell`/`UnsafeCell`/`SyncUnsafeCell`).
+    pub interior_mut: bool,
+    /// Declared in test-only code.
+    pub is_test: bool,
+    /// 1-based line of the `static` keyword.
+    pub line: u32,
+}
+
+/// Everything extracted from one file's tokens.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Function definitions.
+    pub fns: Vec<FnDef>,
+    /// Static items.
+    pub statics: Vec<StaticDef>,
+}
+
 #[derive(Debug)]
 enum Scope {
     Mod { test: bool },
@@ -49,6 +77,10 @@ enum Scope {
     Fn { def_idx: usize },
     Block,
 }
+
+/// Type names that mean single-threaded interior mutability; a `static`
+/// of such a type is shared mutable state without atomics.
+const INTERIOR_MUT_CELLS: &[&str] = &["Cell", "RefCell", "UnsafeCell", "SyncUnsafeCell"];
 
 fn attr_text(toks: &[Token], mut i: usize, end: usize) -> (String, usize) {
     // `i` points at `[`; return the joined text inside the balanced
@@ -169,7 +201,13 @@ fn parse_path_last_segment(toks: &[Token], mut i: usize, end: usize) -> (Option<
 /// `crate_name` and `module` seed the report keys; `module` is the path
 /// derived from the file name (empty for `lib.rs`/`main.rs`).
 pub fn extract_fns(toks: &[Token], crate_name: &str, module: &str) -> Vec<FnDef> {
+    extract_file(toks, crate_name, module).fns
+}
+
+/// Extract all items (functions and statics) from one file's tokens.
+pub fn extract_file(toks: &[Token], crate_name: &str, module: &str) -> FileItems {
     let n = toks.len();
+    let mut statics: Vec<StaticDef> = Vec::new();
     let mut defs: Vec<FnDef> = Vec::new();
     let mut stack: Vec<Scope> = Vec::new();
     let mut mod_path: Vec<String> =
@@ -284,6 +322,50 @@ pub fn extract_fns(toks: &[Token], crate_name: &str, module: &str) -> Vec<FnDef>
                     }
                     continue;
                 }
+                "static" if i + 1 < n => {
+                    // `static [mut] NAME: Type = ...;` — `&'static` and
+                    // `T: 'static` arrive as Lifetime tokens, never here.
+                    let line = t.line;
+                    let mut j = i + 1;
+                    let is_mut = toks[j].is_ident("mut");
+                    if is_mut {
+                        j += 1;
+                    }
+                    let Some(name_tok) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                        i += 1;
+                        continue;
+                    };
+                    let name = name_tok.text.clone();
+                    j += 1;
+                    // Scan the type up to the initializer or terminator,
+                    // looking for interior-mutability cells.
+                    let mut interior_mut = false;
+                    while j < n && !toks[j].is_punct('=') && !toks[j].is_punct(';') {
+                        if toks[j].kind == TokKind::Ident
+                            && INTERIOR_MUT_CELLS.contains(&toks[j].text.as_str())
+                        {
+                            interior_mut = true;
+                        }
+                        j += 1;
+                    }
+                    let is_test = has_cfg_test(&pending) || in_test(&stack);
+                    pending.clear();
+                    let mut key_parts: Vec<&str> = vec![crate_name];
+                    for m in &mod_path {
+                        key_parts.push(m);
+                    }
+                    key_parts.push(&name);
+                    statics.push(StaticDef {
+                        key: key_parts.join("::"),
+                        name,
+                        is_mut,
+                        interior_mut,
+                        is_test,
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
                 "fn" if i + 1 < n && toks[i + 1].kind == TokKind::Ident => {
                     let name = toks[i + 1].text.clone();
                     let attrs = std::mem::take(&mut pending);
@@ -396,7 +478,7 @@ pub fn extract_fns(toks: &[Token], crate_name: &str, module: &str) -> Vec<FnDef>
         }
         i += 1;
     }
-    defs
+    FileItems { fns: defs, statics }
 }
 
 #[cfg(test)]
@@ -472,5 +554,40 @@ mod tests {
         let defs = extract("fn f() -> impl Iterator<Item = u8> { std::iter::empty() }");
         assert_eq!(defs.len(), 1);
         assert_eq!(defs[0].name, "f");
+    }
+
+    #[test]
+    fn statics_are_extracted() {
+        let items = extract_file(
+            &tokenize(
+                "static COUNT: AtomicU64 = AtomicU64::new(0);\n\
+                 static mut RAW: u32 = 0;\n\
+                 static SCRATCH: RefCell<u8> = RefCell::new(0);\n\
+                 fn f(x: &'static str) -> u8 { 1 }",
+            ),
+            "test-crate",
+            "m",
+        );
+        assert_eq!(items.statics.len(), 3);
+        assert_eq!(items.statics[0].key, "test-crate::m::COUNT");
+        assert!(!items.statics[0].is_mut && !items.statics[0].interior_mut);
+        assert!(items.statics[1].is_mut);
+        assert_eq!(items.statics[1].name, "RAW");
+        assert!(items.statics[2].interior_mut);
+        // `&'static str` in the signature is a lifetime, not a static item.
+        assert_eq!(items.fns.len(), 1);
+    }
+
+    #[test]
+    fn test_mod_statics_are_marked() {
+        let items = extract_file(
+            &tokenize("#[cfg(test)] mod tests { static mut T: u8 = 0; } static LIVE: u8 = 0;"),
+            "test-crate",
+            "",
+        );
+        assert_eq!(items.statics.len(), 2);
+        assert!(items.statics[0].is_test);
+        assert!(!items.statics[1].is_test);
+        assert_eq!(items.statics[1].key, "test-crate::LIVE");
     }
 }

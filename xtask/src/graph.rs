@@ -49,6 +49,9 @@ pub struct Call {
     pub kind: CallKind,
     /// Callee name.
     pub name: String,
+    /// For method calls: the receiver is literally `self` (`self.foo(..)`),
+    /// not a field or another object (`self.inner.foo(..)`, `x.foo(..)`).
+    pub self_recv: bool,
 }
 
 /// Idents that look like `ident (` but are control flow, not calls.
@@ -81,16 +84,19 @@ pub fn calls_in_body(toks: &[Token], body: (usize, usize), nested: &[(usize, usi
         {
             let name = t.text.clone();
             if i > start && toks[i - 1].is_punct('.') {
-                out.push(Call { kind: CallKind::Method, name });
+                let self_recv = i >= start + 2
+                    && toks[i - 2].is_ident("self")
+                    && (i < start + 3 || !toks[i - 3].is_punct('.'));
+                out.push(Call { kind: CallKind::Method, name, self_recv });
             } else if i >= start + 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
                 let qual = if i >= start + 3 && toks[i - 3].kind == TokKind::Ident {
                     toks[i - 3].text.clone()
                 } else {
                     String::new()
                 };
-                out.push(Call { kind: CallKind::Qualified(qual), name });
+                out.push(Call { kind: CallKind::Qualified(qual), name, self_recv: false });
             } else {
-                out.push(Call { kind: CallKind::Plain, name });
+                out.push(Call { kind: CallKind::Plain, name, self_recv: false });
             }
         }
         i += 1;
@@ -98,27 +104,78 @@ pub fn calls_in_body(toks: &[Token], body: (usize, usize), nested: &[(usize, usi
     out
 }
 
-/// Compute the hot-path-reachable set over `fns`, given per-unit token
-/// streams. Returns a map from reachable function index to the index of the
-/// function that pulled it in (roots map to themselves).
-pub fn reachable(units: &[Vec<Token>], fns: &[GlobalFn]) -> HashMap<usize, usize> {
-    // Name → candidate definition indices (tests excluded outright).
+/// True when `f` is a hot-path root: a `Middlebox` method (impl or trait
+/// default body) or a function carrying `#[rb_hot_path]`.
+pub fn is_root(f: &GlobalFn) -> bool {
+    if f.def.is_test {
+        return false;
+    }
+    if f.def.trait_name.as_deref() == Some("Middlebox") {
+        return true;
+    }
+    f.def.attrs.iter().any(|a| a.contains("rb_hot_path"))
+}
+
+/// Resolve one call site in `caller` to candidate definition indices.
+///
+/// Resolution by call shape: `.foo(..)` can only reach methods, bare
+/// `foo(..)` can only reach free functions, and `T::foo(..)` prefers
+/// methods of `T` (`Self` resolves to the caller's type) falling back to
+/// free functions for module-qualified paths like `bfp::compress(..)`.
+/// Without the shape filter, std calls like `Vec::new()` or `.all(..)`
+/// would link to every same-named function in the workspace.
+fn resolve(
+    call: &Call,
+    caller: &GlobalFn,
+    fns: &[GlobalFn],
+    by_name: &HashMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    let Some(cands) = by_name.get(call.name.as_str()) else {
+        return Vec::new();
+    };
+    match &call.kind {
+        CallKind::Method => {
+            cands.iter().copied().filter(|&c| fns[c].def.impl_type.is_some()).collect()
+        }
+        CallKind::Plain => {
+            cands.iter().copied().filter(|&c| fns[c].def.impl_type.is_none()).collect()
+        }
+        CallKind::Qualified(q) => {
+            let qual = if q == "Self" {
+                caller.def.impl_type.clone().unwrap_or_default()
+            } else {
+                q.clone()
+            };
+            let matching: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| fns[c].def.impl_type.as_deref() == Some(qual.as_str()))
+                .collect();
+            if matching.is_empty() {
+                cands.iter().copied().filter(|&c| fns[c].def.impl_type.is_none()).collect()
+            } else {
+                matching
+            }
+        }
+    }
+}
+
+/// Build the name → candidate index map (tests excluded outright).
+fn name_index(fns: &[GlobalFn]) -> HashMap<&str, Vec<usize>> {
     let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
     for (idx, f) in fns.iter().enumerate() {
         if !f.def.is_test {
             by_name.entry(f.def.name.as_str()).or_default().push(idx);
         }
     }
+    by_name
+}
 
-    let is_root = |f: &GlobalFn| {
-        if f.def.is_test {
-            return false;
-        }
-        if f.def.trait_name.as_deref() == Some("Middlebox") {
-            return true;
-        }
-        f.def.attrs.iter().any(|a| a.contains("rb_hot_path"))
-    };
+/// Compute the hot-path-reachable set over `fns`, given per-unit token
+/// streams. Returns a map from reachable function index to the index of the
+/// function that pulled it in (roots map to themselves).
+pub fn reachable(units: &[Vec<Token>], fns: &[GlobalFn]) -> HashMap<usize, usize> {
+    let by_name = name_index(fns);
 
     let mut parent: HashMap<usize, usize> = HashMap::new();
     let mut queue: Vec<usize> = Vec::new();
@@ -133,42 +190,7 @@ pub fn reachable(units: &[Vec<Token>], fns: &[GlobalFn]) -> HashMap<usize, usize
         let f = &fns[cur];
         let toks = &units[f.unit];
         for call in calls_in_body(toks, f.def.body, &f.def.nested) {
-            let Some(cands) = by_name.get(call.name.as_str()) else {
-                continue;
-            };
-            // Resolution by call shape: `.foo(..)` can only reach methods,
-            // bare `foo(..)` can only reach free functions, and `T::foo(..)`
-            // prefers methods of `T` (`Self` resolves to the caller's type)
-            // falling back to free functions for module-qualified paths like
-            // `bfp::compress(..)`. Without the shape filter, std calls like
-            // `Vec::new()` or `.all(..)` would link to every same-named
-            // function in the workspace.
-            let targets: Vec<usize> = match &call.kind {
-                CallKind::Method => {
-                    cands.iter().copied().filter(|&c| fns[c].def.impl_type.is_some()).collect()
-                }
-                CallKind::Plain => {
-                    cands.iter().copied().filter(|&c| fns[c].def.impl_type.is_none()).collect()
-                }
-                CallKind::Qualified(q) => {
-                    let qual = if q == "Self" {
-                        f.def.impl_type.clone().unwrap_or_default()
-                    } else {
-                        q.clone()
-                    };
-                    let matching: Vec<usize> = cands
-                        .iter()
-                        .copied()
-                        .filter(|&c| fns[c].def.impl_type.as_deref() == Some(qual.as_str()))
-                        .collect();
-                    if matching.is_empty() {
-                        cands.iter().copied().filter(|&c| fns[c].def.impl_type.is_none()).collect()
-                    } else {
-                        matching
-                    }
-                }
-            };
-            for tgt in targets {
+            for tgt in resolve(&call, f, fns, &by_name) {
                 if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(tgt) {
                     e.insert(cur);
                     queue.push(tgt);
@@ -177,6 +199,139 @@ pub fn reachable(units: &[Vec<Token>], fns: &[GlobalFn]) -> HashMap<usize, usize
         }
     }
     parent
+}
+
+/// One call-graph cycle reachable from a hot root: the member function
+/// indices in cycle order, starting (and implicitly ending) at the
+/// lexicographically-smallest key so reports are deterministic.
+#[derive(Debug, Clone)]
+pub struct Cycle {
+    /// Function indices along the cycle; `path[0]` is the representative.
+    pub path: Vec<usize>,
+}
+
+/// Detect call-graph cycles within the hot-path-reachable set.
+///
+/// A cycle means unbounded stack depth and unbounded time on a
+/// symbol-deadline path, so each one is reported (rule `recursion`)
+/// against its representative function — the member with the smallest
+/// key — keeping allowlist grants stable as the cycle's interior evolves.
+///
+/// The walk is iterative throughout (no recursion in the recursion
+/// detector): shortest cycle back to the representative by BFS over the
+/// edges restricted to the reachable set.
+pub fn cycles(units: &[Vec<Token>], fns: &[GlobalFn], hot: &HashMap<usize, usize>) -> Vec<Cycle> {
+    let by_name = name_index(fns);
+
+    // Adjacency restricted to the hot set (sorted, deduped), keeping only
+    // *strong* edges. Reachability deliberately over-approximates name
+    // resolution (it can only widen the enforced set), but for cycle
+    // detection that same aliasing fabricates loops: `fn len(&self) {
+    // self.frames.len() }` would link to every `len` in the workspace,
+    // itself included. An edge is strong when the callee is certain:
+    // a plain call, a `self.foo(..)` receiver, a `Type::foo(..)` path, or
+    // a method name with exactly one definition in the workspace.
+    let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (&idx, _) in hot.iter() {
+        let f = &fns[idx];
+        let toks = &units[f.unit];
+        let mut outs: Vec<usize> = Vec::new();
+        for call in calls_in_body(toks, f.def.body, &f.def.nested) {
+            let targets = resolve(&call, f, fns, &by_name);
+            let strong = match call.kind {
+                CallKind::Method => call.self_recv || targets.len() == 1,
+                CallKind::Plain | CallKind::Qualified(_) => true,
+            };
+            if !strong {
+                continue;
+            }
+            for tgt in targets {
+                // A method call on a non-`self` receiver that resolves back
+                // to the caller itself is name aliasing over an invisible
+                // std method (`self.slots.get(..)` inside `Cache::get`),
+                // not recursion — true self-recursion is `self.foo(..)`,
+                // `Self::foo(..)` or a plain `foo(..)`.
+                if tgt == idx && matches!(call.kind, CallKind::Method) && !call.self_recv {
+                    continue;
+                }
+                if hot.contains_key(&tgt) {
+                    outs.push(tgt);
+                }
+            }
+        }
+        outs.sort_unstable();
+        outs.dedup();
+        adj.insert(idx, outs);
+    }
+
+    // For each candidate representative (smallest key first), BFS for the
+    // shortest path back to itself using only nodes not yet claimed by an
+    // earlier cycle's representative search. Claiming only the
+    // representative (not the whole cycle) keeps distinct overlapping
+    // cycles visible while deduping rotations of the same one.
+    let mut order: Vec<usize> = adj.keys().copied().collect();
+    order.sort_by(|a, b| fns[*a].def.key.cmp(&fns[*b].def.key));
+
+    let mut reported: Vec<bool> = vec![false; fns.len()];
+    let mut out = Vec::new();
+    for &rep in &order {
+        // BFS from rep's successors back to rep.
+        let mut prev: HashMap<usize, usize> = HashMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &s in adj.get(&rep).into_iter().flatten() {
+            if s == rep {
+                // Direct self-recursion.
+                if !reported[rep] {
+                    reported[rep] = true;
+                    out.push(Cycle { path: vec![rep] });
+                }
+                continue;
+            }
+            if !prev.contains_key(&s) {
+                prev.insert(s, rep);
+                queue.push_back(s);
+            }
+        }
+        let mut found: Option<usize> = None;
+        'bfs: while let Some(cur) = queue.pop_front() {
+            for &nxt in adj.get(&cur).into_iter().flatten() {
+                if nxt == rep {
+                    found = Some(cur);
+                    break 'bfs;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(nxt) {
+                    e.insert(cur);
+                    queue.push_back(nxt);
+                }
+            }
+        }
+        let Some(last) = found else {
+            continue;
+        };
+        // Reconstruct rep -> ... -> last (which calls rep).
+        let mut path = vec![last];
+        let mut cur = last;
+        let mut hops = 0;
+        while let Some(&p) = prev.get(&cur) {
+            if p == rep || hops > 256 {
+                break;
+            }
+            path.push(p);
+            cur = p;
+            hops += 1;
+        }
+        path.push(rep);
+        path.reverse();
+        // Report each cycle once, keyed by its smallest member: if any
+        // member already represented a reported cycle, this is a rotation
+        // of the same loop.
+        if path.iter().any(|&m| reported[m]) {
+            continue;
+        }
+        reported[rep] = true;
+        out.push(Cycle { path });
+    }
+    out
 }
 
 /// Reconstruct the root→function chain for a reachable function, as keys.
@@ -286,5 +441,50 @@ mod tests {
         let c_idx = fns.iter().position(|f| f.def.name == "c").unwrap();
         let ch = chain(&fns, &r, c_idx);
         assert_eq!(ch, vec!["t::a", "t::b", "t::c"]);
+    }
+
+    fn cycle_keys(src: &str) -> Vec<Vec<String>> {
+        let (units, fns) = build(src);
+        let hot = reachable(&units, &fns);
+        cycles(&units, &fns, &hot)
+            .into_iter()
+            .map(|c| c.path.into_iter().map(|i| fns[i].def.name.clone()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn self_recursion_is_a_cycle() {
+        let cs = cycle_keys("#[rb_hot_path] fn a(n: u32) { if n > 0 { a(n - 1) } }");
+        assert_eq!(cs, vec![vec!["a".to_string()]]);
+    }
+
+    #[test]
+    fn three_function_cycle_reports_full_path() {
+        let cs = cycle_keys(
+            "#[rb_hot_path] fn entry() { a() }\n\
+             fn a() { b() } fn b() { c() } fn c() { a() }",
+        );
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0], vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn rotations_are_deduped() {
+        // a -> b -> a is one cycle, not two.
+        let cs = cycle_keys("#[rb_hot_path] fn a() { b() } fn b() { a() }");
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn acyclic_graphs_report_nothing() {
+        let cs = cycle_keys("#[rb_hot_path] fn a() { b() ; b() } fn b() { c() } fn c() {}");
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn cold_cycles_are_out_of_scope() {
+        // The cycle exists but is not reachable from any root.
+        let cs = cycle_keys("#[rb_hot_path] fn entry() {}\nfn a() { b() } fn b() { a() }");
+        assert!(cs.is_empty());
     }
 }

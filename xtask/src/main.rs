@@ -13,8 +13,20 @@ usage: cargo xtask <command>
 commands:
   lint [options]   hot-path invariant linter
 
+rules (on hot-path-reachable code unless noted):
+  panic      unwrap/expect, panicking macros
+  indexing   direct slice indexing / slicing
+  unsafe     unsafe blocks and fns
+  alloc      heap allocation (advisory unless --deny-alloc)
+  block      locks, blocking recv, sleep/park/join, fs/net/stdio,
+             process or thread spawning
+  recursion  call-graph cycles reachable from a hot root
+  ordering   Ordering::SeqCst; static mut / interior-mutable statics
+             (statics checked crate-wide, not just hot paths)
+
 lint options:
-  --json           machine-readable output for CI
+  --json           machine-readable output for CI (schema v2: version,
+                   rules, findings with stable rule-id strings)
   --all            lint every non-test function in enforced crates,
                    not only the hot-path-reachable set
   --deny-alloc     promote heap-allocation findings from advisory to error

@@ -2,6 +2,7 @@
 
 use std::fmt::Write as _;
 
+use crate::checks::Rule;
 use crate::engine::Report;
 
 /// Render the report for terminals.
@@ -71,8 +72,18 @@ fn json_str_array(items: &[String]) -> String {
     format!("[{}]", inner.join(","))
 }
 
+/// JSON schema version. Bump on any breaking change to key names, rule-id
+/// strings, or value shapes; downstream CI parsers pin on it.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
+
 /// Render the report as a single JSON object (stable key order) for CI.
+///
+/// Schema v2: `version` (this schema number) and `rules` (every rule-id
+/// string the linter can emit, in stable order) lead the object, so a
+/// parser can hard-fail on an unexpected schema instead of silently
+/// missing findings of a rule it never knew existed.
 pub fn json(report: &Report) -> String {
+    let rule_ids: Vec<String> = Rule::ALL.iter().map(|r| r.name().to_string()).collect();
     let mut findings = Vec::new();
     for f in &report.findings {
         findings.push(format!(
@@ -89,8 +100,10 @@ pub fn json(report: &Report) -> String {
         ));
     }
     format!(
-        "{{\"total_fns\":{},\"hot_fns\":{},\"errors\":{},\"findings\":[{}],\
-         \"allow_problems\":{},\"unused_allow\":{}}}",
+        "{{\"version\":{},\"rules\":{},\"total_fns\":{},\"hot_fns\":{},\"errors\":{},\
+         \"findings\":[{}],\"allow_problems\":{},\"unused_allow\":{}}}",
+        JSON_SCHEMA_VERSION,
+        json_str_array(&rule_ids),
         report.total_fns,
         report.hot_fns.len(),
         report.error_count(),
@@ -131,6 +144,24 @@ mod tests {
         assert!(h.contains("DENY"));
         assert!(h.contains(".unwrap()"));
         assert!(h.contains("hot via"));
+    }
+
+    #[test]
+    fn json_schema_snapshot() {
+        // Full-output snapshot: any key rename, reorder, or rule-id change
+        // must show up as a diff here (and as a schema-version bump), so
+        // downstream CI parsing cannot silently break.
+        let j = json(&sample());
+        assert_eq!(
+            j,
+            "{\"version\":2,\
+             \"rules\":[\"panic\",\"indexing\",\"unsafe\",\"alloc\",\"block\",\"recursion\",\"ordering\"],\
+             \"total_fns\":2,\"hot_fns\":1,\"errors\":1,\
+             \"findings\":[{\"function\":\"rb-x::m::f\",\"file\":\"crates/x/src/m.rs\",\"line\":7,\
+             \"rule\":\"panic\",\"what\":\".unwrap()\",\"allowed\":false,\"advisory\":false,\
+             \"chain\":[\"rb-x::root\",\"rb-x::m::f\"]}],\
+             \"allow_problems\":[],\"unused_allow\":[]}"
+        );
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Deliberately violates the `block` and `ordering` rule families, with
+//! matched negatives that must NOT be flagged. This crate is a lint
+//! fixture: it is lexed by the linter's tests, never compiled.
+use rb_hotpath_macros::rb_hot_path;
+
+/// Interior-mutable static: ordering violation (shared state with no
+/// declared happens-before edge).
+static SHARED_SCRATCH: UnsafeCell<u64> = UnsafeCell::new(0);
+
+/// Mutable static: ordering violation.
+static mut LAST_SEEN: u64 = 0;
+
+/// Atomics are the sanctioned form of shared state: no finding.
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Plain immutable static: no finding.
+static NAME: &str = "blockcrate";
+
+pub trait Handler {
+    fn handle(&self, v: u64) -> u64;
+    fn try_handle(&self, v: u64) -> u64;
+}
+
+/// The lock acquisition is reachable from the hot root only through
+/// `dyn Handler` dispatch — the name-based call graph must still find it.
+pub struct SlowHandler {
+    inner: Mutex<u64>,
+}
+
+impl Handler for SlowHandler {
+    fn handle(&self, v: u64) -> u64 {
+        let mut g = self.inner.lock(); // block violation: lock acquisition
+        *g += v;
+        *g
+    }
+
+    fn try_handle(&self, v: u64) -> u64 {
+        match self.inner.try_lock() {
+            // negative: non-blocking probe is allowed on the hot path
+            Some(g) => *g + v,
+            None => v,
+        }
+    }
+}
+
+/// Hot-path root: everything reachable from here is scanned.
+#[rb_hot_path]
+pub fn hot_entry(h: &dyn Handler, rx: &Receiver<u64>, v: u64) -> u64 {
+    let got = h.handle(v) + h.try_handle(v);
+    HITS.fetch_add(1, Ordering::SeqCst); // ordering violation: SeqCst
+    got + drain_one(rx) + reload_config("rules.toml")
+}
+
+/// Hot by reachability; blocks on the channel when the probe misses.
+fn drain_one(rx: &Receiver<u64>) -> u64 {
+    if let Ok(v) = rx.try_recv() {
+        // negative: non-blocking receive
+        return v;
+    }
+    log_stall();
+    allowed_backoff();
+    rx.recv().unwrap_or(0) // block violation: blocking channel receive
+}
+
+/// Stdio on the hot path: block violation.
+fn log_stall() {
+    println!("stall"); // block violation: stdio macro
+}
+
+/// Sleeps on the hot path: block violation — granted in the lint_v2
+/// allowlist test to exercise per-rule grants.
+fn allowed_backoff() {
+    thread::sleep(Duration::from_millis(1)); // block violation: sleep
+}
+
+/// Filesystem and process APIs on the hot path: block violations.
+fn reload_config(path: &str) -> u64 {
+    let text = fs::read_to_string(path); // block violation: file I/O
+    Command::new("reloader").spawn(); // block violations: process spawn
+    negatives(&["a".to_string()], text.unwrap_or_default().as_bytes())
+}
+
+/// False friends: none of these may be flagged by the `block` rule.
+fn negatives(parts: &[String], data: &[u8]) -> u64 {
+    let mut sink = Cursor::new(Vec::new());
+    sink.write(data); // negative: io write takes a buffer argument
+    let mut scratch = [0u8; 8];
+    sink.read(&mut scratch); // negative: io read takes a buffer argument
+    let joined = parts.join(","); // negative: str join takes a separator
+    HITS.load(Ordering::Acquire); // negative: non-SeqCst ordering
+    joined.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code is exempt even inside an enforced crate.
+    #[test]
+    fn tests_may_block() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,72 @@
+//! Deliberately contains call-graph cycles for the `recursion` rule, plus
+//! acyclic shapes that must NOT be flagged. This crate is a lint fixture:
+//! it is lexed by the linter's tests, never compiled.
+use rb_hotpath_macros::rb_hot_path;
+
+/// Hot-path root: everything reachable from here is scanned.
+#[rb_hot_path]
+pub fn hot_entry(n: u64) -> u64 {
+    stage_a(n) + diamond_top(n) + countdown(n)
+}
+
+/// `stage_a -> stage_b -> stage_c -> stage_a`: the deliberate
+/// three-function cycle. Unbounded stack on the hot path.
+fn stage_a(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        stage_b(n)
+    }
+}
+
+fn stage_b(n: u64) -> u64 {
+    stage_c(n / 2) + 1
+}
+
+fn stage_c(n: u64) -> u64 {
+    if n > 7 {
+        stage_a(n - 7)
+    } else {
+        n
+    }
+}
+
+/// Direct self-recursion: also a cycle.
+fn countdown(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        countdown(n - 1) + 1
+    }
+}
+
+/// Diamond: two paths converge on one helper — acyclic, no finding.
+fn diamond_top(n: u64) -> u64 {
+    left(n) + right(n)
+}
+
+fn left(n: u64) -> u64 {
+    shared_leaf(n)
+}
+
+fn right(n: u64) -> u64 {
+    shared_leaf(n + 1)
+}
+
+fn shared_leaf(n: u64) -> u64 {
+    n * 2
+}
+
+/// A mutual-recursion cycle that is NOT hot-reachable: out of scope in
+/// default (hot-only) mode.
+pub fn cold_ping(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        cold_pong(n - 1)
+    }
+}
+
+fn cold_pong(n: u64) -> u64 {
+    cold_ping(n / 2)
+}

@@ -1,0 +1,200 @@
+//! End-to-end tests for the deadline-safety rule families added in
+//! schema v2 — `block`, `recursion`, `ordering` — over the seeded
+//! fixture crates `blockcrate` and `recursecrate`.
+
+use std::path::PathBuf;
+
+use xtask::checks::Rule;
+use xtask::engine::{self, Options};
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(option_env!("CARGO_MANIFEST_DIR").unwrap_or("xtask"))
+}
+
+fn opts_for(fixture: &str, krate: &str) -> Options {
+    let root = manifest_dir().join("tests").join("fixtures").join(fixture);
+    let mut opts = Options::new(root);
+    opts.enforced = vec![krate.to_string()];
+    opts
+}
+
+fn block_opts() -> Options {
+    opts_for("blockcrate", "rb-blockcrate")
+}
+
+fn recurse_opts() -> Options {
+    opts_for("recursecrate", "rb-recursecrate")
+}
+
+#[test]
+fn block_rule_flags_every_blocking_family() {
+    let report = engine::run(&block_opts()).expect("lint run");
+    let blocks: Vec<_> =
+        report.findings.iter().filter(|f| f.rule == Rule::Block && f.is_error()).collect();
+    let hit = |key: &str, what: &str| {
+        blocks.iter().any(|f| f.key.ends_with(key) && f.what.contains(what))
+    };
+    assert!(hit("SlowHandler::handle", ".lock()"), "lock acquisition: {blocks:?}");
+    assert!(hit("drain_one", ".recv()"), "blocking channel receive: {blocks:?}");
+    assert!(hit("log_stall", "println!"), "stdio macro: {blocks:?}");
+    assert!(hit("allowed_backoff", "thread::sleep"), "sleep: {blocks:?}");
+    assert!(hit("reload_config", "fs::read_to_string"), "file I/O: {blocks:?}");
+    assert!(
+        hit("reload_config", ".spawn()") || hit("reload_config", "Command::new"),
+        "process spawn: {blocks:?}"
+    );
+}
+
+#[test]
+fn block_rule_reaches_locks_behind_trait_objects() {
+    // `hot_entry` only sees `&dyn Handler`; the lock lives in the impl.
+    // The name-based call graph over-approximates dynamic dispatch, so the
+    // impl method must still be in the hot set with a root-anchored chain.
+    let report = engine::run(&block_opts()).expect("lint run");
+    assert!(
+        report.hot_fns.iter().any(|k| k == "rb-blockcrate::SlowHandler::handle"),
+        "trait-object callee must be hot: {:?}",
+        report.hot_fns
+    );
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.key == "rb-blockcrate::SlowHandler::handle" && f.rule == Rule::Block)
+        .expect("lock finding behind dyn dispatch");
+    assert_eq!(f.chain.first().map(String::as_str), Some("rb-blockcrate::hot_entry"));
+}
+
+#[test]
+fn block_rule_spares_nonblocking_probes_and_arg_taking_io() {
+    let report = engine::run(&block_opts()).expect("lint run");
+    let blocks: Vec<_> = report.findings.iter().filter(|f| f.rule == Rule::Block).collect();
+    assert!(
+        !blocks.iter().any(|f| f.key.ends_with("try_handle")),
+        "try_lock is non-blocking: {blocks:?}"
+    );
+    assert!(
+        !blocks.iter().any(|f| f.what.contains("try_recv")),
+        "try_recv is non-blocking: {blocks:?}"
+    );
+    // `negatives` only performs arg-taking read/write/join — io-style and
+    // str::join calls, not guard acquisition or thread joining.
+    assert!(
+        !blocks.iter().any(|f| f.key.ends_with("::negatives")),
+        "arg-taking read/write/join are not lock guards: {blocks:?}"
+    );
+    // Test code is exempt even inside an enforced crate.
+    assert!(!report.findings.iter().any(|f| f.key.contains("tests_may_block")));
+}
+
+#[test]
+fn ordering_rule_flags_seqcst_and_raw_statics() {
+    let report = engine::run(&block_opts()).expect("lint run");
+    let orderings: Vec<_> =
+        report.findings.iter().filter(|f| f.rule == Rule::Ordering && f.is_error()).collect();
+    assert!(
+        orderings.iter().any(|f| f.key.ends_with("hot_entry") && f.what.contains("SeqCst")),
+        "SeqCst on the hot path: {orderings:?}"
+    );
+    assert!(
+        orderings.iter().any(|f| f.what == "static mut LAST_SEEN"),
+        "static mut: {orderings:?}"
+    );
+    assert!(
+        orderings.iter().any(|f| f.what.contains("interior-mutable static SHARED_SCRATCH")),
+        "interior-mutable static: {orderings:?}"
+    );
+    // Atomics and plain immutable statics are the sanctioned forms.
+    assert!(!orderings.iter().any(|f| f.what.contains("HITS")), "{orderings:?}");
+    assert!(!orderings.iter().any(|f| f.what.contains("NAME")), "{orderings:?}");
+    // Acquire/Release orderings are exactly what the rule steers toward.
+    assert!(!orderings.iter().any(|f| f.what.contains("Acquire")), "{orderings:?}");
+}
+
+#[test]
+fn recursion_rule_reports_cycles_with_full_path() {
+    let report = engine::run(&recurse_opts()).expect("lint run");
+    let cycles: Vec<_> =
+        report.findings.iter().filter(|f| f.rule == Rule::Recursion && f.is_error()).collect();
+
+    // The deliberate three-function cycle: the diagnostic names every
+    // member and closes the loop on the representative.
+    let tri = cycles
+        .iter()
+        .find(|f| f.what.contains("stage_a"))
+        .unwrap_or_else(|| panic!("three-function cycle missing: {cycles:?}"));
+    for member in ["stage_a", "stage_b", "stage_c"] {
+        assert!(tri.what.contains(member), "cycle path names {member}: {}", tri.what);
+    }
+    let closes = format!(" -> {}", tri.key);
+    assert!(tri.what.ends_with(&closes), "path closes the loop: {}", tri.what);
+
+    // Direct self-recursion is a one-node cycle.
+    assert!(cycles.iter().any(|f| f.key.ends_with("countdown")), "self-recursion: {cycles:?}");
+    // Each cycle is reported once, against one representative.
+    assert_eq!(cycles.len(), 2, "one finding per cycle: {cycles:?}");
+}
+
+#[test]
+fn recursion_rule_spares_diamonds_and_cold_cycles() {
+    let report = engine::run(&recurse_opts()).expect("lint run");
+    let cycles: Vec<_> = report.findings.iter().filter(|f| f.rule == Rule::Recursion).collect();
+    // Converging (diamond) call shapes are acyclic.
+    for name in ["diamond_top", "left", "right", "shared_leaf"] {
+        assert!(
+            !cycles.iter().any(|f| f.key.ends_with(name)),
+            "diamond is not a cycle: {cycles:?}"
+        );
+    }
+    // The cold_ping/cold_pong cycle is unreachable from any hot root.
+    assert!(
+        !cycles.iter().any(|f| f.what.contains("cold_")),
+        "cold cycles are out of scope in hot-only mode: {cycles:?}"
+    );
+}
+
+#[test]
+fn v2_rules_are_grantable_and_foreign_crate_grants_are_not_stale() {
+    let dir = std::env::temp_dir().join("rb_lint_v2_allow_test");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let allow_path = dir.join("lint-allow.toml");
+    std::fs::write(
+        &allow_path,
+        "[[allow]]\n\
+         function = \"rb-blockcrate::allowed_backoff\"\n\
+         rule = \"block\"\n\
+         reason = \"fixture grant: bounded 1ms backoff, budgeted in the slot deadline\"\n\
+         \n\
+         [[allow]]\n\
+         function = \"rb-blockcrate::LAST_SEEN\"\n\
+         rule = \"ordering\"\n\
+         reason = \"fixture grant: written before worker spawn, read after join (happens-before via thread spawn/join)\"\n\
+         \n\
+         [[allow]]\n\
+         function = \"rb-othercrate::not_linted_here\"\n\
+         rule = \"block\"\n\
+         reason = \"grant for a crate outside this invocation's --crates set\"\n",
+    )
+    .expect("write allowlist");
+
+    let mut opts = block_opts();
+    opts.allowlist_path = Some(allow_path.clone());
+    let report = engine::run(&opts).expect("lint run");
+
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.key.ends_with("allowed_backoff") && f.rule == Rule::Block && f.allowed));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.key.ends_with("LAST_SEEN") && f.rule == Rule::Ordering && f.allowed));
+    // CI lints with more than one --crates subset: a grant whose crate is
+    // outside THIS run's enforced set must not count as stale.
+    assert!(
+        report.unused_allow.is_empty(),
+        "foreign-crate grants are not stale: {:?}",
+        report.unused_allow
+    );
+
+    std::fs::remove_file(&allow_path).ok();
+}
