@@ -258,6 +258,7 @@ impl Middlebox for Das {
                 (Work::Replicate { copies: self.cfg.ru_macs.len() }, XdpPlacement::Userspace)
             }
             Body::UPlane(_) => (Work::Cache, XdpPlacement::Userspace),
+            Body::Recovery(_) => (Work::Forward, XdpPlacement::Kernel),
         }
     }
 }

@@ -28,6 +28,14 @@
 //!   filters, sequence-gap accounting);
 //! * [`tap`] — a transparent capture tap with a bounded message ring and
 //!   Wireshark-compatible pcap export.
+//!
+//! And the fronthaul recovery pairs built on [`rb_recover`]:
+//!
+//! * [`arq`] — replay-cache sender + gap-tracking NACK receiver
+//!   (reactive retransmission over the vendor-reserved recovery eCPRI
+//!   type);
+//! * [`fec`] — sliding-window interleaved-parity encoder + XOR-repair
+//!   decoder (proactive redundancy, no round trip).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,8 +45,10 @@
     allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)
 )]
 
+pub mod arq;
 pub mod das;
 pub mod dmimo;
+pub mod fec;
 pub mod prbmon;
 pub mod resilience;
 pub mod rushare;

@@ -847,6 +847,7 @@ impl Middlebox for RuShare {
                 let prbs = up.sections.iter().map(|s| s.num_prb() as usize).sum();
                 (Work::InspectHeaders { prbs }, XdpPlacement::Userspace)
             }
+            Body::Recovery(_) => (Work::Forward, XdpPlacement::Kernel),
         }
     }
 }

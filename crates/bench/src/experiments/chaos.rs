@@ -23,12 +23,17 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use rb_apps::arq::{ArqReceiver, ArqSender};
 use rb_apps::das::{Das, DasConfig};
+use rb_apps::fec::{FecDecoderMb, FecEncoderMb};
 use rb_apps::resilience::{Resilience, ResilienceConfig, WATCHDOG_TICK};
+use rb_core::cache::SymbolCache;
+use rb_core::middlebox::{MbContext, Middlebox};
 use rb_core::pipeline::MbPipeline;
-use rb_core::telemetry::{channel, TelemetryEvent};
-use rb_dataplane::chaos::{ChaosConfig, ChaosIo, Impairments, Outage};
-use rb_dataplane::io::{FrameIo, MemReplay, RxPoll};
+use rb_core::telemetry::{channel, TelemetryEvent, TelemetrySender};
+use rb_dataplane::bond::{BondMode, BondedIo};
+use rb_dataplane::chaos::{ChaosConfig, ChaosIo, ChaosRng, Impairments, Outage};
+use rb_dataplane::io::{FrameIo, Loopback, MemReplay, RawFrame, RxPoll};
 use rb_dataplane::runtime::{Runtime, RuntimeConfig};
 use rb_fronthaul::bfp::CompressionMethod;
 use rb_fronthaul::cplane::{CPlaneRepr, SectionFields};
@@ -41,6 +46,7 @@ use rb_fronthaul::timing::SymbolId;
 use rb_fronthaul::uplane::{UPlaneRepr, USection};
 use rb_fronthaul::Direction;
 use rb_netsim::time::{SimDuration, SimTime};
+use rb_recover::fec::FecConfig;
 
 use crate::report::Report;
 
@@ -201,6 +207,267 @@ fn measure(cap: &[u8], frames_in: u64, drop: f64, reorder: f64) -> Point {
     }
 }
 
+/// Which recovery middleboxes guard the lossy hop.
+#[derive(Clone, Copy)]
+struct Scheme {
+    name: &'static str,
+    arq: bool,
+    fec: bool,
+}
+
+const SCHEMES: &[Scheme] = &[
+    Scheme { name: "baseline", arq: false, fec: false },
+    Scheme { name: "arq", arq: true, fec: false },
+    Scheme { name: "fec", arq: false, fec: true },
+    Scheme { name: "arq+fec", arq: true, fec: true },
+];
+
+/// The recovery (loss, reorder) grid — each point runs every scheme.
+const RECOVERY_SWEEP: &[(f64, f64)] = &[(0.01, 0.0), (0.05, 0.0), (0.05, 0.05)];
+
+/// FEC geometry of the recovery sweep: 8 data frames, 2 parity lanes.
+const FEC_WINDOW: u8 = 8;
+const FEC_DEPTH: u8 = 2;
+
+/// One (scheme, loss, reorder) outcome of the recovery sweep.
+struct RecoveryPoint {
+    scheme: &'static str,
+    drop: f64,
+    reorder: f64,
+    frames_in: u64,
+    first_tx_losses: u64,
+    recovered: u64,
+    residual_gaps: u64,
+    nacks: u64,
+    retransmits: u64,
+    fec_repairs: u64,
+    delivered: u64,
+}
+
+/// Drive a seq-stamped U-plane workload through the configured recovery
+/// chain with a seeded lossy-and-reordering hop in the middle, routing
+/// middlebox output by destination MAC until quiescence — the same
+/// deployment shape as the `recovery_chain` integration suite, swept
+/// across schemes and impairment points.
+fn measure_recovery(
+    scheme: Scheme,
+    drop: f64,
+    reorder: f64,
+    frames: u32,
+    ports: u8,
+) -> RecoveryPoint {
+    const DU: u8 = 1;
+    const ARQ_TX: u8 = 30;
+    const FEC_ENC: u8 = 31;
+    const FEC_DEC: u8 = 32;
+    const ARQ_RX: u8 = 33;
+    const SINK: u8 = 40;
+    const REORDER_HOLD: usize = 4;
+    // Loss accounting keys on (port, seq): the 8-bit sequence space must
+    // not wrap within a run, so scale load by adding ports, not frames.
+    assert!(frames <= 256, "seq wrap would alias loss accounting");
+
+    // Wire the requested stages left-to-right; the lossy hop is the one
+    // entering the first right-side stage.
+    let (entry, lossy_dst) = match (scheme.arq, scheme.fec) {
+        (false, false) => (SINK, SINK),
+        (true, false) => (ARQ_TX, ARQ_RX),
+        (false, true) => (FEC_ENC, FEC_DEC),
+        (true, true) => (ARQ_TX, FEC_DEC),
+    };
+    let fec_cfg = FecConfig::new(FEC_WINDOW, FEC_DEPTH).expect("valid geometry");
+    let mut arq_tx = scheme.arq.then(|| {
+        let dst = if scheme.fec { FEC_ENC } else { ARQ_RX };
+        ArqSender::new("bench-arq-tx", mac(ARQ_TX), mac(dst), 128)
+    });
+    let mut fec_enc =
+        scheme.fec.then(|| FecEncoderMb::new("bench-fec-enc", mac(FEC_ENC), mac(FEC_DEC), fec_cfg));
+    let mut fec_dec = scheme.fec.then(|| {
+        let dst = if scheme.arq { ARQ_RX } else { SINK };
+        FecDecoderMb::new("bench-fec-dec", mac(FEC_DEC), mac(dst), 128)
+    });
+    let mut arq_rx =
+        scheme.arq.then(|| ArqReceiver::new("bench-arq-rx", mac(ARQ_RX), mac(SINK), mac(ARQ_TX)));
+
+    let mut rng = ChaosRng::new(SEED);
+    let mut cache = SymbolCache::new(64);
+    let tele = TelemetrySender::disconnected("bench-recovery");
+    let mapping = EaxcMapping::DEFAULT;
+    let mut prb = Prb::ZERO;
+    for (k, s) in prb.0.iter_mut().enumerate() {
+        *s = IqSample::new(55, k as i16 - 3);
+    }
+
+    let mut delivered: Vec<(u8, u8)> = Vec::new();
+    let mut dropped_first_tx: Vec<(u8, u8)> = Vec::new();
+    // Held-back (reordered) crossings: (crossings still to pass, msg).
+    let mut holdback: Vec<(usize, FhMessage)> = Vec::new();
+    let mut frames_in = 0u64;
+
+    let mut route = |m: FhMessage,
+                     queue: &mut Vec<FhMessage>,
+                     delivered: &mut Vec<(u8, u8)>,
+                     cache: &mut SymbolCache| {
+        if m.eth.dst == mac(SINK) {
+            delivered.push((m.eaxc.ru_port, m.seq_id));
+            return;
+        }
+        let mut ctx = MbContext {
+            now: SimTime(1_000),
+            cache,
+            telemetry: &tele,
+            mapping,
+            charges: Vec::new(),
+        };
+        let out = if m.eth.dst == mac(ARQ_TX) {
+            arq_tx.as_mut().expect("routed to absent stage").handle(&mut ctx, m)
+        } else if m.eth.dst == mac(FEC_ENC) {
+            fec_enc.as_mut().expect("routed to absent stage").handle(&mut ctx, m)
+        } else if m.eth.dst == mac(FEC_DEC) {
+            fec_dec.as_mut().expect("routed to absent stage").handle(&mut ctx, m)
+        } else {
+            arq_rx.as_mut().expect("routed to absent stage").handle(&mut ctx, m)
+        };
+        queue.extend(out);
+    };
+
+    let mut inject = |msg: FhMessage,
+                      delivered: &mut Vec<(u8, u8)>,
+                      dropped: &mut Vec<(u8, u8)>,
+                      holdback: &mut Vec<(usize, FhMessage)>,
+                      cache: &mut SymbolCache,
+                      rng: &mut ChaosRng| {
+        let mut queue = vec![msg];
+        while let Some(m) = queue.pop() {
+            if m.eth.dst != mac(lossy_dst) {
+                route(m, &mut queue, delivered, cache);
+                continue;
+            }
+            // The impaired hop: drop, or hold back for reordering.
+            if rng.chance(drop) {
+                let key = (m.eaxc.ru_port, m.seq_id);
+                if !matches!(m.body, Body::Recovery(_)) && !dropped.contains(&key) {
+                    dropped.push(key);
+                }
+                continue;
+            }
+            if rng.chance(reorder) {
+                holdback.push((REORDER_HOLD, m));
+                continue;
+            }
+            route(m, &mut queue, delivered, cache);
+            // A surviving crossing releases aged held-back frames.
+            let mut k = 0;
+            while k < holdback.len() {
+                if holdback[k].0 <= 1 {
+                    let (_, late) = holdback.swap_remove(k);
+                    route(late, &mut queue, delivered, cache);
+                } else {
+                    holdback[k].0 -= 1;
+                    k += 1;
+                }
+            }
+        }
+    };
+
+    for n in 0..frames {
+        let sym = symbol_at(n);
+        for p in 0..ports {
+            let section =
+                USection::from_prbs(0, 0, &[prb], CompressionMethod::BFP9).expect("section fits");
+            let msg = FhMessage::new(
+                mac(DU),
+                mac(entry),
+                Eaxc::port(p),
+                n as u8,
+                Body::UPlane(UPlaneRepr::single(Direction::Uplink, sym, section)),
+            );
+            frames_in += 1;
+            inject(msg, &mut delivered, &mut dropped_first_tx, &mut holdback, &mut cache, &mut rng);
+        }
+    }
+    std::mem::drop(inject); // `drop` the fn is shadowed by `drop` the rate
+                            // Drain the reorder buffer: the link goes quiet, stragglers arrive.
+    for (_, late) in std::mem::take(&mut holdback) {
+        let mut queue = vec![late];
+        while let Some(m) = queue.pop() {
+            route(m, &mut queue, &mut delivered, &mut cache);
+        }
+    }
+
+    let recovered = dropped_first_tx.iter().filter(|key| delivered.contains(key)).count() as u64;
+    let first_tx_losses = dropped_first_tx.len() as u64;
+    RecoveryPoint {
+        scheme: scheme.name,
+        drop,
+        reorder,
+        frames_in,
+        first_tx_losses,
+        recovered,
+        residual_gaps: first_tx_losses - recovered,
+        nacks: arq_rx.as_ref().map_or(0, |rx| rx.stats.nacks_sent),
+        retransmits: arq_tx.as_ref().map_or(0, |tx| tx.stats.retransmits),
+        fec_repairs: fec_dec.as_ref().map_or(0, |dec| dec.stats.recovered),
+        delivered: delivered.len() as u64,
+    }
+}
+
+/// Bonded dual-link outcome under a scripted permanent member outage.
+struct Bonded {
+    frames_in: u64,
+    delivered: u64,
+    dedup_drops: u64,
+    link_switches: u64,
+}
+
+/// Duplicate-and-dedup bonding over two loopback links, one of which
+/// fails permanently mid-run: count what still arrives.
+fn measure_bonded(frames: u32) -> Bonded {
+    let (a_near, mut a_far) = Loopback::pair(8192);
+    let (b_near, mut b_far) = Loopback::pair(8192);
+    let mut cfg = ChaosConfig::new(SEED);
+    // The outage starts halfway through the timestamp schedule.
+    cfg.outage =
+        Some(Outage { start_ns: u64::from(frames / 2) * 1_000, end_ns: u64::MAX, src: None });
+    let mut bond = BondedIo::new(ChaosIo::new(a_near, cfg), b_near, BondMode::DuplicateDedup);
+    let mapping = EaxcMapping::DEFAULT;
+    let mut prb = Prb::ZERO;
+    for (k, s) in prb.0.iter_mut().enumerate() {
+        *s = IqSample::new(31, k as i16);
+    }
+    for n in 0..frames {
+        let section =
+            USection::from_prbs(0, 0, &[prb], CompressionMethod::BFP9).expect("section fits");
+        let msg = FhMessage::new(
+            mac(21),
+            mac(10),
+            Eaxc::port(0),
+            n as u8,
+            Body::UPlane(UPlaneRepr::single(Direction::Uplink, symbol_at(n), section)),
+        );
+        let bytes = msg.to_bytes(&mapping).expect("serialize");
+        let f = RawFrame { at_ns: u64::from(n) * 1_000, bytes: bytes.into() };
+        a_far.tx(f.clone());
+        b_far.tx(f);
+    }
+    drop(a_far);
+    drop(b_far);
+    let mut got = Vec::new();
+    loop {
+        match bond.rx_batch(&mut got, 64) {
+            RxPoll::Ready(_) => {}
+            RxPoll::Idle | RxPoll::Eof => break,
+        }
+    }
+    let s = bond.stats();
+    Bonded {
+        frames_in: u64::from(frames),
+        delivered: got.len() as u64,
+        dedup_drops: s.dedup_drops,
+        link_switches: s.link_switches,
+    }
+}
+
 /// Failover measurement outcome.
 struct Failover {
     outage_start_ns: u64,
@@ -296,7 +563,13 @@ fn measure_failover() -> Failover {
 }
 
 /// Hand-rolled JSON: `results/BENCH_chaos.json` at the repo root.
-fn write_json(points: &[Point], fo: &Failover, quick: bool) -> std::io::Result<PathBuf> {
+fn write_json(
+    points: &[Point],
+    recovery: &[RecoveryPoint],
+    bonded: &Bonded,
+    fo: &Failover,
+    quick: bool,
+) -> std::io::Result<PathBuf> {
     let root = option_env!("CARGO_MANIFEST_DIR")
         .map(|m| PathBuf::from(m).join("../.."))
         .unwrap_or_else(|| PathBuf::from("."));
@@ -337,6 +610,38 @@ fn write_json(points: &[Point], fo: &Failover, quick: bool) -> std::io::Result<P
         s.push_str(if k + 1 < points.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
+    let _ =
+        writeln!(s, "  \"fec_geometry\": {{\"window\": {FEC_WINDOW}, \"depth\": {FEC_DEPTH}}},");
+    s.push_str("  \"recovery\": [\n");
+    for (k, p) in recovery.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scheme\": \"{}\", \"drop\": {:.2}, \"reorder\": {:.2}, \
+             \"frames_in\": {}, \"first_tx_losses\": {}, \"recovered\": {}, \
+             \"residual_gaps\": {}, \"nacks\": {}, \"retransmits\": {}, \
+             \"fec_repairs\": {}, \"delivered\": {}}}",
+            p.scheme,
+            p.drop,
+            p.reorder,
+            p.frames_in,
+            p.first_tx_losses,
+            p.recovered,
+            p.residual_gaps,
+            p.nacks,
+            p.retransmits,
+            p.fec_repairs,
+            p.delivered,
+        );
+        s.push_str(if k + 1 < recovery.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"bonded\": {\n");
+    let _ = writeln!(s, "    \"mode\": \"duplicate-dedup, permanent single-link outage\",");
+    let _ = writeln!(s, "    \"frames_in\": {},", bonded.frames_in);
+    let _ = writeln!(s, "    \"delivered\": {},", bonded.delivered);
+    let _ = writeln!(s, "    \"dedup_drops\": {},", bonded.dedup_drops);
+    let _ = writeln!(s, "    \"link_switches\": {}", bonded.link_switches);
+    s.push_str("  },\n");
     s.push_str("  \"failover\": {\n");
     let _ = writeln!(s, "    \"outage_start_ns\": {},", fo.outage_start_ns);
     let _ = writeln!(s, "    \"failover_at_ns\": {},", fo.failover_at_ns);
@@ -387,11 +692,36 @@ pub fn run(quick: bool) -> Report {
             p.partial_merges.to_string(),
         ]);
     }
+    let (rec_frames, rec_ports) = if quick { (200, 2) } else { (250, 8) };
+    let recovery: Vec<RecoveryPoint> = RECOVERY_SWEEP
+        .iter()
+        .flat_map(|&(d, o)| SCHEMES.iter().map(move |&s| (s, d, o)))
+        .map(|(s, d, o)| measure_recovery(s, d, o, rec_frames, rec_ports))
+        .collect();
+    let bonded = measure_bonded(250);
     let fo = measure_failover();
-    match write_json(&points, &fo, quick) {
+    match write_json(&points, &recovery, &bonded, &fo, quick) {
         Ok(path) => r.note(format!("written to {}", path.display())),
         Err(e) => r.note(format!("could not write BENCH_chaos.json: {e}")),
     }
+    for p in recovery.iter().filter(|p| p.drop == 0.05 && p.reorder == 0.0) {
+        r.note(format!(
+            "recovery @5% loss [{}]: {}/{} first-tx losses recovered, {} residual \
+             ({} nacks, {} retransmits, {} fec repairs)",
+            p.scheme,
+            p.recovered,
+            p.first_tx_losses,
+            p.residual_gaps,
+            p.nacks,
+            p.retransmits,
+            p.fec_repairs,
+        ));
+    }
+    r.note(format!(
+        "bonded dup-dedup across a permanent single-link outage: {}/{} frames \
+         delivered ({} dedup drops, {} link switches)",
+        bonded.delivered, bonded.frames_in, bonded.dedup_drops, bonded.link_switches
+    ));
     r.note(format!(
         "failover recovery {:.1} ms after a permanent DU outage (budget {:.1} ms: \
          3 ms silence threshold + 1 ms watchdog tick); {} uplink frames reached \
@@ -427,5 +757,43 @@ mod tests {
         let failover_note =
             r.notes.iter().find(|n| n.contains("failover recovery")).expect("failover note");
         assert!(failover_note.contains("budget 4.0 ms"));
+    }
+
+    #[test]
+    fn recovery_sweep_meets_the_acceptance_bar_at_5_percent_loss() {
+        let frames = 200;
+        let baseline = measure_recovery(
+            Scheme { name: "baseline", arq: false, fec: false },
+            0.05,
+            0.0,
+            frames,
+            2,
+        );
+        assert!(baseline.first_tx_losses > 0, "5% loss must fire");
+        assert_eq!(baseline.recovered, 0, "nothing recovers without middleboxes");
+        let both = measure_recovery(
+            Scheme { name: "arq+fec", arq: true, fec: true },
+            0.05,
+            0.0,
+            frames,
+            2,
+        );
+        assert!(both.first_tx_losses > 0);
+        let ratio = both.recovered as f64 / both.first_tx_losses as f64;
+        assert!(
+            ratio >= 0.90,
+            "ARQ+FEC recovers >=90% of dropped frames: {}/{}",
+            both.recovered,
+            both.first_tx_losses
+        );
+        assert!(both.retransmits > 0 || both.fec_repairs > 0, "recovery machinery engaged");
+    }
+
+    #[test]
+    fn bonded_outage_delivers_every_frame() {
+        let b = measure_bonded(250);
+        assert_eq!(b.delivered, b.frames_in, "dup-dedup bonding hides a permanent outage");
+        assert!(b.dedup_drops > 0);
+        assert!(b.link_switches >= 1);
     }
 }

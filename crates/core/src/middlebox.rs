@@ -60,6 +60,13 @@ pub trait Middlebox: 'static {
     /// Handle a U-plane message; return the messages to transmit.
     fn on_uplane(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage>;
 
+    /// Handle a recovery control message (ARQ NACK / FEC parity). Most
+    /// middleboxes are not recovery peers: the default absorbs the message
+    /// so recovery control never leaks past a non-participating hop.
+    fn on_recovery(&mut self, _ctx: &mut MbContext<'_>, _msg: FhMessage) -> Vec<FhMessage> {
+        Vec::new()
+    }
+
     /// Periodic housekeeping (cache purge etc.). Tags are forwarded from
     /// the hosting node's timers. Default: no-op.
     fn on_tick(&mut self, _ctx: &mut MbContext<'_>, _tag: u64) -> Vec<FhMessage> {
@@ -79,6 +86,7 @@ pub trait Middlebox: 'static {
         match msg.body {
             Body::CPlane(_) => self.on_cplane(ctx, msg),
             Body::UPlane(_) => self.on_uplane(ctx, msg),
+            Body::Recovery(_) => self.on_recovery(ctx, msg),
         }
     }
 
@@ -105,6 +113,10 @@ impl Middlebox for Box<dyn Middlebox> {
 
     fn on_uplane(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
         self.as_mut().on_uplane(ctx, msg)
+    }
+
+    fn on_recovery(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
+        self.as_mut().on_recovery(ctx, msg)
     }
 
     fn on_tick(&mut self, ctx: &mut MbContext<'_>, tag: u64) -> Vec<FhMessage> {

@@ -51,8 +51,31 @@ impl TrafficClass {
             (Direction::Downlink, Body::UPlane(_)) => TrafficClass::DlUPlane,
             (Direction::Uplink, Body::CPlane(_)) => TrafficClass::UlCPlane,
             (Direction::Uplink, Body::UPlane(_)) => TrafficClass::UlUPlane,
+            // Recovery control (NACKs, parity) is small control-ish traffic:
+            // account it with the C-plane class of its direction rather than
+            // inventing a fifth latency bucket the paper's figures lack.
+            (Direction::Downlink, Body::Recovery(_)) => TrafficClass::DlCPlane,
+            (Direction::Uplink, Body::Recovery(_)) => TrafficClass::UlCPlane,
         }
     }
+}
+
+/// How [`MbPipeline::transmit`] assigns eCPRI sequence numbers to outgoing
+/// frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeqMode {
+    /// Stamp a fresh per-`(dst, eAxC)` counter on every outgoing frame
+    /// (the default): each hop originates its own sequence space, which is
+    /// what the gap detector downstream expects of a store-and-forward
+    /// middlebox.
+    #[default]
+    Restamp,
+    /// Keep the sequence number already in the message. Recovery
+    /// deployments (ARQ replay caches, FEC windows) need the data frames
+    /// to cross the lossy link byte-identical to what the sender cached,
+    /// so the upstream stamp must survive the hop. Recovery *control*
+    /// messages carry their own counters regardless of mode.
+    Preserve,
 }
 
 /// Aggregate datapath statistics of one pipeline (one hosted middlebox).
@@ -117,6 +140,7 @@ pub struct MbPipeline<M: Middlebox> {
     // packet path never takes the shared table's lock.
     rules_cache: RulesCache,
     seq: HashMap<(EthernetAddress, u16), u8>,
+    seq_mode: SeqMode,
     // Last eCPRI sequence number seen per (source MAC, eAxC) rx stream —
     // the gap/duplicate detector the fault-injection suite exercises.
     rx_seq: HashMap<(EthernetAddress, u16), u8>,
@@ -147,6 +171,7 @@ impl<M: Middlebox> MbPipeline<M> {
             rules: mgmt::shared(),
             rules_cache: RulesCache::new(),
             seq: HashMap::new(),
+            seq_mode: SeqMode::default(),
             rx_seq: HashMap::new(),
             tx_buf: Vec::new(),
             emits: Vec::new(),
@@ -165,6 +190,12 @@ impl<M: Middlebox> MbPipeline<M> {
     /// Use a non-default eAxC mapping.
     pub fn set_mapping(&mut self, mapping: EaxcMapping) {
         self.mapping = mapping;
+    }
+
+    /// Select how outgoing frames get their sequence numbers (see
+    /// [`SeqMode`]). Recovery pipelines run [`SeqMode::Preserve`].
+    pub fn set_seq_mode(&mut self, mode: SeqMode) {
+        self.seq_mode = mode;
     }
 
     /// Share a management rule table (e.g. with an orchestrator).
@@ -250,7 +281,9 @@ impl<M: Middlebox> MbPipeline<M> {
         // streams are keyed by the *post-rule* (dst, eAxC) pair the frame
         // actually leaves on, so re-derive the raw id after the rules ran.
         let eaxc_raw = msg.eaxc.pack(&self.mapping);
-        msg.seq_id = self.next_seq(msg.eth.dst, eaxc_raw);
+        if self.seq_mode == SeqMode::Restamp {
+            msg.seq_id = self.next_seq(msg.eth.dst, eaxc_raw);
+        }
         match msg.serialize_into(&self.mapping, &mut self.tx_buf) {
             Ok(()) => {
                 self.stats.tx += 1;
@@ -290,7 +323,12 @@ impl<M: Middlebox> MbPipeline<M> {
             self.recycler.recycle(msg);
             return ProcessOutcome::NotForUs;
         }
-        self.observe_seq(msg.eth.src, msg.eaxc.pack(&self.mapping), msg.seq_id);
+        // Recovery control runs its own sequence space (NACK/parity
+        // emitters keep private counters), so it must not pollute the
+        // data-stream gap/duplicate statistics.
+        if !matches!(msg.body, Body::Recovery(_)) {
+            self.observe_seq(msg.eth.src, msg.eaxc.pack(&self.mapping), msg.seq_id);
+        }
         let class = TrafficClass::of(&msg);
         let fallback = self.mb.classify(&msg);
         self.charges.clear();
@@ -504,6 +542,47 @@ mod tests {
         assert_eq!(p.stats.parse_errors, 3);
         assert_eq!(p.stats.frames_corrupt, 2);
         assert_eq!(p.stats.tx, 0);
+    }
+
+    #[test]
+    fn preserve_mode_keeps_upstream_sequence_numbers() {
+        let mut p = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
+        p.set_seq_mode(SeqMode::Preserve);
+        let mut seqs = Vec::new();
+        for seq in [9u8, 200, 47] {
+            p.process(SimTime(0), &cplane_bytes(mac(10), seq), &mut |bytes: &[u8]| {
+                seqs.push(FhMessage::parse(bytes, &EaxcMapping::DEFAULT).unwrap().seq_id);
+            });
+        }
+        assert_eq!(seqs, vec![9, 200, 47], "upstream stamps survive the hop");
+    }
+
+    #[test]
+    fn recovery_messages_do_not_pollute_gap_stats() {
+        use rb_fronthaul::recovery::RecoveryRepr;
+        let mut p = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
+        let mut sink = |_: &[u8]| {};
+        // Data stream at seq 0, 1.
+        for seq in [0u8, 1] {
+            p.process(SimTime(0), &cplane_bytes(mac(10), seq), &mut sink);
+        }
+        // A recovery NACK from the same source with a wildly different
+        // sequence number: neither a gap nor a duplicate may be recorded.
+        let nack = FhMessage::new(
+            mac(1),
+            mac(10),
+            Eaxc::port(0),
+            77,
+            Body::Recovery(RecoveryRepr::nack(Direction::Uplink, 3, 0b101)),
+        )
+        .to_bytes(&EaxcMapping::DEFAULT)
+        .unwrap();
+        let outcome = p.process(SimTime(0), &nack, &mut sink);
+        assert!(matches!(outcome, ProcessOutcome::Handled { class: TrafficClass::UlCPlane }));
+        assert_eq!((p.stats.seq_gaps, p.stats.seq_dups), (0, 0));
+        // The data stream continues cleanly at 2.
+        p.process(SimTime(0), &cplane_bytes(mac(10), 2), &mut sink);
+        assert_eq!((p.stats.seq_gaps, p.stats.seq_dups), (0, 0));
     }
 
     #[test]

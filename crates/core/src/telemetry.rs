@@ -24,6 +24,24 @@ use serde::{Deserialize, Serialize};
 /// an absent consumer costs bounded memory.
 pub const DEFAULT_CAPACITY: usize = 65_536;
 
+/// Well-known counter names shared between the recovery middleboxes, the
+/// bonded dataplane adapter and the chaos benchmark, so producers and
+/// consumers agree on spelling without a string dependency between crates.
+pub mod counters {
+    /// NACKs emitted by an ARQ receiver upon detecting a sequence gap.
+    pub const ARQ_NACKS_SENT: &str = "arq_nacks_sent";
+    /// Frames replayed from an ARQ sender's cache in answer to a NACK.
+    pub const ARQ_RETRANSMITS: &str = "arq_retransmits";
+    /// Previously-missing frames that arrived via ARQ retransmission.
+    pub const FRAMES_RECOVERED_ARQ: &str = "frames_recovered_arq";
+    /// Missing frames rebuilt from FEC parity by a decoder middlebox.
+    pub const FRAMES_RECOVERED_FEC: &str = "frames_recovered_fec";
+    /// Duplicate frames suppressed by a bonded link's dedup window.
+    pub const BOND_DEDUP_DROPS: &str = "bond_dedup_drops";
+    /// Times a bonded link changed which member link frames arrive on.
+    pub const BOND_LINK_SWITCHES: &str = "bond_link_switches";
+}
+
 /// One telemetry event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TelemetryEvent {

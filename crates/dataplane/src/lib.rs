@@ -26,7 +26,10 @@
 //!   histograms, exported over `rb_core::telemetry`;
 //! * [`chaos`] — a deterministic fault-injection wrapper over any
 //!   backend: seeded drop / duplicate / reorder / truncate / corrupt /
-//!   jitter plus timed outages, replayable from a `(seed, config)` pair.
+//!   jitter plus timed outages, replayable from a `(seed, config)` pair;
+//! * [`bond`] — two backends bonded into one link: duplicate-and-dedup
+//!   (a permanent single-link outage costs zero frames) or DWRR byte
+//!   striping for aggregate capacity.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,6 +40,7 @@
     allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)
 )]
 
+pub mod bond;
 pub mod chaos;
 pub mod dispatch;
 pub mod io;
@@ -46,6 +50,7 @@ pub mod runtime;
 pub mod stats;
 pub mod worker;
 
+pub use bond::{BondMode, BondStats, BondedIo};
 pub use chaos::{ChaosConfig, ChaosIo, ChaosRng, ChaosStats, Impairments, Outage};
 pub use io::{FrameIo, Loopback, PcapReplay, RawFrame, RxPoll};
 pub use pool::{BufferPool, PooledBuf};

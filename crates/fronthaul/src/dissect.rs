@@ -56,6 +56,7 @@ pub fn dissect_message(msg: &FhMessage, wire_len: usize) -> String {
     let plane = match &msg.body {
         Body::CPlane(_) => "CUS-C",
         Body::UPlane(_) => "CUS-U",
+        Body::Recovery(_) => "Recovery",
     };
     let _ = writeln!(out, "O-RAN Fronthaul {plane}");
     let _ = writeln!(
@@ -169,6 +170,26 @@ pub fn dissect_message(msg: &FhMessage, wire_len: usize) -> String {
                             let _ = writeln!(out, "        … {} more PRB(s)", exps.len() - 1);
                         }
                     }
+                }
+            }
+        }
+        Body::Recovery(rec) => {
+            use crate::recovery::RecoveryOp;
+            match &rec.op {
+                RecoveryOp::Nack { base_seq, mask } => {
+                    let _ = writeln!(
+                        out,
+                        "    {}, NACK, baseSeq: {base_seq}, missingMask: 0x{mask:04x}",
+                        dir(rec.direction)
+                    );
+                }
+                RecoveryOp::Parity { base_seq, window, depth, class, payload } => {
+                    let _ = writeln!(
+                        out,
+                        "    {}, FEC parity, baseSeq: {base_seq}, window: {window}, depth: {depth}, class: {class}, padLen: {}",
+                        dir(rec.direction),
+                        payload.len()
+                    );
                 }
             }
         }

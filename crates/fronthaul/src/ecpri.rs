@@ -32,7 +32,13 @@ pub enum MessageType {
     IqData,
     /// Type 2 — real-time control data (C-plane).
     RtControl,
+    /// Type 64 — vendor-reserved recovery control (NACK / FEC parity).
+    Recovery,
 }
+
+/// Wire value of the vendor-reserved recovery message type (64–255 are
+/// reserved for vendor-specific use by eCPRI; we take the first one).
+pub const RECOVERY_TYPE_RAW: u8 = 64;
 
 impl MessageType {
     /// Wire value.
@@ -40,6 +46,7 @@ impl MessageType {
         match self {
             MessageType::IqData => 0,
             MessageType::RtControl => 2,
+            MessageType::Recovery => RECOVERY_TYPE_RAW,
         }
     }
 
@@ -48,6 +55,7 @@ impl MessageType {
         match raw {
             0 => Ok(MessageType::IqData),
             2 => Ok(MessageType::RtControl),
+            RECOVERY_TYPE_RAW => Ok(MessageType::Recovery),
             _ => Err(Error::UnknownMessageType),
         }
     }

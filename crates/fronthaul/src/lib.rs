@@ -13,6 +13,7 @@
 //! * [`timing`] — 5G NR numerology, slot/symbol arithmetic and TDD patterns.
 //! * [`eaxc`] — eAxC (antenna-carrier) id packing and remapping.
 //! * [`freq`] — PRB/frequency conversions and the RU-sharing alignment math.
+//! * [`recovery`] — vendor-reserved recovery control (ARQ NACK / FEC parity).
 //!
 //! ## Design
 //!
@@ -56,6 +57,7 @@ pub mod freq;
 pub mod iq;
 pub mod msg;
 pub mod pcap;
+pub mod recovery;
 pub mod timing;
 pub mod uplane;
 

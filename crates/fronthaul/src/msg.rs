@@ -10,6 +10,7 @@ use crate::cplane::CPlaneRepr;
 use crate::eaxc::{Eaxc, EaxcMapping};
 use crate::ecpri::{self, MessageType};
 use crate::ether::{EtherType, EthernetAddress, Frame, FrameRepr};
+use crate::recovery::RecoveryRepr;
 use crate::uplane::UPlaneRepr;
 use crate::{Direction, Error, Result};
 use rb_hotpath_macros::rb_hot_path;
@@ -21,6 +22,8 @@ pub enum Body {
     CPlane(CPlaneRepr),
     /// A user-plane message.
     UPlane(UPlaneRepr),
+    /// A recovery control message (ARQ NACK / FEC parity).
+    Recovery(RecoveryRepr),
 }
 
 impl Body {
@@ -29,6 +32,7 @@ impl Body {
         match self {
             Body::CPlane(c) => c.direction,
             Body::UPlane(u) => u.direction,
+            Body::Recovery(r) => r.direction,
         }
     }
 
@@ -37,6 +41,7 @@ impl Body {
         match self {
             Body::CPlane(_) => MessageType::RtControl,
             Body::UPlane(_) => MessageType::IqData,
+            Body::Recovery(_) => MessageType::Recovery,
         }
     }
 
@@ -45,6 +50,7 @@ impl Body {
         match self {
             Body::CPlane(c) => c.wire_len(),
             Body::UPlane(u) => u.wire_len(),
+            Body::Recovery(r) => r.wire_len(),
         }
     }
 }
@@ -111,6 +117,22 @@ impl FhMessage {
         }
     }
 
+    /// The recovery body, if this is a recovery control message.
+    pub fn as_recovery(&self) -> Option<&RecoveryRepr> {
+        match &self.body {
+            Body::Recovery(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Mutable recovery body access.
+    pub fn as_recovery_mut(&mut self) -> Option<&mut RecoveryRepr> {
+        match &mut self.body {
+            Body::Recovery(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// Total emitted frame length in bytes.
     pub fn wire_len(&self) -> usize {
         self.eth.header_len() + ecpri::HEADER_LEN + self.body.wire_len()
@@ -159,6 +181,9 @@ impl FhMessage {
             Body::UPlane(u) => {
                 u.emit(app_buf)?;
             }
+            Body::Recovery(r) => {
+                r.emit(app_buf)?;
+            }
         }
         Ok(())
     }
@@ -176,6 +201,7 @@ impl FhMessage {
         let body = match ecpri_repr.message_type {
             MessageType::RtControl => Body::CPlane(CPlaneRepr::parse(packet.payload())?),
             MessageType::IqData => Body::UPlane(UPlaneRepr::parse(packet.payload())?),
+            MessageType::Recovery => Body::Recovery(RecoveryRepr::parse(packet.payload())?),
         };
         Ok(FhMessage { eth, eaxc: ecpri_repr.eaxc, seq_id: ecpri_repr.seq_id, body })
     }
@@ -193,6 +219,7 @@ impl FhMessage {
 pub struct MsgRecycler {
     c: Option<CPlaneRepr>,
     u: Option<UPlaneRepr>,
+    r: Option<RecoveryRepr>,
 }
 
 impl MsgRecycler {
@@ -231,6 +258,16 @@ impl MsgRecycler {
                     }
                 }
             }
+            MessageType::Recovery => {
+                let mut r = self.r.take().unwrap_or_else(RecoveryRepr::empty);
+                match r.parse_into(packet.payload()) {
+                    Ok(()) => Body::Recovery(r),
+                    Err(e) => {
+                        self.r = Some(r);
+                        return Err(e);
+                    }
+                }
+            }
         };
         Ok(FhMessage { eth, eaxc: ecpri_repr.eaxc, seq_id: ecpri_repr.seq_id, body })
     }
@@ -252,6 +289,11 @@ impl MsgRecycler {
             Body::UPlane(u) => {
                 if self.u.is_none() {
                     self.u = Some(u);
+                }
+            }
+            Body::Recovery(r) => {
+                if self.r.is_none() {
+                    self.r = Some(r);
                 }
             }
         }

@@ -1,0 +1,400 @@
+//! Vendor-reserved recovery control messages (ARQ NACK / FEC parity).
+//!
+//! The recovery subsystem (`rb-recover` + the ARQ/FEC middleboxes in
+//! `rb-apps`) signals over eCPRI message type 64 — the first value of the
+//! vendor-reserved range — so recovery control rides the same fronthaul
+//! links it protects. Two operations share the type, distinguished by an
+//! opcode in the application header:
+//!
+//! Wire layout (after the 8-byte eCPRI header):
+//!
+//! ```text
+//! byte 0     dataDirection(1) | payloadVersion(3) | opcode(4)
+//! NACK (opcode 1), 4 bytes total:
+//!   byte 1     baseSeq — first sequence number covered by the mask
+//!   bytes 2-3  missingMask (u16 BE) — bit i set ⇒ seq baseSeq+i missing
+//! PARITY (opcode 2), 8 + padLen bytes total:
+//!   byte 1     baseSeq — first data seq of the FEC window
+//!   byte 2     window  — data frames per window
+//!   byte 3     depth   — interleave depth (parity frames per window)
+//!   byte 4     class   — this parity's class, in 0..depth
+//!   byte 5     reserved (0)
+//!   bytes 6-7  padLen (u16 BE) — XOR payload length
+//!   bytes 8..  XOR of the protected frames' length-prefixed wire bytes,
+//!              each zero-padded to padLen
+//! ```
+//!
+//! The direction bit sits in byte 0 bit 7 exactly like the C-/U-plane
+//! application headers, so flow classification that peeks only at that bit
+//! (the dataplane dispatcher) works unchanged. A NACK's direction is its
+//! own travel direction — the *reverse* of the stream it reports on; a
+//! parity's direction matches the stream it protects.
+
+use crate::{Direction, Error, Result};
+
+/// Read the byte at `i`, or 0 if the buffer is too short.
+fn read_1(d: &[u8], i: usize) -> u8 {
+    d.get(i).copied().unwrap_or(0)
+}
+
+/// Read a big-endian u16 at `off`, or 0 if the buffer is too short.
+fn read_2(d: &[u8], off: usize) -> u16 {
+    d.get(off..off + 2).and_then(|s| <[u8; 2]>::try_from(s).ok()).map_or(0, u16::from_be_bytes)
+}
+
+/// Copy `src` to `off`; a no-op if the buffer is too short (the emit path
+/// length-checks up front).
+fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
+    if let Some(s) = d.get_mut(off..off + src.len()) {
+        s.copy_from_slice(src);
+    }
+}
+
+/// `payloadVersion` value this crate emits.
+pub const PAYLOAD_VERSION: u8 = 1;
+
+/// Opcode for a NACK (retransmission request).
+pub const OP_NACK: u8 = 1;
+
+/// Opcode for an FEC parity frame.
+pub const OP_PARITY: u8 = 2;
+
+/// Wire length of a NACK application payload.
+pub const NACK_LEN: usize = 4;
+
+/// Header length of a parity application payload (before the XOR bytes).
+pub const PARITY_HDR_LEN: usize = 8;
+
+/// Number of sequence numbers one NACK mask covers.
+pub const NACK_MASK_BITS: u8 = 16;
+
+/// The recovery operation carried by a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryOp {
+    /// Request retransmission of up to [`NACK_MASK_BITS`] frames.
+    Nack {
+        /// First sequence number covered by the mask.
+        base_seq: u8,
+        /// Bit `i` set ⇒ sequence `base_seq + i` is missing.
+        mask: u16,
+    },
+    /// One parity frame of a sliding FEC window.
+    Parity {
+        /// First data sequence number of the window.
+        base_seq: u8,
+        /// Data frames per window.
+        window: u8,
+        /// Interleave depth (number of parity classes).
+        depth: u8,
+        /// This parity's class, in `0..depth`.
+        class: u8,
+        /// XOR of the protected frames' length-prefixed wire bytes.
+        payload: Vec<u8>,
+    },
+}
+
+/// High-level representation of a recovery message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryRepr {
+    /// Travel direction of this message on the fronthaul.
+    pub direction: Direction,
+    /// The operation.
+    pub op: RecoveryOp,
+}
+
+impl RecoveryRepr {
+    /// Build a NACK.
+    pub fn nack(direction: Direction, base_seq: u8, mask: u16) -> RecoveryRepr {
+        RecoveryRepr { direction, op: RecoveryOp::Nack { base_seq, mask } }
+    }
+
+    /// Byte length of the emitted message.
+    pub fn wire_len(&self) -> usize {
+        match &self.op {
+            RecoveryOp::Nack { .. } => NACK_LEN,
+            RecoveryOp::Parity { payload, .. } => PARITY_HDR_LEN + payload.len(),
+        }
+    }
+
+    /// Validate field ranges and payload shapes.
+    pub fn validate(&self) -> Result<()> {
+        match &self.op {
+            RecoveryOp::Nack { mask, .. } => {
+                if *mask == 0 {
+                    return Err(Error::Malformed);
+                }
+            }
+            RecoveryOp::Parity { window, depth, class, payload, .. } => {
+                if *window == 0 || *depth == 0 || depth > window || class >= depth {
+                    return Err(Error::FieldRange);
+                }
+                // The XOR payload carries at least a 2-byte length prefix,
+                // and padLen must fit its wire field.
+                if payload.len() < 2 || payload.len() > u16::MAX as usize {
+                    return Err(Error::Malformed);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit the message into `out` (at least [`RecoveryRepr::wire_len`]
+    /// bytes). Returns the bytes written.
+    pub fn emit(&self, out: &mut [u8]) -> Result<usize> {
+        self.validate()?;
+        let len = self.wire_len();
+        if out.len() < len {
+            return Err(Error::BufferTooSmall);
+        }
+        let opcode = match &self.op {
+            RecoveryOp::Nack { .. } => OP_NACK,
+            RecoveryOp::Parity { .. } => OP_PARITY,
+        };
+        write_at(
+            out,
+            0,
+            &[(self.direction.bit() << 7) | ((PAYLOAD_VERSION & 0x07) << 4) | (opcode & 0x0f)],
+        );
+        match &self.op {
+            RecoveryOp::Nack { base_seq, mask } => {
+                write_at(out, 1, &[*base_seq]);
+                write_at(out, 2, &mask.to_be_bytes());
+            }
+            RecoveryOp::Parity { base_seq, window, depth, class, payload } => {
+                write_at(out, 1, &[*base_seq, *window, *depth, *class, 0]);
+                write_at(out, 6, &(payload.len() as u16).to_be_bytes());
+                write_at(out, PARITY_HDR_LEN, payload);
+            }
+        }
+        Ok(len)
+    }
+
+    /// Parse a recovery message from the eCPRI payload bytes.
+    pub fn parse(data: &[u8]) -> Result<RecoveryRepr> {
+        let mut repr = RecoveryRepr::empty();
+        repr.parse_into(data)?;
+        Ok(repr)
+    }
+
+    /// An empty shell whose parity buffer a later
+    /// [`RecoveryRepr::parse_into`] grows into. Not a valid message until
+    /// parsed into.
+    pub(crate) fn empty() -> RecoveryRepr {
+        RecoveryRepr {
+            direction: Direction::Downlink,
+            // Vec::new is capacity-0: building the shell never allocates.
+            op: RecoveryOp::Parity {
+                base_seq: 0,
+                window: 0,
+                depth: 0,
+                class: 0,
+                payload: Vec::new(),
+            },
+        }
+    }
+
+    /// Parse into `self`, reusing its parity payload buffer.
+    ///
+    /// Behaves exactly like [`RecoveryRepr::parse`]. On error, `self`'s
+    /// contents are unspecified but its buffers stay available for the
+    /// next parse.
+    pub fn parse_into(&mut self, data: &[u8]) -> Result<()> {
+        if data.is_empty() {
+            return Err(Error::Truncated);
+        }
+        let b0 = read_1(data, 0);
+        if (b0 >> 4) & 0x07 != PAYLOAD_VERSION {
+            return Err(Error::BadVersion);
+        }
+        let direction = Direction::from_bit(b0 >> 7);
+        let opcode = b0 & 0x0f;
+        match opcode {
+            OP_NACK => {
+                if data.len() < NACK_LEN {
+                    return Err(Error::Truncated);
+                }
+                let base_seq = read_1(data, 1);
+                let mask = read_2(data, 2);
+                if mask == 0 {
+                    return Err(Error::Malformed);
+                }
+                self.direction = direction;
+                self.op = RecoveryOp::Nack { base_seq, mask };
+            }
+            OP_PARITY => {
+                if data.len() < PARITY_HDR_LEN {
+                    return Err(Error::Truncated);
+                }
+                let base_seq = read_1(data, 1);
+                let window = read_1(data, 2);
+                let depth = read_1(data, 3);
+                let class = read_1(data, 4);
+                if window == 0 || depth == 0 || depth > window || class >= depth {
+                    return Err(Error::FieldRange);
+                }
+                let pad_len = read_2(data, 6) as usize;
+                let xor =
+                    data.get(PARITY_HDR_LEN..PARITY_HDR_LEN + pad_len).ok_or(Error::Truncated)?;
+                if xor.len() < 2 {
+                    return Err(Error::Malformed);
+                }
+                self.direction = direction;
+                // Steady state: refill the recycled parity buffer in place.
+                if let RecoveryOp::Parity { base_seq: b, window: w, depth: d, class: c, payload } =
+                    &mut self.op
+                {
+                    *b = base_seq;
+                    *w = window;
+                    *d = depth;
+                    *c = class;
+                    payload.clear();
+                    payload.extend_from_slice(xor);
+                } else {
+                    self.op = RecoveryOp::Parity {
+                        base_seq,
+                        window,
+                        depth,
+                        class,
+                        payload: xor.to_vec(),
+                    };
+                }
+            }
+            _ => return Err(Error::UnknownSectionType),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nack_roundtrip() {
+        let repr = RecoveryRepr::nack(Direction::Uplink, 0x2a, 0x8001);
+        let mut buf = vec![0u8; repr.wire_len()];
+        assert_eq!(repr.emit(&mut buf).unwrap(), NACK_LEN);
+        let parsed = RecoveryRepr::parse(&buf).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn parity_roundtrip() {
+        let repr = RecoveryRepr {
+            direction: Direction::Downlink,
+            op: RecoveryOp::Parity {
+                base_seq: 0xf0,
+                window: 8,
+                depth: 2,
+                class: 1,
+                payload: vec![0xde, 0xad, 0xbe, 0xef],
+            },
+        };
+        let mut buf = vec![0u8; repr.wire_len()];
+        assert_eq!(repr.emit(&mut buf).unwrap(), PARITY_HDR_LEN + 4);
+        let parsed = RecoveryRepr::parse(&buf).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn direction_bit_matches_data_planes() {
+        // The dataplane dispatcher peeks bit 7 of byte 0 for the direction;
+        // recovery messages must encode it in the same place.
+        let dl = RecoveryRepr::nack(Direction::Downlink, 0, 1);
+        let ul = RecoveryRepr::nack(Direction::Uplink, 0, 1);
+        let mut buf = vec![0u8; NACK_LEN];
+        dl.emit(&mut buf).unwrap();
+        assert_eq!(buf[0] >> 7, Direction::Downlink.bit());
+        ul.emit(&mut buf).unwrap();
+        assert_eq!(buf[0] >> 7, Direction::Uplink.bit());
+    }
+
+    #[test]
+    fn empty_nack_mask_rejected() {
+        let repr = RecoveryRepr::nack(Direction::Uplink, 3, 0);
+        let mut buf = vec![0u8; NACK_LEN];
+        assert_eq!(repr.emit(&mut buf).unwrap_err(), Error::Malformed);
+        let wire = [0x90 | OP_NACK, 3, 0, 0];
+        assert_eq!(RecoveryRepr::parse(&wire).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn bad_shapes_rejected() {
+        // depth > window
+        let repr = RecoveryRepr {
+            direction: Direction::Downlink,
+            op: RecoveryOp::Parity {
+                base_seq: 0,
+                window: 2,
+                depth: 4,
+                class: 0,
+                payload: vec![0; 4],
+            },
+        };
+        let mut buf = vec![0u8; repr.wire_len()];
+        assert_eq!(repr.emit(&mut buf).unwrap_err(), Error::FieldRange);
+        // class >= depth
+        let repr = RecoveryRepr {
+            direction: Direction::Downlink,
+            op: RecoveryOp::Parity {
+                base_seq: 0,
+                window: 4,
+                depth: 2,
+                class: 2,
+                payload: vec![0; 4],
+            },
+        };
+        assert_eq!(repr.emit(&mut buf).unwrap_err(), Error::FieldRange);
+    }
+
+    #[test]
+    fn truncated_parity_rejected() {
+        let repr = RecoveryRepr {
+            direction: Direction::Downlink,
+            op: RecoveryOp::Parity {
+                base_seq: 0,
+                window: 4,
+                depth: 1,
+                class: 0,
+                payload: vec![0; 8],
+            },
+        };
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        assert_eq!(RecoveryRepr::parse(&buf[..buf.len() - 1]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let wire = [0x90 | 0x0f, 0, 0, 1];
+        assert_eq!(RecoveryRepr::parse(&wire).unwrap_err(), Error::UnknownSectionType);
+    }
+
+    #[test]
+    fn bad_payload_version_rejected() {
+        let wire = [0x20 | OP_NACK, 0, 0, 1]; // version 2
+        assert_eq!(RecoveryRepr::parse(&wire).unwrap_err(), Error::BadVersion);
+    }
+
+    #[test]
+    fn parse_into_reuses_parity_buffer() {
+        let repr = RecoveryRepr {
+            direction: Direction::Uplink,
+            op: RecoveryOp::Parity {
+                base_seq: 9,
+                window: 4,
+                depth: 2,
+                class: 0,
+                payload: vec![1; 64],
+            },
+        };
+        let mut buf = vec![0u8; repr.wire_len()];
+        repr.emit(&mut buf).unwrap();
+        let mut shell = RecoveryRepr::empty();
+        shell.parse_into(&buf).unwrap();
+        assert_eq!(shell, repr);
+        // A second parse into the same shell reuses the grown buffer.
+        shell.parse_into(&buf).unwrap();
+        assert_eq!(shell, repr);
+    }
+}

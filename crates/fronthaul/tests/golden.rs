@@ -15,6 +15,7 @@ use rb_fronthaul::cplane::{CPlaneRepr, Section3, SectionFields, Sections};
 use rb_fronthaul::eaxc::{Eaxc, EaxcMapping};
 use rb_fronthaul::ether::{EtherType, EthernetAddress};
 use rb_fronthaul::msg::{Body, FhMessage};
+use rb_fronthaul::recovery::{RecoveryOp, RecoveryRepr};
 use rb_fronthaul::timing::SymbolId;
 use rb_fronthaul::uplane::{UPlaneRepr, USection};
 use rb_fronthaul::Direction;
@@ -381,4 +382,135 @@ fn uplane_prach_round_trips_with_prach_markers() {
     assert_eq!(up.filter_index, 1, "PRACH filter index survives the round trip");
     assert_eq!(up.symbol, SymbolId { frame: 16, subframe: 9, slot: 1, symbol: 0 });
     assert_eq!(up.sections[0].num_prb(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Vector 5: recovery NACK (eCPRI vendor type 64, opcode 1).
+//
+// The ARQ receiver reports two holes in a downlink stream; the NACK itself
+// travels uplink (back toward the sender), so the direction bit is 0.
+// ---------------------------------------------------------------------------
+
+#[rustfmt::skip]
+const RECOVERY_NACK: &[u8] = &[
+    // Ethernet header (14 bytes)
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x09,             // dst: the ARQ sender
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x0a,             // src: the ARQ receiver
+    0xae, 0xfe,                                     // EtherType eCPRI
+    // eCPRI common header (8 bytes)
+    0x10,                                           // version 1, no concat
+    0x40,                                           // msgType 64 = vendor (recovery)
+    0x00, 0x08,                                     // payloadSize 8 = 4 app + 4
+    0x00, 0x05,                                     // eAxC: port 5
+    0x11,                                           // seqId 17
+    0x80,                                           // E bit set, subSeqId 0
+    // Recovery application payload (4 bytes)
+    0x11,                                           // dir UL (0), payloadVer 1, opcode 1 (NACK)
+    0x2a,                                           // baseSeq 42
+    0x80, 0x01,                                     // missingMask: seqs 42 and 57 missing
+];
+
+#[test]
+fn recovery_nack_serializes_to_golden_bytes() {
+    let msg = FhMessage::new(
+        mac(10),
+        mac(9),
+        Eaxc::port(5),
+        17,
+        Body::Recovery(RecoveryRepr::nack(Direction::Uplink, 42, 0x8001)),
+    );
+    let bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+    assert_eq!(bytes, RECOVERY_NACK);
+}
+
+#[test]
+fn recovery_nack_parses_every_field() {
+    let msg = round_trip(RECOVERY_NACK);
+    assert_eq!(msg.eth.dst, mac(9));
+    assert_eq!(msg.eth.src, mac(10));
+    assert_eq!(msg.eth.ethertype, EtherType::ECPRI);
+    assert_eq!(msg.eaxc, Eaxc::port(5));
+    assert_eq!(msg.seq_id, 17);
+    let rec = msg.as_recovery().expect("recovery body");
+    assert_eq!(rec.direction, Direction::Uplink, "a NACK travels against the stream it reports on");
+    let RecoveryOp::Nack { base_seq, mask } = &rec.op else {
+        panic!("expected a NACK, got {:?}", rec.op);
+    };
+    assert_eq!(*base_seq, 42);
+    assert_eq!(*mask, 0x8001, "bits 0 and 15: seqs baseSeq and baseSeq+15 missing");
+}
+
+// ---------------------------------------------------------------------------
+// Vector 6: recovery FEC parity (eCPRI vendor type 64, opcode 2).
+//
+// Class-1 parity of an 8-frame downlink window at interleave depth 2; the
+// XOR payload covers the protected frames' length-prefixed wire bytes, so
+// its first two bytes are the XOR of their length prefixes.
+// ---------------------------------------------------------------------------
+
+#[rustfmt::skip]
+const RECOVERY_PARITY: &[u8] = &[
+    // Ethernet header (14 bytes)
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x0a,             // dst: the FEC decoder
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x09,             // src: the FEC encoder
+    0xae, 0xfe,                                     // EtherType eCPRI
+    // eCPRI common header (8 bytes)
+    0x10,                                           // version 1, no concat
+    0x40,                                           // msgType 64 = vendor (recovery)
+    0x00, 0x12,                                     // payloadSize 18 = 14 app + 4
+    0x00, 0x05,                                     // eAxC: port 5
+    0x07,                                           // seqId 7
+    0x80,                                           // E bit set, subSeqId 0
+    // Recovery application header (8 bytes)
+    0x92,                                           // dir DL (1), payloadVer 1, opcode 2 (parity)
+    0xf0,                                           // baseSeq 240 (window may wrap mod 256)
+    0x08,                                           // window: 8 data frames
+    0x02,                                           // depth: 2 parity classes
+    0x01,                                           // class 1 (odd lanes)
+    0x00,                                           // reserved
+    0x00, 0x06,                                     // padLen 6
+    // XOR payload (6 bytes)
+    0x00, 0x04,                                     // XORed length prefixes
+    0xde, 0xad, 0xbe, 0xef,                         // XORed padded frame bytes
+];
+
+#[test]
+fn recovery_parity_serializes_to_golden_bytes() {
+    let msg = FhMessage::new(
+        mac(9),
+        mac(10),
+        Eaxc::port(5),
+        7,
+        Body::Recovery(RecoveryRepr {
+            direction: Direction::Downlink,
+            op: RecoveryOp::Parity {
+                base_seq: 240,
+                window: 8,
+                depth: 2,
+                class: 1,
+                payload: vec![0x00, 0x04, 0xde, 0xad, 0xbe, 0xef],
+            },
+        }),
+    );
+    let bytes = msg.to_bytes(&EaxcMapping::DEFAULT).unwrap();
+    assert_eq!(bytes, RECOVERY_PARITY);
+}
+
+#[test]
+fn recovery_parity_parses_every_field() {
+    let msg = round_trip(RECOVERY_PARITY);
+    assert_eq!(msg.eth.dst, mac(10));
+    assert_eq!(msg.eth.src, mac(9));
+    assert_eq!(msg.eaxc, Eaxc::port(5));
+    assert_eq!(msg.seq_id, 7);
+    let rec = msg.as_recovery().expect("recovery body");
+    assert_eq!(rec.direction, Direction::Downlink, "parity direction matches the protected stream");
+    let RecoveryOp::Parity { base_seq, window, depth, class, payload } = &rec.op else {
+        panic!("expected a parity, got {:?}", rec.op);
+    };
+    assert_eq!(*base_seq, 240);
+    assert_eq!(*window, 8);
+    assert_eq!(*depth, 2);
+    assert_eq!(*class, 1);
+    assert_eq!(payload, &[0x00, 0x04, 0xde, 0xad, 0xbe, 0xef]);
 }

@@ -262,6 +262,9 @@ impl Du {
         match &msg.body {
             Body::CPlane(_) => self.stats.cplane_tx += 1,
             Body::UPlane(_) => self.stats.uplane_tx += 1,
+            // The radio endpoints originate only C/U-plane traffic;
+            // recovery control is a middlebox-to-middlebox concern.
+            Body::Recovery(_) => {}
         }
         match msg.to_bytes(&self.cfg.mapping) {
             Ok(bytes) => out.send(0, bytes),

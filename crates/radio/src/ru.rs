@@ -443,6 +443,9 @@ impl Node for Ru {
                     (Body::CPlane(_), _) => self.on_cplane(&msg),
                     (Body::UPlane(_), Direction::Downlink) => self.on_dl_uplane(&msg),
                     (Body::UPlane(_), Direction::Uplink) => {}
+                    // Recovery control that reaches the radio means a
+                    // middlebox chain let it through; the RU just ignores it.
+                    (Body::Recovery(_), _) => {}
                 }
             }
         }

@@ -1,0 +1,154 @@
+//! The ARQ sender's replay cache.
+//!
+//! A bounded, slot-addressed store of the last `capacity` serialized
+//! frames of one `(dst, eAxC)` stream. The slot of sequence `s` is
+//! `s % capacity`; each slot remembers the exact sequence number it was
+//! filled with, and a lookup only succeeds on an exact match — so after
+//! the 8-bit counter wraps, a slot overwritten by a newer frame can never
+//! serve the stale bytes of the older one under the recycled number.
+//!
+//! Slot buffers are cleared and refilled in place, so the steady-state
+//! insert path performs no heap allocation once every slot has seen a
+//! frame of its stream's typical size.
+
+use rb_hotpath_macros::rb_hot_path;
+
+#[derive(Debug, Default, Clone)]
+struct Slot {
+    seq: u8,
+    valid: bool,
+    bytes: Vec<u8>,
+}
+
+/// A bounded replay cache for one sequence-numbered frame stream.
+#[derive(Debug, Clone)]
+pub struct ReplayCache {
+    slots: Vec<Slot>,
+}
+
+impl ReplayCache {
+    /// A cache holding up to `capacity` frames (clamped to `1..=256`;
+    /// beyond 256 extra slots could never be addressed by an 8-bit
+    /// sequence number).
+    pub fn new(capacity: usize) -> ReplayCache {
+        let capacity = capacity.clamp(1, 256);
+        ReplayCache { slots: vec![Slot::default(); capacity] }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots currently holding a frame.
+    pub fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    /// Remember the serialized frame sent as sequence `seq`, displacing
+    /// whatever older frame shared its slot.
+    #[rb_hot_path]
+    pub fn insert(&mut self, seq: u8, bytes: &[u8]) {
+        let idx = usize::from(seq) % self.slots.len();
+        if let Some(slot) = self.slots.get_mut(idx) {
+            slot.seq = seq;
+            slot.valid = true;
+            slot.bytes.clear();
+            slot.bytes.extend_from_slice(bytes);
+        }
+    }
+
+    /// The frame sent as sequence `seq`, if it is still cached. Exact
+    /// match only: a slot recycled by a newer sequence number returns
+    /// `None` for the old one.
+    #[rb_hot_path]
+    pub fn get(&self, seq: u8) -> Option<&[u8]> {
+        let idx = usize::from(seq) % self.slots.len();
+        self.slots
+            .get(idx)
+            .filter(|slot| slot.valid && slot.seq == seq)
+            .map(|slot| slot.bytes.as_slice())
+    }
+
+    /// Drop all cached frames (the slot buffers keep their capacity).
+    pub fn reset(&mut self) {
+        for slot in &mut self.slots {
+            slot.valid = false;
+            slot.bytes.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_exact_match() {
+        let mut c = ReplayCache::new(8);
+        assert_eq!(c.capacity(), 8);
+        c.insert(5, b"hello");
+        assert_eq!(c.get(5), Some(b"hello".as_slice()));
+        assert_eq!(c.get(13), None, "same slot, different seq");
+        assert_eq!(c.get(6), None);
+        assert_eq!(c.occupied(), 1);
+    }
+
+    #[test]
+    fn displacement_by_slot_sharing() {
+        let mut c = ReplayCache::new(8);
+        c.insert(3, b"old");
+        c.insert(11, b"new"); // 11 % 8 == 3
+        assert_eq!(c.get(3), None, "displaced");
+        assert_eq!(c.get(11), Some(b"new".as_slice()));
+    }
+
+    #[test]
+    fn wraparound_never_serves_stale_bytes() {
+        // Fill seq 0..=255, wrap, and re-insert seq 0 with new content:
+        // the recycled number must serve the new bytes, and every
+        // sequence evicted along the way must miss rather than alias.
+        let mut c = ReplayCache::new(16);
+        for round in 0u32..2 {
+            for seq in 0u16..=255 {
+                let body = [round as u8, seq as u8, 0xab];
+                c.insert(seq as u8, &body);
+                assert_eq!(c.get(seq as u8), Some(body.as_slice()));
+            }
+        }
+        // After two full wraps only the last 16 inserts (round 1,
+        // seq 240..=255) survive.
+        for seq in 240u16..=255 {
+            assert_eq!(c.get(seq as u8), Some([1, seq as u8, 0xab].as_slice()));
+        }
+        assert_eq!(c.occupied(), 16);
+    }
+
+    #[test]
+    fn capacity_is_clamped() {
+        assert_eq!(ReplayCache::new(0).capacity(), 1);
+        assert_eq!(ReplayCache::new(1000).capacity(), 256);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = ReplayCache::new(4);
+        c.insert(1, b"x");
+        c.reset();
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.occupied(), 0);
+    }
+
+    #[test]
+    fn full_capacity_no_aliasing_model() {
+        // Model check: a 256-slot cache never evicts within one wrap, so
+        // every lookup of the current generation hits.
+        let mut c = ReplayCache::new(256);
+        for seq in 0u16..=255 {
+            c.insert(seq as u8, &[seq as u8]);
+        }
+        for seq in 0u16..=255 {
+            assert_eq!(c.get(seq as u8), Some([seq as u8].as_slice()));
+        }
+    }
+}

@@ -33,5 +33,6 @@ pub use rb_dataplane as dataplane;
 pub use rb_fronthaul as fronthaul;
 pub use rb_netsim as netsim;
 pub use rb_radio as radio;
+pub use rb_recover as recover;
 
 pub mod scenario;

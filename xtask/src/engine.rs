@@ -13,7 +13,8 @@ use crate::graph::{self, GlobalFn};
 use crate::lexer;
 
 /// Crates whose hot-path-reachable functions are held to the deny rules.
-pub const DEFAULT_ENFORCED: &[&str] = &["rb-fronthaul", "rb-core", "rb-apps", "rb-dataplane"];
+pub const DEFAULT_ENFORCED: &[&str] =
+    &["rb-fronthaul", "rb-core", "rb-apps", "rb-dataplane", "rb-recover"];
 
 /// Directory names never scanned for sources.
 const SKIP_DIRS: &[&str] = &["target", "tests", "benches", "examples", ".git"];
