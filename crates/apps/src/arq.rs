@@ -95,7 +95,7 @@ impl ArqSender {
                 .entry(raw)
                 .or_insert_with(|| ReplayCache::new(cap))
                 .insert(msg.seq_id, &self.wire);
-            self.stats.cached += 1;
+            counters::bump(&mut self.stats.cached);
         }
         ctx.charge(Work::Cache, XdpPlacement::Userspace);
         vec![msg]
@@ -122,7 +122,7 @@ impl Middlebox for ArqSender {
             // Parity or unknown recovery traffic is not ours: absorb.
             return out;
         };
-        self.stats.nacks_received += 1;
+        counters::bump(&mut self.stats.nacks_received);
         let raw = msg.eaxc.pack(&ctx.mapping);
         let mapping = ctx.mapping;
         let stats = &mut self.stats;
@@ -134,16 +134,20 @@ impl Middlebox for ArqSender {
                     // the preserved sequence number: replay verbatim.
                     if let Ok(replay) = recycler.parse(bytes, &mapping) {
                         out.push(replay);
-                        stats.retransmits += 1;
+                        counters::bump(&mut stats.retransmits);
                     }
                 }
-                None => stats.cache_misses += 1,
+                None => counters::bump(&mut stats.cache_misses),
             });
         } else {
-            stats.cache_misses += u64::from(mask.count_ones());
+            counters::bump_by(&mut stats.cache_misses, u64::from(mask.count_ones()));
         }
         if !out.is_empty() {
-            ctx.telemetry.count(ctx.now_ns(), counters::ARQ_RETRANSMITS, out.len() as u64);
+            ctx.telemetry.count(
+                ctx.now_ns(),
+                counters::ARQ_RETRANSMITS,
+                counters::as_count(out.len()),
+            );
         }
         ctx.charge(Work::Cache, XdpPlacement::Userspace);
         out
@@ -215,12 +219,12 @@ impl ArqReceiver {
         ctx.charge(Work::Cache, XdpPlacement::Userspace);
         match verdict {
             GapVerdict::InOrder => {
-                self.stats.in_order += 1;
+                counters::bump(&mut self.stats.in_order);
                 actions::redirect(&mut msg, self.mac, self.dst);
                 out.push(msg);
             }
             GapVerdict::Ahead { first, count } => {
-                self.stats.gaps_detected += u64::from(count);
+                counters::bump_by(&mut self.stats.gaps_detected, u64::from(count));
                 // NACKs travel against the data stream.
                 let nack_dir = msg.body.direction().flip();
                 let eaxc = msg.eaxc;
@@ -241,18 +245,22 @@ impl ArqReceiver {
                             nack_dir, base, nack_mask,
                         )),
                     ));
-                    stats.nacks_sent += 1;
+                    counters::bump(&mut stats.nacks_sent);
                 });
-                ctx.telemetry.count(ctx.now_ns(), counters::ARQ_NACKS_SENT, out.len() as u64 - 1);
+                ctx.telemetry.count(
+                    ctx.now_ns(),
+                    counters::ARQ_NACKS_SENT,
+                    counters::as_count(out.len()).saturating_sub(1),
+                );
             }
             GapVerdict::Recovered => {
-                self.stats.recovered += 1;
+                counters::bump(&mut self.stats.recovered);
                 ctx.telemetry.count(ctx.now_ns(), counters::FRAMES_RECOVERED_ARQ, 1);
                 actions::redirect(&mut msg, self.mac, self.dst);
                 out.push(msg);
             }
             GapVerdict::Duplicate => {
-                self.stats.duplicates_dropped += 1;
+                counters::bump(&mut self.stats.duplicates_dropped);
             }
         }
         out

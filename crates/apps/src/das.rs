@@ -17,6 +17,7 @@
 use rb_core::actions;
 use rb_core::cache::{CacheKey, Plane};
 use rb_core::middlebox::{MbContext, Middlebox};
+use rb_core::telemetry::counters;
 use rb_fronthaul::ether::EthernetAddress;
 use rb_fronthaul::msg::{Body, FhMessage};
 use rb_fronthaul::timing::Numerology;
@@ -101,7 +102,7 @@ impl Das {
     }
 
     fn fan_out(&mut self, msg: &FhMessage) -> Vec<FhMessage> {
-        self.stats.dl_replicated += 1;
+        counters::bump(&mut self.stats.dl_replicated);
         actions::replicate(msg, self.cfg.mb_mac, &self.cfg.ru_macs)
     }
 
@@ -118,16 +119,16 @@ impl Das {
                 .filter_map(|m| m.as_uplane().and_then(|u| u.sections.get(s_idx)))
                 .collect();
             if sections.len() != cached.len() {
-                self.stats.merge_errors += 1;
+                counters::bump(&mut self.stats.merge_errors);
                 return None;
             }
             match actions::sum_sections(&sections) {
                 Ok(s) => {
-                    total_prbs += s.num_prb() as usize;
+                    total_prbs = total_prbs.saturating_add(usize::from(s.num_prb()));
                     merged_sections.push(s);
                 }
                 Err(_) => {
-                    self.stats.merge_errors += 1;
+                    counters::bump(&mut self.stats.merge_errors);
                     return None;
                 }
             }
@@ -142,7 +143,7 @@ impl Das {
             up.sections = merged_sections;
         }
         actions::redirect(&mut out, self.cfg.mb_mac, self.cfg.du_mac);
-        self.stats.ul_merges += 1;
+        counters::bump(&mut self.stats.ul_merges);
         ctx.telemetry.count(ctx.now_ns(), "ul_merges", 1);
         Some(out)
     }
@@ -170,9 +171,10 @@ impl Das {
                 Some(&(k, at)) => (k, at),
                 None => break,
             };
-            let overdue = now_abs > at_abs + self.merge_window || now_abs + WRAP_GUARD < at_abs;
+            let overdue = now_abs > at_abs.saturating_add(self.merge_window)
+                || now_abs.saturating_add(WRAP_GUARD) < at_abs;
             if key.eaxc_raw != eaxc_raw || !overdue {
-                i += 1;
+                i = i.saturating_add(1);
                 continue;
             }
             self.pending.swap_remove(i);
@@ -180,7 +182,7 @@ impl Das {
             if cached.is_empty() {
                 continue; // evicted by cache pressure meanwhile
             }
-            self.stats.ul_partial_merges += 1;
+            counters::bump(&mut self.stats.ul_partial_merges);
             ctx.telemetry.count(ctx.now_ns(), "das_partial_merge", 1);
             if let Some(m) = self.merge(ctx, cached) {
                 out.push(m);
@@ -196,7 +198,7 @@ impl Middlebox for Das {
 
     fn on_cplane(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
         if msg.eth.src != self.cfg.du_mac {
-            self.stats.unknown_src += 1;
+            counters::bump(&mut self.stats.unknown_src);
             return Vec::new();
         }
         // Both DL and UL C-plane originate at the DU and go to every RU.
@@ -211,7 +213,7 @@ impl Middlebox for Das {
             return self.fan_out(&msg);
         }
         if !self.cfg.ru_macs.contains(&msg.eth.src) {
-            self.stats.unknown_src += 1;
+            counters::bump(&mut self.stats.unknown_src);
             return Vec::new();
         }
         // Uplink IQ from one RU: cache until all RUs reported (A3).
@@ -226,7 +228,7 @@ impl Middlebox for Das {
             symbol: up.symbol,
         };
         let now_abs = up.symbol.absolute_symbol(Numerology::Mu1);
-        self.stats.ul_cached += 1;
+        counters::bump(&mut self.stats.ul_cached);
         ctx.cache.insert(key, msg);
         // Older symbols of this stream that ran out of patience merge
         // first (partially), so one lost RU stalls a symbol for at most

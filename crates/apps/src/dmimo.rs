@@ -17,6 +17,7 @@
 
 use rb_core::actions;
 use rb_core::middlebox::{MbContext, Middlebox};
+use rb_core::telemetry::counters;
 use rb_fronthaul::ether::EthernetAddress;
 use rb_fronthaul::msg::FhMessage;
 use rb_fronthaul::uplane::USection;
@@ -101,10 +102,14 @@ impl Dmimo {
     pub fn to_physical(&self, virtual_port: u8) -> Option<(usize, u8)> {
         let mut base = 0u8;
         for (k, ru) in self.cfg.rus.iter().enumerate() {
-            if virtual_port < base + ru.ports {
-                return Some((k, virtual_port - base));
+            let end = base.saturating_add(ru.ports);
+            if virtual_port < end {
+                // The check above plus the loop invariant (`base` is the
+                // sum of all earlier RUs' ports) pin `virtual_port` to
+                // `base..end`, so the subtraction cannot underflow.
+                return Some((k, virtual_port.wrapping_sub(base)));
             }
-            base += ru.ports;
+            base = end;
         }
         None
     }
@@ -116,7 +121,7 @@ impl Dmimo {
             return None;
         }
         let base: u8 = self.cfg.rus.get(..ru_idx)?.iter().map(|r| r.ports).sum();
-        Some(base + local_port)
+        base.checked_add(local_port)
     }
 
     fn ru_index_of(&self, mac: EthernetAddress) -> Option<usize> {
@@ -141,22 +146,22 @@ impl Dmimo {
     fn downlink(&mut self, ctx: &mut MbContext<'_>, mut msg: FhMessage) -> Vec<FhMessage> {
         let virtual_port = msg.eaxc.ru_port;
         let Some((ru_idx, local)) = self.to_physical(virtual_port) else {
-            self.stats.bad_port += 1;
+            counters::bump(&mut self.stats.bad_port);
             return Vec::new();
         };
         let Some(ru_mac) = self.cfg.rus.get(ru_idx).map(|r| r.mac) else {
-            self.stats.bad_port += 1;
+            counters::bump(&mut self.stats.bad_port);
             return Vec::new();
         };
         ctx.charge(Work::InspectHeaders { prbs: 0 }, XdpPlacement::Kernel);
 
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.cfg.rus.len());
         // SSB copy: clone SSB sections from virtual port 0 towards every
         // *other* radio's local port 0.
         if self.cfg.ssb_copy && virtual_port == 0 {
             let ssb = self.ssb_sections(&msg);
             if let Some(first) = ssb.first() {
-                let ssb_prbs = first.num_prb() as usize;
+                let ssb_prbs = usize::from(first.num_prb());
                 for (k, ru) in self.cfg.rus.iter().enumerate() {
                     if k == ru_idx {
                         continue;
@@ -167,7 +172,7 @@ impl Dmimo {
                         up.sections = ssb.clone();
                     }
                     actions::redirect(&mut copy, self.cfg.mb_mac, ru.mac);
-                    self.stats.ssb_copies += 1;
+                    counters::bump(&mut self.stats.ssb_copies);
                     out.push(copy);
                 }
                 ctx.charge(Work::InspectHeaders { prbs: ssb_prbs }, XdpPlacement::Kernel);
@@ -176,24 +181,24 @@ impl Dmimo {
 
         msg.eaxc = msg.eaxc.with_ru_port(local);
         actions::redirect(&mut msg, self.cfg.mb_mac, ru_mac);
-        self.stats.dl_remapped += 1;
+        counters::bump(&mut self.stats.dl_remapped);
         out.push(msg);
         out
     }
 
     fn uplink(&mut self, ctx: &mut MbContext<'_>, mut msg: FhMessage) -> Vec<FhMessage> {
         let Some(ru_idx) = self.ru_index_of(msg.eth.src) else {
-            self.stats.unknown_src += 1;
+            counters::bump(&mut self.stats.unknown_src);
             return Vec::new();
         };
         let Some(v) = self.to_virtual(ru_idx, msg.eaxc.ru_port) else {
-            self.stats.bad_port += 1;
+            counters::bump(&mut self.stats.bad_port);
             return Vec::new();
         };
         ctx.charge(Work::InspectHeaders { prbs: 0 }, XdpPlacement::Kernel);
         msg.eaxc = msg.eaxc.with_ru_port(v);
         actions::redirect(&mut msg, self.cfg.mb_mac, self.cfg.du_mac);
-        self.stats.ul_remapped += 1;
+        counters::bump(&mut self.stats.ul_remapped);
         vec![msg]
     }
 }

@@ -105,11 +105,13 @@ impl FecEncoderMb {
         };
         out.push(msg);
         match action {
-            EncodeAction::Absorbed | EncodeAction::Restarted => self.stats.protected += 1,
-            EncodeAction::PassThrough => self.stats.unprotected += 1,
+            EncodeAction::Absorbed | EncodeAction::Restarted => {
+                counters::bump(&mut self.stats.protected);
+            }
+            EncodeAction::PassThrough => counters::bump(&mut self.stats.unprotected),
             EncodeAction::WindowComplete => {
-                self.stats.protected += 1;
-                self.stats.windows += 1;
+                counters::bump(&mut self.stats.protected);
+                counters::bump(&mut self.stats.windows);
                 let counter = self.parity_seq.entry(raw).or_insert(0);
                 let stats = &mut self.stats;
                 let (mac, dst) = (self.mac, self.dst);
@@ -133,7 +135,7 @@ impl FecEncoderMb {
                                 },
                             }),
                         ));
-                        stats.parities_sent += 1;
+                        counters::bump(&mut stats.parities_sent);
                     });
                 }
             }
@@ -225,7 +227,7 @@ impl FecDecoderMb {
                 .entry(raw)
                 .or_insert_with(|| ReplayCache::new(cap))
                 .insert(msg.seq_id, &self.wire);
-            self.stats.cached += 1;
+            counters::bump(&mut self.stats.cached);
         }
         actions::redirect(&mut msg, self.mac, self.dst);
         ctx.charge(Work::Cache, XdpPlacement::Userspace);
@@ -255,14 +257,14 @@ impl Middlebox for FecDecoderMb {
             // NACKs belong to the ARQ pair: absorb quietly.
             return out;
         };
-        self.stats.parities_seen += 1;
+        counters::bump(&mut self.stats.parities_seen);
         let raw = msg.eaxc.pack(&ctx.mapping);
         let block = ParityBlock { base_seq, window, depth, class, payload };
         let cache = self.caches.get(&raw);
         let outcome = repair(&block, |seq| cache.and_then(|c| c.get(seq)), &mut self.scratch);
         ctx.charge(Work::Cache, XdpPlacement::Userspace);
         match outcome {
-            Repair::AllPresent => self.stats.lanes_complete += 1,
+            Repair::AllPresent => counters::bump(&mut self.stats.lanes_complete),
             Repair::Recovered { seq } => {
                 if let Ok(mut rebuilt) = self.recycler.parse(&self.scratch, &ctx.mapping) {
                     let cap = self.cache_frames;
@@ -271,15 +273,15 @@ impl Middlebox for FecDecoderMb {
                         .or_insert_with(|| ReplayCache::new(cap))
                         .insert(seq, &self.scratch);
                     actions::redirect(&mut rebuilt, self.mac, self.dst);
-                    self.stats.recovered += 1;
+                    counters::bump(&mut self.stats.recovered);
                     ctx.telemetry.count(ctx.now_ns(), counters::FRAMES_RECOVERED_FEC, 1);
                     out.push(rebuilt);
                 } else {
-                    self.stats.malformed += 1;
+                    counters::bump(&mut self.stats.malformed);
                 }
             }
-            Repair::Unrecoverable { .. } => self.stats.unrecoverable += 1,
-            Repair::Malformed => self.stats.malformed += 1,
+            Repair::Unrecoverable { .. } => counters::bump(&mut self.stats.unrecoverable),
+            Repair::Malformed => counters::bump(&mut self.stats.malformed),
         }
         out
     }

@@ -14,7 +14,7 @@
 
 use rb_core::actions;
 use rb_core::middlebox::{MbContext, Middlebox};
-use rb_core::telemetry::TelemetryEvent;
+use rb_core::telemetry::{counters, TelemetryEvent};
 use rb_fronthaul::ether::EthernetAddress;
 use rb_fronthaul::msg::{Body, FhMessage};
 use rb_fronthaul::uplane::UPlaneRepr;
@@ -187,20 +187,28 @@ impl PrbMon {
             match self.cfg.estimator {
                 Estimator::Exponent => {
                     if let Ok(exps) = section.exponents() {
-                        self.stats.prbs_scanned += exps.len() as u64;
-                        utilized += exps.iter().filter(|&&e| e > thr).count() as u64;
+                        counters::bump_by(
+                            &mut self.stats.prbs_scanned,
+                            counters::as_count(exps.len()),
+                        );
+                        let hot = exps.iter().filter(|&&e| e > thr).count();
+                        utilized = utilized.saturating_add(counters::as_count(hot));
                     }
                 }
                 Estimator::Energy { threshold } => {
                     if let Ok(decoded) = section.decode() {
-                        self.stats.prbs_scanned += decoded.len() as u64;
-                        utilized += decoded
+                        counters::bump_by(
+                            &mut self.stats.prbs_scanned,
+                            counters::as_count(decoded.len()),
+                        );
+                        let hot = decoded
                             .iter()
                             .filter(|(prb, _)| {
                                 prb.energy() as f64 / rb_fronthaul::iq::SAMPLES_PER_PRB as f64
                                     > threshold
                             })
-                            .count() as u64;
+                            .count();
+                        utilized = utilized.saturating_add(counters::as_count(hot));
                     }
                 }
             }
@@ -219,7 +227,8 @@ impl PrbMon {
         let period_ns = self.cfg.report_every.as_nanos().max(1);
         let elapsed_ns = now_ns.saturating_sub(self.window_start_ns);
         let periods = (elapsed_ns / period_ns).max(1);
-        let window_secs = (periods * period_ns) as f64 / 1e9;
+        let window_ns = periods.saturating_mul(period_ns);
+        let window_secs = window_ns as f64 / 1e9;
         for (direction, acc, expected_per_sec) in [
             (Direction::Downlink, self.dl, self.cfg.expected_dl_symbols_per_sec),
             (Direction::Uplink, self.ul, self.cfg.expected_ul_symbols_per_sec),
@@ -239,7 +248,7 @@ impl PrbMon {
                 now_ns,
                 TelemetryEvent::PrbUtilization {
                     downlink: direction == Direction::Downlink,
-                    utilized: acc.utilized_prbs as u32,
+                    utilized: u32::try_from(acc.utilized_prbs).unwrap_or(u32::MAX),
                     total: (expected_symbols * self.cfg.total_prb as f64) as u32,
                 },
             );
@@ -250,7 +259,7 @@ impl PrbMon {
         // Advance by whole periods (not to `now_ns`): window boundaries
         // stay aligned to the reporting grid instead of drifting by each
         // flush's position inside its period.
-        self.window_start_ns += periods * period_ns;
+        self.window_start_ns = self.window_start_ns.saturating_add(window_ns);
     }
 
     fn maybe_flush(&mut self, ctx: &mut MbContext<'_>) {
@@ -270,7 +279,7 @@ impl PrbMon {
             return false;
         };
         actions::redirect(msg, self.cfg.mb_mac, dst);
-        self.stats.forwarded += 1;
+        counters::bump(&mut self.stats.forwarded);
         true
     }
 }
@@ -295,8 +304,8 @@ impl Middlebox for PrbMon {
         let direction = msg.body.direction();
         if msg.eaxc.ru_port == self.cfg.port {
             if let Body::UPlane(up) = &msg.body {
-                self.stats.inspected += 1;
-                let prbs: usize = up.sections.iter().map(|s| s.num_prb() as usize).sum();
+                counters::bump(&mut self.stats.inspected);
+                let prbs: usize = up.sections.iter().map(|s| usize::from(s.num_prb())).sum();
                 ctx.charge(Work::InspectHeaders { prbs }, XdpPlacement::Kernel);
                 let (thr, acc_is_dl) = match direction {
                     Direction::Downlink => (self.cfg.thr_dl, true),
@@ -304,8 +313,8 @@ impl Middlebox for PrbMon {
                 };
                 let utilized = self.count_utilized(up, thr);
                 let acc = if acc_is_dl { &mut self.dl } else { &mut self.ul };
-                acc.utilized_prbs += utilized;
-                acc.observed_symbols += 1;
+                counters::bump_by(&mut acc.utilized_prbs, utilized);
+                counters::bump(&mut acc.observed_symbols);
             }
         } else {
             ctx.charge(Work::Forward, XdpPlacement::Kernel);
@@ -320,7 +329,7 @@ impl Middlebox for PrbMon {
     fn classify(&self, msg: &FhMessage) -> (Work, XdpPlacement) {
         match &msg.body {
             Body::UPlane(up) if msg.eaxc.ru_port == self.cfg.port => {
-                let prbs = up.sections.iter().map(|s| s.num_prb() as usize).sum();
+                let prbs = up.sections.iter().map(|s| usize::from(s.num_prb())).sum();
                 (Work::InspectHeaders { prbs }, XdpPlacement::Kernel)
             }
             _ => (Work::Forward, XdpPlacement::Kernel),

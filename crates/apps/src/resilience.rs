@@ -19,6 +19,7 @@
 
 use rb_core::actions;
 use rb_core::middlebox::{MbContext, Middlebox};
+use rb_core::telemetry::counters;
 use rb_fronthaul::ether::EthernetAddress;
 use rb_fronthaul::msg::FhMessage;
 use rb_netsim::cost::{Work, XdpPlacement};
@@ -123,7 +124,7 @@ impl Resilience {
         if self.active == ActiveDu::Standby {
             self.active = ActiveDu::Primary;
             self.last_dl = None;
-            self.stats.failbacks += 1;
+            counters::bump(&mut self.stats.failbacks);
         }
     }
 
@@ -133,18 +134,18 @@ impl Resilience {
             // Downlink from the live DU: refresh liveness and forward.
             self.last_dl = Some(ctx.now);
             actions::redirect(&mut msg, self.cfg.mb_mac, self.cfg.ru_mac);
-            self.stats.dl_forwarded += 1;
+            counters::bump(&mut self.stats.dl_forwarded);
             return vec![msg];
         }
         if msg.eth.src == self.cfg.ru_mac {
             // Uplink: steer to whichever DU is active right now (A1).
             actions::redirect(&mut msg, self.cfg.mb_mac, self.active_mac());
-            self.stats.ul_forwarded += 1;
+            counters::bump(&mut self.stats.ul_forwarded);
             return vec![msg];
         }
         if msg.eth.src == self.cfg.primary_mac || msg.eth.src == self.cfg.standby_mac {
             // The inactive DU keeps transmitting into the void.
-            self.stats.standby_absorbed += 1;
+            counters::bump(&mut self.stats.standby_absorbed);
         }
         Vec::new()
     }
@@ -171,7 +172,7 @@ impl Middlebox for Resilience {
             if ctx.now.since(last) >= self.cfg.failure_timeout {
                 self.active = ActiveDu::Standby;
                 self.last_failover = Some(ctx.now);
-                self.stats.failovers += 1;
+                counters::bump(&mut self.stats.failovers);
                 ctx.telemetry.count(ctx.now_ns(), "failover", 1);
             }
         }

@@ -28,6 +28,7 @@ use std::collections::HashMap;
 
 use rb_core::cache::{CacheKey, Plane};
 use rb_core::middlebox::{MbContext, Middlebox};
+use rb_core::telemetry::counters;
 use rb_fronthaul::bfp::CompressionMethod;
 use rb_fronthaul::cplane::{CPlaneRepr, SectionFields, Sections, NUM_PRB_ALL};
 use rb_fronthaul::ether::EthernetAddress;
@@ -38,6 +39,11 @@ use rb_fronthaul::timing::{SymbolId, SYMBOLS_PER_SLOT};
 use rb_fronthaul::uplane::{UPlaneRepr, USection};
 use rb_fronthaul::Direction;
 use rb_netsim::cost::{Work, XdpPlacement};
+
+/// [`SAMPLES_PER_PRB`] in the u64 domain the PRB-range checks work in.
+const SAMPLES_PER_PRB_U64: u64 = SAMPLES_PER_PRB as u64;
+/// Index of the last symbol in a slot.
+const LAST_SYMBOL: u8 = SYMBOLS_PER_SLOT - 1;
 
 /// Spectral description of a carrier (DU or RU side).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,16 +232,16 @@ impl RuShare {
     fn advance_horizon(&mut self, symbol: SymbolId) {
         use rb_fronthaul::timing::Numerology;
         let n = Numerology::Mu1;
-        let now = symbol.absolute_slot(n) as u64;
+        let now = u64::from(symbol.absolute_slot(n));
         // Only move forward within the same hyperperiod (wraps reset).
-        if now > self.horizon || now + 64 < self.horizon {
+        if now > self.horizon || now.saturating_add(64) < self.horizon {
             self.horizon = now;
         }
         let horizon = self.horizon;
         let slot_horizon = self.slot_horizon;
         let stale = |sym: &SymbolId| {
-            let s = sym.absolute_slot(n) as u64;
-            s + slot_horizon < horizon
+            let s = u64::from(sym.absolute_slot(n));
+            s.saturating_add(slot_horizon) < horizon
         };
         self.cplane.retain(|(sym, _, _), _| !stale(sym));
         self.prach_pending.retain(|(sym, _), _| !stale(sym));
@@ -258,15 +264,20 @@ impl RuShare {
 
     /// Does a DU-local PRB range land inside the RU grid once remapped?
     fn range_fits_ru(&self, du_idx: usize, start: u16, num: u16) -> bool {
-        let ru_scs = self.cfg.ru.num_prb as u64 * SAMPLES_PER_PRB as u64;
+        let ru_scs = u64::from(self.cfg.ru.num_prb).saturating_mul(SAMPLES_PER_PRB_U64);
         match self.alignment.get(du_idx) {
             Some(Alignment::Aligned { prb_offset }) => {
-                let end = *prb_offset as u64 + start as u64 + num as u64;
-                end * SAMPLES_PER_PRB as u64 <= ru_scs
+                let end = u64::from(*prb_offset)
+                    .saturating_add(u64::from(start))
+                    .saturating_add(u64::from(num));
+                end.saturating_mul(SAMPLES_PER_PRB_U64) <= ru_scs
             }
             Some(Alignment::Misaligned { sc_offset }) => {
-                let end_sc =
-                    *sc_offset as u64 + (start as u64 + num as u64) * SAMPLES_PER_PRB as u64;
+                let end_sc = u64::from(*sc_offset).saturating_add(
+                    u64::from(start)
+                        .saturating_add(u64::from(num))
+                        .saturating_mul(SAMPLES_PER_PRB_U64),
+                );
                 end_sc <= ru_scs
             }
             None => false,
@@ -285,7 +296,8 @@ impl RuShare {
                 // On failure the buffer stays zeroed, which is itself a
                 // valid all-zero PRB in every supported method.
                 let _ = rb_fronthaul::bfp::compress_prb_wire(&Prb::ZERO, method, &mut buf);
-                let mut payload = Vec::with_capacity(buf.len() * num_prb as usize);
+                let mut payload =
+                    Vec::with_capacity(buf.len().saturating_mul(usize::from(num_prb)));
                 for _ in 0..num_prb {
                     payload.extend_from_slice(&buf);
                 }
@@ -306,7 +318,7 @@ impl RuShare {
         msg: FhMessage,
     ) -> Vec<FhMessage> {
         let Some(cp) = msg.as_cplane().cloned() else {
-            self.stats.dropped += 1;
+            counters::bump(&mut self.stats.dropped);
             return Vec::new();
         };
         if matches!(cp.sections, Sections::Type3 { .. }) {
@@ -323,7 +335,7 @@ impl RuShare {
         let key = (cp.symbol.slot_start(), msg.eaxc.ru_port, cp.direction);
         let sections = cp.sections.common_fields();
         let Some(du_prbs) = self.cfg.dus.get(du_idx).map(|d| d.carrier.num_prb) else {
-            self.stats.dropped += 1;
+            counters::bump(&mut self.stats.dropped);
             return Vec::new();
         };
         let ranges: Vec<(u16, u16)> =
@@ -332,7 +344,7 @@ impl RuShare {
         // cannot be shared: degrade to pass-through (A1 untouched) so the
         // DU keeps connectivity, and count the event.
         if !ranges.iter().all(|&(start, num)| self.range_fits_ru(du_idx, start, num)) {
-            self.stats.pass_through += 1;
+            counters::bump(&mut self.stats.pass_through);
             ctx.telemetry.count(ctx.now_ns(), "rushare_pass_through", 1);
             let mut out = msg;
             rb_core::actions::redirect(&mut out, self.cfg.mb_mac, self.cfg.ru_mac);
@@ -348,7 +360,7 @@ impl RuShare {
         state.requests.push(request);
         ctx.charge(Work::InspectHeaders { prbs: 0 }, XdpPlacement::Userspace);
         if state.sent_to_ru {
-            self.stats.cplane_absorbed += 1;
+            counters::bump(&mut self.stats.cplane_absorbed);
             return Vec::new();
         }
         state.sent_to_ru = true;
@@ -362,7 +374,7 @@ impl RuShare {
             }
         }
         rb_core::actions::redirect(&mut out, self.cfg.mb_mac, self.cfg.ru_mac);
-        self.stats.cplane_maximized += 1;
+        counters::bump(&mut self.stats.cplane_maximized);
         vec![out]
     }
 
@@ -416,7 +428,7 @@ impl RuShare {
                     self.cfg.ru.center_hz,
                     self.cfg.ru.scs_hz,
                 ) else {
-                    self.stats.dropped += 1;
+                    counters::bump(&mut self.stats.dropped);
                     continue;
                 };
                 directory.insert(
@@ -452,7 +464,7 @@ impl RuShare {
             0,
             Body::CPlane(merged),
         );
-        self.stats.prach_merges += 1;
+        counters::bump(&mut self.stats.prach_merges);
         ctx.charge(Work::InspectHeaders { prbs: 0 }, XdpPlacement::Userspace);
         vec![out]
     }
@@ -463,7 +475,7 @@ impl RuShare {
 
     fn dl_uplane_from_du(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
         let Some(up) = msg.as_uplane() else {
-            self.stats.dropped += 1;
+            counters::bump(&mut self.stats.dropped);
             return Vec::new();
         };
         let symbol = up.symbol;
@@ -525,28 +537,28 @@ impl RuShare {
                 continue;
             };
             for s in &up.sections {
-                total_prbs += s.num_prb() as usize;
+                total_prbs = total_prbs.saturating_add(usize::from(s.num_prb()));
                 match self.alignment.get(du_idx).copied() {
                     Some(Alignment::Aligned { prb_offset }) => {
                         let Some(at) = prb_offset.checked_add(s.start_prb) else {
-                            self.stats.dropped += 1;
+                            counters::bump(&mut self.stats.dropped);
                             continue;
                         };
                         if rb_core::actions::copy_prbs(&mut dst, s, 0, at, s.num_prb()).is_ok() {
-                            self.stats.aligned_copies += 1;
+                            counters::bump(&mut self.stats.aligned_copies);
                         } else {
-                            self.stats.dropped += 1;
+                            counters::bump(&mut self.stats.dropped);
                         }
                     }
                     Some(Alignment::Misaligned { sc_offset }) => {
                         any_misaligned = true;
                         if self.misaligned_place(&mut dst, s, sc_offset).is_ok() {
-                            self.stats.misaligned_copies += 1;
+                            counters::bump(&mut self.stats.misaligned_copies);
                         } else {
-                            self.stats.dropped += 1;
+                            counters::bump(&mut self.stats.dropped);
                         }
                     }
-                    None => self.stats.dropped += 1,
+                    None => counters::bump(&mut self.stats.dropped),
                 }
             }
         }
@@ -571,7 +583,7 @@ impl RuShare {
             0,
             Body::UPlane(merged),
         );
-        self.stats.dl_muxes += 1;
+        counters::bump(&mut self.stats.dl_muxes);
         vec![out]
     }
 
@@ -585,21 +597,30 @@ impl RuShare {
         sc_offset: u32,
     ) -> rb_fronthaul::Result<()> {
         let decoded = src.decode()?;
-        let start_sc = sc_offset as usize + src.start_prb as usize * SAMPLES_PER_PRB;
+        let start_sc = usize::try_from(sc_offset)
+            .unwrap_or(usize::MAX)
+            .saturating_add(usize::from(src.start_prb).saturating_mul(SAMPLES_PER_PRB));
         let first_prb = start_sc / SAMPLES_PER_PRB;
-        let last_prb = (start_sc + decoded.len() * SAMPLES_PER_PRB - 1) / SAMPLES_PER_PRB;
+        let last_sc = start_sc
+            .saturating_add(decoded.len().saturating_mul(SAMPLES_PER_PRB))
+            .saturating_sub(1);
+        let last_prb = last_sc / SAMPLES_PER_PRB;
         // Read the affected RU PRBs, overlay, re-write.
-        let mut flat: Vec<IqSample> = Vec::with_capacity((last_prb - first_prb + 1) * 12);
+        let span = last_prb.saturating_sub(first_prb).saturating_add(1);
+        let mut flat: Vec<IqSample> = Vec::with_capacity(span.saturating_mul(SAMPLES_PER_PRB));
         for prb in first_prb..=last_prb {
+            let wire =
+                dst.prb_bytes(u16::try_from(prb).map_err(|_| rb_fronthaul::Error::FieldRange)?)?;
             let (p, _) =
-                rb_fronthaul::bfp::decompress_prb_wire(dst.prb_bytes(prb as u16)?, dst.method)
-                    .map(|(p, e, _)| (p, e))?;
+                rb_fronthaul::bfp::decompress_prb_wire(wire, dst.method).map(|(p, e, _)| (p, e))?;
             flat.extend_from_slice(&p.0);
         }
-        let base = start_sc - first_prb * SAMPLES_PER_PRB;
+        // `first_prb = start_sc / SAMPLES_PER_PRB`, so this is `start_sc
+        // mod SAMPLES_PER_PRB` and cannot underflow.
+        let base = start_sc.saturating_sub(first_prb.saturating_mul(SAMPLES_PER_PRB));
         for (k, (prb, _)) in decoded.iter().enumerate() {
-            let off = base + k * SAMPLES_PER_PRB;
-            flat.get_mut(off..off + SAMPLES_PER_PRB)
+            let off = base.saturating_add(k.saturating_mul(SAMPLES_PER_PRB));
+            flat.get_mut(off..off.saturating_add(SAMPLES_PER_PRB))
                 .ok_or(rb_fronthaul::Error::FieldRange)?
                 .copy_from_slice(&prb.0);
         }
@@ -607,7 +628,10 @@ impl RuShare {
             .chunks_exact(SAMPLES_PER_PRB)
             .map(|c| c.try_into().map(Prb).unwrap_or(Prb::ZERO))
             .collect();
-        dst.write_prbs(first_prb as u16, &prbs)
+        dst.write_prbs(
+            u16::try_from(first_prb).map_err(|_| rb_fronthaul::Error::FieldRange)?,
+            &prbs,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -616,7 +640,7 @@ impl RuShare {
 
     fn ul_uplane_from_ru(&mut self, ctx: &mut MbContext<'_>, msg: FhMessage) -> Vec<FhMessage> {
         let Some(up) = msg.as_uplane().cloned() else {
-            self.stats.dropped += 1;
+            counters::bump(&mut self.stats.dropped);
             return Vec::new();
         };
         let port = msg.eaxc.ru_port;
@@ -629,14 +653,14 @@ impl RuShare {
             // an unsolicited RU symbol): degrade to pass-through — every DU
             // gets the full-spectrum frame unmodified — instead of going
             // dark, and count the event.
-            self.stats.pass_through += 1;
+            counters::bump(&mut self.stats.pass_through);
             ctx.telemetry.count(ctx.now_ns(), "rushare_pass_through", 1);
             ctx.charge(Work::Replicate { copies: self.cfg.dus.len() }, XdpPlacement::Kernel);
             let dsts: Vec<EthernetAddress> = self.cfg.dus.iter().map(|d| d.mac).collect();
             return rb_core::actions::replicate(&msg, self.cfg.mb_mac, &dsts);
         };
         let requests = state.requests.clone();
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(requests.len());
         let mut total_prbs = 0usize;
         let mut any_misaligned = false;
         for req in &requests {
@@ -646,25 +670,37 @@ impl RuShare {
             let (Some(du), Some(align)) =
                 (self.cfg.dus.get(req.du_idx).copied(), self.alignment.get(req.du_idx).copied())
             else {
-                self.stats.dropped += 1;
+                counters::bump(&mut self.stats.dropped);
                 continue;
             };
-            let mut sections = Vec::new();
+            let mut sections = Vec::with_capacity(req.ranges.len());
             for (sid, (start, num)) in req.ranges.iter().enumerate() {
-                total_prbs += *num as usize;
+                total_prbs = total_prbs.saturating_add(usize::from(*num));
                 let section = match align {
                     Alignment::Aligned { prb_offset } => {
                         let ru_start = prb_offset.saturating_add(*start);
-                        self.extract_aligned(&up, ru_start, *start, *num, sid as u16)
+                        self.extract_aligned(
+                            &up,
+                            ru_start,
+                            *start,
+                            *num,
+                            u16::try_from(sid).unwrap_or(u16::MAX),
+                        )
                     }
                     Alignment::Misaligned { sc_offset } => {
                         any_misaligned = true;
-                        self.extract_misaligned(&up, sc_offset, *start, *num, sid as u16)
+                        self.extract_misaligned(
+                            &up,
+                            sc_offset,
+                            *start,
+                            *num,
+                            u16::try_from(sid).unwrap_or(u16::MAX),
+                        )
                     }
                 };
                 match section {
                     Some(s) => sections.push(s),
-                    None => self.stats.dropped += 1,
+                    None => counters::bump(&mut self.stats.dropped),
                 }
             }
             if sections.is_empty() {
@@ -677,7 +713,7 @@ impl RuShare {
                 sections,
             };
             out.push(FhMessage::new(self.cfg.mb_mac, du.mac, msg.eaxc, 0, Body::UPlane(demuxed)));
-            self.stats.ul_demuxes += 1;
+            counters::bump(&mut self.stats.ul_demuxes);
         }
         ctx.charge(
             if any_misaligned {
@@ -688,7 +724,7 @@ impl RuShare {
             XdpPlacement::Userspace,
         );
         // End of slot: drop the slot's C-plane state.
-        if up.symbol.symbol == SYMBOLS_PER_SLOT - 1 {
+        if up.symbol.symbol == LAST_SYMBOL {
             self.cplane.remove(&slot_key);
         }
         out
@@ -704,18 +740,20 @@ impl RuShare {
         section_id: u16,
     ) -> Option<USection> {
         for s in &up.sections {
-            let s_end = s.start_prb as u32 + s.num_prb() as u32;
-            if ru_start >= s.start_prb && ru_start as u32 + num as u32 <= s_end {
+            let s_end = u32::from(s.start_prb).saturating_add(u32::from(s.num_prb()));
+            if ru_start >= s.start_prb
+                && u32::from(ru_start).saturating_add(u32::from(num)) <= s_end
+            {
                 let mut dst = USection {
                     section_id,
                     rb: false,
                     sym_inc: false,
                     start_prb: du_start,
                     method: s.method,
-                    payload: vec![0u8; num as usize * s.method.prb_wire_bytes()],
+                    payload: vec![0u8; usize::from(num).saturating_mul(s.method.prb_wire_bytes())],
                 };
-                if dst.copy_prbs_from(s, ru_start - s.start_prb, 0, num).is_ok() {
-                    self.stats.aligned_copies += 1;
+                if dst.copy_prbs_from(s, ru_start.saturating_sub(s.start_prb), 0, num).is_ok() {
+                    counters::bump(&mut self.stats.aligned_copies);
                     return Some(dst);
                 }
             }
@@ -733,29 +771,38 @@ impl RuShare {
         num: u16,
         section_id: u16,
     ) -> Option<USection> {
-        let start_sc = sc_offset as usize + du_start as usize * SAMPLES_PER_PRB;
-        let end_sc = start_sc + num as usize * SAMPLES_PER_PRB;
-        let first_prb = (start_sc / SAMPLES_PER_PRB) as u16;
-        let last_prb = ((end_sc - 1) / SAMPLES_PER_PRB) as u16;
+        let start_sc = usize::try_from(sc_offset)
+            .unwrap_or(usize::MAX)
+            .saturating_add(usize::from(du_start).saturating_mul(SAMPLES_PER_PRB));
+        let end_sc = start_sc.saturating_add(usize::from(num).saturating_mul(SAMPLES_PER_PRB));
+        // `range_fits_ru` bounded both against the RU grid, far below u16.
+        let first_prb = u16::try_from(start_sc / SAMPLES_PER_PRB).unwrap_or(u16::MAX);
+        let last_prb =
+            u16::try_from(end_sc.saturating_sub(1) / SAMPLES_PER_PRB).unwrap_or(u16::MAX);
         for s in &up.sections {
-            let s_end = s.start_prb as u32 + s.num_prb() as u32;
-            if first_prb < s.start_prb || last_prb as u32 >= s_end {
+            let s_end = u32::from(s.start_prb).saturating_add(u32::from(s.num_prb()));
+            if first_prb < s.start_prb || u32::from(last_prb) >= s_end {
                 continue;
             }
-            let mut flat = Vec::with_capacity((last_prb - first_prb + 1) as usize * 12);
+            let span = usize::from(last_prb.saturating_sub(first_prb)).saturating_add(1);
+            let mut flat = Vec::with_capacity(span.saturating_mul(SAMPLES_PER_PRB));
             for prb in first_prb..=last_prb {
-                let bytes = s.prb_bytes(prb - s.start_prb).ok()?;
+                let bytes = s.prb_bytes(prb.saturating_sub(s.start_prb)).ok()?;
                 let (p, _, _) = rb_fronthaul::bfp::decompress_prb_wire(bytes, s.method).ok()?;
                 flat.extend_from_slice(&p.0);
             }
-            let base = start_sc - first_prb as usize * SAMPLES_PER_PRB;
-            let samples = flat.get(base..base + num as usize * SAMPLES_PER_PRB)?;
+            // `first_prb = start_sc / SAMPLES_PER_PRB`, so this is the
+            // intra-PRB remainder and cannot underflow.
+            let base =
+                start_sc.saturating_sub(usize::from(first_prb).saturating_mul(SAMPLES_PER_PRB));
+            let samples = flat
+                .get(base..base.saturating_add(usize::from(num).saturating_mul(SAMPLES_PER_PRB)))?;
             let prbs: Vec<Prb> = samples
                 .chunks_exact(SAMPLES_PER_PRB)
                 .map(|c| c.try_into().map(Prb).unwrap_or(Prb::ZERO))
                 .collect();
             let section = USection::from_prbs(section_id, du_start, &prbs, s.method).ok()?;
-            self.stats.misaligned_copies += 1;
+            counters::bump(&mut self.stats.misaligned_copies);
             let mut section = section;
             section.section_id = section_id;
             return Some(section);
@@ -773,18 +820,18 @@ impl RuShare {
     ) -> Vec<FhMessage> {
         let key = (up.symbol.slot_start(), port);
         let Some(directory) = self.prach_orig.remove(&key) else {
-            self.stats.dropped += 1;
+            counters::bump(&mut self.stats.dropped);
             return Vec::new();
         };
         ctx.charge(Work::Replicate { copies: directory.len() }, XdpPlacement::Userspace);
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(up.sections.len());
         for section in &up.sections {
             let Some(orig) = directory.get(&section.section_id) else {
-                self.stats.dropped += 1;
+                counters::bump(&mut self.stats.dropped);
                 continue;
             };
             let Some(du) = self.cfg.dus.get(orig.du_idx).copied() else {
-                self.stats.dropped += 1;
+                counters::bump(&mut self.stats.dropped);
                 continue;
             };
             let mut s = section.clone();
@@ -802,7 +849,7 @@ impl RuShare {
                 0,
                 Body::UPlane(demuxed),
             ));
-            self.stats.prach_demuxes += 1;
+            counters::bump(&mut self.stats.prach_demuxes);
         }
         out
     }
@@ -820,7 +867,7 @@ impl Middlebox for RuShare {
         match self.du_index(msg.eth.src) {
             Some(du_idx) => self.cplane_from_du(ctx, du_idx, msg),
             None => {
-                self.stats.dropped += 1;
+                counters::bump(&mut self.stats.dropped);
                 Vec::new()
             }
         }
@@ -835,7 +882,7 @@ impl Middlebox for RuShare {
         } else if self.du_index(msg.eth.src).is_some() {
             self.dl_uplane_from_du(ctx, msg)
         } else {
-            self.stats.dropped += 1;
+            counters::bump(&mut self.stats.dropped);
             Vec::new()
         }
     }
@@ -844,7 +891,7 @@ impl Middlebox for RuShare {
         match &msg.body {
             Body::CPlane(_) => (Work::Cache, XdpPlacement::Userspace),
             Body::UPlane(up) => {
-                let prbs = up.sections.iter().map(|s| s.num_prb() as usize).sum();
+                let prbs = up.sections.iter().map(|s| usize::from(s.num_prb())).sum();
                 (Work::InspectHeaders { prbs }, XdpPlacement::Userspace)
             }
             Body::Recovery(_) => (Work::Forward, XdpPlacement::Kernel),

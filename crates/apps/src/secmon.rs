@@ -23,6 +23,7 @@ use std::collections::HashMap;
 
 use rb_core::actions;
 use rb_core::middlebox::{MbContext, Middlebox};
+use rb_core::telemetry::counters;
 use rb_fronthaul::ether::EthernetAddress;
 use rb_fronthaul::msg::{Body, FhMessage};
 use rb_fronthaul::Direction;
@@ -93,7 +94,7 @@ impl SecMon {
     }
 
     fn drop_with(&mut self, ctx: &mut MbContext<'_>, v: Violation) -> Vec<FhMessage> {
-        *self.stats.drops.entry(v).or_insert(0) += 1;
+        counters::bump(self.stats.drops.entry(v).or_insert(0));
         ctx.telemetry.count(ctx.now_ns(), "sec_drop", 1);
         Vec::new()
     }
@@ -122,7 +123,8 @@ impl SecMon {
         if let Some(cp) = msg.as_cplane() {
             for s in cp.sections.common_fields() {
                 let num = s.resolved_num_prb(self.cfg.carrier_prbs);
-                if s.start_prb >= self.cfg.carrier_prbs || s.start_prb + num > self.cfg.carrier_prbs
+                if s.start_prb >= self.cfg.carrier_prbs
+                    || s.start_prb.saturating_add(num) > self.cfg.carrier_prbs
                 {
                     return self.drop_with(ctx, Violation::ImplausibleSchedule);
                 }
@@ -133,12 +135,12 @@ impl SecMon {
         let key = (msg.eth.src, msg.eaxc.pack(&ctx.mapping));
         if let Some(prev) = self.last_seq.insert(key, msg.seq_id) {
             if msg.seq_id != prev.wrapping_add(1) {
-                self.stats.seq_gaps += 1;
+                counters::bump(&mut self.stats.seq_gaps);
             }
         }
         let dst = if from_du { self.cfg.towards_ru } else { self.cfg.towards_du };
         actions::redirect(&mut msg, self.cfg.mb_mac, dst);
-        self.stats.passed += 1;
+        counters::bump(&mut self.stats.passed);
         vec![msg]
     }
 }

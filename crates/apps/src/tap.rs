@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use rb_core::actions;
 use rb_core::middlebox::{MbContext, Middlebox};
+use rb_core::telemetry::counters;
 use rb_fronthaul::eaxc::EaxcMapping;
 use rb_fronthaul::ether::EthernetAddress;
 use rb_fronthaul::msg::FhMessage;
@@ -93,7 +94,7 @@ impl Tap {
     }
 
     fn record(&mut self, at_ns: u64, msg: &FhMessage) {
-        if self.ring.len() == self.cfg.ring_capacity {
+        while self.ring.len() >= self.cfg.ring_capacity.max(1) {
             self.ring.pop_front();
         }
         self.ring.push_back(Captured { at_ns, msg: msg.clone() });
@@ -112,11 +113,11 @@ impl Tap {
         } else if msg.eth.src == self.cfg.ru_mac {
             self.cfg.du_mac
         } else {
-            self.unknown_src += 1;
+            counters::bump(&mut self.unknown_src);
             return Vec::new();
         };
         actions::redirect(&mut msg, self.cfg.mb_mac, dst);
-        self.forwarded += 1;
+        counters::bump(&mut self.forwarded);
         vec![msg]
     }
 }

@@ -47,7 +47,7 @@ pub fn replicate(
 /// have the same `start_prb` and PRB count.
 pub fn sum_sections(sections: &[&USection]) -> Result<USection> {
     let first = sections.first().ok_or(Error::ShapeMismatch)?;
-    let n = first.num_prb() as usize;
+    let n = usize::from(first.num_prb());
     let mut acc: Vec<Prb> = vec![Prb::ZERO; n];
     for s in sections {
         if s.start_prb != first.start_prb || s.num_prb() != first.num_prb() {
@@ -72,8 +72,9 @@ pub fn recompress_copy(
     count: u16,
 ) -> Result<()> {
     let decoded = src.decode()?;
-    let s = src_idx as usize;
-    let e = s + count as usize;
+    let s = usize::from(src_idx);
+    // Saturation is caught by the `get` bounds check below.
+    let e = s.saturating_add(usize::from(count));
     let range = decoded.get(s..e).ok_or(Error::FieldRange)?;
     let prbs: Vec<Prb> = range.iter().map(|(p, _)| *p).collect();
     dst.write_prbs(dst_idx, &prbs)

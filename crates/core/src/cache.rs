@@ -74,7 +74,7 @@ impl SymbolCache {
                 // Evict the oldest still-live key.
                 while let Some(old) = self.order.pop_front() {
                     if self.map.remove(&old).is_some() {
-                        self.evictions += 1;
+                        crate::telemetry::counters::bump(&mut self.evictions);
                         break;
                     }
                 }

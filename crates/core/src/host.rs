@@ -103,7 +103,7 @@ impl<M: Middlebox> MiddleboxHost<M> {
         if let ProcessOutcome::Handled { class } = outcome {
             let mut total = rb_netsim::time::SimDuration::ZERO;
             for &(work, placement) in self.pipeline.last_charges() {
-                total += self.cost.packet_cost(work, placement);
+                total = total.saturating_add(self.cost.packet_cost(work, placement));
             }
             self.ledger.charge_balanced(total);
             self.latency.entry(class).or_default().record(total);

@@ -44,4 +44,5 @@ pub mod host;
 pub mod mgmt;
 pub mod middlebox;
 pub mod pipeline;
+pub mod sync;
 pub mod telemetry;

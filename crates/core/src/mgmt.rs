@@ -14,10 +14,8 @@
 //! management plane.
 
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use crate::sync::{Arc, AtomicU64, Ordering, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use rb_fronthaul::eaxc::Eaxc;
 use rb_fronthaul::ether::EthernetAddress;
 use rb_fronthaul::msg::{Body, FhMessage};
@@ -152,7 +150,7 @@ impl ForwardingTable {
             if rule.matcher.matches(msg, eaxc_raw) {
                 match rule.action {
                     RuleAction::Drop => {
-                        self.drops += 1;
+                        crate::telemetry::counters::bump(&mut self.drops);
                         return false;
                     }
                     RuleAction::SetDst(mac) => msg.eth.dst = mac,

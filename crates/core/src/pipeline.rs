@@ -28,7 +28,7 @@ use rb_netsim::time::SimTime;
 use crate::cache::SymbolCache;
 use crate::mgmt::{self, RulesCache, SharedRules};
 use crate::middlebox::{MbContext, Middlebox};
-use crate::telemetry::TelemetrySender;
+use crate::telemetry::{counters, TelemetrySender};
 
 /// Traffic classes used for per-class latency accounting (Figure 15b).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -249,12 +249,14 @@ impl<M: Middlebox> MbPipeline<M> {
                 if delta == 1 {
                     *last = seq;
                 } else if delta == 0 {
-                    self.stats.seq_dups += 1;
+                    counters::bump(&mut self.stats.seq_dups);
                 } else if delta <= 128 {
-                    self.stats.seq_gaps += u64::from(delta) - 1;
+                    // `delta` is in `2..=128` here, so the decrement
+                    // cannot underflow.
+                    counters::bump_by(&mut self.stats.seq_gaps, u64::from(delta).wrapping_sub(1));
                     *last = seq;
                 } else {
-                    self.stats.seq_dups += 1;
+                    counters::bump(&mut self.stats.seq_dups);
                 }
             }
             None => {
@@ -273,7 +275,7 @@ impl<M: Middlebox> MbPipeline<M> {
     fn transmit(&mut self, mut msg: FhMessage, emit: &mut dyn FnMut(&[u8])) {
         let eaxc_raw = msg.eaxc.pack(&self.mapping);
         if !self.rules_cache.apply(&self.rules, &mut msg, eaxc_raw) {
-            self.stats.rule_drops += 1;
+            counters::bump(&mut self.stats.rule_drops);
             self.recycler.recycle(msg);
             return;
         }
@@ -286,10 +288,10 @@ impl<M: Middlebox> MbPipeline<M> {
         }
         match msg.serialize_into(&self.mapping, &mut self.tx_buf) {
             Ok(()) => {
-                self.stats.tx += 1;
+                counters::bump(&mut self.stats.tx);
                 emit(&self.tx_buf);
             }
-            Err(_) => self.stats.emit_errors += 1,
+            Err(_) => counters::bump(&mut self.stats.emit_errors),
         }
         self.recycler.recycle(msg);
     }
@@ -304,13 +306,13 @@ impl<M: Middlebox> MbPipeline<M> {
         frame: &[u8],
         emit: &mut dyn FnMut(&[u8]),
     ) -> ProcessOutcome {
-        self.stats.rx += 1;
+        counters::bump(&mut self.stats.rx);
         let msg = match self.recycler.parse(frame, &self.mapping) {
             Ok(m) => m,
             Err(_) => {
-                self.stats.parse_errors += 1;
+                counters::bump(&mut self.stats.parse_errors);
                 if looks_like_ecpri(frame) {
-                    self.stats.frames_corrupt += 1;
+                    counters::bump(&mut self.stats.frames_corrupt);
                 }
                 return ProcessOutcome::ParseError;
             }
@@ -319,7 +321,7 @@ impl<M: Middlebox> MbPipeline<M> {
         // reach the middlebox. This also breaks forwarding loops caused by
         // unknown-destination flooding in the embedded switch.
         if msg.eth.dst != self.mac && !msg.eth.dst.is_broadcast() {
-            self.stats.not_for_us += 1;
+            counters::bump(&mut self.stats.not_for_us);
             self.recycler.recycle(msg);
             return ProcessOutcome::NotForUs;
         }

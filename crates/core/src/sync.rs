@@ -1,0 +1,19 @@
+//! Synchronization facade: `parking_lot` + std atomics in production
+//! builds, `rb-loom`'s instrumented shims under `cfg(loom)`.
+//!
+//! [`crate::mgmt`]'s epoch-published rule tables import exclusively from
+//! here, so `RUSTFLAGS="--cfg loom" cargo test -p rb-core --test
+//! loom_models` model-checks the production publish/refresh protocol
+//! under every reachable interleaving.
+
+#[cfg(not(loom))]
+pub use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+pub use std::sync::Arc;
+
+#[cfg(loom)]
+pub use rb_loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+pub use rb_loom::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -40,6 +40,27 @@ pub mod counters {
     pub const BOND_DEDUP_DROPS: &str = "bond_dedup_drops";
     /// Times a bonded link changed which member link frames arrive on.
     pub const BOND_LINK_SWITCHES: &str = "bond_link_switches";
+
+    /// Saturating counter increment — the spelling the `arith` lint
+    /// sanctions for monotonic stats counters (a u64 pinned at MAX is a
+    /// visibly broken reading; a silently wrapped one is a wrong one).
+    #[inline]
+    pub fn bump(c: &mut u64) {
+        *c = c.saturating_add(1);
+    }
+
+    /// Saturating counter addition (see [`bump`]).
+    #[inline]
+    pub fn bump_by(c: &mut u64, n: u64) {
+        *c = c.saturating_add(n);
+    }
+
+    /// A collection length as a u64 counter value, without a silent
+    /// truncating cast on exotic pointer widths.
+    #[inline]
+    pub fn as_count(n: usize) -> u64 {
+        u64::try_from(n).unwrap_or(u64::MAX)
+    }
 }
 
 /// One telemetry event.

@@ -167,7 +167,7 @@ impl<A: FrameIo, B: FrameIo> BondedIo<A, B> {
     }
 
     fn note_switch(&mut self, at_ns: u64) {
-        self.stats.link_switches += 1;
+        counters::bump(&mut self.stats.link_switches);
         if let Some(t) = &self.telemetry {
             t.count(at_ns, counters::BOND_LINK_SWITCHES, 1);
         }
@@ -294,7 +294,7 @@ impl<A: FrameIo, B: FrameIo> FrameIo for BondedIo<A, B> {
     }
 
     fn tx(&mut self, frame: RawFrame) -> bool {
-        self.stats.tx_frames += 1;
+        counters::bump(&mut self.stats.tx_frames);
         match self.mode {
             BondMode::DuplicateDedup => {
                 // Copy through the pool — no allocation once warm.
@@ -305,19 +305,19 @@ impl<A: FrameIo, B: FrameIo> FrameIo for BondedIo<A, B> {
                 let ok_b = self.b.tx(twin);
                 let ok = ok_a || ok_b;
                 if !ok {
-                    self.stats.tx_failures += 1;
+                    counters::bump(&mut self.stats.tx_failures);
                 }
                 ok
             }
             BondMode::Dwrr { quantum } => {
-                let cost = frame.bytes.len().max(1) as u64;
+                let cost = counters::as_count(frame.bytes.len().max(1));
                 if cost > self.tx_deficit {
                     // Budget spent: rotate to the other link.
                     self.tx_link ^= 1;
-                    self.tx_deficit = (quantum.max(1) as u64).max(cost);
+                    self.tx_deficit = counters::as_count(quantum.max(1)).max(cost);
                     self.note_switch(frame.at_ns);
                 }
-                self.tx_deficit -= cost;
+                self.tx_deficit = self.tx_deficit.saturating_sub(cost);
                 let at_ns = frame.at_ns;
                 let ok = if self.tx_link == 0 { self.a.tx(frame) } else { self.b.tx(frame) };
                 if ok {
@@ -327,9 +327,9 @@ impl<A: FrameIo, B: FrameIo> FrameIo for BondedIo<A, B> {
                 // pooled copy we cannot make (the frame is consumed), so
                 // count the failure honestly and flip the striper.
                 self.tx_link ^= 1;
-                self.tx_deficit = quantum.max(1) as u64;
+                self.tx_deficit = counters::as_count(quantum.max(1));
                 self.note_switch(at_ns);
-                self.stats.tx_failures += 1;
+                counters::bump(&mut self.stats.tx_failures);
                 false
             }
         }

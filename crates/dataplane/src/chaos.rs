@@ -31,6 +31,7 @@
 
 use std::collections::VecDeque;
 
+use rb_core::telemetry::counters::{as_count, bump};
 use rb_fronthaul::ether::EthernetAddress;
 
 use crate::io::{FrameIo, RawFrame, RxPoll};
@@ -76,7 +77,7 @@ impl ChaosRng {
         if p >= 1.0 {
             return true;
         }
-        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+        ((self.next_u64() >> 11) as f64) / ((1u64 << 53) as f64) < p
     }
 
     /// Uniform draw in `0..n` (`0` when `n == 0`).
@@ -232,7 +233,7 @@ impl Lane {
         outage: Option<&Outage>,
         out: &mut VecDeque<RawFrame>,
     ) {
-        self.stats.frames += 1;
+        bump(&mut self.stats.frames);
 
         if let Some(o) = outage {
             let in_window = frame.at_ns >= o.start_ns && frame.at_ns < o.end_ns;
@@ -241,44 +242,45 @@ impl Lane {
                 Some(mac) => frame.bytes.get(6..12).is_some_and(|s| s == mac.0),
             };
             if in_window && src_hit {
-                self.stats.outage_dropped += 1;
+                bump(&mut self.stats.outage_dropped);
                 return;
             }
         }
 
         if self.rng.chance(self.imp.drop) {
-            self.stats.dropped += 1;
+            bump(&mut self.stats.dropped);
             return;
         }
 
         if self.rng.chance(self.imp.truncate) {
-            let len = frame.bytes.len() as u64;
+            let len = as_count(frame.bytes.len());
             if len >= 2 {
-                let new_len = 1 + self.rng.below(len - 1);
-                frame.bytes.vec_mut().truncate(new_len as usize);
-                self.stats.truncated += 1;
+                let new_len = self.rng.below(len.saturating_sub(1)).saturating_add(1);
+                frame.bytes.vec_mut().truncate(usize::try_from(new_len).unwrap_or(usize::MAX));
+                bump(&mut self.stats.truncated);
             }
         }
 
         if self.rng.chance(self.imp.corrupt) {
-            let bits = frame.bytes.len() as u64 * 8;
+            let bits = as_count(frame.bytes.len()).saturating_mul(8);
             if bits > 0 {
                 let bit = self.rng.below(bits);
-                if let Some(b) = frame.bytes.vec_mut().get_mut((bit / 8) as usize) {
-                    *b ^= 0x80 >> (bit % 8);
-                    self.stats.corrupted += 1;
+                let byte = usize::try_from(bit / 8).unwrap_or(usize::MAX);
+                if let Some(b) = frame.bytes.vec_mut().get_mut(byte) {
+                    *b ^= 0x80u8.wrapping_shr(u32::try_from(bit % 8).unwrap_or(0));
+                    bump(&mut self.stats.corrupted);
                 }
             }
         }
 
         if self.rng.chance(self.imp.jitter) {
-            let shift = 1 + self.rng.below(self.imp.jitter_ns.max(1));
+            let shift = self.rng.below(self.imp.jitter_ns.max(1)).saturating_add(1);
             frame.at_ns = frame.at_ns.saturating_add(shift);
-            self.stats.jittered += 1;
+            bump(&mut self.stats.jittered);
         }
 
         let dup = if self.rng.chance(self.imp.duplicate) {
-            self.stats.duplicated += 1;
+            bump(&mut self.stats.duplicated);
             Some(frame.clone())
         } else {
             None
@@ -288,9 +290,10 @@ impl Lane {
             // Hold the original back until `1..=reorder_window` later
             // frames have been emitted past it. The duplicate (if any)
             // still goes out now, which is itself a reordering.
-            let displacement = 1 + self.rng.below(self.imp.reorder_window);
-            self.stats.reordered += 1;
-            self.held.push_back(Held { release_at: self.emitted + displacement, frame });
+            let displacement = self.rng.below(self.imp.reorder_window).saturating_add(1);
+            bump(&mut self.stats.reordered);
+            self.held
+                .push_back(Held { release_at: self.emitted.saturating_add(displacement), frame });
         } else {
             self.emit(frame, out);
         }
@@ -302,14 +305,14 @@ impl Lane {
     /// Emit one frame and cascade any held frames that are now due.
     fn emit(&mut self, frame: RawFrame, out: &mut VecDeque<RawFrame>) {
         out.push_back(frame);
-        self.emitted += 1;
+        self.emitted = self.emitted.saturating_add(1);
         loop {
             let due = self.held.iter().position(|h| h.release_at <= self.emitted);
             match due {
                 Some(i) => {
                     if let Some(h) = self.held.remove(i) {
                         out.push_back(h.frame);
-                        self.emitted += 1;
+                        self.emitted = self.emitted.saturating_add(1);
                     }
                 }
                 None => break,
@@ -328,7 +331,7 @@ impl Lane {
             }
             if let Some(h) = self.held.remove(min_i) {
                 out.push_back(h.frame);
-                self.emitted += 1;
+                self.emitted = self.emitted.saturating_add(1);
             }
         }
     }

@@ -52,8 +52,10 @@ pub fn shard(key: FlowKey, workers: usize) -> usize {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    // The low bits of FNV are the well-mixed ones; modulo is fine.
-    (h % workers as u64) as usize
+    // The low bits of FNV are the well-mixed ones; modulo is fine. The
+    // remainder is < `workers`, so narrowing back to usize is exact.
+    let w = u64::try_from(workers).unwrap_or(u64::MAX);
+    usize::try_from(h % w).unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -202,7 +202,7 @@ impl<R: Read + Send> FrameIo for PcapReplay<R> {
             }
             TxSink::Writer(w) => w.write_frame(frame.at_ns, &frame.bytes).is_ok(),
             TxSink::Discard(n) => {
-                *n += 1;
+                *n = n.saturating_add(1);
                 true
             }
         }

@@ -48,6 +48,7 @@ pub mod pool;
 pub mod ring;
 pub mod runtime;
 pub mod stats;
+pub mod sync;
 pub mod worker;
 
 pub use bond::{BondMode, BondStats, BondedIo};

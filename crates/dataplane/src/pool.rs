@@ -16,10 +16,7 @@
 //! blocking the datapath; dropping into a full pool lets the buffer die
 //! normally, bounding memory at `slots` spare buffers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use crossbeam::queue::ArrayQueue;
+use crate::sync::{Arc, ArrayQueue, AtomicU64, Ordering};
 
 #[derive(Debug)]
 struct PoolInner {

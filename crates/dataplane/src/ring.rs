@@ -10,13 +10,12 @@
 //! The single-producer/single-consumer discipline is enforced by
 //! construction: [`ring`] returns exactly one non-cloneable
 //! [`RingProducer`] and one non-cloneable [`RingConsumer`]. The queue
-//! underneath is lock-free ([`crossbeam::queue::ArrayQueue`]), so pushes
-//! and pops on the packet path never take a lock.
+//! underneath is lock-free (`crossbeam::queue::ArrayQueue`), so pushes
+//! and pops on the packet path never take a lock. All sync primitives
+//! come through [`crate::sync`] so the `--cfg loom` model tests
+//! (`tests/loom_models.rs`) exercise this exact source.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-
-use crossbeam::queue::ArrayQueue;
+use crate::sync::{Arc, ArrayQueue, AtomicBool, AtomicU64, Ordering};
 
 struct Shared<T> {
     q: ArrayQueue<T>,
@@ -75,7 +74,7 @@ impl<T> RingProducer<T> {
                     // may pop concurrently — then the retry simply
                     // succeeds without us shedding anything.
                     if self.s.q.pop().is_some() {
-                        shed += 1;
+                        shed = shed.saturating_add(1);
                     }
                     v = back;
                 }
@@ -135,7 +134,8 @@ impl<T> RingConsumer<T> {
             match self.s.q.pop() {
                 Some(v) => {
                     out.push(v);
-                    n += 1;
+                    // n < max bounds this; saturating spells the semantics.
+                    n = n.saturating_add(1);
                 }
                 None => break,
             }

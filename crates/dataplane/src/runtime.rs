@@ -13,7 +13,7 @@
 use rb_core::mgmt::SharedRules;
 use rb_core::middlebox::Middlebox;
 use rb_core::pipeline::{HostStats, MbPipeline};
-use rb_core::telemetry::TelemetrySender;
+use rb_core::telemetry::{counters, TelemetrySender};
 use rb_fronthaul::eaxc::EaxcMapping;
 use rb_fronthaul::ether::EthernetAddress;
 
@@ -237,16 +237,16 @@ impl Runtime {
         buf: &mut Vec<RawFrame>,
         report: &mut RuntimeReport,
     ) -> usize {
-        let mut moved = 0;
+        let mut moved = 0usize;
         for h in handles.iter_mut() {
             buf.clear();
             let n = h.out.pop_batch(buf, batch);
-            moved += n;
+            moved = moved.saturating_add(n);
             for f in buf.drain(..) {
                 if io.tx(f) {
-                    report.tx_frames += 1;
+                    counters::bump(&mut report.tx_frames);
                 } else {
-                    report.io_tx_errors += 1;
+                    counters::bump(&mut report.io_tx_errors);
                 }
             }
         }

@@ -16,6 +16,9 @@ use rb_hotpath_macros::rb_hot_path;
 /// the last bucket holds everything ≥ 2^(BUCKETS-2).
 const BUCKETS: usize = 18;
 
+/// Index of the last (open-ended) bucket.
+const BUCKET_LAST: usize = BUCKETS - 1;
+
 /// A power-of-two-bucketed histogram of small integer samples.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
@@ -33,17 +36,20 @@ impl Default for Histogram {
 
 impl Histogram {
     fn bucket_of(v: u64) -> usize {
-        ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+        // `leading_zeros()` never exceeds `u64::BITS`, so the subtraction
+        // cannot underflow, and the result (≤ 64) converts exactly.
+        let bits = u64::BITS.saturating_sub(v.leading_zeros());
+        usize::try_from(bits).unwrap_or(BUCKET_LAST).min(BUCKET_LAST)
     }
 
     /// Record one sample.
     #[rb_hot_path]
     pub fn record(&mut self, v: u64) {
         if let Some(b) = self.buckets.get_mut(Self::bucket_of(v)) {
-            *b += 1;
+            *b = b.saturating_add(1);
         }
-        self.count += 1;
-        self.sum += v;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
 
@@ -75,15 +81,17 @@ impl Histogram {
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
         let mut seen = 0u64;
         for (k, b) in self.buckets.iter().enumerate() {
-            seen += b;
+            seen = seen.saturating_add(*b);
             if seen >= rank.max(1) {
                 return match k {
                     0 => 0,
                     // The last bucket is open-ended (everything ≥ its
                     // lower edge lands there), so its only honest upper
                     // bound is the actual maximum seen.
-                    _ if k == BUCKETS - 1 => self.max,
-                    _ => (1u64 << k) - 1,
+                    _ if k == BUCKET_LAST => self.max,
+                    // `k < BUCKET_LAST = 17`, so the shift is in range and
+                    // the shifted value is ≥ 2: no wrap on either step.
+                    _ => 1u64.wrapping_shl(u32::try_from(k).unwrap_or(0)).wrapping_sub(1),
                 };
             }
         }

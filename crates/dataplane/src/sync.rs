@@ -1,0 +1,22 @@
+//! Synchronization facade: the real lock-free primitives in production
+//! builds, `rb-loom`'s instrumented shims under `cfg(loom)`.
+//!
+//! The concurrency-bearing modules ([`crate::ring`], [`crate::pool`])
+//! import exclusively from here, so
+//! `RUSTFLAGS="--cfg loom" cargo test -p rb-dataplane --test loom_models`
+//! model-checks the *production* push/pop/recycle code paths — not a
+//! copy — under every reachable interleaving.
+
+#[cfg(not(loom))]
+pub use crossbeam::queue::ArrayQueue;
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(not(loom))]
+pub use std::sync::Arc;
+
+#[cfg(loom)]
+pub use rb_loom::queue::ArrayQueue;
+#[cfg(loom)]
+pub use rb_loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(loom)]
+pub use rb_loom::sync::Arc;

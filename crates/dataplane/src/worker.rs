@@ -10,7 +10,7 @@
 
 use rb_core::middlebox::Middlebox;
 use rb_core::pipeline::MbPipeline;
-use rb_core::telemetry::TelemetrySender;
+use rb_core::telemetry::{counters, TelemetrySender};
 use rb_hotpath_macros::rb_hot_path;
 use rb_netsim::time::SimTime;
 
@@ -42,7 +42,7 @@ pub fn run<M: Middlebox>(
     // ring's shed policy) drops each frame after transmit, which returns
     // its buffer here. Sized so a full egress ring plus one in-flight
     // batch never forces a steady-state allocation.
-    let pool = BufferPool::new(tx.capacity() + batch);
+    let pool = BufferPool::new(tx.capacity().saturating_add(batch));
     let mut buf: Vec<RawFrame> = Vec::with_capacity(batch);
     let mut idle_polls = 0u32;
     let mut last_at_ns = 0u64;
@@ -62,9 +62,9 @@ pub fn run<M: Middlebox>(
             continue;
         }
         idle_polls = 0;
-        stats.batches += 1;
-        stats.batch_size.record(n as u64);
-        stats.queue_depth.record(rx.len() as u64);
+        counters::bump(&mut stats.batches);
+        stats.batch_size.record(counters::as_count(n));
+        stats.queue_depth.record(counters::as_count(rx.len()));
         for f in buf.drain(..) {
             let at_ns = f.at_ns;
             last_at_ns = at_ns;
@@ -73,11 +73,11 @@ pub fn run<M: Middlebox>(
                 let mut out = pool.take();
                 out.copy_from(bytes);
                 if tx.push(RawFrame { at_ns, bytes: out }) != PushOutcome::Closed {
-                    txed += 1;
+                    txed = txed.saturating_add(1);
                 }
             });
-            stats.rx += 1;
-            stats.tx += txed;
+            counters::bump(&mut stats.rx);
+            counters::bump_by(&mut stats.tx, txed);
         }
     }
     stats.pool_grows = pool.grows();

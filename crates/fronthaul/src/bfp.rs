@@ -102,14 +102,16 @@ impl CompressionMethod {
         match self {
             CompressionMethod::NoCompression => UNCOMPRESSED_PRB_BYTES,
             CompressionMethod::BlockFloatingPoint { iq_width } => {
-                (SAMPLES_PER_PRB * 2 * iq_width as usize).div_ceil(8)
+                // 12 samples × 2 components × ≤255 bits: at most 6 120,
+                // nowhere near a usize wrap.
+                SAMPLES_PER_PRB.wrapping_mul(2).wrapping_mul(usize::from(iq_width)).div_ceil(8)
             }
         }
     }
 
     /// Total on-wire bytes per PRB (`udCompParam` + mantissas).
     pub fn prb_wire_bytes(self) -> usize {
-        self.param_bytes() + self.mantissa_bytes()
+        self.param_bytes().saturating_add(self.mantissa_bytes())
     }
 }
 
@@ -122,12 +124,14 @@ pub fn exponent_for(prb: &Prb, width: u8) -> Result<u8> {
     if !(1..=16).contains(&width) {
         return Err(Error::BadIqWidth);
     }
-    let limit_pos = (1i32 << (width - 1)) - 1;
-    let limit_neg = -(1i32 << (width - 1));
+    // `width` is in `1..=16` here, so the shift is in range, the shifted
+    // value is ≥ 1, and the limits are the usual two's-complement pair.
+    let limit_pos = 1i32.wrapping_shl(u32::from(width.wrapping_sub(1))).wrapping_sub(1);
+    let limit_neg = limit_pos.wrapping_neg().wrapping_sub(1);
     for exp in 0u8..16 {
         let fits = prb.0.iter().all(|s| {
-            let i = (s.i as i32) >> exp;
-            let q = (s.q as i32) >> exp;
+            let i = i32::from(s.i).wrapping_shr(u32::from(exp));
+            let q = i32::from(s.q).wrapping_shr(u32::from(exp));
             i >= limit_neg && i <= limit_pos && q >= limit_neg && q <= limit_pos
         });
         if fits {
@@ -135,6 +139,20 @@ pub fn exponent_for(prb: &Prb, width: u8) -> Result<u8> {
         }
     }
     Ok(15)
+}
+
+/// Arithmetic-shift `v` by `exp` and reinterpret the low bits as the
+/// raw mantissa pattern (the caller masks to `width` bits, dropping the
+/// sign-extended high bits).
+fn shift_to_raw(v: i16, exp: u8) -> u32 {
+    let shifted = i32::from(v).wrapping_shr(u32::from(exp));
+    u32::from_ne_bytes(shifted.to_ne_bytes())
+}
+
+/// Clamp a reconstructed component back into i16 range (the conversion
+/// cannot fail after the clamp).
+fn clamp_i16(v: i32) -> i16 {
+    i16::try_from(v.clamp(i32::from(i16::MIN), i32::from(i16::MAX))).unwrap_or(0)
 }
 
 /// MSB-first bit packer used for mantissa serialization. Accumulates
@@ -153,16 +171,21 @@ impl<'a> BitWriter<'a> {
 
     #[inline]
     fn write(&mut self, value: u32, bits: u8) {
-        let mask = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
-        self.acc = (self.acc << bits) | (value & mask) as u64;
-        self.acc_bits += bits;
+        // `bits` ≤ 16 for every caller (IQ widths), so the accumulator
+        // holds < 24 live bits after the spill loop: no shift here can go
+        // out of range and the bit count cannot wrap.
+        let mask =
+            if bits >= 32 { u32::MAX } else { 1u32.wrapping_shl(u32::from(bits)).wrapping_sub(1) };
+        self.acc = self.acc.wrapping_shl(u32::from(bits)) | u64::from(value & mask);
+        self.acc_bits = self.acc_bits.wrapping_add(bits);
         while self.acc_bits >= 8 {
-            self.acc_bits -= 8;
+            self.acc_bits = self.acc_bits.wrapping_sub(8);
             // Total: bytes past the (caller length-checked) buffer are dropped.
             if let Some(b) = self.out.get_mut(self.byte) {
-                *b = (self.acc >> self.acc_bits) as u8;
+                let spill = self.acc.wrapping_shr(u32::from(self.acc_bits)) & 0xff;
+                *b = u8::try_from(spill).unwrap_or(0);
             }
-            self.byte += 1;
+            self.byte = self.byte.wrapping_add(1);
         }
     }
 
@@ -170,7 +193,10 @@ impl<'a> BitWriter<'a> {
     fn finish(self) {
         if self.acc_bits > 0 {
             if let Some(b) = self.out.get_mut(self.byte) {
-                *b = ((self.acc << (8 - self.acc_bits)) & 0xff) as u8;
+                // `acc_bits` is in `1..8` here (the write loop spills
+                // whole bytes), so the pad shift is in range.
+                let pad = u32::from(8u8.wrapping_sub(self.acc_bits));
+                *b = u8::try_from(self.acc.wrapping_shl(pad) & 0xff).unwrap_or(0);
             }
         }
     }
@@ -191,15 +217,19 @@ impl<'a> BitReader<'a> {
 
     #[inline]
     fn read(&mut self, bits: u8) -> u32 {
+        // `bits` ≤ 16 for every caller, so the refill loop tops out below
+        // 32 live bits and the masked value always fits a u32.
         while self.acc_bits < bits {
             // Total: reads past the (caller length-checked) buffer yield 0.
-            self.acc = (self.acc << 8) | self.data.get(self.byte).copied().unwrap_or(0) as u64;
-            self.byte += 1;
-            self.acc_bits += 8;
+            self.acc = self.acc.wrapping_shl(8)
+                | u64::from(self.data.get(self.byte).copied().unwrap_or(0));
+            self.byte = self.byte.wrapping_add(1);
+            self.acc_bits = self.acc_bits.wrapping_add(8);
         }
-        self.acc_bits -= bits;
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
-        ((self.acc >> self.acc_bits) & mask) as u32
+        self.acc_bits = self.acc_bits.wrapping_sub(bits);
+        let mask =
+            if bits >= 64 { u64::MAX } else { 1u64.wrapping_shl(u32::from(bits)).wrapping_sub(1) };
+        u32::try_from(self.acc.wrapping_shr(u32::from(self.acc_bits)) & mask).unwrap_or(u32::MAX)
     }
 }
 
@@ -214,11 +244,12 @@ pub fn compress_prb(prb: &Prb, width: u8, out: &mut [u8]) -> Result<u8> {
         return Err(Error::BufferTooSmall);
     }
     let exp = exponent_for(prb, width)?;
-    let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    // `width` is in `1..=16` here: shift in range, shifted value ≥ 2.
+    let mask = 1u32.wrapping_shl(u32::from(width)).wrapping_sub(1);
     let mut writer = BitWriter::new(out);
     for s in prb.0.iter() {
-        let i = ((s.i as i32) >> exp) as u32 & mask;
-        let q = ((s.q as i32) >> exp) as u32 & mask;
+        let i = shift_to_raw(s.i, exp) & mask;
+        let q = shift_to_raw(s.q, exp) & mask;
         writer.write(i, width);
         writer.write(q, width);
     }
@@ -238,19 +269,20 @@ pub fn decompress_prb(data: &[u8], width: u8, exponent: u8) -> Result<Prb> {
     }
     let mut reader = BitReader::new(data);
     let mut prb = Prb::ZERO;
-    let sign_bit = 1u32 << (width - 1);
+    // `width` is in `1..=16` here, so both shifts are in range.
+    let sign_bit = 1u32.wrapping_shl(u32::from(width.wrapping_sub(1)));
+    let high_ones = u32::MAX.wrapping_shl(u32::from(width));
     let extend = |raw: u32| -> i32 {
-        if raw & sign_bit != 0 {
-            (raw | (u32::MAX << width)) as i32
-        } else {
-            raw as i32
-        }
+        let pattern = if raw & sign_bit != 0 { raw | high_ones } else { raw };
+        i32::from_ne_bytes(pattern.to_ne_bytes())
     };
     for s in prb.0.iter_mut() {
-        let i = extend(reader.read(width)) << exponent;
-        let q = extend(reader.read(width)) << exponent;
-        s.i = i.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
-        s.q = q.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        // Exponents beyond 31 only arrive from corrupt wire input; the
+        // wrapped shift produces a value the clamp below pins anyway.
+        let i = extend(reader.read(width)).wrapping_shl(u32::from(exponent));
+        let q = extend(reader.read(width)).wrapping_shl(u32::from(exponent));
+        s.i = clamp_i16(i);
+        s.q = clamp_i16(q);
     }
     Ok(prb)
 }

@@ -44,13 +44,15 @@ fn read_1(d: &[u8], i: usize) -> u8 {
 
 /// Read a big-endian u16 at `off`, or 0 if the buffer is too short.
 fn read_2(d: &[u8], off: usize) -> u16 {
-    d.get(off..off + 2).and_then(|s| <[u8; 2]>::try_from(s).ok()).map_or(0, u16::from_be_bytes)
+    d.get(off..off.saturating_add(2))
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .map_or(0, u16::from_be_bytes)
 }
 
 /// Copy `src` to `off`; a no-op if the buffer is too short (the emit path
 /// length-checks up front).
 fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
-    if let Some(s) = d.get_mut(off..off + src.len()) {
+    if let Some(s) = d.get_mut(off..off.saturating_add(src.len())) {
         s.copy_from_slice(src);
     }
 }
@@ -161,33 +163,35 @@ impl SectionFields {
     const WIRE_LEN: usize = 8;
 
     fn emit_at(&self, out: &mut [u8], off: usize) {
+        // Every conversion below is masked to its field width first, so
+        // none of them can actually fail.
         let bytes = [
-            (self.section_id >> 4) as u8,
-            ((self.section_id & 0x0f) as u8) << 4
-                | (self.rb as u8) << 3
-                | (self.sym_inc as u8) << 2
-                | ((self.start_prb >> 8) & 0x03) as u8,
-            (self.start_prb & 0xff) as u8,
-            (self.num_prb & 0xff) as u8,
-            (self.re_mask >> 4) as u8,
-            ((self.re_mask & 0x0f) as u8) << 4 | (self.num_symbols & 0x0f),
-            (self.ef as u8) << 7 | ((self.beam_id >> 8) & 0x7f) as u8,
-            (self.beam_id & 0xff) as u8,
+            u8::try_from((self.section_id >> 4) & 0xff).unwrap_or(0),
+            u8::try_from(self.section_id & 0x0f).unwrap_or(0) << 4
+                | u8::from(self.rb) << 3
+                | u8::from(self.sym_inc) << 2
+                | u8::try_from((self.start_prb >> 8) & 0x03).unwrap_or(0),
+            u8::try_from(self.start_prb & 0xff).unwrap_or(0),
+            u8::try_from(self.num_prb & 0xff).unwrap_or(0),
+            u8::try_from((self.re_mask >> 4) & 0xff).unwrap_or(0),
+            u8::try_from(self.re_mask & 0x0f).unwrap_or(0) << 4 | (self.num_symbols & 0x0f),
+            u8::from(self.ef) << 7 | u8::try_from((self.beam_id >> 8) & 0x7f).unwrap_or(0),
+            u8::try_from(self.beam_id & 0xff).unwrap_or(0),
         ];
         write_at(out, off, &bytes);
     }
 
     fn parse_at(data: &[u8], off: usize) -> SectionFields {
-        let section_id = ((read_1(data, off) as u16) << 4) | ((read_1(data, off + 1) >> 4) as u16);
-        let rb = read_1(data, off + 1) & 0x08 != 0;
-        let sym_inc = read_1(data, off + 1) & 0x04 != 0;
-        let start_prb =
-            (((read_1(data, off + 1) & 0x03) as u16) << 8) | read_1(data, off + 2) as u16;
-        let num_prb = read_1(data, off + 3) as u16;
-        let re_mask = ((read_1(data, off + 4) as u16) << 4) | ((read_1(data, off + 5) >> 4) as u16);
-        let num_symbols = read_1(data, off + 5) & 0x0f;
-        let ef = read_1(data, off + 6) & 0x80 != 0;
-        let beam_id = (((read_1(data, off + 6) & 0x7f) as u16) << 8) | read_1(data, off + 7) as u16;
+        let b = |i: usize| read_1(data, off.saturating_add(i));
+        let section_id = (u16::from(b(0)) << 4) | u16::from(b(1) >> 4);
+        let rb = b(1) & 0x08 != 0;
+        let sym_inc = b(1) & 0x04 != 0;
+        let start_prb = (u16::from(b(1) & 0x03) << 8) | u16::from(b(2));
+        let num_prb = u16::from(b(3));
+        let re_mask = (u16::from(b(4)) << 4) | u16::from(b(5) >> 4);
+        let num_symbols = b(5) & 0x0f;
+        let ef = b(6) & 0x80 != 0;
+        let beam_id = (u16::from(b(6) & 0x7f) << 8) | u16::from(b(7));
         SectionFields {
             section_id,
             rb,
@@ -226,18 +230,25 @@ impl Section3 {
 
     fn emit_at(&self, out: &mut [u8], off: usize) {
         self.fields.emit_at(out, off);
-        let fo = (self.frequency_offset as u32) & 0x00ff_ffff;
-        write_at(out, off + 8, &[(fo >> 16) as u8, (fo >> 8) as u8, fo as u8, 0]);
+        // Bit-cast the (validated ±2^23) offset and mask to 24 bits; the
+        // per-byte conversions are masked and cannot fail.
+        let fo = u32::from_ne_bytes(self.frequency_offset.to_ne_bytes()) & 0x00ff_ffff;
+        let b = [
+            u8::try_from((fo >> 16) & 0xff).unwrap_or(0),
+            u8::try_from((fo >> 8) & 0xff).unwrap_or(0),
+            u8::try_from(fo & 0xff).unwrap_or(0),
+            0,
+        ];
+        write_at(out, off.saturating_add(8), &b);
     }
 
     fn parse_at(data: &[u8], off: usize) -> Section3 {
         let fields = SectionFields::parse_at(data, off);
-        let raw = ((read_1(data, off + 8) as u32) << 16)
-            | ((read_1(data, off + 9) as u32) << 8)
-            | read_1(data, off + 10) as u32;
-        // sign-extend 24 bits
-        let frequency_offset =
-            if raw & 0x0080_0000 != 0 { (raw | 0xff00_0000) as i32 } else { raw as i32 };
+        let b = |i: usize| read_1(data, off.saturating_add(i));
+        let raw = (u32::from(b(8)) << 16) | (u32::from(b(9)) << 8) | u32::from(b(10));
+        // Sign-extend 24 bits, as a bit-cast rather than a wrapping `as`.
+        let pattern = if raw & 0x0080_0000 != 0 { raw | 0xff00_0000 } else { raw };
+        let frequency_offset = i32::from_ne_bytes(pattern.to_ne_bytes());
         Section3 { fields, frequency_offset }
     }
 }
@@ -362,12 +373,14 @@ impl CPlaneRepr {
         match &self.sections {
             // Type 0 shares the extended (12-byte) header shape.
             Sections::Type0 { sections, .. } => {
-                TYPE3_HDR_LEN + sections.len() * SectionFields::WIRE_LEN
+                TYPE3_HDR_LEN.saturating_add(sections.len().saturating_mul(SectionFields::WIRE_LEN))
             }
             Sections::Type1 { sections, .. } => {
-                TYPE1_HDR_LEN + sections.len() * SectionFields::WIRE_LEN
+                TYPE1_HDR_LEN.saturating_add(sections.len().saturating_mul(SectionFields::WIRE_LEN))
             }
-            Sections::Type3 { sections, .. } => TYPE3_HDR_LEN + sections.len() * Section3::WIRE_LEN,
+            Sections::Type3 { sections, .. } => {
+                TYPE3_HDR_LEN.saturating_add(sections.len().saturating_mul(Section3::WIRE_LEN))
+            }
         }
     }
 
@@ -413,7 +426,8 @@ impl CPlaneRepr {
             self.symbol.frame,
             (self.symbol.subframe << 4) | ((self.symbol.slot >> 2) & 0x0f),
             ((self.symbol.slot & 0x03) << 6) | (self.symbol.symbol & 0x3f),
-            n_sections as u8,
+            // `validate` caps the section count at 255.
+            u8::try_from(n_sections).unwrap_or(u8::MAX),
             section_type.raw(),
         ];
         write_at(out, 0, &bytes);
@@ -437,7 +451,7 @@ impl CPlaneRepr {
                 let mut off = TYPE3_HDR_LEN;
                 for s in sections {
                     s.emit_at(out, off);
-                    off += SectionFields::WIRE_LEN;
+                    off = off.saturating_add(SectionFields::WIRE_LEN);
                 }
             }
             Sections::Type1 { comp, sections } => {
@@ -446,7 +460,7 @@ impl CPlaneRepr {
                 let mut off = TYPE1_HDR_LEN;
                 for s in sections {
                     s.emit_at(out, off);
-                    off += SectionFields::WIRE_LEN;
+                    off = off.saturating_add(SectionFields::WIRE_LEN);
                 }
             }
             Sections::Type3 { time_offset, frame_structure, cp_length, comp, sections } => {
@@ -458,7 +472,7 @@ impl CPlaneRepr {
                 let mut off = TYPE3_HDR_LEN;
                 for s in sections {
                     s.emit_at(out, off);
-                    off += Section3::WIRE_LEN;
+                    off = off.saturating_add(Section3::WIRE_LEN);
                 }
             }
         }
@@ -508,7 +522,7 @@ impl CPlaneRepr {
             return Err(Error::FieldRange);
         }
         let sym = SymbolId { frame, subframe, slot, symbol };
-        let n_sections = read_1(data, 4) as usize;
+        let n_sections = usize::from(read_1(data, 4));
         let section_type = SectionType::from_raw(read_1(data, 5))?;
         if n_sections == 0 {
             return Err(Error::Malformed);
@@ -518,7 +532,7 @@ impl CPlaneRepr {
             SectionType::Type1 => (TYPE1_HDR_LEN, SectionFields::WIRE_LEN),
             SectionType::Type3 => (TYPE3_HDR_LEN, Section3::WIRE_LEN),
         };
-        if data.len() < hdr_len + n_sections * per {
+        if data.len() < hdr_len.saturating_add(n_sections.saturating_mul(per)) {
             return Err(Error::Truncated);
         }
         let comp = match section_type {
@@ -546,7 +560,7 @@ impl CPlaneRepr {
                 let mut off = TYPE3_HDR_LEN;
                 for _ in 0..n_sections {
                     fields.push(SectionFields::parse_at(data, off));
-                    off += SectionFields::WIRE_LEN;
+                    off = off.saturating_add(SectionFields::WIRE_LEN);
                 }
                 Sections::Type0 {
                     time_offset: read_2(data, 6),
@@ -559,7 +573,7 @@ impl CPlaneRepr {
                 let mut off = TYPE1_HDR_LEN;
                 for _ in 0..n_sections {
                     fields.push(SectionFields::parse_at(data, off));
-                    off += SectionFields::WIRE_LEN;
+                    off = off.saturating_add(SectionFields::WIRE_LEN);
                 }
                 Sections::Type1 { comp, sections: fields }
             }
@@ -567,7 +581,7 @@ impl CPlaneRepr {
                 let mut off = TYPE3_HDR_LEN;
                 for _ in 0..n_sections {
                     sec3.push(Section3::parse_at(data, off));
-                    off += Section3::WIRE_LEN;
+                    off = off.saturating_add(Section3::WIRE_LEN);
                 }
                 Sections::Type3 {
                     time_offset: read_2(data, 6),

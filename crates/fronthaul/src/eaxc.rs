@@ -32,7 +32,10 @@ impl EaxcMapping {
 
     /// Validate that the widths sum to 16 bits.
     pub fn validate(&self) -> Result<()> {
-        let total = self.du_port_bits + self.band_sector_bits + self.cc_bits + self.ru_port_bits;
+        let total = u16::from(self.du_port_bits)
+            .saturating_add(u16::from(self.band_sector_bits))
+            .saturating_add(u16::from(self.cc_bits))
+            .saturating_add(u16::from(self.ru_port_bits));
         if total == 16 {
             Ok(())
         } else {
@@ -60,6 +63,16 @@ pub struct Eaxc {
     pub ru_port: u8,
 }
 
+/// `(1 << bits) - 1` as a u16, total over any `bits` (all-ones at ≥ 16).
+fn low_mask(bits: u8) -> u16 {
+    if bits >= 16 {
+        u16::MAX
+    } else {
+        // `bits < 16`: the shift is in range and the shifted value ≥ 1.
+        1u16.wrapping_shl(u32::from(bits)).wrapping_sub(1)
+    }
+}
+
 impl Eaxc {
     /// Shorthand for an id that only uses the RU port field.
     pub fn port(ru_port: u8) -> Eaxc {
@@ -78,8 +91,11 @@ impl Eaxc {
             (self.ru_port, mapping.ru_port_bits),
         ];
         for (value, bits) in fields {
-            let mask = if bits >= 16 { u16::MAX } else { (1u16 << bits) - 1 };
-            v = (v << bits) | (value as u16 & mask);
+            let mask = low_mask(bits);
+            // A full 16-bit field empties the accumulator outright (a
+            // 16-bit shift of a u16 is out of range).
+            v = if bits >= 16 { 0 } else { v.wrapping_shl(u32::from(bits)) };
+            v |= u16::from(value) & mask;
         }
         v
     }
@@ -88,9 +104,11 @@ impl Eaxc {
     pub fn unpack(raw: u16, mapping: &EaxcMapping) -> Eaxc {
         let mut rest = raw;
         let take = |rest: &mut u16, bits: u8| -> u8 {
-            let mask = if bits >= 16 { u16::MAX } else { (1u16 << bits) - 1 };
-            let v = (*rest & mask) as u8;
-            *rest >>= bits;
+            let mask = low_mask(bits);
+            // Field values are 8-bit; a wider field keeps its low byte —
+            // the same truncation the old `as u8` performed.
+            let v = u8::try_from(*rest & mask & 0x00ff).unwrap_or(0);
+            *rest = if bits >= 16 { 0 } else { rest.wrapping_shr(u32::from(bits)) };
             v
         };
         // Fields are packed MSB-first, so unpack in reverse order.

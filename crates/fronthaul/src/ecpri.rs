@@ -68,13 +68,15 @@ fn read_1(d: &[u8], i: usize) -> u8 {
 
 /// Read a big-endian u16 at `off`, or 0 if the buffer is too short.
 fn read_2(d: &[u8], off: usize) -> u16 {
-    d.get(off..off + 2).and_then(|s| <[u8; 2]>::try_from(s).ok()).map_or(0, u16::from_be_bytes)
+    d.get(off..off.saturating_add(2))
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .map_or(0, u16::from_be_bytes)
 }
 
 /// Copy `src` to `off`; silently a no-op if the buffer is too short (the
 /// emit paths length-check before calling).
 fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
-    if let Some(s) = d.get_mut(off..off + src.len()) {
+    if let Some(s) = d.get_mut(off..off.saturating_add(src.len())) {
         s.copy_from_slice(src);
     }
 }
@@ -108,7 +110,7 @@ impl<T: AsRef<[u8]>> Packet<T> {
         }
         MessageType::from_raw(read_1(data, 1))?;
         // payload size counts bytes after the 4-byte common header
-        if (self.payload_size() as usize) + 4 > data.len() {
+        if usize::from(self.payload_size()).saturating_add(4) > data.len() {
             return Err(Error::Malformed);
         }
         Ok(())
@@ -231,9 +233,11 @@ impl Repr {
     }
 
     /// Compute the `payload_size` field for an application payload of
-    /// `app_len` bytes (adds the 4 bytes of eAxC + seq fields).
-    pub fn payload_size_for(app_len: usize) -> u16 {
-        (app_len + 4) as u16
+    /// `app_len` bytes (adds the 4 bytes of eAxC + seq fields). Fails with
+    /// [`Error::Oversize`] when the result does not fit the 16-bit field
+    /// (it used to wrap silently).
+    pub fn payload_size_for(app_len: usize) -> Result<u16> {
+        u16::try_from(app_len.saturating_add(4)).map_err(|_| Error::Oversize)
     }
 
     /// Emit the header. Fails with [`Error::BufferTooSmall`] if the buffer
@@ -263,7 +267,7 @@ mod tests {
     fn sample_repr() -> Repr {
         Repr {
             message_type: MessageType::IqData,
-            payload_size: Repr::payload_size_for(16),
+            payload_size: Repr::payload_size_for(16).unwrap(),
             eaxc: Eaxc::port(3),
             seq_id: 49,
             e_bit: true,

@@ -23,6 +23,8 @@ pub enum Error {
     FieldRange,
     /// The destination buffer is too small to emit into.
     BufferTooSmall,
+    /// A payload is too large for its wire-format length field.
+    Oversize,
     /// Two operands disagree in shape (e.g. PRB counts differ).
     ShapeMismatch,
 }
@@ -40,6 +42,7 @@ impl fmt::Display for Error {
             Error::BadIqWidth => "unsupported IQ bit-width",
             Error::FieldRange => "field value out of range",
             Error::BufferTooSmall => "destination buffer too small",
+            Error::Oversize => "payload exceeds wire length field",
             Error::ShapeMismatch => "operand shape mismatch",
         };
         f.write_str(s)

@@ -78,20 +78,29 @@ pub const HEADER_LEN: usize = 14;
 /// Length of a single 802.1Q tag.
 pub const VLAN_TAG_LEN: usize = 4;
 
+/// Header length of a VLAN-tagged frame.
+const VLAN_HEADER_LEN: usize = HEADER_LEN + VLAN_TAG_LEN;
+/// Offset of the TCI field inside a VLAN tag.
+const VLAN_TCI_OFF: usize = TYPE_OFF + 2;
+/// Offset of the inner EtherType of a VLAN-tagged frame.
+const VLAN_TYPE_OFF: usize = TYPE_OFF + 4;
+
 /// Read a big-endian u16 at `off`, or 0 if the buffer is too short.
 fn read_2(d: &[u8], off: usize) -> u16 {
-    d.get(off..off + 2).and_then(|s| <[u8; 2]>::try_from(s).ok()).map_or(0, u16::from_be_bytes)
+    d.get(off..off.saturating_add(2))
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .map_or(0, u16::from_be_bytes)
 }
 
 /// Read six octets at `off`, or zeros if the buffer is too short.
 fn read_6(d: &[u8], off: usize) -> [u8; 6] {
-    d.get(off..off + 6).and_then(|s| <[u8; 6]>::try_from(s).ok()).unwrap_or([0; 6])
+    d.get(off..off.saturating_add(6)).and_then(|s| <[u8; 6]>::try_from(s).ok()).unwrap_or([0; 6])
 }
 
 /// Copy `src` to `off`; silently a no-op if the buffer is too short (the
 /// emit paths length-check before calling).
 fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
-    if let Some(s) = d.get_mut(off..off + src.len()) {
+    if let Some(s) = d.get_mut(off..off.saturating_add(src.len())) {
         s.copy_from_slice(src);
     }
 }
@@ -125,7 +134,7 @@ impl<T: AsRef<[u8]>> Frame<T> {
         if len < HEADER_LEN {
             return Err(Error::Truncated);
         }
-        if self.raw_ethertype() == EtherType::VLAN && len < HEADER_LEN + VLAN_TAG_LEN {
+        if self.raw_ethertype() == EtherType::VLAN && len < VLAN_HEADER_LEN {
             return Err(Error::Truncated);
         }
         Ok(())
@@ -158,7 +167,7 @@ impl<T: AsRef<[u8]>> Frame<T> {
     /// The VLAN id (VID field of the TCI), if tagged.
     pub fn vlan_id(&self) -> Option<u16> {
         if self.has_vlan() {
-            Some(read_2(self.buffer.as_ref(), TYPE_OFF + 2) & 0x0fff)
+            Some(read_2(self.buffer.as_ref(), VLAN_TCI_OFF) & 0x0fff)
         } else {
             None
         }
@@ -167,7 +176,7 @@ impl<T: AsRef<[u8]>> Frame<T> {
     /// The effective EtherType (after any VLAN tag).
     pub fn ethertype(&self) -> EtherType {
         if self.has_vlan() {
-            EtherType(read_2(self.buffer.as_ref(), TYPE_OFF + 4))
+            EtherType(read_2(self.buffer.as_ref(), VLAN_TYPE_OFF))
         } else {
             self.raw_ethertype()
         }
@@ -176,7 +185,7 @@ impl<T: AsRef<[u8]>> Frame<T> {
     /// Byte length of the header including any VLAN tag.
     pub fn header_len(&self) -> usize {
         if self.has_vlan() {
-            HEADER_LEN + VLAN_TAG_LEN
+            VLAN_HEADER_LEN
         } else {
             HEADER_LEN
         }
@@ -243,7 +252,7 @@ impl FrameRepr {
     /// Byte length of the header this representation emits.
     pub fn header_len(&self) -> usize {
         if self.vlan.is_some() {
-            HEADER_LEN + VLAN_TAG_LEN
+            VLAN_HEADER_LEN
         } else {
             HEADER_LEN
         }
@@ -263,8 +272,8 @@ impl FrameRepr {
         match self.vlan {
             Some(vid) => {
                 write_at(data, TYPE_OFF, &EtherType::VLAN.0.to_be_bytes());
-                write_at(data, TYPE_OFF + 2, &(vid & 0x0fff).to_be_bytes());
-                write_at(data, TYPE_OFF + 4, &self.ethertype.0.to_be_bytes());
+                write_at(data, VLAN_TCI_OFF, &(vid & 0x0fff).to_be_bytes());
+                write_at(data, VLAN_TYPE_OFF, &self.ethertype.0.to_be_bytes());
             }
             None => {
                 write_at(data, TYPE_OFF, &self.ethertype.0.to_be_bytes());

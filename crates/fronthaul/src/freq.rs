@@ -94,19 +94,23 @@ pub fn translate_prach_freq_offset(
     ru_center_hz: i64,
     scs_hz: u64,
 ) -> Result<i32> {
-    let half_scs = scs_hz as i64 / 2;
+    let half_scs = i64::try_from(scs_hz).unwrap_or(i64::MAX) / 2;
     if half_scs == 0 {
         return Err(Error::FieldRange);
     }
-    let diff = ru_center_hz - du_center_hz;
+    // Center frequencies are tens of GHz at most (≪ 2^63 Hz): the
+    // difference cannot overflow, and saturation would only widen it past
+    // the ±2^23 window checked below.
+    let diff = ru_center_hz.saturating_sub(du_center_hz);
     if diff % half_scs != 0 {
         return Err(Error::Malformed);
     }
-    let shifted = freq_offset_du as i64 + diff / half_scs;
+    let shifted = i64::from(freq_offset_du).saturating_add(diff / half_scs);
     if !(-(1 << 23)..(1 << 23)).contains(&shifted) {
         return Err(Error::FieldRange);
     }
-    Ok(shifted as i32)
+    // The window check above keeps `shifted` well inside i32 range.
+    i32::try_from(shifted).map_err(|_| Error::FieldRange)
 }
 
 /// Invert [`translate_prach_freq_offset`] (RU → DU direction, used when

@@ -12,13 +12,15 @@ use crate::{Error, Result};
 
 /// Read a big-endian i16 at `off`, or 0 if the slice is too short.
 fn read_i16(d: &[u8], off: usize) -> i16 {
-    d.get(off..off + 2).and_then(|s| <[u8; 2]>::try_from(s).ok()).map_or(0, i16::from_be_bytes)
+    d.get(off..off.saturating_add(2))
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .map_or(0, i16::from_be_bytes)
 }
 
 /// Copy `src` to `off`; a no-op if the slice is too short (callers
 /// length-check up front).
 fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
-    if let Some(s) = d.get_mut(off..off + src.len()) {
+    if let Some(s) = d.get_mut(off..off.saturating_add(src.len())) {
         s.copy_from_slice(src);
     }
 }
@@ -54,9 +56,12 @@ impl IqSample {
 
     /// Squared magnitude (energy) of the sample.
     pub fn energy(self) -> u64 {
-        let i = self.i as i64;
-        let q = self.q as i64;
-        (i * i + q * q) as u64
+        // |i|,|q| ≤ 2^15, so each square is ≤ 2^30 and the sum ≤ 2^31:
+        // nothing here can wrap an i64, and the result is non-negative.
+        let i = i64::from(self.i);
+        let q = i64::from(self.q);
+        let e = i.wrapping_mul(i).wrapping_add(q.wrapping_mul(q));
+        u64::try_from(e).unwrap_or(0)
     }
 
     /// Interpret as a unit-scaled float pair (Q15 fixed point), as shown in

@@ -135,7 +135,7 @@ impl FhMessage {
 
     /// Total emitted frame length in bytes.
     pub fn wire_len(&self) -> usize {
-        self.eth.header_len() + ecpri::HEADER_LEN + self.body.wire_len()
+        self.eth.header_len().saturating_add(ecpri::HEADER_LEN).saturating_add(self.body.wire_len())
     }
 
     /// Serialize the whole frame to bytes.
@@ -163,7 +163,7 @@ impl FhMessage {
         let app_len = self.body.wire_len();
         let ecpri_repr = ecpri::Repr {
             message_type: self.body.message_type(),
-            payload_size: ecpri::Repr::payload_size_for(app_len),
+            payload_size: ecpri::Repr::payload_size_for(app_len)?,
             eaxc: self.eaxc,
             seq_id: self.seq_id,
             e_bit: true,
@@ -172,7 +172,7 @@ impl FhMessage {
         let ecpri_buf = buf.get_mut(eth_len..).ok_or(Error::BufferTooSmall)?;
         ecpri_repr.emit(&mut ecpri::Packet::new_unchecked(ecpri_buf), mapping)?;
 
-        let app_off = eth_len + ecpri::HEADER_LEN;
+        let app_off = eth_len.saturating_add(ecpri::HEADER_LEN);
         let app_buf = buf.get_mut(app_off..).ok_or(Error::BufferTooSmall)?;
         match &self.body {
             Body::CPlane(c) => {

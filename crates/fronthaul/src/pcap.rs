@@ -49,15 +49,20 @@ impl<W: Write> PcapWriter<W> {
 
     /// Append one frame captured at `at_ns` (simulated nanoseconds).
     pub fn write_frame(&mut self, at_ns: u64, frame: &[u8]) -> io::Result<()> {
-        let secs = (at_ns / 1_000_000_000) as u32;
-        let usecs = ((at_ns % 1_000_000_000) / 1_000) as u32;
-        let caplen = frame.len().min(SNAPLEN as usize) as u32;
+        // A u32 of seconds lasts ~136 years of simulated time; pin at
+        // MAX rather than wrap if a run ever gets there.
+        let secs = u32::try_from(at_ns / 1_000_000_000).unwrap_or(u32::MAX);
+        // `x % 1e9 / 1e3` < 1_000_000, so the conversion cannot fail.
+        let usecs = u32::try_from((at_ns % 1_000_000_000) / 1_000).unwrap_or(0);
+        let cap = frame.len().min(usize::try_from(SNAPLEN).unwrap_or(usize::MAX));
+        // `cap` ≤ SNAPLEN, which is a u32 constant.
+        let caplen = u32::try_from(cap).unwrap_or(SNAPLEN);
         self.sink.write_all(&secs.to_le_bytes())?;
         self.sink.write_all(&usecs.to_le_bytes())?;
         self.sink.write_all(&caplen.to_le_bytes())?;
-        self.sink.write_all(&(frame.len() as u32).to_le_bytes())?;
-        self.sink.write_all(frame.get(..caplen as usize).unwrap_or(frame))?;
-        self.frames += 1;
+        self.sink.write_all(&u32::try_from(frame.len()).unwrap_or(u32::MAX).to_le_bytes())?;
+        self.sink.write_all(frame.get(..cap).unwrap_or(frame))?;
+        self.frames = self.frames.saturating_add(1);
         Ok(())
     }
 

@@ -39,13 +39,15 @@ fn read_1(d: &[u8], i: usize) -> u8 {
 
 /// Read a big-endian u16 at `off`, or 0 if the buffer is too short.
 fn read_2(d: &[u8], off: usize) -> u16 {
-    d.get(off..off + 2).and_then(|s| <[u8; 2]>::try_from(s).ok()).map_or(0, u16::from_be_bytes)
+    d.get(off..off.saturating_add(2))
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .map_or(0, u16::from_be_bytes)
 }
 
 /// Copy `src` to `off`; a no-op if the buffer is too short (the emit path
 /// length-checks up front).
 fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
-    if let Some(s) = d.get_mut(off..off + src.len()) {
+    if let Some(s) = d.get_mut(off..off.saturating_add(src.len())) {
         s.copy_from_slice(src);
     }
 }
@@ -112,7 +114,7 @@ impl RecoveryRepr {
     pub fn wire_len(&self) -> usize {
         match &self.op {
             RecoveryOp::Nack { .. } => NACK_LEN,
-            RecoveryOp::Parity { payload, .. } => PARITY_HDR_LEN + payload.len(),
+            RecoveryOp::Parity { payload, .. } => PARITY_HDR_LEN.saturating_add(payload.len()),
         }
     }
 
@@ -130,7 +132,7 @@ impl RecoveryRepr {
                 }
                 // The XOR payload carries at least a 2-byte length prefix,
                 // and padLen must fit its wire field.
-                if payload.len() < 2 || payload.len() > u16::MAX as usize {
+                if payload.len() < 2 || payload.len() > usize::from(u16::MAX) {
                     return Err(Error::Malformed);
                 }
             }
@@ -162,7 +164,10 @@ impl RecoveryRepr {
             }
             RecoveryOp::Parity { base_seq, window, depth, class, payload } => {
                 write_at(out, 1, &[*base_seq, *window, *depth, *class, 0]);
-                write_at(out, 6, &(payload.len() as u16).to_be_bytes());
+                // `validate` bounds the payload at u16::MAX, so the
+                // conversion cannot fail; a typed error beats a wrap.
+                let pad_len = u16::try_from(payload.len()).map_err(|_| Error::Oversize)?;
+                write_at(out, 6, &pad_len.to_be_bytes());
                 write_at(out, PARITY_HDR_LEN, payload);
             }
         }
@@ -232,9 +237,10 @@ impl RecoveryRepr {
                 if window == 0 || depth == 0 || depth > window || class >= depth {
                     return Err(Error::FieldRange);
                 }
-                let pad_len = read_2(data, 6) as usize;
-                let xor =
-                    data.get(PARITY_HDR_LEN..PARITY_HDR_LEN + pad_len).ok_or(Error::Truncated)?;
+                let pad_len = usize::from(read_2(data, 6));
+                let xor = data
+                    .get(PARITY_HDR_LEN..PARITY_HDR_LEN.saturating_add(pad_len))
+                    .ok_or(Error::Truncated)?;
                 if xor.len() < 2 {
                     return Err(Error::Malformed);
                 }

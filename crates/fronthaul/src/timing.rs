@@ -51,7 +51,8 @@ impl Numerology {
 
     /// Slots per 1 ms subframe.
     pub fn slots_per_subframe(self) -> u8 {
-        1 << self.mu()
+        // μ ≤ 3, so the shift is in range and the result ≤ 8.
+        1u8.wrapping_shl(u32::from(self.mu()))
     }
 
     /// Slots per 10 ms frame.
@@ -116,14 +117,22 @@ impl SymbolId {
 
     /// Absolute slot index within the (wrapping) 256-frame hyperperiod.
     pub fn absolute_slot(self, numerology: Numerology) -> u32 {
-        let spsf = numerology.slots_per_subframe() as u32;
-        ((self.frame as u32 * SUBFRAMES_PER_FRAME as u32) + self.subframe as u32) * spsf
-            + self.slot as u32
+        // frame ≤ 255, subframe ≤ 9, spsf ≤ 8, slot ≤ 7: the result is
+        // at most 20 479, far inside u32 — nothing here can wrap.
+        let spsf = u32::from(numerology.slots_per_subframe());
+        u32::from(self.frame)
+            .wrapping_mul(u32::from(SUBFRAMES_PER_FRAME))
+            .wrapping_add(u32::from(self.subframe))
+            .wrapping_mul(spsf)
+            .wrapping_add(u32::from(self.slot))
     }
 
     /// Absolute symbol index within the 256-frame hyperperiod.
     pub fn absolute_symbol(self, numerology: Numerology) -> u64 {
-        self.absolute_slot(numerology) as u64 * SYMBOLS_PER_SLOT as u64 + self.symbol as u64
+        // absolute_slot ≤ 20 479 and symbol ≤ 13: no wrap possible.
+        u64::from(self.absolute_slot(numerology))
+            .wrapping_mul(u64::from(SYMBOLS_PER_SLOT))
+            .wrapping_add(u64::from(self.symbol))
     }
 
     /// Nanoseconds from the origin of the hyperperiod.

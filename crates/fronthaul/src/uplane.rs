@@ -37,7 +37,7 @@ fn read_1(d: &[u8], i: usize) -> u8 {
 /// Copy `src` to `off`; a no-op if the buffer is too short (the emit path
 /// length-checks up front).
 fn write_at(d: &mut [u8], off: usize, src: &[u8]) {
-    if let Some(s) = d.get_mut(off..off + src.len()) {
+    if let Some(s) = d.get_mut(off..off.saturating_add(src.len())) {
         s.copy_from_slice(src);
     }
 }
@@ -47,6 +47,9 @@ pub const PAYLOAD_VERSION: u8 = 1;
 
 /// Length of the U-plane application header (timing fields).
 pub const APP_HDR_LEN: usize = 4;
+
+/// Smallest parseable message: app header plus one section header.
+const MIN_MSG_LEN: usize = APP_HDR_LEN + SECTION_HDR_LEN;
 
 /// Per-section header length (section fields + numPrbu + udCompHdr + rsvd).
 pub const SECTION_HDR_LEN: usize = 6;
@@ -79,7 +82,7 @@ impl USection {
     ) -> Result<USection> {
         method.validate()?;
         let per = method.prb_wire_bytes();
-        let mut payload = vec![0u8; prbs.len() * per];
+        let mut payload = vec![0u8; prbs.len().saturating_mul(per)];
         for (chunk, prb) in payload.chunks_exact_mut(per).zip(prbs.iter()) {
             bfp::compress_prb_wire(prb, method, chunk)?;
         }
@@ -88,28 +91,32 @@ impl USection {
 
     /// Number of PRBs carried.
     pub fn num_prb(&self) -> u16 {
-        (self.payload.len() / self.method.prb_wire_bytes()) as u16
+        // A section cannot carry more PRBs than its 8-bit wire field plus
+        // the "all remaining" encoding allow; pin rather than wrap if a
+        // hand-built payload is oversized.
+        u16::try_from(self.payload.len() / self.method.prb_wire_bytes()).unwrap_or(u16::MAX)
     }
 
     /// The raw wire bytes of PRB `idx` within this section.
     pub fn prb_bytes(&self, idx: u16) -> Result<&[u8]> {
         let per = self.method.prb_wire_bytes();
-        let start = idx as usize * per;
-        self.payload.get(start..start + per).ok_or(Error::FieldRange)
+        // Saturation lands past the payload end and fails the range check.
+        let start = usize::from(idx).saturating_mul(per);
+        self.payload.get(start..start.saturating_add(per)).ok_or(Error::FieldRange)
     }
 
     /// Mutable raw wire bytes of PRB `idx`.
     pub fn prb_bytes_mut(&mut self, idx: u16) -> Result<&mut [u8]> {
         let per = self.method.prb_wire_bytes();
-        let start = idx as usize * per;
-        self.payload.get_mut(start..start + per).ok_or(Error::FieldRange)
+        let start = usize::from(idx).saturating_mul(per);
+        self.payload.get_mut(start..start.saturating_add(per)).ok_or(Error::FieldRange)
     }
 
     /// Decode every PRB (decompressing as needed) together with its
     /// BFP exponent (0 when uncompressed).
     pub fn decode(&self) -> Result<Vec<(Prb, u8)>> {
         let per = self.method.prb_wire_bytes();
-        let mut out = Vec::with_capacity(self.num_prb() as usize);
+        let mut out = Vec::with_capacity(usize::from(self.num_prb()));
         for chunk in self.payload.chunks_exact(per) {
             let (prb, exp, _) = bfp::decompress_prb_wire(chunk, self.method)?;
             out.push((prb, exp));
@@ -128,8 +135,9 @@ impl USection {
     /// compressed `prbs` — the payload-modification primitive (action A4).
     pub fn write_prbs(&mut self, at: u16, prbs: &[Prb]) -> Result<()> {
         let per = self.method.prb_wire_bytes();
-        let start = at as usize * per;
-        let end = start + prbs.len() * per;
+        // Saturation lands past the payload end and fails the range check.
+        let start = usize::from(at).saturating_mul(per);
+        let end = start.saturating_add(prbs.len().saturating_mul(per));
         let dst = self.payload.get_mut(start..end).ok_or(Error::FieldRange)?;
         for (chunk, prb) in dst.chunks_exact_mut(per).zip(prbs.iter()) {
             bfp::compress_prb_wire(prb, self.method, chunk)?;
@@ -154,18 +162,19 @@ impl USection {
             return Err(Error::ShapeMismatch);
         }
         let per = self.method.prb_wire_bytes();
-        let s = src_idx as usize * per;
-        let d = dst_idx as usize * per;
-        let len = count as usize * per;
-        let src_bytes = src.payload.get(s..s + len).ok_or(Error::FieldRange)?;
-        let dst_bytes = self.payload.get_mut(d..d + len).ok_or(Error::FieldRange)?;
+        // Saturation lands past either payload end and fails a range check.
+        let s = usize::from(src_idx).saturating_mul(per);
+        let d = usize::from(dst_idx).saturating_mul(per);
+        let len = usize::from(count).saturating_mul(per);
+        let src_bytes = src.payload.get(s..s.saturating_add(len)).ok_or(Error::FieldRange)?;
+        let dst_bytes = self.payload.get_mut(d..d.saturating_add(len)).ok_or(Error::FieldRange)?;
         dst_bytes.copy_from_slice(src_bytes);
         Ok(())
     }
 
     /// Wire length of this section including its header.
     pub fn wire_len(&self) -> usize {
-        SECTION_HDR_LEN + self.payload.len()
+        SECTION_HDR_LEN.saturating_add(self.payload.len())
     }
 
     fn validate(&self) -> Result<()> {
@@ -201,7 +210,7 @@ impl UPlaneRepr {
 
     /// Byte length of the emitted message.
     pub fn wire_len(&self) -> usize {
-        APP_HDR_LEN + self.sections.iter().map(|s| s.wire_len()).sum::<usize>()
+        self.sections.iter().fold(APP_HDR_LEN, |acc, s| acc.saturating_add(s.wire_len()))
     }
 
     /// Validate field ranges and payload shapes.
@@ -215,7 +224,7 @@ impl UPlaneRepr {
         for (k, s) in self.sections.iter().enumerate() {
             s.validate()?;
             // Only the final section may need the "all remaining" encoding.
-            if s.num_prb() > 255 && k + 1 != self.sections.len() {
+            if s.num_prb() > 255 && k.saturating_add(1) != self.sections.len() {
                 return Err(Error::Malformed);
             }
         }
@@ -245,21 +254,23 @@ impl UPlaneRepr {
         let mut off = APP_HDR_LEN;
         for s in &self.sections {
             let num = s.num_prb();
+            // Every conversion below is masked to its field width first,
+            // so none of them can actually fail.
             let hdr = [
-                (s.section_id >> 4) as u8,
-                ((s.section_id & 0x0f) as u8) << 4
-                    | (s.rb as u8) << 3
-                    | (s.sym_inc as u8) << 2
-                    | ((s.start_prb >> 8) & 0x03) as u8,
-                (s.start_prb & 0xff) as u8,
-                if num > 255 { 0 } else { num as u8 },
+                u8::try_from((s.section_id >> 4) & 0xff).unwrap_or(0),
+                u8::try_from(s.section_id & 0x0f).unwrap_or(0) << 4
+                    | u8::from(s.rb) << 3
+                    | u8::from(s.sym_inc) << 2
+                    | u8::try_from((s.start_prb >> 8) & 0x03).unwrap_or(0),
+                u8::try_from(s.start_prb & 0xff).unwrap_or(0),
+                if num > 255 { 0 } else { u8::try_from(num).unwrap_or(0) },
                 s.method.to_comp_hdr(),
                 0, // reserved
             ];
             write_at(out, off, &hdr);
-            off += SECTION_HDR_LEN;
+            off = off.saturating_add(SECTION_HDR_LEN);
             write_at(out, off, &s.payload);
-            off += s.payload.len();
+            off = off.saturating_add(s.payload.len());
         }
         Ok(len)
     }
@@ -290,7 +301,7 @@ impl UPlaneRepr {
     /// contents are unspecified but its buffers stay available for the
     /// next parse.
     pub fn parse_into(&mut self, data: &[u8]) -> Result<()> {
-        if data.len() < APP_HDR_LEN + SECTION_HDR_LEN {
+        if data.len() < MIN_MSG_LEN {
             return Err(Error::Truncated);
         }
         let direction = Direction::from_bit(read_1(data, 0) >> 7);
@@ -308,30 +319,34 @@ impl UPlaneRepr {
         let mut used = 0usize;
         let mut off = APP_HDR_LEN;
         while off < data.len() {
-            if off + SECTION_HDR_LEN > data.len() {
+            if off.saturating_add(SECTION_HDR_LEN) > data.len() {
                 return Err(Error::Truncated);
             }
-            let section_id =
-                ((read_1(data, off) as u16) << 4) | ((read_1(data, off + 1) >> 4) as u16);
-            let rb = read_1(data, off + 1) & 0x08 != 0;
-            let sym_inc = read_1(data, off + 1) & 0x04 != 0;
-            let start_prb =
-                (((read_1(data, off + 1) & 0x03) as u16) << 8) | read_1(data, off + 2) as u16;
-            let num_raw = read_1(data, off + 3);
-            let method = CompressionMethod::from_comp_hdr(read_1(data, off + 4))?;
-            off += SECTION_HDR_LEN;
+            let b0 = read_1(data, off);
+            let b1 = read_1(data, off.saturating_add(1));
+            let b2 = read_1(data, off.saturating_add(2));
+            let b3 = read_1(data, off.saturating_add(3));
+            let b4 = read_1(data, off.saturating_add(4));
+            let section_id = (u16::from(b0) << 4) | u16::from(b1 >> 4);
+            let rb = b1 & 0x08 != 0;
+            let sym_inc = b1 & 0x04 != 0;
+            let start_prb = (u16::from(b1 & 0x03) << 8) | u16::from(b2);
+            let num_raw = b3;
+            let method = CompressionMethod::from_comp_hdr(b4)?;
+            off = off.saturating_add(SECTION_HDR_LEN);
             let per = method.prb_wire_bytes();
             let payload_len = if num_raw == 0 {
                 // "All remaining PRBs": consume the rest of the message.
-                let rest = data.len() - off;
+                // The loop condition guarantees `off < data.len()`.
+                let rest = data.len().saturating_sub(off);
                 if rest == 0 || !rest.is_multiple_of(per) {
                     return Err(Error::Malformed);
                 }
                 rest
             } else {
-                num_raw as usize * per
+                usize::from(num_raw).saturating_mul(per)
             };
-            let payload = data.get(off..off + payload_len).ok_or(Error::Truncated)?;
+            let payload = data.get(off..off.saturating_add(payload_len)).ok_or(Error::Truncated)?;
             if let Some(s) = self.sections.get_mut(used) {
                 // Steady state: refill the recycled section slot in place.
                 s.section_id = section_id;
@@ -352,8 +367,10 @@ impl UPlaneRepr {
                     payload: payload.to_vec(),
                 });
             }
-            used += 1;
-            off += payload_len;
+            used = used.saturating_add(1);
+            // `payload_len` ≥ 1 (per ≥ 1 and both branches reject zero),
+            // so the cursor always advances.
+            off = off.saturating_add(payload_len);
         }
         if used == 0 {
             return Err(Error::Malformed);

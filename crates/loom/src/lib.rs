@@ -1,0 +1,255 @@
+//! # rb-loom — exhaustive interleaving exploration for the lock-free core
+//!
+//! The workspace's concurrency-critical pieces — the drop-oldest SPSC
+//! rings, the buffer-pool free list, the epoch-published rule tables —
+//! are exercised under *every* reachable thread interleaving by the
+//! models in `crates/{dataplane,core}/tests/loom_models.rs`. This crate
+//! is the checker underneath: a small, dependency-free reimplementation
+//! of the idea behind [`loom`](https://docs.rs/loom) (stateless model
+//! checking via schedule enumeration), built in-tree because the
+//! workspace must compile offline.
+//!
+//! ## How it works
+//!
+//! [`model`] runs a closure repeatedly, once per distinct schedule. All
+//! tasks run on real OS threads, but a token-passing scheduler (one
+//! mutex + condvar) lets **exactly one** task run at a time; a task only
+//! hands the token over at an instrumented *yield point* — every
+//! operation on the [`sync`], [`queue`] and [`thread`] shims is one.
+//! Whenever more than one task is runnable at a yield point the
+//! scheduler consults a decision tape: on the first execution it always
+//! picks candidate 0 and records `(chosen, arity)`; after each execution
+//! the tape is backtracked depth-first (bump the last decision that
+//! still has unexplored branches, replay the prefix) until the space is
+//! exhausted. Running one task at a time with mutex hand-offs makes
+//! every execution sequentially consistent, which over-approximates the
+//! `SeqCst`/`Acquire`/`Release` orderings the shimmed code requests —
+//! interleaving bugs (torn publications, lost updates, drop-miscounts)
+//! are all visible at this granularity, while relaxed-memory reorderings
+//! are out of scope.
+//!
+//! ## Writing models
+//!
+//! * Keep them tiny: 2–3 tasks with a handful of shim operations each.
+//!   The schedule count is combinatorial in yield points.
+//! * Never spin-wait on another task's progress — the depth-first
+//!   scheduler will happily starve the spinner forever and trip the
+//!   step budget. Do bounded attempts, then [`thread::JoinHandle::join`]
+//!   (which blocks *cooperatively*) and assert on the drained state.
+//! * An `assert!` failure in any task fails the whole [`model`] call
+//!   with the schedule that found it already on the panic path, so
+//!   `RUSTFLAGS="--cfg loom" cargo test` reports it like any other test.
+//!
+//! ```
+//! use rb_loom::sync::atomic::{AtomicU64, Ordering};
+//! use rb_loom::sync::Arc;
+//!
+//! rb_loom::model(|| {
+//!     let n = Arc::new(AtomicU64::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = rb_loom::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join().expect("task panicked");
+//!     assert_eq!(n.load(Ordering::SeqCst), 2, "fetch_add never loses updates");
+//! });
+//! ```
+//!
+//! The dataplane and core crates re-export either these shims or the
+//! real primitives from their `sync` modules depending on `cfg(loom)`,
+//! so the code under test is the production code, not a copy.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+mod sched;
+
+pub mod queue;
+pub mod sync;
+pub mod thread;
+
+use std::panic::resume_unwind;
+use std::sync::Arc;
+
+use sched::{Ctx, Decision, Scheduler};
+
+/// Fallback bound on explored schedules, overridable with the
+/// `RB_LOOM_MAX_SCHEDULES` environment variable. Hitting it panics: a
+/// model that large is a model that needs shrinking, not a pass.
+pub const DEFAULT_MAX_SCHEDULES: u64 = 100_000;
+
+/// Run `f` once per reachable interleaving of its tasks' instrumented
+/// operations. Returns the number of schedules explored.
+///
+/// Panics (failing the enclosing test) if any execution of `f` panics —
+/// e.g. a failed assertion — or if exploration exceeds the schedule or
+/// per-execution step budget.
+pub fn model<F>(f: F) -> u64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let max = max_schedules();
+    let mut replay: Vec<usize> = Vec::new();
+    let mut executions: u64 = 0;
+    loop {
+        executions = executions.saturating_add(1);
+        assert!(
+            executions <= max,
+            "rb-loom: more than {max} schedules; shrink the model \
+             (fewer tasks / fewer instrumented ops) or raise RB_LOOM_MAX_SCHEDULES"
+        );
+        let sched = Arc::new(Scheduler::new(std::mem::take(&mut replay)));
+        let main_sched = Arc::clone(&sched);
+        let body = Arc::clone(&f);
+        let main = std::thread::Builder::new()
+            .name("rb-loom-0".into())
+            .spawn(move || {
+                let id = main_sched.register();
+                let done = sched::fresh_resource();
+                sched::set_ctx(Ctx { sched: Arc::clone(&main_sched), id });
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body()));
+                sched::clear_ctx();
+                match out {
+                    Ok(()) => main_sched.finish(id, done),
+                    Err(payload) => main_sched.poison(payload),
+                }
+            })
+            .expect("rb-loom: spawning the model's root thread failed");
+        let _ = main.join();
+        // Tasks the model spawned may outlive its root closure; an
+        // execution is over only when every OS thread has exited (a
+        // joined batch may itself have spawned more).
+        loop {
+            let handles = sched.take_handles();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        if let Some(payload) = sched.take_panic() {
+            resume_unwind(payload);
+        }
+        match next_replay(&sched.take_decisions()) {
+            Some(next) => replay = next,
+            None => return executions,
+        }
+    }
+}
+
+/// Depth-first backtracking over one execution's decision tape: bump the
+/// deepest decision with unexplored branches, keep the prefix, drop the
+/// suffix. `None` means the space is exhausted.
+fn next_replay(taken: &[Decision]) -> Option<Vec<usize>> {
+    let last = taken.iter().rposition(|d| d.chosen.saturating_add(1) < d.arity)?;
+    let mut replay: Vec<usize> = taken.iter().take(last).map(|d| d.chosen).collect();
+    replay.push(taken.get(last)?.chosen.saturating_add(1));
+    Some(replay)
+}
+
+fn max_schedules() -> u64 {
+    std::env::var("RB_LOOM_MAX_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_SCHEDULES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, RwLock};
+    use super::*;
+
+    #[test]
+    fn single_task_runs_once() {
+        let n = model(|| {});
+        assert_eq!(n, 1, "no decision points, no branching");
+    }
+
+    #[test]
+    fn explores_more_than_one_schedule() {
+        let schedules = model(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                a2.store(1, Ordering::SeqCst);
+            });
+            let _ = a.load(Ordering::SeqCst);
+            t.join().expect("task ok");
+        });
+        assert!(schedules > 1, "a store racing a load must branch, got {schedules}");
+    }
+
+    #[test]
+    fn atomic_rmw_never_loses_updates() {
+        model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().expect("task ok");
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "lost update")]
+    fn finds_the_lost_update_in_a_load_store_race() {
+        model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                let seen = n2.load(Ordering::SeqCst);
+                n2.store(seen.wrapping_add(1), Ordering::SeqCst);
+            });
+            let seen = n.load(Ordering::SeqCst);
+            n.store(seen.wrapping_add(1), Ordering::SeqCst);
+            t.join().expect("task ok");
+            assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }
+
+    #[test]
+    fn rwlock_excludes_writers_and_counts_readers() {
+        model(|| {
+            let l = Arc::new(RwLock::new(0u64));
+            let l2 = Arc::clone(&l);
+            let t = thread::spawn(move || {
+                let mut w = l2.write();
+                // Two dependent writes under one guard: readers must
+                // never observe the intermediate state.
+                *w = 7;
+                *w = w.wrapping_add(7);
+            });
+            let seen = *l.read();
+            assert!(seen == 0 || seen == 14, "torn read: {seen}");
+            t.join().expect("task ok");
+            assert_eq!(*l.read(), 14);
+        });
+    }
+
+    #[test]
+    fn queue_push_pop_race_conserves_items() {
+        model(|| {
+            let q = Arc::new(queue::ArrayQueue::new(2));
+            let q2 = Arc::clone(&q);
+            let t = thread::spawn(move || {
+                q2.push(1u32).expect("capacity 2");
+                q2.push(2u32).expect("capacity 2");
+            });
+            let early = q.pop();
+            t.join().expect("task ok");
+            let mut got: Vec<u32> = early.into_iter().collect();
+            while let Some(v) = q.pop() {
+                got.push(v);
+            }
+            assert_eq!(got, vec![1, 2], "FIFO regardless of interleaving");
+        });
+    }
+}

@@ -1,0 +1,80 @@
+//! An instrumented stand-in for `crossbeam::queue::ArrayQueue`: same
+//! bounded-MPMC surface, but every operation is a scheduling point. A
+//! mutex-held `VecDeque` underneath is behaviourally equivalent to the
+//! lock-free original at the checker's operation granularity (each
+//! crossbeam push/pop is one linearizable step; so is each of ours).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::sched;
+
+/// Bounded MPMC queue mirroring `crossbeam::queue::ArrayQueue`.
+pub struct ArrayQueue<T> {
+    cap: usize,
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> ArrayQueue<T> {
+    /// Create a queue holding at most `cap` items.
+    ///
+    /// # Panics
+    /// If `cap` is zero (as the crossbeam original does).
+    #[must_use]
+    pub fn new(cap: usize) -> ArrayQueue<T> {
+        assert!(cap > 0, "capacity must be non-zero");
+        ArrayQueue { cap, items: Mutex::new(VecDeque::with_capacity(cap)) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.items.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Attempt to enqueue `v`.
+    ///
+    /// # Errors
+    /// Returns `v` back when the queue is full.
+    pub fn push(&self, v: T) -> Result<(), T> {
+        sched::yield_point();
+        let mut q = self.lock();
+        if q.len() >= self.cap {
+            return Err(v);
+        }
+        q.push_back(v);
+        Ok(())
+    }
+
+    /// Dequeue the oldest item, if any.
+    pub fn pop(&self) -> Option<T> {
+        sched::yield_point();
+        self.lock().pop_front()
+    }
+
+    /// Items currently queued (instrumented: the answer is stale the
+    /// moment another task runs, exactly like the lock-free original).
+    pub fn len(&self) -> usize {
+        sched::yield_point();
+        self.lock().len()
+    }
+
+    /// Whether the queue is currently empty (instrumented).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue is currently full (instrumented).
+    pub fn is_full(&self) -> bool {
+        self.len() == self.cap
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+impl<T> std::fmt::Debug for ArrayQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayQueue").field("capacity", &self.cap).finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,303 @@
+//! The cooperative scheduler: one runnable task at a time, depth-first
+//! enumeration of every choice made when several tasks are runnable.
+//!
+//! All coordination funnels through a single `Mutex<State>` + `Condvar`
+//! pair. A task owns the execution token when `state.current` equals its
+//! id; everyone else waits on the condvar. Yield points re-run the
+//! picker; the picker consults/extends the decision tape.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Per-execution step budget. A model tripping this is almost always
+/// spin-waiting on another task (which the DFS scheduler will starve
+/// forever) rather than genuinely this large.
+const MAX_STEPS: u64 = 1_000_000;
+
+/// One entry of the decision tape: which of `arity` runnable tasks was
+/// scheduled at a choice point.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Decision {
+    /// Index into the (sorted) runnable-candidate list.
+    pub chosen: usize,
+    /// How many candidates there were.
+    pub arity: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Runnable,
+    /// Waiting until someone calls [`Scheduler::notify`] with this token.
+    Blocked(u64),
+    Finished,
+}
+
+struct State {
+    tasks: Vec<TaskState>,
+    current: usize,
+    /// Prefix of choices to replay from the previous execution.
+    replay: Vec<usize>,
+    /// Choices actually made this execution (replayed ones included).
+    taken: Vec<Decision>,
+    cursor: usize,
+    steps: u64,
+    poisoned: bool,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Scheduler {
+    pub(crate) fn new(replay: Vec<usize>) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(State {
+                tasks: Vec::new(),
+                current: 0,
+                replay,
+                taken: Vec::new(),
+                cursor: 0,
+                steps: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            panic_payload: Mutex::new(None),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A poisoned std mutex only means some thread panicked while
+        // holding it; the scheduler's own poison flag carries the verdict.
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Register a new task as runnable; returns its id. The first
+    /// registered task (the model's root) starts as the token holder.
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.lock();
+        let id = st.tasks.len();
+        st.tasks.push(TaskState::Runnable);
+        if id == 0 {
+            st.current = 0;
+        }
+        id
+    }
+
+    /// Park the calling OS thread until the scheduler hands it the token
+    /// for the first time (used by freshly spawned tasks).
+    pub(crate) fn wait_until_current(&self, me: usize) {
+        let mut st = self.lock();
+        while st.current != me {
+            if st.poisoned {
+                drop(st);
+                panic!("rb-loom: execution poisoned by a sibling task");
+            }
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// A scheduling point: hand the token to some runnable task (possibly
+    /// the caller again) and wait until it comes back.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.poisoned {
+            drop(st);
+            panic!("rb-loom: execution poisoned by a sibling task");
+        }
+        self.pick_next(&mut st);
+        while st.current != me {
+            if st.poisoned {
+                drop(st);
+                panic!("rb-loom: execution poisoned by a sibling task");
+            }
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Block the caller until `resource` is notified, scheduling others
+    /// meanwhile. Returns with the caller holding the token again.
+    pub(crate) fn block_on(&self, me: usize, resource: u64) {
+        let mut st = self.lock();
+        if st.poisoned {
+            drop(st);
+            panic!("rb-loom: execution poisoned by a sibling task");
+        }
+        if let Some(t) = st.tasks.get_mut(me) {
+            *t = TaskState::Blocked(resource);
+        }
+        self.pick_next(&mut st);
+        while st.current != me || st.tasks.get(me) != Some(&TaskState::Runnable) {
+            if st.poisoned {
+                drop(st);
+                panic!("rb-loom: execution poisoned by a sibling task");
+            }
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Mark every task blocked on `resource` runnable again. The caller
+    /// keeps the token; the woken tasks become candidates at the next
+    /// scheduling point.
+    pub(crate) fn notify(&self, resource: u64) {
+        let mut st = self.lock();
+        for t in &mut st.tasks {
+            if *t == TaskState::Blocked(resource) {
+                *t = TaskState::Runnable;
+            }
+        }
+    }
+
+    /// The calling task is done: wake its joiners, pass the token on.
+    pub(crate) fn finish(&self, me: usize, completion: u64) {
+        let mut st = self.lock();
+        if let Some(t) = st.tasks.get_mut(me) {
+            *t = TaskState::Finished;
+        }
+        for t in &mut st.tasks {
+            if *t == TaskState::Blocked(completion) {
+                *t = TaskState::Runnable;
+            }
+        }
+        self.pick_next(&mut st);
+    }
+
+    /// Record a panic payload (first one wins) and wake every parked task
+    /// so the execution unwinds promptly instead of deadlocking.
+    pub(crate) fn poison(&self, payload: Box<dyn Any + Send>) {
+        {
+            let mut slot =
+                self.panic_payload.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut st = self.lock();
+        st.poisoned = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Choose the next token holder among runnable tasks, recording a
+    /// tape entry whenever there is a genuine choice.
+    fn pick_next(&self, st: &mut State) {
+        st.steps = st.steps.saturating_add(1);
+        if st.steps > MAX_STEPS {
+            st.poisoned = true;
+            self.cv.notify_all();
+            panic!(
+                "rb-loom: {MAX_STEPS} scheduling steps in one execution — \
+                 a model task is almost certainly spin-waiting (models must \
+                 join, not poll)"
+            );
+        }
+        let candidates: Vec<usize> = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == TaskState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        match candidates.as_slice() {
+            [] => {
+                if st.tasks.iter().all(|t| *t == TaskState::Finished) {
+                    // Execution complete; nobody is waiting for the token.
+                    self.cv.notify_all();
+                    return;
+                }
+                st.poisoned = true;
+                self.cv.notify_all();
+                panic!("rb-loom: deadlock — every unfinished task is blocked");
+            }
+            [only] => st.current = *only,
+            _ => {
+                let idx = st
+                    .replay
+                    .get(st.cursor)
+                    .copied()
+                    .unwrap_or(0)
+                    .min(candidates.len().saturating_sub(1));
+                st.taken.push(Decision { chosen: idx, arity: candidates.len() });
+                st.cursor = st.cursor.saturating_add(1);
+                st.current = candidates.get(idx).copied().unwrap_or(0);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn add_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(h);
+    }
+
+    pub(crate) fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut *self.handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic_payload.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
+    }
+
+    pub(crate) fn take_decisions(&self) -> Vec<Decision> {
+        std::mem::take(&mut self.lock().taken)
+    }
+}
+
+/// Which model task the calling OS thread is, if any.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub sched: Arc<Scheduler>,
+    pub id: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(ctx: Ctx) {
+    CTX.with(|c| *c.borrow_mut() = Some(ctx));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Globally unique token for blocking/notification (lock releases, task
+/// completions). Global rather than per-execution so shim types can mint
+/// one in `new()` without scheduler access.
+pub(crate) fn fresh_resource() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Instrumentation hook: a scheduling point if inside a model, a no-op
+/// outside one (the shims stay usable in plain single-threaded tests).
+pub(crate) fn yield_point() {
+    if let Some(ctx) = current() {
+        ctx.sched.yield_point(ctx.id);
+    }
+}
+
+/// Block the calling task on `resource` (model) or busy-yield the OS
+/// thread (outside a model, where no scheduler can park us).
+pub(crate) fn block_on(resource: u64) {
+    match current() {
+        Some(ctx) => ctx.sched.block_on(ctx.id, resource),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Wake tasks blocked on `resource`; no-op outside a model.
+pub(crate) fn notify(resource: u64) {
+    if let Some(ctx) = current() {
+        ctx.sched.notify(resource);
+    }
+}

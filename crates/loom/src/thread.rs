@@ -1,0 +1,83 @@
+//! Model-task spawning, mirroring the subset of `std::thread` the
+//! workspace's models need: [`spawn`] and a [`JoinHandle`] whose `join`
+//! blocks *cooperatively* (the scheduler keeps exploring other tasks).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{self, Ctx};
+
+/// Handle to a spawned model task; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    completion: u64,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawn a new model task. Must be called from inside [`crate::model`].
+///
+/// The task starts runnable but does not run until the scheduler hands
+/// it the token, so the spawn itself is a scheduling point: every
+/// ordering of parent-vs-child progress is explored.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = sched::current().expect("rb_loom::thread::spawn called outside rb_loom::model");
+    let sched = ctx.sched;
+    let id = sched.register();
+    let completion = sched::fresh_resource();
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+
+    let task_sched = Arc::clone(&sched);
+    let task_result = Arc::clone(&result);
+    let os = std::thread::Builder::new()
+        .name(format!("rb-loom-{id}"))
+        .spawn(move || {
+            sched::set_ctx(Ctx { sched: Arc::clone(&task_sched), id });
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                task_sched.wait_until_current(id);
+                f()
+            }));
+            sched::clear_ctx();
+            match out {
+                Ok(v) => {
+                    *task_result.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                        Some(v);
+                    task_sched.finish(id, completion);
+                }
+                Err(payload) => task_sched.poison(payload),
+            }
+        })
+        .expect("rb-loom: OS thread spawn failed");
+    sched.add_handle(os);
+    // Let the scheduler consider running the child right away.
+    sched::yield_point();
+    JoinHandle { completion, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the task to finish and take its return value.
+    ///
+    /// Mirrors `std::thread::JoinHandle::join`'s signature; the `Err`
+    /// arm is vestigial here because a panicking task poisons the whole
+    /// execution (the model fails with the original payload) before any
+    /// joiner can observe it.
+    pub fn join(self) -> std::thread::Result<T> {
+        loop {
+            sched::yield_point();
+            let taken =
+                self.result.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+            if let Some(v) = taken {
+                return Ok(v);
+            }
+            sched::block_on(self.completion);
+        }
+    }
+}
+
+/// A bare scheduling point, for models that want to widen exploration at
+/// a spot with no shim operation (mirrors `std::thread::yield_now`).
+pub fn yield_now() {
+    sched::yield_point();
+}

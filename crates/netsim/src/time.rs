@@ -61,6 +61,12 @@ impl SimDuration {
         SimDuration(s * 1_000_000_000)
     }
 
+    /// Saturating sum of two spans.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
     /// Nanoseconds in this span.
     pub fn as_nanos(self) -> u64 {
         self.0

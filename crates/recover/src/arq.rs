@@ -73,7 +73,9 @@ impl RxTracker {
             GapVerdict::Duplicate
         } else if delta <= SEQ_AHEAD_MAX {
             let first = self.last.wrapping_add(1);
-            let count = delta - 1;
+            // `delta` is in `2..=128` on this branch (0 and 1 handled
+            // above), so the subtraction cannot underflow.
+            let count = delta.wrapping_sub(1);
             let mut s = first;
             for _ in 0..count {
                 self.missing.set(s);
@@ -118,10 +120,13 @@ pub fn nack_chunks(first: u8, count: u8, mut f: impl FnMut(u8, u16)) {
     let mut remaining = count;
     while remaining > 0 {
         let span = remaining.min(NACK_SPAN);
-        let mask = if span >= 16 { u16::MAX } else { (1u16 << span) - 1 };
+        // `span` is in `1..=15` on the else branch, so the shifted bit is
+        // in range and non-zero: the decrement cannot underflow.
+        let mask =
+            if span >= 16 { u16::MAX } else { 1u16.wrapping_shl(u32::from(span)).wrapping_sub(1) };
         f(base, mask);
         base = base.wrapping_add(span);
-        remaining -= span;
+        remaining = remaining.saturating_sub(span);
     }
 }
 
@@ -130,7 +135,7 @@ pub fn nack_chunks(first: u8, count: u8, mut f: impl FnMut(u8, u16)) {
 #[rb_hot_path]
 pub fn nack_seqs(base: u8, mask: u16, mut f: impl FnMut(u8)) {
     for bit in 0..16u8 {
-        if mask & (1u16 << bit) != 0 {
+        if mask & 1u16.wrapping_shl(u32::from(bit)) != 0 {
             f(base.wrapping_add(bit));
         }
     }

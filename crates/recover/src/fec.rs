@@ -24,6 +24,9 @@ use crate::SEQ_AHEAD_MAX;
 /// Length of the per-frame length prefix folded into each lane.
 const LEN_PREFIX: usize = 2;
 
+/// Largest frame that can be length-prefixed into a wire parity payload.
+const MAX_PROTECTED: usize = (u16::MAX as usize) - LEN_PREFIX;
+
 /// FEC window geometry: `window` data frames protected by `depth` parity
 /// frames (one per interleave lane).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,7 +122,7 @@ impl FecEncoder {
     /// Fold the frame sent as sequence `seq` into the window.
     #[rb_hot_path]
     pub fn push(&mut self, seq: u8, frame: &[u8]) -> EncodeAction {
-        if frame.len() > usize::from(u16::MAX) - LEN_PREFIX {
+        if frame.len() > MAX_PROTECTED {
             // Cannot be length-prefixed into a wire parity payload:
             // leave the frame unprotected rather than corrupt the lane.
             return EncodeAction::PassThrough;
@@ -162,7 +165,7 @@ impl FecEncoder {
                     base_seq: self.base,
                     window: self.filled,
                     depth: self.cfg.depth,
-                    class: class as u8,
+                    class: u8::try_from(class).unwrap_or(u8::MAX),
                     payload: lane.as_slice(),
                 });
             }
@@ -190,11 +193,13 @@ impl FecEncoder {
     fn absorb(&mut self, frame: &[u8]) {
         let class = usize::from(self.filled % self.cfg.depth);
         if let Some(lane) = self.lanes.get_mut(class) {
-            let need = LEN_PREFIX + frame.len();
+            // `push` rejected frames longer than MAX_PROTECTED, so neither
+            // the sum nor the u16 conversion can actually saturate.
+            let need = LEN_PREFIX.saturating_add(frame.len());
             if lane.len() < need {
                 lane.resize(need, 0);
             }
-            let len = frame.len() as u16;
+            let len = u16::try_from(frame.len()).unwrap_or(u16::MAX);
             for (dst, src) in lane.iter_mut().zip(len.to_be_bytes()) {
                 *dst ^= src;
             }
@@ -202,7 +207,7 @@ impl FecEncoder {
                 *dst ^= src;
             }
         }
-        self.filled += 1;
+        self.filled = self.filled.saturating_add(1);
     }
 }
 
@@ -255,12 +260,14 @@ where
         let seq = block.base_seq.wrapping_add(idx);
         match lookup(seq) {
             Some(frame) => {
-                if LEN_PREFIX + frame.len() > scratch.len() {
+                if LEN_PREFIX.saturating_add(frame.len()) > scratch.len() {
                     // A member longer than the parity cannot have been
                     // folded into it by this encoder.
                     return Repair::Malformed;
                 }
-                let len = frame.len() as u16;
+                let Ok(len) = u16::try_from(frame.len()) else {
+                    return Repair::Malformed;
+                };
                 for (dst, src) in scratch.iter_mut().zip(len.to_be_bytes()) {
                     *dst ^= src;
                 }
@@ -269,7 +276,7 @@ where
                 }
             }
             None => {
-                missing += 1;
+                missing = missing.saturating_add(1);
                 missing_seq = seq;
             }
         }
@@ -281,15 +288,16 @@ where
                 scratch.first().copied().unwrap_or(0),
                 scratch.get(1).copied().unwrap_or(0),
             ]));
-            if LEN_PREFIX + len > scratch.len() {
+            let frame_end = LEN_PREFIX.saturating_add(len);
+            if frame_end > scratch.len() {
                 return Repair::Malformed;
             }
             // Residual bytes past the rebuilt frame must be zero — a
             // nonzero tail means the lane membership did not match.
-            if scratch.iter().skip(LEN_PREFIX + len).any(|b| *b != 0) {
+            if scratch.iter().skip(frame_end).any(|b| *b != 0) {
                 return Repair::Malformed;
             }
-            scratch.copy_within(LEN_PREFIX..LEN_PREFIX + len, 0);
+            scratch.copy_within(LEN_PREFIX..frame_end, 0);
             scratch.truncate(len);
             Repair::Recovered { seq: missing_seq }
         }

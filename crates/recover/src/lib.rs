@@ -52,20 +52,26 @@ pub(crate) struct SeqBitmap {
 }
 
 impl SeqBitmap {
+    /// Single-bit mask for `seq` within its 64-bit word. The shift amount
+    /// is masked to `0..64`, so `wrapping_shl` never actually wraps.
+    fn bit(seq: u8) -> u64 {
+        1u64.wrapping_shl(u32::from(seq & 63))
+    }
+
     pub(crate) fn get(&self, seq: u8) -> bool {
         let word = self.words.get(usize::from(seq >> 6)).copied().unwrap_or(0);
-        word & (1u64 << (seq & 63)) != 0
+        word & Self::bit(seq) != 0
     }
 
     pub(crate) fn set(&mut self, seq: u8) {
         if let Some(word) = self.words.get_mut(usize::from(seq >> 6)) {
-            *word |= 1u64 << (seq & 63);
+            *word |= Self::bit(seq);
         }
     }
 
     pub(crate) fn clear(&mut self, seq: u8) {
         if let Some(word) = self.words.get_mut(usize::from(seq >> 6)) {
-            *word &= !(1u64 << (seq & 63));
+            *word &= !Self::bit(seq);
         }
     }
 

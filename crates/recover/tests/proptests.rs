@@ -7,7 +7,10 @@
 //!   sequence number, for any insert history crossing 8-bit wraparound;
 //! * NACK chunking is a lossless encoding of any gap;
 //! * the dedup window admits each first copy exactly once under
-//!   arbitrary two-link interleavings.
+//!   arbitrary two-link interleavings;
+//! * the 255→0 wraparound boundary specifically: gaps, recoveries,
+//!   dedup-window advances and cache generations that straddle the
+//!   8-bit wrap behave exactly like their mid-range counterparts.
 
 use proptest::prelude::*;
 
@@ -208,6 +211,106 @@ proptest! {
         }
         for i in ia.min(ib)..ia.max(ib).min(n) {
             prop_assert_eq!(admitted[i], 1, "single-link seq {} delivered once", i);
+        }
+    }
+
+    // ---- 255→0 wraparound boundary ------------------------------------
+    //
+    // The sweeps above start anywhere in the 8-bit space, so they cross
+    // the wrap only probabilistically. These pin every case onto the
+    // boundary: the gap, the recovery set, the window advance and the
+    // cache generation each straddle 255→0 by construction.
+
+    /// A gap that provably spans the 255→0 boundary is tracked, NACKed
+    /// and recovered exactly like a mid-range gap: `Ahead` names the
+    /// full wrapped range, each missing number (on either side of the
+    /// boundary) recovers exactly once, and the NACK chunks re-enumerate
+    /// the gap losslessly.
+    #[test]
+    fn rx_tracker_gap_across_the_wrap_boundary(
+        below in 0u8..=7,        // last in-order seq = 255 - below
+        width in 9u8..=100,      // > below + 1, so the jump always wraps
+    ) {
+        let start = 255u8.wrapping_sub(below);
+        let jump = start.wrapping_add(width).wrapping_add(1);
+        prop_assert!(jump < start, "construction: the jump target wrapped");
+        let mut t = RxTracker::new();
+        t.observe(start);
+        let first = start.wrapping_add(1);
+        prop_assert_eq!(t.observe(jump), GapVerdict::Ahead { first, count: width });
+        // The missing set covers both sides of the boundary.
+        prop_assert!(t.is_missing(255) || start == 255, "pre-wrap side tracked");
+        prop_assert!(t.is_missing(0), "post-wrap side tracked");
+        // NACK chunking walks the wrapped gap losslessly.
+        let mut named = Vec::new();
+        nack_chunks(first, width, |base, mask| nack_seqs(base, mask, |s| named.push(s)));
+        let expect: Vec<u8> = (0..width).map(|i| first.wrapping_add(i)).collect();
+        prop_assert_eq!(&named, &expect);
+        // Every wrapped loss recovers exactly once.
+        for s in expect {
+            prop_assert_eq!(t.observe(s), GapVerdict::Recovered);
+            prop_assert_eq!(t.observe(s), GapVerdict::Duplicate);
+        }
+        prop_assert_eq!(t.outstanding(), 0);
+    }
+
+    /// Dedup across the boundary: a window advance that slides over
+    /// 255→0 clears exactly the slid-over marks — late first copies
+    /// from either side are still admitted once, and the numbers the
+    /// edge recycled are fresh for the next generation.
+    #[test]
+    fn dedup_window_advance_across_the_wrap_boundary(
+        below in 1u8..=7,
+        ahead in 1u8..=7,
+    ) {
+        let start = 255u8.wrapping_sub(below);
+        let mut w = DedupWindow::new();
+        prop_assert!(w.admit(start));
+        // Advance over the boundary in one jump: start → ahead-1 (mod 256).
+        let target = ahead.wrapping_sub(1);
+        prop_assert!(w.admit(target), "first copy past the wrap");
+        prop_assert!(!w.admit(target), "its duplicate is caught");
+        // Every number the edge slid over (both sides of 255→0) is a
+        // late first copy: admitted exactly once.
+        let mut s = start;
+        while s != target {
+            s = s.wrapping_add(1);
+            if s == target {
+                break;
+            }
+            prop_assert!(w.admit(s), "late first copy of {} admitted", s);
+            prop_assert!(!w.admit(s), "late duplicate of {} dropped", s);
+        }
+        prop_assert!(!w.admit(start), "start is within the window and already seen");
+    }
+
+    /// Cache generations across the boundary: inserting a full wrap's
+    /// worth of frames and re-inserting the boundary numbers under new
+    /// bytes must serve only the newest generation at 255 and 0.
+    #[test]
+    fn replay_cache_boundary_slots_serve_the_newest_generation(
+        capacity in 1usize..=256,
+        tail in 1u8..=7,
+    ) {
+        let mut cache = ReplayCache::new(capacity);
+        // Generation 0: ...253, 254, 255, 0, 1... across the wrap.
+        let start = 255u8.wrapping_sub(tail);
+        let mut s = start;
+        for _ in 0..=u16::from(tail) + u16::from(tail) {
+            cache.insert(s, &frame_bytes(0, s));
+            s = s.wrapping_add(1);
+        }
+        // Generation 1 recycles exactly the two boundary numbers.
+        cache.insert(255, &frame_bytes(1, 255));
+        cache.insert(0, &frame_bytes(1, 0));
+        for probe in [255u8, 0] {
+            if let Some(bytes) = cache.get(probe) {
+                prop_assert_eq!(
+                    bytes.to_vec(),
+                    frame_bytes(1, probe),
+                    "boundary slot {} served a stale generation", probe
+                );
+            }
         }
     }
 }

@@ -52,7 +52,22 @@ pub fn parse(text: &str) -> Allowlist {
         if let Some((func, rule, reason, line)) = cur.take() {
             match (func, rule, reason) {
                 (Some(function), Some(rule), Some(reason)) if !reason.trim().is_empty() => {
-                    out.entries.push(AllowEntry { function, rule, reason, line });
+                    // v3 grants must carry a structured justification: an
+                    // `arith` grant states the value-range argument, a
+                    // `growth` grant states the boundedness argument.
+                    if rule == Rule::Arith && !reason.contains("range:") {
+                        out.problems.push(format!(
+                            "arith grant for `{function}` at line {line} must state the \
+                             value-range argument (`range: …`) in its reason"
+                        ));
+                    } else if rule == Rule::Growth && !reason.contains("bound:") {
+                        out.problems.push(format!(
+                            "growth grant for `{function}` at line {line} must state the \
+                             boundedness argument (`bound: …`) in its reason"
+                        ));
+                    } else {
+                        out.entries.push(AllowEntry { function, rule, reason, line });
+                    }
                 }
                 (f, r, reason) => {
                     let mut missing = Vec::new();
@@ -113,8 +128,8 @@ pub fn parse(text: &str) -> Allowlist {
             "rule" => match parse_rule(&val) {
                 Some(r) => entry.1 = Some(r),
                 None => out.problems.push(format!(
-                    "unknown rule `{val}` at line {lineno} \
-                     (expected panic/indexing/unsafe/alloc/block/recursion/ordering)"
+                    "unknown rule `{val}` at line {lineno} (expected panic/indexing/unsafe/\
+                     alloc/block/recursion/ordering/arith/growth)"
                 )),
             },
             "reason" => entry.2 = Some(val),
@@ -190,6 +205,33 @@ mod tests {
         }
         assert!(parse("[[allow]]\nfunction = \"x\"\nrule = \"block\"\nreason = \"r\"\n")
             .grants("x", Rule::Block));
+    }
+
+    #[test]
+    fn v3_rules_parse_with_structured_reasons() {
+        let a = parse(
+            "[[allow]]\nfunction = \"x\"\nrule = \"arith\"\n\
+             reason = \"range: seq is u8, wrap is the protocol\"\n\
+             [[allow]]\nfunction = \"y\"\nrule = \"growth\"\n\
+             reason = \"bound: ring capacity fixed at construction\"\n",
+        );
+        assert!(a.problems.is_empty(), "{:?}", a.problems);
+        assert!(a.grants("x", Rule::Arith));
+        assert!(a.grants("y", Rule::Growth));
+    }
+
+    #[test]
+    fn arith_grant_without_range_is_a_problem() {
+        let a = parse("[[allow]]\nfunction = \"x\"\nrule = \"arith\"\nreason = \"trust me\"\n");
+        assert_eq!(a.entries.len(), 0);
+        assert!(a.problems.iter().any(|p| p.contains("range:")), "{:?}", a.problems);
+    }
+
+    #[test]
+    fn growth_grant_without_bound_is_a_problem() {
+        let a = parse("[[allow]]\nfunction = \"x\"\nrule = \"growth\"\nreason = \"fine\"\n");
+        assert_eq!(a.entries.len(), 0);
+        assert!(a.problems.iter().any(|p| p.contains("bound:")), "{:?}", a.problems);
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! Panic-vector, allocation and deadline-safety checks over a function
-//! body's tokens.
+//! Panic-vector, allocation, deadline-safety and arithmetic-safety checks
+//! over a function body's tokens.
 //!
-//! Seven rule families, mirroring the workspace clippy wall:
+//! Nine rule families, mirroring the workspace clippy wall:
 //!
 //! * `panic` — `.unwrap()`, `.expect(..)`, `.unwrap_err()`, `.expect_err(..)`
 //!   and the panicking macros `panic!`, `unreachable!`, `todo!`,
@@ -31,6 +31,25 @@
 //!   usually hides an unnamed happens-before edge; grants must name the
 //!   edge), plus `static mut` / interior-mutable `static` shared state,
 //!   which the engine detects at item scope.
+//! * `arith` — unchecked integer arithmetic on the hot path: bare
+//!   `+ - * << >>` (and their `*=`-style compound forms) between value
+//!   operands, plus every `as` cast to an integer type (truncation and
+//!   sign changes are silent in release builds — exactly how a length or
+//!   sequence number turns into malformed wire bytes). Sanctioned forms:
+//!   `wrapping_*`/`checked_*`/`saturating_*`, widening `u16::from`-style
+//!   conversions, `try_into` with a handled error. Literal-only
+//!   arithmetic (`8 * 1024`), float arithmetic, and shifts by a literal
+//!   amount are exempt: rustc const-evaluates the former and denies
+//!   out-of-range literal shifts at compile time. Grants must state the
+//!   value-range argument (`range: …`).
+//! * `growth` — collection growth on the hot path (`push`/`insert`/
+//!   `extend`/`append`/`reserve`/`resize` and variants) must be provably
+//!   bounded: the call is exempt only when a capacity guard (`capacity`/
+//!   `with_capacity`/`is_full`/`.min(..)`/a `len` comparison) appears
+//!   earlier in the same function body. `--deny-alloc` permits
+//!   amortized-zero growth that is still unbounded in the limit; this
+//!   rule closes that gap. Grants must state the boundedness argument
+//!   (`bound: …`).
 
 use crate::lexer::{TokKind, Token};
 
@@ -51,6 +70,10 @@ pub enum Rule {
     Recursion,
     /// `SeqCst` atomics or non-atomic shared mutable state.
     Ordering,
+    /// Unchecked integer arithmetic or a truncating/sign-changing cast.
+    Arith,
+    /// Unbounded collection growth.
+    Growth,
 }
 
 impl Rule {
@@ -64,6 +87,8 @@ impl Rule {
             Rule::Block => "block",
             Rule::Recursion => "recursion",
             Rule::Ordering => "ordering",
+            Rule::Arith => "arith",
+            Rule::Growth => "growth",
         }
     }
 
@@ -76,6 +101,8 @@ impl Rule {
         Rule::Block,
         Rule::Recursion,
         Rule::Ordering,
+        Rule::Arith,
+        Rule::Growth,
     ];
 }
 
@@ -142,6 +169,77 @@ const BLOCK_THREAD_FNS: &[&str] = &["sleep", "park", "park_timeout", "spawn", "s
 /// Stdio macros: hidden mutex + write syscall per invocation.
 const BLOCK_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
 
+/// Integer type names: an `as` cast to any of these can truncate or change
+/// sign silently in release builds.
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// Collection-growth methods: each can reallocate and, called repeatedly
+/// without a bound, grows memory without limit.
+const GROWTH_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "resize_with",
+];
+
+/// Identifiers that witness a capacity bound when they appear before a
+/// growth call in the same body: explicit capacity queries, fullness
+/// probes, pre-sized construction, or a `.min(..)` clamp.
+const CAPACITY_GUARDS: &[&str] =
+    &["capacity", "with_capacity", "is_full", "has_capacity", "spare_capacity_len", "min"];
+
+/// Idents that terminate an operand on their left (`a + b`): any
+/// non-keyword ident, a number, `)`, `]` or `?`. These keywords are the
+/// ones that can legally precede a binary-looking token without being a
+/// value (`return -x`, `as u32`, `match x`, …) — shared with the indexing
+/// check's list, which captures the same "not a value" distinction.
+fn ends_operand(t: &Token) -> bool {
+    match t.kind {
+        TokKind::Ident => !NON_INDEXABLE_KEYWORDS.contains(&t.text.as_str()),
+        TokKind::Num => true,
+        TokKind::Punct => t.is_punct(')') || t.is_punct(']') || t.is_punct('?'),
+        _ => false,
+    }
+}
+
+/// Keywords that cannot begin an operand expression after a binary op.
+const NOT_OPERAND_START: &[&str] = &["mut", "move", "ref", "dyn", "impl", "fn", "where"];
+
+/// Trait names that follow `+` in bounds (`Box<dyn FnMut() + Send>`), the
+/// one place a `+` with operands on both sides is not arithmetic.
+const BOUND_TRAITS: &[&str] = &["Send", "Sync", "Unpin", "Sized", "Clone", "Copy"];
+
+/// Tokens that begin an operand expression (`a + b`, `a + (b)`, `a + -b`,
+/// `a + *p`, `a + &x`).
+fn starts_operand(t: &Token) -> bool {
+    match t.kind {
+        TokKind::Ident => !NOT_OPERAND_START.contains(&t.text.as_str()),
+        TokKind::Num => true,
+        TokKind::Punct => t.is_punct('(') || t.is_punct('&') || t.is_punct('-') || t.is_punct('*'),
+        _ => false,
+    }
+}
+
+/// A float literal (`1.5`, `2f32`, `3e8`): float arithmetic is out of the
+/// `arith` rule's scope (it cannot wrap and has no `wrapping_*` spelling).
+fn is_float_lit(t: &Token) -> bool {
+    t.kind == TokKind::Num
+        && !t.text.starts_with("0x")
+        && (t.text.contains('.')
+            || t.text.ends_with("f32")
+            || t.text.ends_with("f64")
+            || t.text.contains('e')
+            || t.text.contains('E'))
+}
+
 /// Keywords that can directly precede `[` without it being an index
 /// expression (`let [a, b] = ..`, `for [x] in ..`, `&mut [0u8; 4]`, …).
 const NON_INDEXABLE_KEYWORDS: &[&str] = &[
@@ -152,6 +250,64 @@ const NON_INDEXABLE_KEYWORDS: &[&str] = &[
 
 fn in_nested(idx: usize, nested: &[(usize, usize)]) -> bool {
     nested.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+/// Skip a balanced `<...>` turbofish group starting at `i` (pointing at
+/// `<`), bailing on `;`/`{` so malformed input cannot overrun.
+fn skip_generic_args(toks: &[Token], mut i: usize, end: usize) -> usize {
+    let mut depth = 0isize;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth <= 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(';') || t.is_punct('{') {
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Index of the first capacity-guard witness in the body, if any. A
+/// growth call at a later index is treated as capacity-checked; one at an
+/// earlier index is not. The witness forms: a `CAPACITY_GUARDS` ident
+/// (`min` only when invoked), or `len` taking part in a comparison.
+fn first_capacity_guard(
+    toks: &[Token],
+    body: (usize, usize),
+    nested: &[(usize, usize)],
+) -> Option<usize> {
+    let (start, end) = body;
+    let mut i = start;
+    while i < end {
+        if in_nested(i, nested) {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            let name = t.text.as_str();
+            if CAPACITY_GUARDS.contains(&name)
+                && (name != "min" || (i + 1 < end && toks[i + 1].is_punct('(')))
+            {
+                return Some(i);
+            }
+            if name == "len" {
+                let cmp = (i + 1..(i + 5).min(end))
+                    .any(|k| toks[k].is_punct('<') || toks[k].is_punct('>'));
+                if cmp {
+                    return Some(i);
+                }
+            }
+        }
+        i += 1;
+    }
+    None
 }
 
 /// Scan the body tokens `toks[body.0..body.1]`, skipping any `nested`
@@ -168,6 +324,7 @@ pub fn scan_body(
         out.push(Violation { rule: Rule::Unsafe, line, what: "unsafe fn".to_string() });
     }
     let (start, end) = body;
+    let guard = first_capacity_guard(toks, body, nested);
     let mut i = start;
     while i < end {
         if in_nested(i, nested) {
@@ -213,6 +370,26 @@ pub fn scan_body(
                     || (next_empty_parens && BLOCK_METHODS_ZERO_ARG.contains(&name)))
             {
                 out.push(Violation { rule: Rule::Block, line: t.line, what: format!(".{name}()") });
+            } else if name == "as"
+                && i + 1 < end
+                && toks[i + 1].kind == TokKind::Ident
+                && INT_TYPES.contains(&toks[i + 1].text.as_str())
+            {
+                out.push(Violation {
+                    rule: Rule::Arith,
+                    line: t.line,
+                    what: format!("as {}", toks[i + 1].text),
+                });
+            } else if prev_dot
+                && next_paren
+                && GROWTH_METHODS.contains(&name)
+                && guard.map_or(true, |g| g > i)
+            {
+                out.push(Violation {
+                    rule: Rule::Growth,
+                    line: t.line,
+                    what: format!(".{name}(..) without capacity guard"),
+                });
             } else if next_paren
                 && !prev_dot
                 && i >= start + 2
@@ -246,6 +423,83 @@ pub fn scan_body(
                             rule: Rule::Block,
                             line: t.line,
                             what: format!("{qual}::{name}()"),
+                        });
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        // Turbofish `::<...>`: type arguments, not comparison or shift
+        // operators — skip the balanced angle group wholesale.
+        if t.is_punct('<')
+            && i >= start + 2
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+        {
+            i = skip_generic_args(toks, i, end);
+            continue;
+        }
+
+        // Shifts: a `<<` / `>>` punct pair with a value operand on each
+        // side. `>>` closing nested generics (`Vec<Vec<u8>>`) is excluded
+        // by the `<`-before-operand and triple-`>` probes; a literal shift
+        // amount is exempt (rustc denies out-of-range literal shifts).
+        if (t.is_punct('<') || t.is_punct('>')) && i > start && i + 2 < end {
+            let ch = if t.is_punct('<') { '<' } else { '>' };
+            let pair = toks[i + 1].is_punct(ch);
+            let generic_close = ch == '>'
+                && ((i >= start + 2 && toks[i - 2].is_punct('<')) || toks[i + 2].is_punct('>'));
+            if pair && !generic_close && ends_operand(&toks[i - 1]) {
+                let (amt, compound) =
+                    if toks[i + 2].is_punct('=') { (i + 3, true) } else { (i + 2, false) };
+                if amt < end && starts_operand(&toks[amt]) && toks[amt].kind != TokKind::Num {
+                    let eq = if compound { "=" } else { "" };
+                    out.push(Violation {
+                        rule: Rule::Arith,
+                        line: t.line,
+                        what: format!("{} {ch}{ch}{eq} {}", toks[i - 1].text, toks[amt].text),
+                    });
+                }
+                i += 2;
+                continue;
+            }
+        }
+
+        // Binary `+ - *` (and compound `+=`-style) between value operands.
+        // Exempt: literal-literal (const-folded and overflow-checked by
+        // rustc), float operands, and `+` joining trait bounds.
+        if (t.is_punct('+') || t.is_punct('-') || t.is_punct('*')) && i > start && i + 1 < end {
+            let prev = &toks[i - 1];
+            if ends_operand(prev) {
+                let op = &t.text;
+                if toks[i + 1].is_punct('=') {
+                    if i + 2 < end
+                        && starts_operand(&toks[i + 2])
+                        && !is_float_lit(prev)
+                        && !is_float_lit(&toks[i + 2])
+                    {
+                        out.push(Violation {
+                            rule: Rule::Arith,
+                            line: t.line,
+                            what: format!("{} {op}= {}", prev.text, toks[i + 2].text),
+                        });
+                        i += 2;
+                        continue;
+                    }
+                } else if starts_operand(&toks[i + 1]) {
+                    let next = &toks[i + 1];
+                    let both_lit = prev.kind == TokKind::Num && next.kind == TokKind::Num;
+                    let float = is_float_lit(prev) || is_float_lit(next);
+                    let bound = t.is_punct('+')
+                        && next.kind == TokKind::Ident
+                        && BOUND_TRAITS.contains(&next.text.as_str());
+                    if !both_lit && !float && !bound {
+                        out.push(Violation {
+                            rule: Rule::Arith,
+                            line: t.line,
+                            what: format!("{} {op} {}", prev.text, next.text),
                         });
                     }
                 }
@@ -395,7 +649,85 @@ mod tests {
         let names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
         assert_eq!(
             names,
-            vec!["panic", "indexing", "unsafe", "alloc", "block", "recursion", "ordering"]
+            vec![
+                "panic",
+                "indexing",
+                "unsafe",
+                "alloc",
+                "block",
+                "recursion",
+                "ordering",
+                "arith",
+                "growth"
+            ]
         );
+    }
+
+    #[test]
+    fn int_casts_are_arith() {
+        assert_eq!(rules("let x = n as u16;"), vec![Rule::Arith]);
+        assert_eq!(rules("let x = seq as usize;"), vec![Rule::Arith]);
+        assert_eq!(rules("let x = v as i8;"), vec![Rule::Arith]);
+        // Casts to non-integer types are out of scope.
+        assert!(rules("let p = x as f64; let q = y as char;").is_empty());
+        // Sanctioned conversions are clean.
+        assert!(rules("let x = u16::from(b); let y = usize::from(s);").is_empty());
+        assert!(rules("let x: u8 = n.try_into().map_err(drop)?;").is_empty());
+    }
+
+    #[test]
+    fn bare_binary_ops_are_arith() {
+        assert_eq!(rules("let y = a + b;"), vec![Rule::Arith]);
+        assert_eq!(rules("let y = a - 1;"), vec![Rule::Arith]);
+        assert_eq!(rules("let y = n * stride;"), vec![Rule::Arith]);
+        assert_eq!(rules("total += step;"), vec![Rule::Arith]);
+        assert_eq!(rules("seq -= 1;"), vec![Rule::Arith]);
+        // Sanctioned spellings are clean.
+        assert!(rules("let y = a.wrapping_add(b);").is_empty());
+        assert!(rules("let y = a.checked_sub(1)?;").is_empty());
+        assert!(rules("let y = n.saturating_mul(stride);").is_empty());
+    }
+
+    #[test]
+    fn arith_exemptions() {
+        // Literal-literal is const-folded and overflow-checked by rustc.
+        assert!(rules("const N: usize = 8 * 1024;").is_empty());
+        // Float arithmetic cannot wrap.
+        assert!(rules("let y = x * 1.5; let z = a + 2.0f64;").is_empty());
+        // `+` joining trait bounds is not arithmetic.
+        assert!(rules("let f: Box<dyn FnMut() + Send> = g;").is_empty());
+        // Unary minus / deref / reference positions are not binary ops.
+        assert!(rules("let y = -x; let z = *p; let w = &q;").is_empty());
+        assert!(rules("let y = f(-1); let z = a == *b;").is_empty());
+    }
+
+    #[test]
+    fn shifts_are_arith_unless_literal() {
+        assert_eq!(rules("let y = x << bits;"), vec![Rule::Arith]);
+        assert_eq!(rules("let y = x >> shift;"), vec![Rule::Arith]);
+        assert_eq!(rules("rest >>= bits;"), vec![Rule::Arith]);
+        // Literal shift amounts are compile-checked by rustc.
+        assert!(rules("let y = x << 3; let z = x >> 8;").is_empty());
+        // Generic angle brackets are not shifts.
+        assert!(rules("let v: Vec<Vec<u8>> = make();").is_empty());
+        assert!(rules("let v = iter.collect::<Vec<Vec<u8>>>();").is_empty());
+    }
+
+    #[test]
+    fn growth_without_guard() {
+        assert_eq!(rules("out.push(x);"), vec![Rule::Growth]);
+        assert_eq!(rules("map.insert(k, v);"), vec![Rule::Growth]);
+        assert_eq!(rules("buf.extend_from_slice(b);"), vec![Rule::Growth]);
+        assert_eq!(rules("v.reserve(n);"), vec![Rule::Growth]);
+    }
+
+    #[test]
+    fn growth_with_guard_is_clean() {
+        assert!(rules("if out.len() < cap { out.push(x); }").is_empty());
+        assert!(rules("if !q.is_full() { q.push(x); }").is_empty());
+        assert!(rules("let n = want.min(limit); buf.extend_from_slice(&src);").is_empty());
+        assert!(rules("if v.capacity() > v.len() { v.push(x); }").is_empty());
+        // A guard *after* the growth call does not bound it.
+        assert_eq!(rules("out.push(x); if out.len() < cap {}"), vec![Rule::Growth]);
     }
 }

@@ -130,7 +130,10 @@ fn package_name(manifest: &str) -> Option<String> {
 
 /// Find `(crate_name, crate_dir)` pairs under `root`, skipping `xtask`
 /// itself (its helper names like `parse` would otherwise leak into the
-/// name-based call graph as false candidates).
+/// name-based call graph as false candidates) and `rb-loom` (compiled
+/// only under `--cfg loom`, never linked into the packet path; its shim
+/// method names — `push`, `pop`, `len` — shadow production ones and
+/// would fabricate hot chains through the model checker).
 fn discover_crates(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
     let mut out = Vec::new();
     let mut stack = vec![(root.to_path_buf(), 0usize)];
@@ -139,7 +142,7 @@ fn discover_crates(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
         if manifest.is_file() {
             let text = fs::read_to_string(&manifest)?;
             if let Some(name) = package_name(&text) {
-                if name != "xtask" {
+                if name != "xtask" && name != "rb-loom" {
                     out.push((name, dir.clone()));
                 }
             }

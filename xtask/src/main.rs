@@ -23,9 +23,15 @@ rules (on hot-path-reachable code unless noted):
   recursion  call-graph cycles reachable from a hot root
   ordering   Ordering::SeqCst; static mut / interior-mutable statics
              (statics checked crate-wide, not just hot paths)
+  arith      bare + - * << >> on integer operands and `as` casts to
+             integer types (use wrapping_*/checked_*/saturating_*,
+             From/try_into; grants must state `range: ...`)
+  growth     push/insert/extend/append/reserve/resize on collections
+             without a preceding capacity guard (grants must state
+             `bound: ...`)
 
 lint options:
-  --json           machine-readable output for CI (schema v2: version,
+  --json           machine-readable output for CI (schema v3: version,
                    rules, findings with stable rule-id strings)
   --all            lint every non-test function in enforced crates,
                    not only the hot-path-reachable set
@@ -33,7 +39,8 @@ lint options:
   --list-hot       print the hot-path-reachable function set and exit
   --root <path>    workspace root (default: auto-detected)
   --crates <a,b>   comma-separated enforced crates
-                   (default: rb-fronthaul,rb-core,rb-apps,rb-dataplane)
+                   (default: rb-fronthaul,rb-core,rb-apps,rb-dataplane,
+                   rb-recover)
 ";
 
 fn workspace_root() -> PathBuf {

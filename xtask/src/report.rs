@@ -74,13 +74,14 @@ fn json_str_array(items: &[String]) -> String {
 
 /// JSON schema version. Bump on any breaking change to key names, rule-id
 /// strings, or value shapes; downstream CI parsers pin on it.
-pub const JSON_SCHEMA_VERSION: u32 = 2;
+/// v3 added the `arith` and `growth` rule ids to the vocabulary.
+pub const JSON_SCHEMA_VERSION: u32 = 3;
 
 /// Render the report as a single JSON object (stable key order) for CI.
 ///
-/// Schema v2: `version` (this schema number) and `rules` (every rule-id
-/// string the linter can emit, in stable order) lead the object, so a
-/// parser can hard-fail on an unexpected schema instead of silently
+/// Since schema v2, `version` (this schema number) and `rules` (every
+/// rule-id string the linter can emit, in stable order) lead the object,
+/// so a parser can hard-fail on an unexpected schema instead of silently
 /// missing findings of a rule it never knew existed.
 pub fn json(report: &Report) -> String {
     let rule_ids: Vec<String> = Rule::ALL.iter().map(|r| r.name().to_string()).collect();
@@ -154,8 +155,9 @@ mod tests {
         let j = json(&sample());
         assert_eq!(
             j,
-            "{\"version\":2,\
-             \"rules\":[\"panic\",\"indexing\",\"unsafe\",\"alloc\",\"block\",\"recursion\",\"ordering\"],\
+            "{\"version\":3,\
+             \"rules\":[\"panic\",\"indexing\",\"unsafe\",\"alloc\",\"block\",\"recursion\",\
+             \"ordering\",\"arith\",\"growth\"],\
              \"total_fns\":2,\"hot_fns\":1,\"errors\":1,\
              \"findings\":[{\"function\":\"rb-x::m::f\",\"file\":\"crates/x/src/m.rs\",\"line\":7,\
              \"rule\":\"panic\",\"what\":\".unwrap()\",\"allowed\":false,\"advisory\":false,\

@@ -1,0 +1,108 @@
+//! Deliberately violates the `arith` rule family, with matched negatives
+//! that must NOT be flagged. This crate is a lint fixture: it is lexed
+//! by the linter's tests, never compiled.
+use rb_hotpath_macros::rb_hot_path;
+
+/// Bare addition: can wrap silently in release builds.
+#[rb_hot_path]
+pub fn bare_add(a: u64, b: u64) -> u64 {
+    a + b
+}
+
+/// Bare subtraction: can underflow.
+#[rb_hot_path]
+pub fn bare_sub_one(seq: u8) -> u8 {
+    seq - 1
+}
+
+/// Bare multiplication: can wrap.
+#[rb_hot_path]
+pub fn bare_mul(n: usize, stride: usize) -> usize {
+    n * stride
+}
+
+/// Compound assignment is the same wrap in accumulator clothing.
+#[rb_hot_path]
+pub fn compound_accumulate(total: &mut u64, step: u64) {
+    *total += step;
+}
+
+/// Shift by a runtime amount: UB-adjacent (panics in debug, masks in
+/// release) when the amount reaches the bit width.
+#[rb_hot_path]
+pub fn variable_shift(v: u32, n: u32) -> u32 {
+    v << n
+}
+
+/// Truncating cast silently discards high bits.
+#[rb_hot_path]
+pub fn truncating_cast(len: usize) -> u16 {
+    len as u16
+}
+
+/// Sign-changing cast silently reinterprets negatives.
+#[rb_hot_path]
+pub fn sign_change(x: i32) -> u32 {
+    x as u32
+}
+
+/// Every sanctioned spelling in one body: explicit-overflow-semantics
+/// methods, `From` widening, handled `try_from`. None may be flagged.
+#[rb_hot_path]
+pub fn sanctioned_spellings(a: u64, b: u64, seq: u8, len: usize) -> u64 {
+    let s = a.wrapping_add(b);
+    let c = a.checked_mul(b).unwrap_or(u64::MAX);
+    let d = a.saturating_sub(b);
+    let w = u64::from(seq);
+    let n = u16::try_from(len).unwrap_or(u16::MAX);
+    s ^ c ^ d ^ w ^ u64::from(n)
+}
+
+/// Literal shift amounts are range-checked by rustc itself: exempt.
+#[rb_hot_path]
+pub fn literal_shift(v: u32) -> u32 {
+    v << 3
+}
+
+/// Float arithmetic cannot wrap and has no `wrapping_*` spelling: exempt.
+#[rb_hot_path]
+pub fn float_math(x: f64) -> f64 {
+    x * 1.5
+}
+
+/// Literal-literal arithmetic is const-folded and overflow-checked by
+/// rustc: exempt.
+#[rb_hot_path]
+pub fn const_folded() -> usize {
+    8 * 1024
+}
+
+/// Division and remainder cannot wrap (the div-by-zero vector is the
+/// `panic` family's beat): out of the `arith` rule's scope.
+#[rb_hot_path]
+pub fn division_is_out_of_scope(a: u64, b: u64) -> u64 {
+    (a / b.max(1)) % 7
+}
+
+/// `+` joining trait bounds is not arithmetic.
+#[rb_hot_path]
+pub fn bound_plus_is_not_arith<T: Clone + Send>(t: T) -> T {
+    t
+}
+
+/// Not reachable from any hot root: bare arithmetic here is advisory,
+/// never a DENY error.
+pub fn cold_helper(a: u64, b: u64) -> u64 {
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code is exempt even inside an enforced crate.
+    #[test]
+    fn tests_do_math() {
+        let x = 3 + 4;
+        let y = x as u8;
+        assert_eq!(y, 7);
+    }
+}

@@ -1,0 +1,95 @@
+//! Deliberately violates the `growth` rule family, with matched
+//! negatives that must NOT be flagged. This crate is a lint fixture: it
+//! is lexed by the linter's tests, never compiled.
+use rb_hotpath_macros::rb_hot_path;
+
+/// Per-packet push with no bound anywhere in the body: the canonical
+/// unbounded-growth leak.
+#[rb_hot_path]
+pub fn unguarded_push(out: &mut Vec<u64>, v: u64) {
+    out.push(v);
+}
+
+/// Map insert keyed by attacker-controlled input, no eviction in sight.
+#[rb_hot_path]
+pub fn unguarded_insert(map: &mut HashMap<u8, u64>, k: u8, v: u64) {
+    map.insert(k, v);
+}
+
+/// Byte-buffer extension without a size check.
+#[rb_hot_path]
+pub fn unguarded_extend(buf: &mut Vec<u8>, data: &[u8]) {
+    buf.extend_from_slice(data);
+}
+
+/// `reserve` is growth too: it reallocates and, called per packet,
+/// creeps without bound exactly like `push`.
+#[rb_hot_path]
+pub fn creeping_reserve(buf: &mut Vec<u8>, extra: usize) {
+    buf.reserve(extra);
+}
+
+/// A guard that runs AFTER the growth call bounds nothing: the push has
+/// already reallocated. Ordering matters; still flagged.
+#[rb_hot_path]
+pub fn guard_after_growth(ring: &mut VecDeque<u64>, v: u64, cap: usize) {
+    ring.push_back(v);
+    while ring.len() > cap {
+        ring.pop_front();
+    }
+}
+
+/// Evict-first is the sanctioned shape: the length comparison precedes
+/// the push, so occupancy is provably bounded.
+#[rb_hot_path]
+pub fn len_guarded_push(ring: &mut VecDeque<u64>, v: u64, cap: usize) {
+    while ring.len() >= cap.max(1) {
+        ring.pop_front();
+    }
+    ring.push_back(v);
+}
+
+/// An explicit fullness probe before growing is a guard.
+#[rb_hot_path]
+pub fn fullness_guarded_insert(q: &mut BoundedQueue, v: u64) {
+    if q.is_full() {
+        return;
+    }
+    q.push(v);
+}
+
+/// A capacity query before growing is a guard.
+#[rb_hot_path]
+pub fn capacity_guarded_extend(buf: &mut Vec<u8>, data: &[u8]) {
+    if data.len() > buf.capacity() {
+        return;
+    }
+    buf.extend_from_slice(data);
+}
+
+/// Pre-sizing with `with_capacity` bounds every push in the same body.
+#[rb_hot_path]
+pub fn preallocated_collect(n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(0);
+    }
+    out
+}
+
+/// Not reachable from any hot root: growth here is advisory, never a
+/// DENY error.
+pub fn cold_growth(out: &mut Vec<u64>, v: u64) {
+    out.push(v);
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code is exempt even inside an enforced crate.
+    #[test]
+    fn tests_may_grow() {
+        let mut v = Vec::new();
+        v.push(1u64);
+        assert_eq!(v.len(), 1);
+    }
+}
