@@ -40,6 +40,14 @@ use crate::report::Report;
 /// same-build ratio is meaningful.
 const SEED_1W_PPS: f64 = 851_000.0;
 
+/// Ratchet floor under `pps_1w_vs_seed`: the ratio recorded in
+/// `results/BENCH_dataplane.json` at the commit that introduced the
+/// batched-tx egress path. Raise it (never lower it) when the measured
+/// ratio durably exceeds it; a run below the floor is flagged in the
+/// JSON (`pps_1w_regressed`) and in the report so a perf regression on
+/// the single-worker path cannot land silently.
+const MIN_1W_VS_SEED: f64 = 0.106;
+
 /// eAxC ports in the capture — 16 flows so the FNV shard spreads work
 /// across every worker count measured.
 const PORTS: u8 = 16;
@@ -189,6 +197,51 @@ fn measure_allocs(_quick: bool) -> Option<f64> {
     Some(allocs_2.saturating_sub(allocs_1) as f64 / frames as f64)
 }
 
+/// Measure the egress sink's per-frame vs batched transmit cost: the
+/// same frames pushed one `tx` at a time, then again through `tx_batch`
+/// in collector-sized batches. This isolates what `Runtime::drain`
+/// gained by handing whole batches to the backend — the scaling runs
+/// above already *use* the batched path; this reports its amortization
+/// factor explicitly. Returns `(single_pps, batch_pps)`.
+fn measure_tx_batch(frames_n: usize) -> (f64, f64) {
+    use rb_dataplane::io::{FrameIo, RawFrame};
+    const BATCH: usize = 64;
+    let mk = |n: usize| -> Vec<RawFrame> {
+        (0..n).map(|k| RawFrame { at_ns: k as u64, bytes: vec![0u8; 320].into() }).collect()
+    };
+    let empty =
+        PcapWriter::new(Vec::new()).and_then(PcapWriter::finish).expect("in-memory pcap header");
+
+    let mut io = MemReplay::from_bytes(empty.clone()).expect("valid capture").discard_tx();
+    let frames = mk(frames_n);
+    let t0 = Instant::now();
+    for f in frames {
+        io.tx(f);
+    }
+    let single_pps = frames_n as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Pre-chunk outside the timed region: on the runtime path the egress
+    // batch is already assembled when `drain` hands it to the sink, so
+    // the comparison is per-frame dispatch vs per-batch dispatch, not
+    // batch assembly.
+    let mut io = MemReplay::from_bytes(empty).expect("valid capture").discard_tx();
+    let mut frames = mk(frames_n).into_iter();
+    let mut batches: Vec<Vec<RawFrame>> = Vec::with_capacity(frames_n.div_ceil(BATCH));
+    loop {
+        let chunk: Vec<RawFrame> = frames.by_ref().take(BATCH).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        batches.push(chunk);
+    }
+    let t0 = Instant::now();
+    for batch in &mut batches {
+        io.tx_batch(batch);
+    }
+    let batch_pps = frames_n as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    (single_pps, batch_pps)
+}
+
 /// Hand-rolled JSON (no serializer dependency in the hot loop's way):
 /// `results/BENCH_dataplane.json` at the repo root.
 fn write_json(
@@ -196,6 +249,8 @@ fn write_json(
     speedup: f64,
     quick: bool,
     allocs_per_frame: Option<f64>,
+    tx_single_pps: f64,
+    tx_batch_pps: f64,
 ) -> std::io::Result<PathBuf> {
     let root = option_env!("CARGO_MANIFEST_DIR")
         .map(|m| PathBuf::from(m).join("../.."))
@@ -232,9 +287,16 @@ fn write_json(
         }
         None => s.push_str("  \"allocs_per_frame\": null,\n"),
     }
+    s.push_str("  \"egress_path\": \"tx_batch\",\n");
+    let _ = writeln!(s, "  \"tx_single_pps\": {tx_single_pps:.0},");
+    let _ = writeln!(s, "  \"tx_batch_pps\": {tx_batch_pps:.0},");
+    let _ = writeln!(s, "  \"tx_batch_speedup\": {:.3},", tx_batch_pps / tx_single_pps.max(1e-9));
     let _ = writeln!(s, "  \"seed_1w_pps\": {SEED_1W_PPS:.0},");
     let pps_1w = runs.first().map_or(0.0, |r| r.pps);
-    let _ = writeln!(s, "  \"pps_1w_vs_seed\": {:.3}", pps_1w / SEED_1W_PPS);
+    let ratio = pps_1w / SEED_1W_PPS;
+    let _ = writeln!(s, "  \"pps_1w_vs_seed\": {ratio:.3},");
+    let _ = writeln!(s, "  \"pps_1w_floor\": {MIN_1W_VS_SEED:.3},");
+    let _ = writeln!(s, "  \"pps_1w_regressed\": {}", ratio < MIN_1W_VS_SEED);
     s.push_str("}\n");
     std::fs::write(&path, s)?;
     Ok(path)
@@ -269,10 +331,30 @@ pub fn run(quick: bool) -> Report {
     }
     let speedup = runs.last().map_or(0.0, |r| r.pps) / base;
     let allocs_per_frame = measure_allocs(quick);
-    match write_json(&runs, speedup, quick, allocs_per_frame) {
+    let (tx_single_pps, tx_batch_pps) = measure_tx_batch(if quick { 20_000 } else { 200_000 });
+    match write_json(&runs, speedup, quick, allocs_per_frame, tx_single_pps, tx_batch_pps) {
         Ok(path) => r.note(format!("written to {}", path.display())),
         Err(e) => r.note(format!("could not write BENCH_dataplane.json: {e}")),
     }
+    r.note(format!(
+        "egress is batched (Runtime::drain → FrameIo::tx_batch): sink-level \
+         amortization {:.2}x over per-frame tx ({:.2} vs {:.2} Mpps)",
+        tx_batch_pps / tx_single_pps.max(1e-9),
+        tx_batch_pps / 1e6,
+        tx_single_pps / 1e6,
+    ));
+    let ratio = base / SEED_1W_PPS;
+    r.note(if ratio < MIN_1W_VS_SEED {
+        format!(
+            "REGRESSION: single-worker pps is {ratio:.3}x the seed build, below \
+             the ratcheted floor {MIN_1W_VS_SEED:.3}"
+        )
+    } else {
+        format!(
+            "single-worker pps holds {ratio:.3}x vs the seed build (ratchet \
+             floor {MIN_1W_VS_SEED:.3})"
+        )
+    });
     match allocs_per_frame {
         Some(a) => r.note(format!(
             "pooled packet path: {a:.4} heap allocations per forwarded frame \

@@ -111,7 +111,8 @@ pub struct Impairments {
     /// Probability a frame's timestamp is pushed forward.
     pub jitter: f64,
     /// Maximum forward timestamp shift in nanoseconds (the shift is
-    /// uniform in `1..=jitter_ns`).
+    /// uniform in `1..=jitter_ns`; `0` disables jitter regardless of
+    /// `jitter`, just as `reorder_window == 0` disables reordering).
     pub jitter_ns: u64,
 }
 
@@ -273,8 +274,14 @@ impl Lane {
             }
         }
 
-        if self.rng.chance(self.imp.jitter) {
-            let shift = self.rng.below(self.imp.jitter_ns.max(1)).saturating_add(1);
+        // `jitter_ns == 0` disables jitter entirely (mirroring how
+        // `reorder_window == 0` disables reorder): the chance draw is
+        // short-circuited so a disabled impairment consumes no RNG state
+        // and cannot perturb the decision stream of the enabled ones.
+        // The old `.max(1)` spelling shifted every jittered frame by 1 ns
+        // even when the configured range `1..=jitter_ns` was empty.
+        if self.imp.jitter_ns > 0 && self.rng.chance(self.imp.jitter) {
+            let shift = self.rng.below(self.imp.jitter_ns).saturating_add(1);
             frame.at_ns = frame.at_ns.saturating_add(shift);
             bump(&mut self.stats.jittered);
         }
@@ -351,6 +358,7 @@ pub struct ChaosIo<Io: FrameIo> {
     rx_ready: VecDeque<RawFrame>,
     tx_ready: VecDeque<RawFrame>,
     rx_scratch: Vec<RawFrame>,
+    tx_scratch: Vec<RawFrame>,
     rx_eof: bool,
 }
 
@@ -369,6 +377,7 @@ impl<Io: FrameIo> ChaosIo<Io> {
             rx_ready: VecDeque::new(),
             tx_ready: VecDeque::new(),
             rx_scratch: Vec::new(),
+            tx_scratch: Vec::new(),
             rx_eof: false,
         }
     }
@@ -459,6 +468,26 @@ impl<Io: FrameIo> FrameIo for ChaosIo<Io> {
             ok &= self.inner.tx(f);
         }
         ok
+    }
+
+    fn tx_batch(&mut self, frames: &mut Vec<RawFrame>) -> usize {
+        // Impair in offer order, then hand everything released (possibly
+        // fewer after drops/holds, possibly more after released reorder
+        // backlog and duplicates) to the inner backend as one batch.
+        // Failure attribution is aggregate: inner failures are charged
+        // against this batch's offered count.
+        let offered = frames.len();
+        for f in frames.drain(..) {
+            self.tx.offer(f, None, &mut self.tx_ready);
+        }
+        let mut batch = std::mem::take(&mut self.tx_scratch);
+        batch.clear();
+        batch.extend(self.tx_ready.drain(..));
+        let released = batch.len();
+        let inner_sent = self.inner.tx_batch(&mut batch);
+        self.tx_scratch = batch;
+        let failed = released.saturating_sub(inner_sent);
+        offered.saturating_sub(failed)
     }
 }
 
@@ -642,6 +671,69 @@ mod tests {
         assert_eq!(s.tx.frames, 100);
         assert!(s.tx.dropped > 0);
         assert_eq!(io.inner_mut().take_tx().len(), 100 - s.tx.dropped as usize);
+    }
+
+    #[test]
+    fn zero_jitter_ns_is_a_no_op() {
+        // Regression: `jitter_ns == 0` used to shift every jittered frame
+        // by 1 ns (`.max(1)`), contradicting the documented `1..=jitter_ns`
+        // range. It must now disable jitter entirely — timestamps
+        // untouched, no jitter counted, and (like reorder_window == 0)
+        // no RNG state consumed, so the decision stream of the other
+        // impairments is bit-identical to a config with jitter = 0.0.
+        let mut with_dead_jitter = ChaosConfig::new(31);
+        with_dead_jitter.rx.drop = 0.2;
+        with_dead_jitter.rx.duplicate = 0.1;
+        with_dead_jitter.rx.jitter = 0.9; // armed, but jitter_ns == 0
+        with_dead_jitter.rx.jitter_ns = 0;
+        let mut without_jitter = with_dead_jitter;
+        without_jitter.rx.jitter = 0.0;
+
+        let mut a = chaos(with_dead_jitter, 200);
+        let mut b = chaos(without_jitter, 200);
+        let got_a: Vec<(u64, Vec<u8>)> =
+            collect(&mut a).into_iter().map(|f| (f.at_ns, f.bytes.to_vec())).collect();
+        let got_b: Vec<(u64, Vec<u8>)> =
+            collect(&mut b).into_iter().map(|f| (f.at_ns, f.bytes.to_vec())).collect();
+        assert_eq!(a.stats().rx.jittered, 0, "no frame may count as jittered");
+        assert_eq!(got_a, got_b, "dead jitter must not perturb other impairments");
+        assert_eq!(a.stats(), b.stats());
+        // And every surviving timestamp is exactly the capture timestamp.
+        for f in &got_a {
+            assert_eq!(f.0 % 1_000, 0, "timestamp shifted by dead jitter");
+        }
+    }
+
+    #[test]
+    fn tx_batch_matches_per_frame_tx() {
+        let mut cfg = ChaosConfig::new(29);
+        cfg.tx.drop = 0.2;
+        cfg.tx.duplicate = 0.2;
+        cfg.tx.reorder = 0.3;
+        cfg.tx.reorder_window = 4;
+        let frames: Vec<RawFrame> = (0..120u64)
+            .map(|k| {
+                let mut v = vec![0u8; 60];
+                v[20] = k as u8;
+                RawFrame { at_ns: k, bytes: v.into() }
+            })
+            .collect();
+        let mut one = chaos(cfg, 0);
+        for f in frames.clone() {
+            one.tx(f);
+        }
+        one.flush_tx();
+        let mut batched = chaos(cfg, 0);
+        let mut batch = frames;
+        batched.tx_batch(&mut batch);
+        assert!(batch.is_empty());
+        batched.flush_tx();
+        let got_one: Vec<Vec<u8>> =
+            one.inner_mut().take_tx().into_iter().map(|f| f.bytes.to_vec()).collect();
+        let got_batched: Vec<Vec<u8>> =
+            batched.inner_mut().take_tx().into_iter().map(|f| f.bytes.to_vec()).collect();
+        assert_eq!(got_one, got_batched, "batching must not change the impairment schedule");
+        assert_eq!(one.stats(), batched.stats());
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! Frame I/O backends for the dataplane runtime.
 //!
 //! [`FrameIo`] is the narrow waist between the runtime and the outside
-//! world: batched receive, single-frame transmit. Two backends exist
-//! today — [`PcapReplay`] (drive a recorded capture through middleboxes
-//! at full speed, the workhorse of benchmarks and sim-equivalence tests)
-//! and [`Loopback`] (an in-process pair for wiring runtimes together in
-//! tests). The AF_XDP/AF_PACKET backend slots in behind the same trait
-//! once the runtime leaves the lab; nothing above this module changes.
+//! world: batched receive, batched transmit. Two in-process backends
+//! live here — [`PcapReplay`] (drive a recorded capture through
+//! middleboxes at full speed, the workhorse of benchmarks and
+//! sim-equivalence tests) and [`Loopback`] (an in-process pair for
+//! wiring runtimes together in tests) — and the live-NIC
+//! `AF_PACKET` backend is in [`crate::afpacket`] behind the
+//! `af_packet` feature. All of them implement the same batched
+//! rx/tx contract (see the trait docs), so per-frame syscall and
+//! descriptor costs amortize identically whether the frames come from a
+//! capture, a peer, or a wire.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read};
@@ -15,6 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::queue::ArrayQueue;
+use rb_core::telemetry::counters;
 use rb_fronthaul::pcap::{PcapReader, PcapWriter};
 
 use crate::pool::{BufferPool, PooledBuf};
@@ -42,15 +47,62 @@ pub enum RxPoll {
 }
 
 /// A dataplane packet interface: the runtime pulls batches in and pushes
-/// processed frames out. Implementations must be cheap to poll — the
-/// runtime calls `rx_batch` in a tight loop.
+/// processed frames out in batches. Implementations must be cheap to
+/// poll — the runtime calls `rx_batch` in a tight loop — and should
+/// implement `tx_batch` natively whenever the medium can amortize
+/// per-frame cost (one `sendmmsg`, one sink dispatch) over the batch.
+///
+/// # The batched rx/tx contract
+///
+/// Every backend (and every wrapper that forwards to one) must satisfy
+/// these rules; `crates/dataplane/tests/frameio_conformance.rs` runs
+/// them against all in-tree implementations:
+///
+/// * **`rx_batch(out, max)` appends at most `max` frames to `out`** and
+///   never touches frames already in `out`.
+/// * **`max == 0` is a pure status poll.** It appends nothing, consumes
+///   nothing, and returns [`RxPoll::Eof`] only if the source is already
+///   exhausted — never as a side effect of the empty budget. A
+///   non-exhausted source returns [`RxPoll::Idle`] (or `Ready(0)` is
+///   forbidden: `Ready(n)` implies `n > 0`).
+/// * **`Eof` is sticky.** Once `rx_batch` has returned `Eof`, every
+///   later call returns `Eof` and appends nothing. `Eof` means "no
+///   frame will ever arrive again", not "none right now" — live
+///   backends report it only after an explicit shutdown.
+/// * **A partial batch is a normal batch.** `Ready(n)` with `n < max`
+///   carries no meaning beyond "n frames were appended"; callers must
+///   not treat it as end-of-stream or back off.
+/// * **`tx_batch` consumes the whole vector.** On return, `frames` is
+///   empty: every frame was either transmitted or dropped (and its
+///   pooled payload recycled). The return value is how many were
+///   transmitted; the caller accounts `offered - sent` as transmit
+///   errors. Backends that cannot attribute failures to individual
+///   frames (fan-out wrappers) may return an aggregate count, but it
+///   must never exceed `frames.len()` as offered.
+/// * **Order within a batch is preserved** by transmit paths (impairment
+///   wrappers that deliberately reorder are the documented exception).
 pub trait FrameIo: Send {
-    /// Append up to `max` frames to `out`.
+    /// Append up to `max` frames to `out`. See the trait docs for the
+    /// full contract (`max == 0`, partial batches, sticky `Eof`).
     fn rx_batch(&mut self, out: &mut Vec<RawFrame>, max: usize) -> RxPoll;
 
     /// Transmit one frame. Returns `false` if the frame could not be sent
     /// (sink error, peer gone); the runtime counts such failures.
     fn tx(&mut self, frame: RawFrame) -> bool;
+
+    /// Transmit every frame in `frames`, leaving the vector empty, and
+    /// return how many were sent successfully. The default forwards one
+    /// frame at a time through [`FrameIo::tx`]; real backends override it
+    /// to amortize per-frame cost over the batch.
+    fn tx_batch(&mut self, frames: &mut Vec<RawFrame>) -> usize {
+        let mut sent = 0usize;
+        for f in frames.drain(..) {
+            if self.tx(f) {
+                sent = sent.saturating_add(1);
+            }
+        }
+        sent
+    }
 }
 
 enum TxSink {
@@ -189,8 +241,13 @@ impl<R: Read + Send> FrameIo for PcapReplay<R> {
         }
         if n > 0 {
             RxPoll::Ready(n)
-        } else {
+        } else if self.exhausted {
             RxPoll::Eof
+        } else {
+            // `max == 0`: the read loop never ran, so nothing is known
+            // about the source — a status poll on a live replay is Idle,
+            // not Eof (the bug the conformance suite pins).
+            RxPoll::Idle
         }
     }
 
@@ -204,6 +261,32 @@ impl<R: Read + Send> FrameIo for PcapReplay<R> {
             TxSink::Discard(n) => {
                 *n = n.saturating_add(1);
                 true
+            }
+        }
+    }
+
+    fn tx_batch(&mut self, frames: &mut Vec<RawFrame>) -> usize {
+        // One sink dispatch per batch instead of per frame.
+        match &mut self.sink {
+            TxSink::Memory(v) => {
+                let sent = frames.len();
+                v.append(frames);
+                sent
+            }
+            TxSink::Writer(w) => {
+                let mut sent = 0usize;
+                for f in frames.drain(..) {
+                    if w.write_frame(f.at_ns, &f.bytes).is_ok() {
+                        sent = sent.saturating_add(1);
+                    }
+                }
+                sent
+            }
+            TxSink::Discard(n) => {
+                let sent = frames.len();
+                *n = n.saturating_add(counters::as_count(sent));
+                frames.clear();
+                sent
             }
         }
     }
@@ -287,6 +370,27 @@ impl FrameIo for Loopback {
         }
         true
     }
+
+    fn tx_batch(&mut self, frames: &mut Vec<RawFrame>) -> usize {
+        // One closed-flag Acquire load per batch, then straight pushes.
+        if self.tx.closed.load(Ordering::Acquire) {
+            frames.clear();
+            return 0;
+        }
+        let mut sent = 0usize;
+        let mut shed = 0u64;
+        for f in frames.drain(..) {
+            if self.tx.q.push(f).is_err() {
+                shed = shed.saturating_add(1);
+            } else {
+                sent = sent.saturating_add(1);
+            }
+        }
+        if shed > 0 {
+            self.tx.overflowed.fetch_add(shed, Ordering::Relaxed);
+        }
+        sent
+    }
 }
 
 #[cfg(test)]
@@ -355,5 +459,67 @@ mod tests {
         assert!(a.tx(RawFrame { at_ns: 1, bytes: vec![1].into() }));
         assert!(!a.tx(RawFrame { at_ns: 2, bytes: vec![2].into() }));
         assert_eq!(b.overflowed(), 1);
+    }
+
+    #[test]
+    fn replay_zero_budget_poll_is_idle_not_eof() {
+        // Regression: a `max == 0` status poll used to report Eof on a
+        // source that still had every frame left.
+        let cap = capture(&[(1_000, vec![1u8; 20]), (2_000, vec![2u8; 20])]);
+        let mut io = MemReplay::from_bytes(cap).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(io.rx_batch(&mut out, 0), RxPoll::Idle);
+        assert!(out.is_empty());
+        // The poll consumed nothing: both frames are still there.
+        assert_eq!(io.rx_batch(&mut out, 8), RxPoll::Ready(2));
+        assert_eq!(io.rx_batch(&mut out, 8), RxPoll::Eof);
+        // Post-Eof the zero-budget poll reports Eof, and Eof is sticky.
+        assert_eq!(io.rx_batch(&mut out, 0), RxPoll::Eof);
+        assert_eq!(io.rx_batch(&mut out, 8), RxPoll::Eof);
+    }
+
+    #[test]
+    fn replay_tx_batch_drains_into_memory_sink() {
+        let mut io = MemReplay::from_bytes(capture(&[])).unwrap();
+        let mut frames: Vec<RawFrame> =
+            (0..5u64).map(|k| RawFrame { at_ns: k, bytes: vec![k as u8; 16].into() }).collect();
+        assert_eq!(io.tx_batch(&mut frames), 5);
+        assert!(frames.is_empty(), "tx_batch consumes the whole vector");
+        assert_eq!(io.tx_frames(), 5);
+        let got = io.take_tx();
+        assert_eq!(got.len(), 5);
+        assert!(got.windows(2).all(|w| w[0].at_ns < w[1].at_ns), "order preserved");
+    }
+
+    #[test]
+    fn replay_tx_batch_discard_counts() {
+        let mut io = MemReplay::from_bytes(capture(&[])).unwrap().discard_tx();
+        let mut frames: Vec<RawFrame> =
+            (0..7u64).map(|k| RawFrame { at_ns: k, bytes: vec![1u8; 8].into() }).collect();
+        assert_eq!(io.tx_batch(&mut frames), 7);
+        assert_eq!(io.tx_frames(), 7);
+    }
+
+    #[test]
+    fn loopback_tx_batch_partial_on_full_lane() {
+        let (mut a, mut b) = Loopback::pair(3);
+        let mut frames: Vec<RawFrame> =
+            (0..5u64).map(|k| RawFrame { at_ns: k, bytes: vec![k as u8].into() }).collect();
+        assert_eq!(a.tx_batch(&mut frames), 3, "lane holds 3, the rest shed");
+        assert!(frames.is_empty());
+        assert_eq!(b.overflowed(), 2);
+        let mut out = Vec::new();
+        assert_eq!(b.rx_batch(&mut out, 8), RxPoll::Ready(3));
+        assert_eq!(out[0].bytes, vec![0]);
+        assert_eq!(out[2].bytes, vec![2]);
+    }
+
+    #[test]
+    fn loopback_tx_batch_to_closed_peer_sends_nothing() {
+        let (mut a, b) = Loopback::pair(8);
+        drop(b);
+        let mut frames = vec![RawFrame { at_ns: 1, bytes: vec![1].into() }];
+        assert_eq!(a.tx_batch(&mut frames), 0);
+        assert!(frames.is_empty(), "frames are consumed (recycled), not leaked");
     }
 }

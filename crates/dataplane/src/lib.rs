@@ -7,9 +7,11 @@
 //! threads fed by an RSS-style dispatcher, mirroring how the paper's
 //! middleboxes run on DPDK/XDP cores behind the fronthaul switch (§3.3):
 //!
-//! * [`io`] — the [`io::FrameIo`] backend abstraction: pcap replay today,
-//!   an in-process loopback pair for tests, with the AF_XDP/AF_PACKET
-//!   slot reserved for a future backend;
+//! * [`io`] — the [`io::FrameIo`] backend abstraction with batched rx
+//!   *and* tx: pcap replay, an in-process loopback pair for tests, and
+//!   (behind the non-default `af_packet` feature) a live-NIC Linux
+//!   `AF_PACKET` backend batching via `recvmmsg`/`sendmmsg`, with the
+//!   zero-copy AF_XDP slot reserved behind the same trait;
 //! * [`dispatch`] — a cheap header peek (eAxC id + direction bit, no full
 //!   parse) hashed onto N workers so every flow keeps per-flow ordering;
 //! * [`ring`] — bounded SPSC rings between dispatcher and workers with a
@@ -32,7 +34,12 @@
 //!   striping for aggregate capacity.
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// Safety wall: without the live-NIC backend, `unsafe` is unconditionally
+// forbidden. The `af_packet` feature lowers the gate to `deny` so exactly
+// one module — `afpacket`, the audited FFI island — can opt out with a
+// scoped `allow`; everything else in the crate still cannot.
+#![cfg_attr(not(feature = "af_packet"), forbid(unsafe_code))]
+#![cfg_attr(feature = "af_packet", deny(unsafe_code))]
 // The manifest denies clippy's panic-vector lints crate-wide; unit tests are
 // exempt — asserting and unwrapping is what tests are for.
 #![cfg_attr(
@@ -40,6 +47,8 @@
     allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)
 )]
 
+#[cfg(feature = "af_packet")]
+pub mod afpacket;
 pub mod bond;
 pub mod chaos;
 pub mod dispatch;
@@ -51,6 +60,8 @@ pub mod stats;
 pub mod sync;
 pub mod worker;
 
+#[cfg(feature = "af_packet")]
+pub use afpacket::{AfPacketConfig, AfPacketIo, AfPacketStats};
 pub use bond::{BondMode, BondStats, BondedIo};
 pub use chaos::{ChaosConfig, ChaosIo, ChaosRng, ChaosStats, Impairments, Outage};
 pub use io::{FrameIo, Loopback, PcapReplay, RawFrame, RxPoll};

@@ -12,8 +12,9 @@ use rb_core::telemetry::TelemetrySender;
 use rb_hotpath_macros::rb_hot_path;
 
 /// Bucket count: value `v` lands in bucket `⌈log2(v+1)⌉`, clamped. Bucket
-/// 0 holds zeros, bucket 1 holds ones, bucket k holds `2^(k-1)..2^k-1`,
-/// the last bucket holds everything ≥ 2^(BUCKETS-2).
+/// 0 holds zeros, bucket 1 holds ones, bucket k holds the inclusive range
+/// `2^(k-1)..=2^k-1` (matching `bucket_of`: `bits(v) == k` exactly for
+/// those values), the last bucket holds everything ≥ 2^(BUCKETS-2).
 const BUCKETS: usize = 18;
 
 /// Index of the last (open-ended) bucket.
@@ -98,7 +99,8 @@ impl Histogram {
         self.max
     }
 
-    /// The raw bucket counts (bucket k counts samples in `2^(k-1)..2^k`).
+    /// The raw bucket counts (bucket k counts samples in the inclusive
+    /// range `2^(k-1)..=2^k-1`, matching `bucket_of`).
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }

@@ -83,9 +83,15 @@ pub fn run<M: Middlebox>(
     stats.pool_grows = pool.grows();
     stats.rx_ring_dropped = rx.dropped();
     stats.tx_ring_dropped = tx.dropped();
-    stats.export(&telemetry, last_at_ns);
-    crate::stats::export_pipeline(&pipeline.stats, &telemetry, last_at_ns);
-    telemetry.count(last_at_ns, "telemetry_dropped", telemetry.dropped());
+    // A worker that saw no frames has no clock: `last_at_ns` never left
+    // the capture epoch, so stamping its (all-zero) shutdown export at
+    // t = 0 would fabricate records dated before the run. Skip the export
+    // instead — the WorkerReport still carries the zeros to the caller.
+    if stats.rx > 0 {
+        stats.export(&telemetry, last_at_ns);
+        crate::stats::export_pipeline(&pipeline.stats, &telemetry, last_at_ns);
+        telemetry.count(last_at_ns, "telemetry_dropped", telemetry.dropped());
+    }
     tx.close();
     WorkerReport { id, stats, pipeline: pipeline.stats }
 }
@@ -145,6 +151,37 @@ mod tests {
         // Frames keep their ingress timestamps.
         assert_eq!(out[0].at_ns, 0);
         assert_eq!(out[4].at_ns, 4000);
+    }
+
+    #[test]
+    fn idle_worker_exports_no_epoch_stamped_telemetry() {
+        // Regression: a worker that never dequeued a frame exported its
+        // final stats (and telemetry_dropped) at at_ns = 0 — the capture
+        // epoch — because last_at_ns never advanced. It must now skip the
+        // export entirely rather than fabricate epoch-dated records.
+        let (in_tx, in_rx) = crate::ring::ring(8);
+        let (out_tx, _out_rx) = crate::ring::ring(8);
+        in_tx.close();
+        let (tele_tx, tele_rx) = rb_core::telemetry::channel("dp");
+        let pipeline = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
+        let report = run(0, pipeline, in_rx, out_tx, 4, tele_tx.with_source("dp/w0"));
+        assert_eq!(report.stats.rx, 0);
+        assert!(tele_rx.drain().is_empty(), "idle worker must export nothing");
+        // A worker that did see frames still exports, stamped at the last
+        // frame it processed.
+        let (in_tx, in_rx) = crate::ring::ring(8);
+        let (out_tx, _out_rx) = crate::ring::ring(8);
+        in_tx.push(RawFrame { at_ns: 7_000, bytes: cplane_bytes(mac(10)).into() });
+        in_tx.close();
+        let pipeline = MbPipeline::new(Passthrough::new("pt", mac(10), mac(20)), mac(10));
+        let report = run(1, pipeline, in_rx, out_tx, 4, tele_tx.with_source("dp/w1"));
+        assert_eq!(report.stats.rx, 1);
+        let records = tele_rx.drain();
+        assert!(!records.is_empty());
+        assert!(
+            records.iter().all(|r| r.at_ns == 7_000),
+            "shutdown export carries the last frame's timestamp, not the epoch"
+        );
     }
 
     #[test]
