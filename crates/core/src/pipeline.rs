@@ -95,7 +95,7 @@ pub struct HostStats {
     /// Messages that failed to serialize (handler produced invalid repr).
     pub emit_errors: u64,
     /// Missing eCPRI sequence numbers observed across all rx streams: a
-    /// jump from 3 to 7 on one `(src, eAxC)` stream adds 3.
+    /// jump from 3 to 7 on one `(src, eAxC, direction)` stream adds 3.
     pub seq_gaps: u64,
     /// Repeated or late-replayed eCPRI sequence numbers observed.
     pub seq_dups: u64,
@@ -141,9 +141,13 @@ pub struct MbPipeline<M: Middlebox> {
     rules_cache: RulesCache,
     seq: HashMap<(EthernetAddress, u16), u8>,
     seq_mode: SeqMode,
-    // Last eCPRI sequence number seen per (source MAC, eAxC) rx stream —
-    // the gap/duplicate detector the fault-injection suite exercises.
-    rx_seq: HashMap<(EthernetAddress, u16), u8>,
+    // Last eCPRI sequence number seen per (source MAC, eAxC, direction)
+    // rx stream — the gap/duplicate detector the fault-injection suite
+    // exercises. The key mirrors the dispatcher's flow definition (DL
+    // and UL share an eAxC id but are independent flows), so the summed
+    // findings are identical at every worker count even when one source
+    // interleaves both directions on one eAxC.
+    rx_seq: HashMap<(EthernetAddress, u16, Direction), u8>,
     // Per-pipeline scratch, cleared and reused across process() calls so
     // the steady-state packet path performs no heap allocation: the
     // serialization buffer, the handler's emit list, the work charges of
@@ -238,12 +242,13 @@ impl<M: Middlebox> MbPipeline<M> {
         v
     }
 
-    /// Track the incoming eCPRI sequence number of one `(src, eAxC)`
-    /// stream with 8-bit wrapping arithmetic: a forward jump of `d`
-    /// records `d - 1` gaps, a repeat or a backward jump records a
-    /// duplicate (late replays do not rewind the stream position).
-    fn observe_seq(&mut self, src: EthernetAddress, eaxc_raw: u16, seq: u8) {
-        match self.rx_seq.get_mut(&(src, eaxc_raw)) {
+    /// Track the incoming eCPRI sequence number of one
+    /// `(src, eAxC, direction)` stream with 8-bit wrapping arithmetic: a
+    /// forward jump of `d` records `d - 1` gaps, a repeat or a backward
+    /// jump records a duplicate (late replays do not rewind the stream
+    /// position).
+    fn observe_seq(&mut self, src: EthernetAddress, eaxc_raw: u16, dir: Direction, seq: u8) {
+        match self.rx_seq.get_mut(&(src, eaxc_raw, dir)) {
             Some(last) => {
                 let delta = seq.wrapping_sub(*last);
                 if delta == 1 {
@@ -260,7 +265,7 @@ impl<M: Middlebox> MbPipeline<M> {
                 }
             }
             None => {
-                self.rx_seq.insert((src, eaxc_raw), seq);
+                self.rx_seq.insert((src, eaxc_raw, dir), seq);
             }
         }
     }
@@ -329,7 +334,12 @@ impl<M: Middlebox> MbPipeline<M> {
         // emitters keep private counters), so it must not pollute the
         // data-stream gap/duplicate statistics.
         if !matches!(msg.body, Body::Recovery(_)) {
-            self.observe_seq(msg.eth.src, msg.eaxc.pack(&self.mapping), msg.seq_id);
+            self.observe_seq(
+                msg.eth.src,
+                msg.eaxc.pack(&self.mapping),
+                msg.body.direction(),
+                msg.seq_id,
+            );
         }
         let class = TrafficClass::of(&msg);
         let fallback = self.mb.classify(&msg);

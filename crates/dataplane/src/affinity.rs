@@ -1,0 +1,109 @@
+//! Worker-thread → CPU-core pinning.
+//!
+//! Multi-worker scaling numbers are only meaningful when each worker
+//! actually owns a core: without pinning, the scheduler is free to stack
+//! every worker on one core (and on small CI hosts it will), which is how
+//! a "4-worker speedup" of 0.657 once got recorded on a 1-core machine.
+//! This module provides the two primitives the runtime and the bench
+//! harness need to stay honest:
+//!
+//! * [`host_cores`] — how much parallelism the host really offers, used
+//!   by `RuntimeConfig::pin_cores` consumers and by the bench serializer
+//!   to gate every `speedup_*` field;
+//! * [`pin_current_to`] — pin the calling thread to one CPU.
+//!
+//! Pinning is best-effort by design: it requires the non-default
+//! `affinity` feature *and* Linux. Everywhere else the call is a no-op
+//! that returns `false`, and each worker's report records whether its
+//! pin actually took (`WorkerReport::pinned`), so a scaling curve can
+//! state the conditions it was measured under instead of implying them.
+//!
+//! Like `afpacket`, the Linux implementation is a self-contained FFI
+//! island (one glibc call, no new dependencies) and the only code in the
+//! crate allowed to use `unsafe` when the feature is on.
+
+/// How many CPU cores the host offers to this process.
+///
+/// This is [`std::thread::available_parallelism`] with a conservative
+/// fallback of 1 when the answer is unknowable — the fallback direction
+/// matters, because callers use this to *suppress* scaling claims, and
+/// "unknown" must never report more cores than are really there.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Pin the calling thread to CPU `cpu`. Returns whether the pin took.
+///
+/// Compiled to a no-op returning `false` unless the `affinity` feature is
+/// enabled and the target is Linux; also returns `false` when `cpu` is
+/// out of the supported range (0..1024) or the kernel rejects the mask
+/// (e.g. the CPU is offline or outside the process's cgroup cpuset).
+pub fn pin_current_to(cpu: usize) -> bool {
+    imp::pin_current_to(cpu)
+}
+
+#[cfg(all(feature = "affinity", target_os = "linux"))]
+mod imp {
+    //! The real Linux implementation. Everything `unsafe` is in here.
+    #![allow(unsafe_code)]
+
+    /// `cpu_set_t` is 1024 bits (128 bytes) in the glibc ABI; sixteen
+    /// u64 words give the same size and alignment without depending on
+    /// the `libc` crate.
+    const MASK_WORDS: usize = 16;
+
+    extern "C" {
+        /// `sched_setaffinity(2)`: pid 0 means the calling thread.
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    pub fn pin_current_to(cpu: usize) -> bool {
+        let mut mask = [0u64; MASK_WORDS];
+        let Some(word) = mask.get_mut(cpu / 64) else {
+            return false; // cpu ≥ 1024: outside the fixed-size mask
+        };
+        *word = 1u64 << (cpu % 64);
+        // SAFETY: `mask` is a live, properly aligned buffer of exactly
+        // `cpusetsize` bytes for the duration of the call; pid 0 targets
+        // the calling thread, so no foreign thread state is touched.
+        let rc = unsafe {
+            sched_setaffinity(0, core::mem::size_of::<[u64; MASK_WORDS]>(), mask.as_ptr())
+        };
+        rc == 0
+    }
+}
+
+#[cfg(not(all(feature = "affinity", target_os = "linux")))]
+mod imp {
+    //! Portable stub: pinning unavailable, report it honestly.
+
+    pub fn pin_current_to(_cpu: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_cores_is_at_least_one() {
+        assert!(host_cores() >= 1);
+    }
+
+    #[cfg(all(feature = "affinity", target_os = "linux"))]
+    #[test]
+    fn pin_to_core_zero_succeeds_and_out_of_range_fails() {
+        // Core 0 always exists; run on a scratch thread so the test
+        // runner's thread keeps its scheduler freedom.
+        let ok = std::thread::spawn(|| pin_current_to(0)).join().unwrap();
+        assert!(ok, "pinning to core 0 must succeed on Linux");
+        assert!(!pin_current_to(100_000), "cpu id beyond the mask is rejected");
+    }
+
+    #[cfg(not(all(feature = "affinity", target_os = "linux")))]
+    #[test]
+    fn stub_reports_unpinned() {
+        assert!(!pin_current_to(0));
+    }
+}

@@ -12,7 +12,7 @@
 
 use rb_core::mgmt::SharedRules;
 use rb_core::middlebox::Middlebox;
-use rb_core::pipeline::{HostStats, MbPipeline};
+use rb_core::pipeline::{HostStats, MbPipeline, SeqMode};
 use rb_core::telemetry::{counters, TelemetrySender};
 use rb_fronthaul::eaxc::EaxcMapping;
 use rb_fronthaul::ether::EthernetAddress;
@@ -20,7 +20,7 @@ use rb_fronthaul::ether::EthernetAddress;
 use crate::dispatch::{flow_key, shard};
 use crate::io::{FrameIo, RawFrame, RxPoll};
 use crate::ring::{ring, RingConsumer, RingProducer};
-use crate::stats::WorkerReport;
+use crate::stats::{CollectorStats, WorkerReport};
 use crate::worker;
 
 /// Configuration of one runtime instance.
@@ -42,6 +42,19 @@ pub struct RuntimeConfig {
     /// A management rule table shared across all workers. `None` gives
     /// every worker its own (empty) table — the lock-free default.
     pub rules: Option<SharedRules>,
+    /// Pin worker `i` to CPU core `i` at spawn (best-effort; requires the
+    /// `affinity` feature on Linux). Whether each pin took is reported in
+    /// `WorkerReport::pinned` — consumers measuring scaling should demand
+    /// all-pinned before believing a speedup.
+    pub pin_cores: bool,
+    /// Outgoing eCPRI sequence-number policy for every worker pipeline.
+    /// The default [`SeqMode::Restamp`] keeps per-`(dst, eAxC)` counters
+    /// *per worker instance*, so when two input flows emit towards the
+    /// same `(dst, eAxC)` stream the stamped bytes depend on how flows
+    /// shard onto workers. Recovery deployments and replay-equivalence
+    /// harnesses that need worker-count-independent output bytes run
+    /// [`SeqMode::Preserve`].
+    pub seq_mode: SeqMode,
 }
 
 impl RuntimeConfig {
@@ -56,6 +69,8 @@ impl RuntimeConfig {
             mapping: EaxcMapping::DEFAULT,
             telemetry: None,
             rules: None,
+            pin_cores: false,
+            seq_mode: SeqMode::default(),
         }
     }
 
@@ -74,6 +89,19 @@ impl RuntimeConfig {
     /// Attach a telemetry sender.
     pub fn with_telemetry(mut self, telemetry: TelemetrySender) -> RuntimeConfig {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Ask for worker→core pinning (see [`RuntimeConfig::pin_cores`]).
+    pub fn with_pinned_cores(mut self, pin: bool) -> RuntimeConfig {
+        self.pin_cores = pin;
+        self
+    }
+
+    /// Select the outgoing sequence-number policy (see
+    /// [`RuntimeConfig::seq_mode`]).
+    pub fn with_seq_mode(mut self, mode: SeqMode) -> RuntimeConfig {
+        self.seq_mode = mode;
         self
     }
 }
@@ -98,9 +126,30 @@ pub struct RuntimeReport {
     pub worker_failures: u64,
     /// Per-worker reports, in worker-id order.
     pub workers: Vec<WorkerReport>,
+    /// Collector-side per-worker egress accounting, indexed by worker id
+    /// (same order as `workers`). `tx_frames`/`io_tx_errors` above are
+    /// the sums of these lanes.
+    pub collectors: Vec<CollectorStats>,
 }
 
 impl RuntimeReport {
+    /// Aggregate of the per-worker runtime counters and histograms,
+    /// merged after the worker threads joined — the run-wide view built
+    /// without a single cross-thread shared counter.
+    pub fn worker_totals(&self) -> crate::stats::WorkerStats {
+        let mut t = crate::stats::WorkerStats::default();
+        for w in &self.workers {
+            t.merge(&w.stats);
+        }
+        t
+    }
+
+    /// Were all workers pinned to their cores? (Vacuously false for a
+    /// report with no workers.) Scaling claims should require this.
+    pub fn all_pinned(&self) -> bool {
+        !self.workers.is_empty() && self.workers.iter().all(|w| w.pinned)
+    }
+
     /// Sum of the per-worker pipeline statistics.
     pub fn pipeline_totals(&self) -> HostStats {
         let mut t = HostStats::default();
@@ -148,6 +197,7 @@ impl Runtime {
         let n = cfg.workers.max(1);
         let batch = cfg.batch.max(1);
         let mut report = RuntimeReport::default();
+        report.collectors = vec![CollectorStats::default(); n];
         let mut in_rings: Vec<RingProducer<RawFrame>> = Vec::with_capacity(n);
         let mut handles: Vec<WorkerHandle> = Vec::with_capacity(n);
         for id in 0..n {
@@ -155,6 +205,7 @@ impl Runtime {
             let (out_tx, out_rx) = ring(cfg.ring_capacity);
             let mut pipeline = MbPipeline::new(factory(id), cfg.mac);
             pipeline.set_mapping(cfg.mapping);
+            pipeline.set_seq_mode(cfg.seq_mode);
             if let Some(rules) = &cfg.rules {
                 pipeline.set_rules(rules.clone());
             }
@@ -166,9 +217,17 @@ impl Runtime {
                 }
                 None => TelemetrySender::disconnected(format!("dp/w{id}")),
             };
-            let join = std::thread::Builder::new()
-                .name(format!("rb-dp-w{id}"))
-                .spawn(move || worker::run(id, pipeline, in_rx, out_tx, batch, telemetry))?;
+            let pin_cores = cfg.pin_cores;
+            let join =
+                std::thread::Builder::new().name(format!("rb-dp-w{id}")).spawn(move || {
+                    // Pin before the first dequeue so the whole hot loop runs
+                    // on one core; the affinity call stays outside worker::run
+                    // and therefore off the hot-path lint call graph.
+                    let pinned = pin_cores && crate::affinity::pin_current_to(id);
+                    let mut rep = worker::run(id, pipeline, in_rx, out_tx, batch, telemetry);
+                    rep.pinned = pinned;
+                    rep
+                })?;
             in_rings.push(in_tx);
             handles.push(WorkerHandle { join, out: out_rx });
         }
@@ -239,7 +298,7 @@ impl Runtime {
         report: &mut RuntimeReport,
     ) -> usize {
         let mut moved = 0usize;
-        for h in handles.iter_mut() {
+        for (lane, h) in handles.iter_mut().enumerate() {
             buf.clear();
             let n = h.out.pop_batch(buf, batch);
             if n == 0 {
@@ -249,8 +308,17 @@ impl Runtime {
             let offered = counters::as_count(buf.len());
             let sent = counters::as_count(io.tx_batch(buf));
             buf.clear(); // contract says empty already; stay safe if not
-            counters::bump_by(&mut report.tx_frames, sent.min(offered));
-            counters::bump_by(&mut report.io_tx_errors, offered.saturating_sub(sent));
+            let sent = sent.min(offered);
+            let errs = offered.saturating_sub(sent);
+            counters::bump_by(&mut report.tx_frames, sent);
+            counters::bump_by(&mut report.io_tx_errors, errs);
+            // Handles sit in worker-id order, so `lane` attributes this
+            // drain to the worker whose egress ring it came from.
+            if let Some(c) = report.collectors.get_mut(lane) {
+                counters::bump_by(&mut c.collected, offered);
+                counters::bump_by(&mut c.tx_frames, sent);
+                counters::bump_by(&mut c.io_tx_errors, errs);
+            }
         }
         moved
     }
@@ -390,6 +458,29 @@ mod tests {
         assert_eq!(report.tx_frames, 50, "alternating backend accepts exactly half");
         assert_eq!(report.io_tx_errors, 50);
         assert_eq!(io.inner.take_tx().len(), 50);
+        // The same identity must hold per worker, not just in aggregate:
+        // collector lane i accounts exactly for worker i's egress.
+        assert_eq!(report.collectors.len(), report.workers.len());
+        for (w, c) in report.workers.iter().zip(&report.collectors) {
+            assert_eq!(
+                c.tx_frames + c.io_tx_errors + w.stats.tx_ring_dropped,
+                w.stats.tx,
+                "worker {} egress not conserved",
+                w.id
+            );
+            assert_eq!(c.collected, c.tx_frames + c.io_tx_errors);
+        }
+        // Lane sums reproduce the run-level counters.
+        assert_eq!(report.collectors.iter().map(|c| c.tx_frames).sum::<u64>(), report.tx_frames);
+        assert_eq!(
+            report.collectors.iter().map(|c| c.io_tx_errors).sum::<u64>(),
+            report.io_tx_errors
+        );
+        // Join-time aggregation: worker_totals is the lock-free merge.
+        let agg = report.worker_totals();
+        assert_eq!(agg.rx, 100);
+        assert_eq!(agg.tx, totals.tx);
+        assert!(!report.all_pinned(), "pinning was not requested");
     }
 
     #[test]

@@ -104,6 +104,20 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
+
+    /// Fold `other` into `self`: afterwards `self` describes the union of
+    /// both sample populations. This is how per-worker histograms become
+    /// a run-wide histogram — each worker records into its own private
+    /// instance and the collector merges *after* the threads have joined,
+    /// so no counter is ever shared (or even read) across live threads.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Counters and histograms for one worker thread.
@@ -130,6 +144,19 @@ pub struct WorkerStats {
 }
 
 impl WorkerStats {
+    /// Fold another worker's counters and histograms into `self` (see
+    /// [`Histogram::merge`] for the aggregation model).
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.rx = self.rx.saturating_add(other.rx);
+        self.tx = self.tx.saturating_add(other.tx);
+        self.batches = self.batches.saturating_add(other.batches);
+        self.rx_ring_dropped = self.rx_ring_dropped.saturating_add(other.rx_ring_dropped);
+        self.tx_ring_dropped = self.tx_ring_dropped.saturating_add(other.tx_ring_dropped);
+        self.pool_grows = self.pool_grows.saturating_add(other.pool_grows);
+        self.batch_size.merge(&other.batch_size);
+        self.queue_depth.merge(&other.queue_depth);
+    }
+
     /// Export the final counters and histogram summaries as telemetry
     /// (attributed to the sender's source, i.e. one worker).
     pub fn export(&self, telemetry: &TelemetrySender, at_ns: u64) {
@@ -161,10 +188,32 @@ pub fn export_pipeline(stats: &HostStats, telemetry: &TelemetrySender, at_ns: u6
 pub struct WorkerReport {
     /// Worker index (0-based).
     pub id: usize,
+    /// Whether the worker thread was successfully pinned to its CPU core
+    /// (always `false` unless `RuntimeConfig::pin_cores` asked for it and
+    /// the `affinity` feature + platform could deliver). Scaling numbers
+    /// measured with any worker unpinned are scheduler anecdotes.
+    pub pinned: bool,
     /// Runtime-level counters and histograms.
     pub stats: WorkerStats,
     /// Pipeline-level counters (parses, MAC filtering, rule drops…).
     pub pipeline: HostStats,
+}
+
+/// Collector-side (caller-thread) accounting for one worker's egress
+/// ring, indexed like `RuntimeReport::workers`. Kept separate from
+/// [`WorkerStats`] because these counters are owned by the collector
+/// thread, not the worker — together they close the per-worker
+/// conservation identity:
+///
+/// `tx_frames + io_tx_errors + worker.tx_ring_dropped == worker.stats.tx`
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Frames the collector dequeued from this worker's egress ring.
+    pub collected: u64,
+    /// Of those, frames the backend accepted for transmit.
+    pub tx_frames: u64,
+    /// Of those, frames the backend refused.
+    pub io_tx_errors: u64,
 }
 
 #[cfg(test)]
@@ -225,6 +274,30 @@ mod tests {
         h.record(2);
         h.record(4);
         assert!((h.mean() - 3.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn merge_is_union_of_populations() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for v in [0u64, 1, 3, 9] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2u64, 700, 1 << 20] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merged histogram equals recording everything into one");
+        assert_eq!(a.max(), 1 << 20);
+        assert!((a.mean() - whole.mean()).abs() < f64::EPSILON);
+
+        let mut wa = WorkerStats { rx: 5, tx: 4, batches: 2, ..WorkerStats::default() };
+        let wb = WorkerStats { rx: 7, tx: 7, tx_ring_dropped: 1, ..WorkerStats::default() };
+        wa.merge(&wb);
+        assert_eq!((wa.rx, wa.tx, wa.batches, wa.tx_ring_dropped), (12, 11, 2, 1));
     }
 
     #[test]

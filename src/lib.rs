@@ -36,3 +36,4 @@ pub use rb_radio as radio;
 pub use rb_recover as recover;
 
 pub mod scenario;
+pub mod scengen;

@@ -1,0 +1,269 @@
+//! The scenario grammar: what a generated city looks like.
+//!
+//! A [`ScenarioSpec`] is a declarative description of a fronthaul
+//! deployment — how many DUs, how many sites of each middlebox kind,
+//! how many UEs move between them — plus the length of the generated
+//! schedule. Everything downstream ([`crate::scengen::topo`],
+//! [`crate::scengen::schedule`], [`crate::scengen::traffic`]) is a pure
+//! function of `(seed, spec)`, so two processes holding the same pair
+//! produce bit-identical captures.
+
+/// One SMARTHO-style handover in the event schedule.
+///
+/// The UE transmits normally up to and including `at_round` (its last
+/// round on the old site), goes silent for `interruption` rounds — the
+/// paper's handover interruption time — and resumes on `to_site` at
+/// round `at_round + 1 + interruption`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandoverEvent {
+    /// Index into the topology's UE table.
+    pub ue: usize,
+    /// Last round served by the old site.
+    pub at_round: u32,
+    /// Site index the UE lands on after the interruption.
+    pub to_site: usize,
+    /// Rounds of radio silence after `at_round`.
+    pub interruption: u32,
+    /// When the *source* site is a DAS: how many of its RU legs still
+    /// deliver the UE's final uplink symbol (`0` = all of them). A value
+    /// below the site's RU count cuts the merge mid-window and strands a
+    /// partial merge in the middlebox cache — the edge case the mobility
+    /// suite pins down. Ignored for non-DAS sources.
+    pub cut_legs: u8,
+}
+
+impl HandoverEvent {
+    /// First round the UE is served by `to_site`.
+    pub fn resume_round(&self) -> u32 {
+        self.at_round.saturating_add(1).saturating_add(self.interruption)
+    }
+}
+
+/// Declarative description of a generated deployment.
+///
+/// See [`ScenarioSpec::city`] for the paper-scale preset and
+/// [`ScenarioSpec::ci`] for a CI-sized one. All counts are structural:
+/// [`ScenarioSpec::validate`] rejects combinations that cannot be laid
+/// out (eAxC space exhausted, more operators than the shared RU fits,
+/// events out of range).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Distributed units. Sites are assigned to DUs round-robin.
+    pub dus: usize,
+    /// Operators in every neutral-host (RU-sharing) site; the first
+    /// `operators` DUs play the operators' DUs. At most 4 (the shared
+    /// 48-PRB RU fits four aligned 12-PRB carriers).
+    pub operators: usize,
+    /// Plain single-RU cell sites.
+    pub cell_sites: usize,
+    /// eAxC streams per cell site.
+    pub streams_per_cell: usize,
+    /// DAS sites (one DU port, several combined RUs).
+    pub das_sites: usize,
+    /// Smallest DAS RU count (seeded per site). Must be ≥ 2.
+    pub das_rus_min: usize,
+    /// Largest DAS RU count (inclusive).
+    pub das_rus_max: usize,
+    /// eAxC streams per DAS site.
+    pub das_streams_per_site: usize,
+    /// DAS merge window in symbols (`0` keeps the application default).
+    pub das_merge_window: u64,
+    /// dMIMO sites (one virtual RU over several physical radios).
+    pub dmimo_sites: usize,
+    /// Physical radios per dMIMO site.
+    pub dmimo_rus_per_site: usize,
+    /// Antenna ports per dMIMO radio. `rus × ports` ≤ 16 (the virtual
+    /// port must fit the 4-bit `ru_port` field).
+    pub dmimo_ports_per_ru: usize,
+    /// Neutral-host RU-sharing sites (`operators` DUs on one wide RU).
+    pub rushare_sites: usize,
+    /// eAxC streams per RU-sharing site. At most 16: the middlebox keys
+    /// its per-slot C-plane state by the 4-bit `ru_port`, so a site's
+    /// streams live in one 16-aligned eAxC block.
+    pub rushare_streams_per_site: usize,
+    /// Chained sites (RU-sharing stage feeding a DAS stage).
+    pub chain_sites: usize,
+    /// RUs of each chained site's DAS stage.
+    pub chain_das_rus: usize,
+    /// Moving UEs. Each gets a dedicated eAxC stream and a home cell
+    /// site; handover events move it between cell and DAS sites.
+    pub ues: usize,
+    /// Rounds (one fronthaul symbol each) of generated traffic.
+    pub rounds: u32,
+    /// Auto-generated handover count (on top of `events`).
+    pub handovers: usize,
+    /// Interruption of auto-generated handovers, in rounds.
+    pub interruption: u32,
+    /// Explicit handover events, merged with the generated ones.
+    pub events: Vec<HandoverEvent>,
+    /// PRBs per generated U-plane payload section (kept small so city
+    /// captures stay cheap to compress).
+    pub payload_prbs: usize,
+}
+
+/// Highest eAxC raw value the sequential allocator may hand out; raws
+/// with the top `du_port` nibble set are reserved for dMIMO virtual-port
+/// tagging (see `topo.rs`).
+pub const EAXC_DMIMO_BASE: u16 = 0xF000;
+
+impl ScenarioSpec {
+    /// The paper-scale city: 16 DUs, ≥ 112 RUs across 72 sites of all
+    /// four middlebox kinds (plus chains), 420 moving UEs, > 1200
+    /// directional eAxC streams, 24 handovers over 12 symbol rounds.
+    pub fn city() -> ScenarioSpec {
+        ScenarioSpec {
+            dus: 16,
+            operators: 3,
+            cell_sites: 48,
+            streams_per_cell: 2,
+            das_sites: 10,
+            das_rus_min: 4,
+            das_rus_max: 6,
+            das_streams_per_site: 4,
+            das_merge_window: 0,
+            dmimo_sites: 6,
+            dmimo_rus_per_site: 2,
+            dmimo_ports_per_ru: 2,
+            rushare_sites: 6,
+            rushare_streams_per_site: 4,
+            chain_sites: 2,
+            chain_das_rus: 3,
+            ues: 420,
+            rounds: 12,
+            handovers: 24,
+            interruption: 3,
+            events: Vec::new(),
+            payload_prbs: 2,
+        }
+    }
+
+    /// A downsized city for CI and debug builds: same structural variety
+    /// (every site kind present, chains included), two orders of
+    /// magnitude fewer frames.
+    pub fn ci() -> ScenarioSpec {
+        ScenarioSpec {
+            dus: 4,
+            operators: 2,
+            cell_sites: 6,
+            streams_per_cell: 1,
+            das_sites: 2,
+            das_rus_min: 2,
+            das_rus_max: 3,
+            das_streams_per_site: 2,
+            das_merge_window: 0,
+            dmimo_sites: 1,
+            dmimo_rus_per_site: 2,
+            dmimo_ports_per_ru: 2,
+            rushare_sites: 1,
+            rushare_streams_per_site: 2,
+            chain_sites: 1,
+            chain_das_rus: 2,
+            ues: 8,
+            rounds: 8,
+            handovers: 3,
+            interruption: 1,
+            events: Vec::new(),
+            payload_prbs: 2,
+        }
+    }
+
+    /// Total sites across all kinds, in site-index order
+    /// (cells, DAS, dMIMO, RU-sharing, chains).
+    pub fn total_sites(&self) -> usize {
+        self.cell_sites
+            .saturating_add(self.das_sites)
+            .saturating_add(self.dmimo_sites)
+            .saturating_add(self.rushare_sites)
+            .saturating_add(self.chain_sites)
+    }
+
+    /// Structural validation; every builder entry point calls this.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dus == 0 {
+            return Err("at least one DU".into());
+        }
+        if self.operators == 0 || self.operators > self.dus || self.operators > 4 {
+            return Err(format!(
+                "operators must be 1..=min(dus, 4), got {} of {} DUs",
+                self.operators, self.dus
+            ));
+        }
+        if self.total_sites() == 0 {
+            return Err("at least one site".into());
+        }
+        if self.das_sites > 0
+            && (self.das_rus_min < 2
+                || self.das_rus_min > self.das_rus_max
+                || self.das_rus_max > 16)
+        {
+            return Err(format!(
+                "DAS RU range must satisfy 2 <= min <= max <= 16, got {}..={}",
+                self.das_rus_min, self.das_rus_max
+            ));
+        }
+        if self.dmimo_sites > 0 {
+            let vports = self.dmimo_rus_per_site.saturating_mul(self.dmimo_ports_per_ru);
+            if self.dmimo_rus_per_site == 0 || self.dmimo_ports_per_ru == 0 || vports > 16 {
+                return Err(format!("dMIMO virtual ports (rus × ports = {vports}) must be 1..=16"));
+            }
+            if self.dmimo_sites > 0xFF {
+                return Err("at most 255 dMIMO sites (8-bit site tag)".into());
+            }
+        }
+        if (self.rushare_sites > 0 || self.chain_sites > 0)
+            && (self.rushare_streams_per_site == 0 || self.rushare_streams_per_site > 16)
+        {
+            return Err("RU-sharing streams per site must be 1..=16".into());
+        }
+        if self.chain_sites > 0 && (self.chain_das_rus < 2 || self.chain_das_rus > 16) {
+            return Err("chain DAS RU count must be 2..=16".into());
+        }
+        if self.rounds == 0 {
+            return Err("at least one round".into());
+        }
+        // The round → SymbolId mapping is only injective within one
+        // 256-frame hyperperiod.
+        let hyper = 256u32 * 10 * 2 * 14;
+        if self.rounds > hyper {
+            return Err(format!("rounds must be <= {hyper} (one Mu1 hyperperiod)"));
+        }
+        if (self.handovers > 0 || !self.events.is_empty()) && self.ues == 0 {
+            return Err("handovers need UEs".into());
+        }
+        if self.handovers > 0 && self.cell_sites.saturating_add(self.das_sites) < 2 {
+            return Err("handovers need at least two cell/DAS sites to move between".into());
+        }
+        if self.payload_prbs == 0 || self.payload_prbs > 64 {
+            return Err("payload PRBs must be 1..=64".into());
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if e.ue >= self.ues {
+                return Err(format!("event {i}: UE {} out of range", e.ue));
+            }
+            if e.at_round == 0 || e.resume_round() >= self.rounds {
+                return Err(format!(
+                    "event {i}: rounds 1..{} can host it, got at={} resume={}",
+                    self.rounds,
+                    e.at_round,
+                    e.resume_round()
+                ));
+            }
+            if e.to_site >= self.cell_sites.saturating_add(self.das_sites) {
+                return Err(format!("event {i}: target site {} is not a cell/DAS site", e.to_site));
+            }
+        }
+        // The sequential eAxC allocator must stay below the dMIMO tag
+        // space. Rushare blocks are 16-aligned, so budget them as 16.
+        let raws = self
+            .cell_sites
+            .saturating_mul(self.streams_per_cell)
+            .saturating_add(self.das_sites.saturating_mul(self.das_streams_per_site))
+            .saturating_add(self.rushare_sites.saturating_add(self.chain_sites).saturating_mul(16))
+            .saturating_add(self.ues)
+            .saturating_add(16);
+        if raws >= usize::from(EAXC_DMIMO_BASE) {
+            return Err(format!("eAxC space exhausted: {raws} raws needed"));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,108 @@
+//! City-scale conservation and acceptance: no frame may vanish
+//! unaccounted, at any worker count, with or without overload shedding —
+//! and the paper-scale city preset must actually be paper-scale.
+//!
+//! The per-lane egress identity under test is
+//! `collected + io_errors + shed == worker tx`: everything a worker
+//! pushed toward the wire is either transmitted, refused by the backend,
+//! or counted as shed by the egress ring. Ingress has the matching
+//! identity `dequeued + shed == dispatched`.
+
+use std::collections::HashMap;
+
+use ranbooster::dataplane::io::MemReplay;
+use ranbooster::dataplane::runtime::{Runtime, RuntimeReport};
+use ranbooster::scengen::{reference_run, run_capture, Scenario, ScenarioSpec};
+
+fn multiset(frames: &[Vec<u8>]) -> HashMap<&[u8], usize> {
+    let mut m = HashMap::new();
+    for f in frames {
+        *m.entry(f.as_slice()).or_insert(0) += 1;
+    }
+    m
+}
+
+fn assert_conserved(report: &RuntimeReport) {
+    assert_eq!(report.workers.len(), report.collectors.len());
+    for (lane, c) in report.collectors.iter().enumerate() {
+        let w = &report.workers[lane];
+        assert_eq!(
+            c.tx_frames + c.io_tx_errors + w.stats.tx_ring_dropped,
+            w.stats.tx,
+            "egress conservation broken on worker lane {lane}"
+        );
+    }
+    let wt = report.worker_totals();
+    assert_eq!(
+        wt.rx + report.in_ring_dropped,
+        report.dispatched,
+        "ingress conservation broken: dequeued + shed != dispatched"
+    );
+    assert_eq!(
+        report.tx_frames,
+        report.collectors.iter().map(|c| c.tx_frames).sum::<u64>(),
+        "report-level tx must be the sum of the collector lanes"
+    );
+}
+
+#[test]
+fn ci_city_conserves_frames_on_every_lane() {
+    let scn = Scenario::new(21, ScenarioSpec::ci()).expect("ci preset validates");
+    let cap = scn.capture();
+    for workers in [1usize, 2, 4] {
+        let (report, out) = run_capture(&scn, &cap, workers).expect("memory replay");
+        assert_eq!(report.worker_failures, 0, "{workers}w: no panics");
+        assert_conserved(&report);
+        // Lossless rings: nothing shed, everything emitted reaches tx.
+        assert_eq!(report.in_ring_dropped + report.out_ring_dropped, 0);
+        assert_eq!(out.len() as u64, report.tx_frames);
+    }
+}
+
+#[test]
+fn overloaded_rings_still_conserve() {
+    // Deliberately starve the rings so the drop-oldest policy engages:
+    // the identities must hold even while frames are being shed.
+    let scn = Scenario::new(21, ScenarioSpec::ci()).expect("ci preset validates");
+    let cap = scn.capture();
+    let cfg = scn.runtime_config(2).with_ring_capacity(64);
+    let mut io = MemReplay::from_bytes(cap.to_pcap()).expect("valid capture");
+    let report = Runtime::run(&cfg, &mut io, |_| scn.city_mb()).expect("replay");
+    assert_eq!(report.worker_failures, 0);
+    assert_conserved(&report);
+}
+
+#[test]
+fn city_preset_is_paper_scale_and_worker_count_invariant() {
+    let scn = Scenario::new(7, ScenarioSpec::city()).expect("city preset validates");
+
+    // The scale floor the tentpole promises.
+    assert!(scn.topo.ru_count() >= 100, "only {} RUs", scn.topo.ru_count());
+    assert!(scn.topo.dus.len() >= 12, "only {} DUs", scn.topo.dus.len());
+    let streams = scn.topo.stream_count(&scn.spec);
+    assert!(streams >= 1000, "only {streams} directional eAxC streams");
+    assert!(!scn.schedule.events.is_empty(), "the city must contain handovers");
+
+    let cap = scn.capture();
+    let (ref_out, stats) = reference_run(&scn, &cap);
+    assert_eq!(stats.parse_errors, 0);
+    assert_eq!(stats.not_for_us, 0);
+    assert_eq!((stats.seq_gaps, stats.seq_dups), (0, 0));
+
+    let mut outputs = Vec::new();
+    for workers in [1usize, 4] {
+        let (report, out) = run_capture(&scn, &cap, workers).expect("memory replay");
+        assert_eq!(report.worker_failures, 0, "{workers}w: zero panics at city scale");
+        assert_conserved(&report);
+        assert_eq!(
+            multiset(&out),
+            multiset(&ref_out),
+            "{workers}w diverged from the reference pipeline"
+        );
+        let mut sorted = out;
+        sorted.sort_unstable();
+        outputs.push(sorted);
+    }
+    // 1-worker and 4-worker runs are bit-identical as multisets.
+    assert_eq!(outputs[0], outputs[1], "1w vs 4w multiset mismatch");
+}
